@@ -1,0 +1,184 @@
+// Experiment E15 (DESIGN.md): ablations of the design choices called out in
+// DESIGN.md §6 —
+//   (1) the B tile via the |a_{B+N}| − |a_N| subtraction (paper §3.2)
+//       versus clipping the primary against the bounded B rectangle and
+//       measuring shoelace areas;
+//   (2) validation overhead of the checked entry points versus the
+//       *Unchecked fast paths;
+//   (3) the cost split of Compute-CDR%: edge division alone versus division
+//       plus trapezoid accumulation.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "clipping/sutherland_hodgman.h"
+#include "core/compute_cdr.h"
+#include "core/compute_cdr_percent.h"
+#include "core/edge_splitter.h"
+#include "geometry/robust.h"
+#include "geometry/sweep.h"
+#include "workload/polygon_gen.h"
+
+namespace cardir {
+namespace {
+
+// (1a) B area through the paper's subtraction trick (inside Compute-CDR%).
+void BM_BAreaViaSubtraction(benchmark::State& state) {
+  const Region primary = bench::BenchPrimary(/*seed=*/31,
+                                             static_cast<int>(state.range(0)));
+  const Region reference = bench::BenchReference();
+  for (auto _ : state) {
+    const CdrPercentComputation result =
+        ComputeCdrPercentUnchecked(primary, reference);
+    benchmark::DoNotOptimize(result.tile_areas[static_cast<int>(Tile::kB)]);
+  }
+}
+BENCHMARK(BM_BAreaViaSubtraction)->RangeMultiplier(4)->Range(64, 4096);
+
+// (1b) B area by clipping every polygon against the bounded B rectangle.
+void BM_BAreaViaClipping(benchmark::State& state) {
+  const Region primary = bench::BenchPrimary(/*seed=*/31,
+                                             static_cast<int>(state.range(0)));
+  const Box mbb = bench::BenchReference().BoundingBox();
+  for (auto _ : state) {
+    double area = 0.0;
+    for (const Polygon& polygon : primary.polygons()) {
+      area += ClipPolygonToBox(polygon, mbb).Area();
+    }
+    benchmark::DoNotOptimize(area);
+  }
+}
+BENCHMARK(BM_BAreaViaClipping)->RangeMultiplier(4)->Range(64, 4096);
+
+// (2) Validation overhead: checked vs unchecked entry points.
+void BM_ComputeCdrChecked(benchmark::State& state) {
+  const Region primary = bench::BenchPrimary(/*seed=*/32, 1024);
+  const Region reference = bench::BenchReference();
+  for (auto _ : state) {
+    auto result = ComputeCdrDetailed(primary, reference);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_ComputeCdrChecked);
+
+void BM_ComputeCdrUncheckedEntry(benchmark::State& state) {
+  const Region primary = bench::BenchPrimary(/*seed=*/32, 1024);
+  const Region reference = bench::BenchReference();
+  for (auto _ : state) {
+    CdrComputation result = ComputeCdrUnchecked(primary, reference);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_ComputeCdrUncheckedEntry);
+
+// (3) Edge division alone: the shared first phase of both algorithms.
+void BM_EdgeDivisionOnly(benchmark::State& state) {
+  const Region primary = bench::BenchPrimary(/*seed=*/33,
+                                             static_cast<int>(state.range(0)));
+  const Box mbb = bench::BenchReference().BoundingBox();
+  std::vector<ClassifiedEdge> pieces;
+  for (auto _ : state) {
+    size_t total = 0;
+    for (const Polygon& polygon : primary.polygons()) {
+      for (size_t i = 0; i < polygon.size(); ++i) {
+        pieces.clear();
+        total += static_cast<size_t>(
+            SplitAndClassifyEdge(polygon.edge(i), mbb, &pieces));
+      }
+    }
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_EdgeDivisionOnly)->RangeMultiplier(4)->Range(64, 4096);
+
+// (3b) Robust orientation: cost of the exact predicate vs the naive
+// determinant, on generic inputs (filter almost always decides) and on
+// adversarial near-collinear inputs (adaptive stages engage).
+void BM_OrientNaive(benchmark::State& state) {
+  Rng rng(36);
+  std::vector<Point> points;
+  for (int i = 0; i < 3072; ++i) {
+    points.push_back(Point(rng.NextDouble(-100, 100),
+                           rng.NextDouble(-100, 100)));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    const double v = Orient2D(points[i % 3072], points[(i + 1) % 3072],
+                              points[(i + 2) % 3072]);
+    benchmark::DoNotOptimize(v);
+    ++i;
+  }
+}
+BENCHMARK(BM_OrientNaive);
+
+void BM_OrientRobustGeneric(benchmark::State& state) {
+  Rng rng(36);
+  std::vector<Point> points;
+  for (int i = 0; i < 3072; ++i) {
+    points.push_back(Point(rng.NextDouble(-100, 100),
+                           rng.NextDouble(-100, 100)));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    const int v = RobustOrientSign(points[i % 3072], points[(i + 1) % 3072],
+                                   points[(i + 2) % 3072]);
+    benchmark::DoNotOptimize(v);
+    ++i;
+  }
+}
+BENCHMARK(BM_OrientRobustGeneric);
+
+void BM_OrientRobustAdversarial(benchmark::State& state) {
+  // Nearly collinear triples force the adaptive exact stages.
+  Rng rng(37);
+  std::vector<Point> points;
+  for (int i = 0; i < 3072; ++i) {
+    const double x = rng.NextDouble(0, 10);
+    points.push_back(Point(x, 3.0 * x + 1.0));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    const int v = RobustOrientSign(points[i % 3072], points[(i + 1) % 3072],
+                                   points[(i + 2) % 3072]);
+    benchmark::DoNotOptimize(v);
+    ++i;
+  }
+}
+BENCHMARK(BM_OrientRobustAdversarial);
+
+// (4) Simplicity checking: the quadratic reference vs the Shamos–Hoey
+// sweep (geometry/sweep.h) as the ring grows.
+void BM_ValidateSimpleQuadratic(benchmark::State& state) {
+  Rng rng(34);
+  const Polygon polygon = RandomStarPolygon(
+      &rng, static_cast<int>(state.range(0)), Box(0, 0, 1000, 1000));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(polygon.ValidateSimple());
+  }
+}
+BENCHMARK(BM_ValidateSimpleQuadratic)->RangeMultiplier(4)->Range(64, 4096);
+
+void BM_ValidateSimpleSweep(benchmark::State& state) {
+  Rng rng(34);
+  const Polygon polygon = RandomStarPolygon(
+      &rng, static_cast<int>(state.range(0)), Box(0, 0, 1000, 1000));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ValidatePolygonSimpleSweep(polygon));
+  }
+}
+BENCHMARK(BM_ValidateSimpleSweep)->RangeMultiplier(4)->Range(64, 4096);
+
+void BM_DivisionPlusAccumulation(benchmark::State& state) {
+  const Region primary = bench::BenchPrimary(/*seed=*/33,
+                                             static_cast<int>(state.range(0)));
+  const Region reference = bench::BenchReference();
+  for (auto _ : state) {
+    CdrPercentComputation result =
+        ComputeCdrPercentUnchecked(primary, reference);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_DivisionPlusAccumulation)->RangeMultiplier(4)->Range(64, 4096);
+
+}  // namespace
+}  // namespace cardir

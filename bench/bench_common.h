@@ -1,0 +1,40 @@
+// Shared workload construction for the benchmark binaries (experiments
+// E6/E7/E13 in DESIGN.md): primary regions of controlled edge count whose
+// bounding box straddles the reference mbb, so every benchmark exercises
+// the edge-splitting / clipping paths rather than the trivial single-tile
+// case.
+
+#ifndef CARDIR_BENCH_BENCH_COMMON_H_
+#define CARDIR_BENCH_BENCH_COMMON_H_
+
+#include <cstdint>
+
+#include "geometry/region.h"
+#include "util/random.h"
+#include "workload/region_gen.h"
+
+namespace cardir {
+namespace bench {
+
+/// The fixed reference region: a square centred on the canvas.
+inline Region BenchReference() {
+  return Region(MakeRectangle(40.0, 40.0, 60.0, 60.0));
+}
+
+/// A primary region with `polygons` star polygons and ~`total_edges` edges
+/// in total, spread over a canvas that surrounds the reference mbb, so its
+/// edges cross the reference lines extensively.
+inline Region BenchPrimary(uint64_t seed, int total_edges, int polygons = 1) {
+  Rng rng(seed);
+  RegionGenOptions options;
+  options.num_polygons = polygons;
+  options.vertices_per_polygon = total_edges / polygons;
+  options.kind = PolygonKind::kStar;
+  options.bounds = Box(0.0, 0.0, 100.0, 100.0);
+  return RandomRegion(&rng, options);
+}
+
+}  // namespace bench
+}  // namespace cardir
+
+#endif  // CARDIR_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,73 @@
+// Experiment E6/E13 (DESIGN.md): runtime of the paper's Compute-CDR
+// (Theorem 1: O(k_a + k_b), single pass) against the polygon-clipping
+// baseline (9 passes + segmentation) as the primary region's edge count
+// grows. Expected shape: both linear, Compute-CDR with the smaller
+// constant. Run in Release mode.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "clipping/baseline_cdr.h"
+#include "core/compute_cdr.h"
+
+namespace cardir {
+namespace {
+
+void BM_ComputeCdr(benchmark::State& state) {
+  const int edges = static_cast<int>(state.range(0));
+  const Region primary = bench::BenchPrimary(/*seed=*/1, edges);
+  const Region reference = bench::BenchReference();
+  for (auto _ : state) {
+    CdrComputation result = ComputeCdrUnchecked(primary, reference);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(primary.TotalEdges()));
+  state.counters["edges"] = static_cast<double>(primary.TotalEdges());
+}
+BENCHMARK(BM_ComputeCdr)->RangeMultiplier(4)->Range(16, 1 << 14);
+
+void BM_BaselineClippingCdr(benchmark::State& state) {
+  const int edges = static_cast<int>(state.range(0));
+  const Region primary = bench::BenchPrimary(/*seed=*/1, edges);
+  const Region reference = bench::BenchReference();
+  for (auto _ : state) {
+    CdrComputation result = BaselineCdrUnchecked(primary, reference);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(primary.TotalEdges()));
+  state.counters["edges"] = static_cast<double>(primary.TotalEdges());
+}
+BENCHMARK(BM_BaselineClippingCdr)->RangeMultiplier(4)->Range(16, 1 << 14);
+
+// Composite primaries: many polygons, fixed total edge budget — verifies
+// the "linear in total edges regardless of polygon count" claim.
+void BM_ComputeCdrComposite(benchmark::State& state) {
+  const int polygons = static_cast<int>(state.range(0));
+  const Region primary = bench::BenchPrimary(/*seed=*/2, 4096, polygons);
+  const Region reference = bench::BenchReference();
+  for (auto _ : state) {
+    CdrComputation result = ComputeCdrUnchecked(primary, reference);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["edges"] = static_cast<double>(primary.TotalEdges());
+  state.counters["polygons"] = polygons;
+}
+BENCHMARK(BM_ComputeCdrComposite)->RangeMultiplier(4)->Range(1, 64);
+
+void BM_BaselineClippingCdrComposite(benchmark::State& state) {
+  const int polygons = static_cast<int>(state.range(0));
+  const Region primary = bench::BenchPrimary(/*seed=*/2, 4096, polygons);
+  const Region reference = bench::BenchReference();
+  for (auto _ : state) {
+    CdrComputation result = BaselineCdrUnchecked(primary, reference);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["edges"] = static_cast<double>(primary.TotalEdges());
+  state.counters["polygons"] = polygons;
+}
+BENCHMARK(BM_BaselineClippingCdrComposite)->RangeMultiplier(4)->Range(1, 64);
+
+}  // namespace
+}  // namespace cardir

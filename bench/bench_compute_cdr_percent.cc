@@ -1,0 +1,58 @@
+// Experiment E7/E13 (DESIGN.md): runtime of Compute-CDR% (Theorem 2:
+// O(k_a + k_b) via the trapezoid expressions of Def. 4, no clipping)
+// against the clipping-based area computation.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "clipping/baseline_cdr.h"
+#include "core/compute_cdr_percent.h"
+
+namespace cardir {
+namespace {
+
+void BM_ComputeCdrPercent(benchmark::State& state) {
+  const int edges = static_cast<int>(state.range(0));
+  const Region primary = bench::BenchPrimary(/*seed=*/1, edges);
+  const Region reference = bench::BenchReference();
+  for (auto _ : state) {
+    CdrPercentComputation result =
+        ComputeCdrPercentUnchecked(primary, reference);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(primary.TotalEdges()));
+  state.counters["edges"] = static_cast<double>(primary.TotalEdges());
+}
+BENCHMARK(BM_ComputeCdrPercent)->RangeMultiplier(4)->Range(16, 1 << 14);
+
+void BM_BaselineClippingPercent(benchmark::State& state) {
+  const int edges = static_cast<int>(state.range(0));
+  const Region primary = bench::BenchPrimary(/*seed=*/1, edges);
+  const Region reference = bench::BenchReference();
+  for (auto _ : state) {
+    CdrPercentComputation result =
+        BaselineCdrPercentUnchecked(primary, reference);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(primary.TotalEdges()));
+  state.counters["edges"] = static_cast<double>(primary.TotalEdges());
+}
+BENCHMARK(BM_BaselineClippingPercent)->RangeMultiplier(4)->Range(16, 1 << 14);
+
+// Both sub-steps of the quantitative pipeline in isolation: how much of
+// Compute-CDR%'s cost is the shared edge division vs the area accumulation.
+void BM_QualitativeVsQuantitativeGap(benchmark::State& state) {
+  const Region primary = bench::BenchPrimary(/*seed=*/3, 4096);
+  const Region reference = bench::BenchReference();
+  for (auto _ : state) {
+    CdrPercentComputation quantitative =
+        ComputeCdrPercentUnchecked(primary, reference);
+    benchmark::DoNotOptimize(quantitative);
+  }
+}
+BENCHMARK(BM_QualitativeVsQuantitativeGap);
+
+}  // namespace
+}  // namespace cardir

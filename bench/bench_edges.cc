@@ -1,0 +1,100 @@
+// Experiment E4/E5 (DESIGN.md): the introduced-edge comparison of §3.1 and
+// Fig. 3. For each scenario we report the number of edges after
+// segmentation for (a) the paper's Compute-CDR edge division and (b) the
+// polygon-clipping baseline. Paper datapoints: Fig. 3b quadrangle 4 → 16
+// (clipping) vs 4 → 8 (Compute-CDR); Fig. 3c triangle 3 → 34/35 vs 3 → 11;
+// Example 3 quadrangle 4 → 19 (clipping) vs 4 → 9.
+//
+// Counts are a pure function of geometry — no timing — so this binary
+// prints a table instead of using google-benchmark.
+
+#include <cstdio>
+
+#include "clipping/baseline_cdr.h"
+#include "core/compute_cdr.h"
+#include "util/random.h"
+#include "workload/polygon_gen.h"
+
+namespace cardir {
+namespace {
+
+void Report(const char* name, const Region& primary, const Region& reference) {
+  const CdrComputation ours = ComputeCdrUnchecked(primary, reference);
+  const CdrComputation clipping = BaselineCdrUnchecked(primary, reference);
+  std::printf("%-34s %8zu %14zu %14zu   %-24s\n", name, ours.input_edges,
+              ours.output_edges, clipping.output_edges,
+              ours.relation.ToString().c_str());
+}
+
+void RandomSweep(uint64_t seed, int vertices) {
+  Rng rng(seed);
+  const Region reference(MakeRectangle(40, 40, 60, 60));
+  size_t input = 0, ours_total = 0, clip_total = 0;
+  constexpr int kTrials = 20;
+  for (int t = 0; t < kTrials; ++t) {
+    const Region primary(
+        RandomStarPolygon(&rng, vertices, Box(0, 0, 100, 100)));
+    const CdrComputation ours = ComputeCdrUnchecked(primary, reference);
+    const CdrComputation clipping = BaselineCdrUnchecked(primary, reference);
+    input += ours.input_edges;
+    ours_total += ours.output_edges;
+    clip_total += clipping.output_edges;
+  }
+  std::printf("random star n=%-6d (avg of %d)   %8.1f %14.1f %14.1f\n",
+              vertices, kTrials, static_cast<double>(input) / kTrials,
+              static_cast<double>(ours_total) / kTrials,
+              static_cast<double>(clip_total) / kTrials);
+}
+
+int Run() {
+  std::printf("Introduced-edge comparison (paper §3.1 / Fig. 3)\n");
+  std::printf("%-34s %8s %14s %14s   %s\n", "scenario", "input",
+              "Compute-CDR", "clipping", "relation");
+  std::printf("%s\n", std::string(100, '-').c_str());
+
+  const Region reference(MakeRectangle(0, 0, 10, 10));
+
+  // Fig. 3a/3b: a quadrangle overlapping the B, S, SW, W tiles.
+  Report("Fig. 3b quadrangle (4 tiles)",
+         Region(MakeRectangle(-5, -5, 5, 5)), reference);
+
+  // Fig. 3c: a triangle overlapping all nine tiles (the worst case the
+  // paper describes: clipping yields 2 triangles, 6 quadrangles and 1
+  // pentagon).
+  {
+    Polygon triangle({Point(-14, -10), Point(4, 24), Point(26, -9)});
+    triangle.EnsureClockwise();
+    Report("Fig. 3c triangle (9 tiles)", Region(std::move(triangle)),
+           reference);
+  }
+
+  // Example 3: the quadrangle of Fig. 4.
+  Report("Example 3 quadrangle",
+         Region(Polygon({Point(-4, 8), Point(-2, 14), Point(-1, 18),
+                         Point(20, 11)})),
+         reference);
+
+  // A region with a hole around the reference (Fig. 2-style composite).
+  {
+    Region frame;
+    frame.AddPolygon(MakeRectangle(-10, -10, 20, -5));
+    frame.AddPolygon(MakeRectangle(-10, 15, 20, 20));
+    frame.AddPolygon(MakeRectangle(-10, -5, -5, 15));
+    frame.AddPolygon(MakeRectangle(15, -5, 20, 15));
+    Report("frame around reference", frame, reference);
+  }
+
+  std::printf("\nRandom star polygons straddling the reference mbb\n");
+  std::printf("%-34s %8s %14s %14s\n", "scenario", "input", "Compute-CDR",
+              "clipping");
+  std::printf("%s\n", std::string(76, '-').c_str());
+  for (int vertices : {16, 64, 256, 1024, 4096}) {
+    RandomSweep(/*seed=*/99, vertices);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace cardir
+
+int main() { return cardir::Run(); }

@@ -1,0 +1,89 @@
+// Experiment E19 (DESIGN.md): the point/MBB approximation baselines of refs
+// [4,8,13,15] versus the paper's tile model — runtime (the approximations
+// are cheaper) and expressiveness (counters report how often each coarse
+// model can even represent the tile relation on random inputs).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "core/compute_cdr.h"
+#include "pointmodels/cone_direction.h"
+#include "pointmodels/mbb_direction.h"
+
+namespace cardir {
+namespace {
+
+void BM_ConeDirection(benchmark::State& state) {
+  const Region a = bench::BenchPrimary(/*seed=*/41,
+                                       static_cast<int>(state.range(0)));
+  const Region b = bench::BenchReference();
+  for (auto _ : state) {
+    auto result = ConeBetweenRegions(a, b);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["edges"] = static_cast<double>(a.TotalEdges());
+}
+BENCHMARK(BM_ConeDirection)->RangeMultiplier(4)->Range(16, 4096);
+
+void BM_MbbDirection(benchmark::State& state) {
+  const Region a = bench::BenchPrimary(/*seed=*/41,
+                                       static_cast<int>(state.range(0)));
+  const Region b = bench::BenchReference();
+  for (auto _ : state) {
+    auto result = MbbBetweenRegions(a, b);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["edges"] = static_cast<double>(a.TotalEdges());
+}
+BENCHMARK(BM_MbbDirection)->RangeMultiplier(4)->Range(16, 4096);
+
+void BM_TileModelForComparison(benchmark::State& state) {
+  const Region a = bench::BenchPrimary(/*seed=*/41,
+                                       static_cast<int>(state.range(0)));
+  const Region b = bench::BenchReference();
+  for (auto _ : state) {
+    CdrComputation result = ComputeCdrUnchecked(a, b);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["edges"] = static_cast<double>(a.TotalEdges());
+}
+BENCHMARK(BM_TileModelForComparison)->RangeMultiplier(4)->Range(16, 4096);
+
+// Expressiveness sweep (reported through counters, not time): on random
+// straddling regions, how often is the tile relation single-tile (the only
+// case the cone model can express), and how often does the MBB model give a
+// non-mixed verdict?
+void BM_ExpressivenessCounters(benchmark::State& state) {
+  Rng rng(42);
+  int64_t trials = 0, cone_expressible = 0, mbb_informative = 0;
+  const Region b = bench::BenchReference();
+  for (auto _ : state) {
+    // Vary the primary's placement so single-tile and straddling relations
+    // both occur (a fixed straddling workload would trivially report 0%).
+    RegionGenOptions options;
+    options.vertices_per_polygon = 12;
+    options.kind = PolygonKind::kStar;
+    const double size = rng.NextDouble(10.0, 60.0);
+    const double x = rng.NextDouble(0.0, 140.0 - size);
+    const double y = rng.NextDouble(0.0, 140.0 - size);
+    options.bounds = Box(x - 20.0, y - 20.0, x + size - 20.0, y + size - 20.0);
+    const Region a = RandomRegion(&rng, options);
+    const CardinalRelation fine = ComputeCdrUnchecked(a, b).relation;
+    const ConeDirection cone = *ConeBetweenRegions(a, b);
+    const MbbDirection coarse = *MbbBetweenRegions(a, b);
+    ++trials;
+    cone_expressible += ConeAgreesWithRelation(cone, fine);
+    mbb_informative += (coarse != MbbDirection::kMixed);
+    benchmark::DoNotOptimize(fine);
+  }
+  state.counters["cone_expressible_pct"] =
+      100.0 * static_cast<double>(cone_expressible) /
+      static_cast<double>(trials);
+  state.counters["mbb_informative_pct"] =
+      100.0 * static_cast<double>(mbb_informative) /
+      static_cast<double>(trials);
+}
+BENCHMARK(BM_ExpressivenessCounters);
+
+}  // namespace
+}  // namespace cardir

@@ -1,0 +1,84 @@
+// Experiment E12 (DESIGN.md): CARDIRECT query throughput over generated map
+// configurations with precomputed relation stores (the §4 usage scenario at
+// scale). Queries mix thematic filters with direction atoms.
+
+#include <benchmark/benchmark.h>
+
+#include "cardirect/query.h"
+#include "util/random.h"
+#include "workload/scenario_gen.h"
+
+namespace cardir {
+namespace {
+
+Configuration MakeConfig(int num_regions) {
+  Rng rng(77);
+  ScenarioOptions options;
+  options.num_regions = num_regions;
+  options.vertices_per_polygon = 8;
+  options.colors = {"red", "blue", "green", "black"};
+  return *GenerateMapConfiguration(&rng, options);
+}
+
+void BM_QueryThematicOnly(benchmark::State& state) {
+  const Configuration config = MakeConfig(static_cast<int>(state.range(0)));
+  const Query query = *Query::Parse("(x) | color(x) = red");
+  for (auto _ : state) {
+    auto result = EvaluateQuery(config, query);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["regions"] = static_cast<double>(config.regions().size());
+}
+BENCHMARK(BM_QueryThematicOnly)->RangeMultiplier(2)->Range(16, 128);
+
+void BM_QueryDirectionPair(benchmark::State& state) {
+  const Configuration config = MakeConfig(static_cast<int>(state.range(0)));
+  const Query query = *Query::Parse(
+      "(x, y) | color(x) = red, color(y) = blue, x {SW, S:SW, SW:W} y");
+  for (auto _ : state) {
+    auto result = EvaluateQuery(config, query);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["regions"] = static_cast<double>(config.regions().size());
+}
+BENCHMARK(BM_QueryDirectionPair)->RangeMultiplier(2)->Range(16, 128);
+
+void BM_QueryThreeVariables(benchmark::State& state) {
+  const Configuration config = MakeConfig(static_cast<int>(state.range(0)));
+  const Query query = *Query::Parse(
+      "(x, y, z) | color(x) = red, x {SW, S:SW, SW:W, S} y, "
+      "y {SW, S:SW, SW:W, S} z");
+  for (auto _ : state) {
+    auto result = EvaluateQuery(config, query);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["regions"] = static_cast<double>(config.regions().size());
+}
+BENCHMARK(BM_QueryThreeVariables)->RangeMultiplier(2)->Range(16, 64);
+
+void BM_QueryParse(benchmark::State& state) {
+  for (auto _ : state) {
+    auto query = Query::Parse(
+        "(a, b) | color(a) = red, color(b) = blue, a S:SW:W:NW:N:NE:E:SE b");
+    benchmark::DoNotOptimize(query);
+  }
+}
+BENCHMARK(BM_QueryParse);
+
+// The relation-store build itself: n*(n-1) Compute-CDR runs.
+void BM_ComputeAllRelations(benchmark::State& state) {
+  Rng rng(78);
+  ScenarioOptions options;
+  options.num_regions = static_cast<int>(state.range(0));
+  options.compute_relations = false;
+  Configuration config = *GenerateMapConfiguration(&rng, options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(config.ComputeAllRelations());
+  }
+  state.counters["pairs"] = static_cast<double>(state.range(0)) *
+                            (static_cast<double>(state.range(0)) - 1);
+}
+BENCHMARK(BM_ComputeAllRelations)->RangeMultiplier(2)->Range(8, 64);
+
+}  // namespace
+}  // namespace cardir

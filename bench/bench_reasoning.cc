@@ -1,0 +1,113 @@
+// Experiment E8/E9 (DESIGN.md): cost of the reasoning services — inverse
+// lookups, composition queries (memoised after first evaluation; the cold
+// cost appears as the first iteration of each distinct pair), algebraic
+// closure and canonical-model realisation of constraint networks.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "reasoning/composition.h"
+#include "reasoning/constraint_network.h"
+#include "reasoning/inverse.h"
+#include "util/random.h"
+
+namespace cardir {
+namespace {
+
+void BM_InverseLookup(benchmark::State& state) {
+  // Includes the one-off table build in the first iteration.
+  Rng rng(1);
+  for (auto _ : state) {
+    const uint16_t mask = static_cast<uint16_t>(rng.NextInt(1, 511));
+    benchmark::DoNotOptimize(Inverse(CardinalRelation::FromMask(mask)));
+  }
+}
+BENCHMARK(BM_InverseLookup);
+
+void BM_ComposeSingleTilePairs(benchmark::State& state) {
+  // Cycles through all 81 single-tile pairs; cold on the first pass,
+  // memoised afterwards.
+  int i = 0;
+  for (auto _ : state) {
+    const Tile r = kAllTiles[static_cast<size_t>(i) % 9];
+    const Tile s = kAllTiles[static_cast<size_t>(i / 9) % 9];
+    benchmark::DoNotOptimize(
+        Compose(CardinalRelation(r), CardinalRelation(s)));
+    ++i;
+  }
+}
+BENCHMARK(BM_ComposeSingleTilePairs);
+
+void BM_ComposeRandomPairs(benchmark::State& state) {
+  Rng rng(3);
+  for (auto _ : state) {
+    const uint16_t r = static_cast<uint16_t>(rng.NextInt(1, 511));
+    const uint16_t s = static_cast<uint16_t>(rng.NextInt(1, 511));
+    benchmark::DoNotOptimize(Compose(CardinalRelation::FromMask(r),
+                                     CardinalRelation::FromMask(s)));
+  }
+}
+BENCHMARK(BM_ComposeRandomPairs);
+
+// Closure and realisation on complete networks induced by n random regions.
+void BM_AlgebraicClosure(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(10);
+  std::vector<Region> regions;
+  for (int i = 0; i < n; ++i) {
+    regions.push_back(bench::BenchPrimary(rng.NextUint64(), 16));
+  }
+  const ConstraintNetwork network =
+      *ConstraintNetwork::FromRegions(regions);
+  for (auto _ : state) {
+    ConstraintNetwork copy = network;
+    benchmark::DoNotOptimize(copy.AlgebraicClosure());
+  }
+  state.counters["variables"] = n;
+}
+BENCHMARK(BM_AlgebraicClosure)->DenseRange(3, 7, 2);
+
+void BM_RealizeBasic(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(11);
+  std::vector<Region> regions;
+  for (int i = 0; i < n; ++i) {
+    regions.push_back(bench::BenchPrimary(rng.NextUint64(), 16));
+  }
+  const ConstraintNetwork network =
+      *ConstraintNetwork::FromRegions(regions);
+  for (auto _ : state) {
+    auto model = network.RealizeBasic();
+    benchmark::DoNotOptimize(model);
+  }
+  state.counters["variables"] = n;
+}
+BENCHMARK(BM_RealizeBasic)->DenseRange(3, 9, 2);
+
+void BM_SolveDisjunctive(benchmark::State& state) {
+  // A small disjunctive network: each constraint carries 2 candidates.
+  ConstraintNetwork network;
+  const int a = network.AddVariable("a");
+  const int b = network.AddVariable("b");
+  const int c = network.AddVariable("c");
+  DisjunctiveRelation ab;
+  ab.Add(*CardinalRelation::Parse("S"));
+  ab.Add(*CardinalRelation::Parse("SW"));
+  DisjunctiveRelation bc;
+  bc.Add(*CardinalRelation::Parse("W"));
+  bc.Add(*CardinalRelation::Parse("NW"));
+  DisjunctiveRelation ca;
+  ca.Add(*CardinalRelation::Parse("NE"));
+  ca.Add(*CardinalRelation::Parse("N:NE"));
+  (void)network.AddConstraint(a, b, ab);
+  (void)network.AddConstraint(b, c, bc);
+  (void)network.AddConstraint(c, a, ca);
+  for (auto _ : state) {
+    auto model = network.Solve();
+    benchmark::DoNotOptimize(model);
+  }
+}
+BENCHMARK(BM_SolveDisjunctive);
+
+}  // namespace
+}  // namespace cardir

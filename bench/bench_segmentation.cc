@@ -1,0 +1,65 @@
+// Experiment E16 (DESIGN.md): throughput of the §5 segmentation pipeline —
+// painting synthetic rasters and vectorising labels into REG* regions.
+
+#include <benchmark/benchmark.h>
+
+#include "segmentation/extract.h"
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace cardir {
+namespace {
+
+Raster MakeBlobRaster(int size, int blobs, uint64_t seed) {
+  Raster raster(size, size);
+  Rng rng(seed);
+  for (int b = 1; b <= blobs; ++b) {
+    const double cx = rng.NextDouble(0.1, 0.9) * size;
+    const double cy = rng.NextDouble(0.1, 0.9) * size;
+    const double radius = rng.NextDouble(0.05, 0.15) * size;
+    raster.FillDisk(cx, cy, radius, b);
+  }
+  return raster;
+}
+
+void BM_FillDisk(benchmark::State& state) {
+  const int size = static_cast<int>(state.range(0));
+  Raster raster(size, size);
+  for (auto _ : state) {
+    raster.FillDisk(size / 2.0, size / 2.0, size / 3.0, 1);
+    benchmark::DoNotOptimize(raster);
+  }
+  state.SetItemsProcessed(state.iterations() * size * size);
+}
+BENCHMARK(BM_FillDisk)->RangeMultiplier(4)->Range(64, 1024);
+
+void BM_ExtractRegion(benchmark::State& state) {
+  const int size = static_cast<int>(state.range(0));
+  Raster raster(size, size);
+  raster.FillDisk(size / 2.0, size / 2.0, size / 3.0, 1);
+  for (auto _ : state) {
+    auto region = ExtractRegion(raster, 1);
+    benchmark::DoNotOptimize(region);
+  }
+  state.SetItemsProcessed(state.iterations() * size * size);
+}
+BENCHMARK(BM_ExtractRegion)->RangeMultiplier(4)->Range(64, 1024);
+
+void BM_ExtractConfiguration(benchmark::State& state) {
+  const int blobs = static_cast<int>(state.range(0));
+  const Raster raster = MakeBlobRaster(256, blobs, /*seed=*/5);
+  std::vector<LabelSpec> specs;
+  for (int b : raster.Labels()) {
+    specs.push_back({b, StrFormat("blob%d", b), StrFormat("Blob %d", b),
+                     b % 2 == 0 ? "red" : "blue"});
+  }
+  for (auto _ : state) {
+    auto config = ExtractConfiguration(raster, specs);
+    benchmark::DoNotOptimize(config);
+  }
+  state.counters["labels"] = static_cast<double>(specs.size());
+}
+BENCHMARK(BM_ExtractConfiguration)->DenseRange(2, 10, 4);
+
+}  // namespace
+}  // namespace cardir

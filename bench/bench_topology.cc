@@ -1,0 +1,74 @@
+// Experiment E14 (DESIGN.md): cost of the §5 extension relations —
+// topological classification and exact minimum distance — as region
+// complexity grows. Both are O(E_a · E_b) pairwise-edge scans.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "extensions/distance.h"
+#include "extensions/topology.h"
+
+namespace cardir {
+namespace {
+
+void BM_ComputeTopology(benchmark::State& state) {
+  const int edges = static_cast<int>(state.range(0));
+  const Region a = bench::BenchPrimary(/*seed=*/21, edges);
+  const Region b = bench::BenchPrimary(/*seed=*/22, edges);
+  for (auto _ : state) {
+    auto result = ComputeTopology(a, b);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["edges"] = static_cast<double>(a.TotalEdges());
+}
+BENCHMARK(BM_ComputeTopology)->RangeMultiplier(4)->Range(8, 512);
+
+void BM_MinimumDistanceIntersecting(benchmark::State& state) {
+  // Overlapping regions exit early through the containment / intersection
+  // shortcut.
+  const int edges = static_cast<int>(state.range(0));
+  const Region a = bench::BenchPrimary(/*seed=*/23, edges);
+  const Region b = bench::BenchPrimary(/*seed=*/24, edges);
+  for (auto _ : state) {
+    auto result = MinimumDistance(a, b);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_MinimumDistanceIntersecting)->RangeMultiplier(4)->Range(8, 512);
+
+void BM_MinimumDistanceSeparated(benchmark::State& state) {
+  // Separated regions pay the full pairwise-edge scan.
+  const int edges = static_cast<int>(state.range(0));
+  Rng rng(25);
+  RegionGenOptions options;
+  options.vertices_per_polygon = edges;
+  options.kind = PolygonKind::kStar;
+  options.bounds = Box(0, 0, 100, 100);
+  const Region a = RandomRegion(&rng, options);
+  options.bounds = Box(300, 300, 400, 400);
+  const Region b = RandomRegion(&rng, options);
+  for (auto _ : state) {
+    auto result = MinimumDistance(a, b);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["edges"] = static_cast<double>(a.TotalEdges());
+}
+BENCHMARK(BM_MinimumDistanceSeparated)->RangeMultiplier(4)->Range(8, 512);
+
+void BM_DistanceRelationBucketing(benchmark::State& state) {
+  Rng rng(26);
+  RegionGenOptions options;
+  options.vertices_per_polygon = 32;
+  options.bounds = Box(0, 0, 100, 100);
+  const Region a = RandomRegion(&rng, options);
+  options.bounds = Box(500, 0, 600, 100);
+  const Region b = RandomRegion(&rng, options);
+  for (auto _ : state) {
+    auto result = ComputeDistanceRelation(a, b);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_DistanceRelationBucketing);
+
+}  // namespace
+}  // namespace cardir

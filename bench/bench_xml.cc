@@ -1,0 +1,60 @@
+// Experiment E10 (DESIGN.md): throughput of the DTD-shaped XML persistence
+// layer (serialise and parse) as configurations grow.
+
+#include <benchmark/benchmark.h>
+
+#include "cardirect/xml.h"
+#include "util/random.h"
+#include "workload/scenario_gen.h"
+
+namespace cardir {
+namespace {
+
+Configuration MakeConfig(int num_regions) {
+  Rng rng(55);
+  ScenarioOptions options;
+  options.num_regions = num_regions;
+  options.polygons_per_region = 2;
+  options.vertices_per_polygon = 16;
+  return *GenerateMapConfiguration(&rng, options);
+}
+
+void BM_SerializeConfiguration(benchmark::State& state) {
+  const Configuration config = MakeConfig(static_cast<int>(state.range(0)));
+  size_t bytes = 0;
+  for (auto _ : state) {
+    const std::string xml = ConfigurationToXml(config);
+    bytes = xml.size();
+    benchmark::DoNotOptimize(xml);
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<int64_t>(bytes));
+  state.counters["regions"] = static_cast<double>(config.regions().size());
+}
+BENCHMARK(BM_SerializeConfiguration)->RangeMultiplier(4)->Range(4, 256);
+
+void BM_ParseConfiguration(benchmark::State& state) {
+  const std::string xml =
+      ConfigurationToXml(MakeConfig(static_cast<int>(state.range(0))));
+  for (auto _ : state) {
+    auto config = ConfigurationFromXml(xml);
+    benchmark::DoNotOptimize(config);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(xml.size()));
+}
+BENCHMARK(BM_ParseConfiguration)->RangeMultiplier(4)->Range(4, 256);
+
+void BM_ParseRawXml(benchmark::State& state) {
+  const std::string xml =
+      ConfigurationToXml(MakeConfig(static_cast<int>(state.range(0))));
+  for (auto _ : state) {
+    auto node = ParseXml(xml);
+    benchmark::DoNotOptimize(node);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(xml.size()));
+}
+BENCHMARK(BM_ParseRawXml)->RangeMultiplier(4)->Range(4, 256);
+
+}  // namespace
+}  // namespace cardir

@@ -1,0 +1,133 @@
+// The paper's §4 case study (Figs. 11–12): a map of Ancient Greece at the
+// time of the Peloponnesian war, annotated with three alliances:
+//
+//   * Athenean Alliance (blue):  Attica, the Islands, Corfu, South Italy
+//   * Spartan Alliance (red):    Peloponnesos, Beotia, Crete, Sicely
+//   * Pro-Spartan (black):       Macedonia
+//
+// The coordinates are stylised but preserve the relative layout, so the
+// relations the paper reports hold: Peloponnesos is B:S:SW:W of Attica, and
+// Attica is mostly NE of Peloponnesos with small B/N/E percentages.
+// The example finishes with the paper's query: "find all regions of the
+// Athenean Alliance which are surrounded by a region in the Spartan
+// Alliance" (here: an Athenean enclave ringed by Sicely).
+
+#include <iostream>
+
+#include "cardirect/model.h"
+#include "cardirect/query.h"
+#include "cardirect/xml.h"
+
+namespace {
+
+using namespace cardir;
+
+void AddRegion(Configuration* config, const std::string& id,
+               const std::string& name, const std::string& color,
+               Region geometry) {
+  AnnotatedRegion region;
+  region.id = id;
+  region.name = name;
+  region.color = color;
+  region.geometry = std::move(geometry);
+  const Status status = config->AddRegion(std::move(region));
+  if (!status.ok()) {
+    std::cerr << "AddRegion(" << id << "): " << status << "\n";
+    std::exit(1);
+  }
+}
+
+Configuration BuildMap() {
+  // Canvas: 100×100, x grows east, y grows north.
+  Configuration config("peloponnesian-war", "ancient-greece.png");
+
+  // --- Spartan Alliance (red) ---
+  AddRegion(&config, "peloponnesos", "Peloponnesos", "red",
+            Region(Polygon({Point(10, 10), Point(8, 25), Point(20, 35),
+                            Point(38, 36), Point(40, 26), Point(36, 12),
+                            Point(24, 8)})));
+  AddRegion(&config, "beotia", "Beotia", "red",
+            Region(MakeRectangle(28, 46, 42, 54)));
+  AddRegion(&config, "crete", "Crete", "red",
+            Region(MakeRectangle(38, 0, 62, 5)));
+  // Sicely: a ring in the far west with an enclave inside.
+  Region sicely;
+  sicely.AddPolygon(MakeRectangle(60, 60, 85, 66));  // South band.
+  sicely.AddPolygon(MakeRectangle(60, 76, 85, 82));  // North band.
+  sicely.AddPolygon(MakeRectangle(60, 66, 67, 76));  // West band.
+  sicely.AddPolygon(MakeRectangle(78, 66, 85, 76));  // East band.
+  AddRegion(&config, "sicely", "Sicely", "red", std::move(sicely));
+
+  // --- Athenean Alliance (blue) ---
+  AddRegion(&config, "attica", "Attica", "blue",
+            Region(Polygon({Point(36, 36), Point(34, 43), Point(44, 47),
+                            Point(50, 41), Point(44, 34)})));
+  Region islands;  // The Aegean islands: a disconnected region.
+  islands.AddPolygon(MakeRectangle(55, 20, 60, 24));
+  islands.AddPolygon(MakeRectangle(63, 28, 67, 31));
+  islands.AddPolygon(MakeRectangle(58, 35, 62, 38));
+  AddRegion(&config, "islands", "Islands", "blue", std::move(islands));
+  AddRegion(&config, "corfu", "Corfu", "blue",
+            Region(MakeRectangle(2, 52, 7, 58)));
+  AddRegion(&config, "south-italy", "South Italy", "blue",
+            Region(MakeRectangle(48, 84, 70, 92)));
+  AddRegion(&config, "enclave", "Athenean enclave", "blue",
+            Region(MakeRectangle(70, 69, 75, 73)));  // Inside Sicely's ring.
+
+  // --- Pro-Spartan (black) ---
+  AddRegion(&config, "macedonia", "Macedonia", "black",
+            Region(Polygon({Point(18, 70), Point(16, 82), Point(40, 86),
+                            Point(46, 74), Point(32, 66)})));
+  return config;
+}
+
+}  // namespace
+
+int main() {
+  Configuration config = BuildMap();
+  Status status = config.ComputeAllRelations();
+  if (!status.ok()) {
+    std::cerr << "ComputeAllRelations: " << status << "\n";
+    return 1;
+  }
+
+  // Fig. 12 (left): the qualitative relations.
+  std::cout << "=== Cardinal direction relations (Fig. 12) ===\n";
+  const auto pelo_attica = config.StoredRelation("peloponnesos", "attica");
+  std::cout << "Peloponnesos " << pelo_attica->ToString() << " Attica\n";
+  const auto attica_pelo = config.StoredRelation("attica", "peloponnesos");
+  std::cout << "Attica " << attica_pelo->ToString() << " Peloponnesos\n";
+  const auto mac_attica = config.StoredRelation("macedonia", "attica");
+  std::cout << "Macedonia " << mac_attica->ToString() << " Attica\n\n";
+
+  // Fig. 12 (right): the percentage matrix of Attica w.r.t. Peloponnesos.
+  auto matrix = config.ComputePercentages("attica", "peloponnesos");
+  std::cout << "Attica w.r.t. Peloponnesos (percentages):\n"
+            << matrix->ToString() << "\n\n";
+
+  // Persist the configuration exactly as CARDIRECT does (§4's XML/DTD).
+  const std::string path = "peloponnese.xml";
+  status = SaveConfiguration(config, path);
+  if (!status.ok()) {
+    std::cerr << "SaveConfiguration: " << status << "\n";
+    return 1;
+  }
+  std::cout << "configuration saved to " << path << "\n\n";
+
+  // The §4 query: Athenean regions surrounded by a Spartan region.
+  const char* query =
+      "(a, b) | color(a) = red, color(b) = blue, a S:SW:W:NW:N:NE:E:SE b";
+  std::cout << "query: " << query << "\n";
+  auto result = EvaluateQuery(config, query);
+  if (!result.ok()) {
+    std::cerr << "EvaluateQuery: " << result.status() << "\n";
+    return 1;
+  }
+  for (const QueryRow& row : result->rows) {
+    std::cout << "  -> " << config.FindRegion(row.region_ids[0])->name
+              << " surrounds " << config.FindRegion(row.region_ids[1])->name
+              << "\n";
+  }
+  std::cout << result->rows.size() << " result(s)\n";
+  return 0;
+}

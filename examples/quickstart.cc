@@ -1,0 +1,52 @@
+// Quickstart: the minimal tour of the cardir public API.
+//
+//   1. Build two regions from polygons (clockwise rings).
+//   2. Compute the qualitative cardinal direction relation (Compute-CDR).
+//   3. Compute the relation with percentages (Compute-CDR%).
+//   4. Ask reasoning questions (inverse, composition).
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <iostream>
+
+#include "core/compute_cdr.h"
+#include "core/compute_cdr_percent.h"
+#include "geometry/region.h"
+#include "reasoning/composition.h"
+#include "reasoning/inverse.h"
+
+int main() {
+  using namespace cardir;
+
+  // A reference region b (a 10×10 square) and a primary region a: an
+  // L-shaped polygon reaching from west of b across its top.
+  const Region b(MakeRectangle(0, 0, 10, 10));
+  Region a(Polygon({Point(-6, 4), Point(-6, 14), Point(12, 14), Point(12, 11),
+                    Point(-3, 11), Point(-3, 4)}));
+  a.EnsureClockwise();
+
+  // --- Qualitative relation (Algorithm Compute-CDR, paper §3.1) ---
+  auto relation = ComputeCdr(a, b);
+  if (!relation.ok()) {
+    std::cerr << "ComputeCdr failed: " << relation.status() << "\n";
+    return 1;
+  }
+  std::cout << "a " << *relation << " b\n";
+  std::cout << "as a direction-relation matrix:\n"
+            << relation->ToMatrixString() << "\n\n";
+
+  // --- Quantitative relation (Algorithm Compute-CDR%, paper §3.2) ---
+  auto matrix = ComputeCdrPercent(a, b);
+  if (!matrix.ok()) {
+    std::cerr << "ComputeCdrPercent failed: " << matrix.status() << "\n";
+    return 1;
+  }
+  std::cout << "percentage matrix of a w.r.t. b:\n" << *matrix << "\n\n";
+
+  // --- Reasoning (paper §2, after [20,21,22]) ---
+  std::cout << "inverse(" << *relation << ") = " << Inverse(*relation)
+            << "\n";
+  const CardinalRelation north(Tile::kN);
+  std::cout << "N o N = " << Compose(north, north) << "\n";
+  return 0;
+}

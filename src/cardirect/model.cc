@@ -1,0 +1,120 @@
+#include "cardirect/model.h"
+
+#include <algorithm>
+
+#include "core/compute_cdr.h"
+#include "core/compute_cdr_percent.h"
+#include "util/string_util.h"
+
+namespace cardir {
+
+Status Configuration::AddRegion(AnnotatedRegion region) {
+  if (region.id.empty()) {
+    return Status::InvalidArgument("region id must not be empty");
+  }
+  if (FindRegion(region.id) != nullptr) {
+    return Status::AlreadyExists("duplicate region id: '" + region.id + "'");
+  }
+  region.geometry.EnsureClockwise();
+  Status status = region.geometry.Validate();
+  if (!status.ok()) {
+    return Status::InvalidArgument("region '" + region.id +
+                                   "': " + status.message());
+  }
+  regions_.push_back(std::move(region));
+  return Status::Ok();
+}
+
+Status Configuration::RemoveRegion(const std::string& id) {
+  auto it = std::find_if(regions_.begin(), regions_.end(),
+                         [&id](const AnnotatedRegion& r) { return r.id == id; });
+  if (it == regions_.end()) {
+    return Status::NotFound("no region with id '" + id + "'");
+  }
+  regions_.erase(it);
+  relations_.erase(
+      std::remove_if(relations_.begin(), relations_.end(),
+                     [&id](const RelationRecord& rec) {
+                       return rec.primary_id == id || rec.reference_id == id;
+                     }),
+      relations_.end());
+  return Status::Ok();
+}
+
+Status Configuration::AddPolygonToRegion(const std::string& id,
+                                         Polygon polygon) {
+  auto it = std::find_if(regions_.begin(), regions_.end(),
+                         [&id](const AnnotatedRegion& r) { return r.id == id; });
+  if (it == regions_.end()) {
+    return Status::NotFound("no region with id '" + id + "'");
+  }
+  polygon.EnsureClockwise();
+  CARDIR_RETURN_IF_ERROR(polygon.Validate());
+  it->geometry.AddPolygon(std::move(polygon));
+  // Stored relations involving this region are stale now.
+  relations_.erase(
+      std::remove_if(relations_.begin(), relations_.end(),
+                     [&id](const RelationRecord& rec) {
+                       return rec.primary_id == id || rec.reference_id == id;
+                     }),
+      relations_.end());
+  return Status::Ok();
+}
+
+const AnnotatedRegion* Configuration::FindRegion(const std::string& id) const {
+  for (const AnnotatedRegion& region : regions_) {
+    if (region.id == id) return &region;
+  }
+  return nullptr;
+}
+
+std::vector<const AnnotatedRegion*> Configuration::RegionsByColor(
+    const std::string& color) const {
+  std::vector<const AnnotatedRegion*> out;
+  for (const AnnotatedRegion& region : regions_) {
+    if (region.color == color) out.push_back(&region);
+  }
+  return out;
+}
+
+Status Configuration::ComputeAllRelations() {
+  std::vector<RelationRecord> records;
+  records.reserve(regions_.size() * (regions_.size() - 1));
+  for (const AnnotatedRegion& primary : regions_) {
+    for (const AnnotatedRegion& reference : regions_) {
+      if (&primary == &reference) continue;
+      CARDIR_ASSIGN_OR_RETURN(
+          CardinalRelation relation,
+          ComputeCdr(primary.geometry, reference.geometry));
+      records.push_back({primary.id, reference.id, relation});
+    }
+  }
+  relations_ = std::move(records);
+  return Status::Ok();
+}
+
+std::optional<CardinalRelation> Configuration::StoredRelation(
+    const std::string& primary_id, const std::string& reference_id) const {
+  for (const RelationRecord& record : relations_) {
+    if (record.primary_id == primary_id &&
+        record.reference_id == reference_id) {
+      return record.relation;
+    }
+  }
+  return std::nullopt;
+}
+
+Result<PercentageMatrix> Configuration::ComputePercentages(
+    const std::string& primary_id, const std::string& reference_id) const {
+  const AnnotatedRegion* primary = FindRegion(primary_id);
+  if (primary == nullptr) {
+    return Status::NotFound("no region with id '" + primary_id + "'");
+  }
+  const AnnotatedRegion* reference = FindRegion(reference_id);
+  if (reference == nullptr) {
+    return Status::NotFound("no region with id '" + reference_id + "'");
+  }
+  return ComputeCdrPercent(primary->geometry, reference->geometry);
+}
+
+}  // namespace cardir

@@ -1,0 +1,100 @@
+// The CARDIRECT configuration model (paper §4).
+//
+// A configuration ("Image" in the paper's DTD) is defined upon an image file
+// and comprises a set of annotated regions plus the direction relations
+// computed between them. Each region has an id, an optional name, a thematic
+// color attribute, and a set of polygons.
+
+#ifndef CARDIR_CARDIRECT_MODEL_H_
+#define CARDIR_CARDIRECT_MODEL_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/cardinal_relation.h"
+#include "core/percentage_matrix.h"
+#include "geometry/region.h"
+#include "util/status.h"
+
+namespace cardir {
+
+/// A user-annotated region of interest.
+struct AnnotatedRegion {
+  std::string id;     ///< Required, unique within the configuration.
+  std::string name;   ///< Optional display name.
+  std::string color;  ///< Thematic attribute (paper §4: f(x) = color).
+  Region geometry;
+};
+
+/// A stored qualitative relation: `primary` R `reference`.
+struct RelationRecord {
+  std::string primary_id;
+  std::string reference_id;
+  CardinalRelation relation;
+};
+
+/// A CARDIRECT configuration (the DTD's Image element).
+class Configuration {
+ public:
+  Configuration() = default;
+  Configuration(std::string name, std::string image_file)
+      : name_(std::move(name)), image_file_(std::move(image_file)) {}
+
+  const std::string& name() const { return name_; }
+  const std::string& image_file() const { return image_file_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+  void set_image_file(std::string file) { image_file_ = std::move(file); }
+
+  const std::vector<AnnotatedRegion>& regions() const { return regions_; }
+  const std::vector<RelationRecord>& relations() const { return relations_; }
+
+  /// Adds a region; fails on duplicate/empty id or invalid geometry.
+  /// Polygon rings are reoriented to the canonical clockwise order.
+  Status AddRegion(AnnotatedRegion region);
+
+  /// Removes the region with `id` and every stored relation touching it.
+  Status RemoveRegion(const std::string& id);
+
+  /// Appends one more polygon to an existing region (regions in REG* are
+  /// sets of polygons) and drops that region's stale stored relations. The
+  /// ring is reoriented to clockwise and validated.
+  Status AddPolygonToRegion(const std::string& id, Polygon polygon);
+
+  /// The region with `id`, or nullptr.
+  const AnnotatedRegion* FindRegion(const std::string& id) const;
+
+  /// Regions carrying thematic color `color`.
+  std::vector<const AnnotatedRegion*> RegionsByColor(
+      const std::string& color) const;
+
+  /// Recomputes all pairwise cardinal direction relations with Compute-CDR
+  /// and stores them (the paper's "compute their relationships" action —
+  /// Fig. 12). n regions yield n·(n−1) records.
+  Status ComputeAllRelations();
+
+  /// The stored relation `primary R reference`, or nullopt when relations
+  /// have not been computed (or a region is missing).
+  std::optional<CardinalRelation> StoredRelation(
+      const std::string& primary_id, const std::string& reference_id) const;
+
+  /// On-demand percentage matrix between two regions (not persisted in the
+  /// XML, matching the DTD which stores qualitative relations only).
+  Result<PercentageMatrix> ComputePercentages(
+      const std::string& primary_id, const std::string& reference_id) const;
+
+  /// Replaces the stored relation records (used by the XML reader).
+  void SetRelations(std::vector<RelationRecord> relations) {
+    relations_ = std::move(relations);
+  }
+
+ private:
+  std::string name_;
+  std::string image_file_;
+  std::vector<AnnotatedRegion> regions_;
+  std::vector<RelationRecord> relations_;
+};
+
+}  // namespace cardir
+
+#endif  // CARDIR_CARDIRECT_MODEL_H_

@@ -1,0 +1,28 @@
+// The CARDIRECT command-line tool (paper §4, sans GUI).
+//
+// Subcommands:
+//   show <config.xml>                      list regions and stored relations
+//   relations <config.xml> [out.xml]       compute all pairwise relations
+//                                          (Fig. 12); optionally save back
+//   percent <config.xml> <primary> <ref>   percentage matrix (Fig. 12 right)
+//   query <config.xml> <query>             evaluate a §4 query
+//   validate <config.xml>                  strict geometry validation
+//   demo <out.xml>                         write a small sample configuration
+
+#ifndef CARDIR_CARDIRECT_TOOL_H_
+#define CARDIR_CARDIRECT_TOOL_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace cardir {
+
+/// Runs the tool; returns the process exit code. Output goes to `out`,
+/// errors/usage to `err`.
+int RunCardirectTool(const std::vector<std::string>& args, std::ostream& out,
+                     std::ostream& err);
+
+}  // namespace cardir
+
+#endif  // CARDIR_CARDIRECT_TOOL_H_

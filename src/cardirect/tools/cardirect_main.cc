@@ -1,0 +1,13 @@
+// Entry point of the CARDIRECT command-line tool. See cardirect/tool.h for
+// the subcommand reference.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cardirect/tool.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return cardir::RunCardirectTool(args, std::cout, std::cerr);
+}

@@ -1,0 +1,81 @@
+// XML persistence for CARDIRECT configurations (paper §4).
+//
+// The paper stores a configuration as a simple XML document following this
+// DTD (quoted verbatim from §4):
+//
+//   <!ELEMENT Image (Region+, Relation*)>
+//   <!ATTLIST Image name CDATA #IMPLIED file CDATA #IMPLIED>
+//   <!ELEMENT Region (Polygon*)>
+//   <!ATTLIST Region id ID #REQUIRED name CDATA #IMPLIED color CDATA #IMPLIED>
+//   <!ELEMENT Polygon (Edge, Edge, Edge, Edge*)>
+//   <!ATTLIST Polygon id CDATA #REQUIRED>
+//   <!ELEMENT Edge EMPTY>
+//   <!ATTLIST Edge x CDATA #REQUIRED y CDATA #REQUIRED>
+//   <!ELEMENT Relation EMPTY>
+//   <!ATTLIST Relation type CDATA #REQUIRED
+//             primary IDREF #REQUIRED reference IDREF #REQUIRED>
+//
+// (Each Edge element carries one vertex of the polygon ring.) This module
+// provides a small from-scratch XML subset parser/writer — elements,
+// attributes, comments, declarations, DOCTYPE, the five predefined entities
+// and numeric character references — plus the DTD-shaped mapping to
+// Configuration.
+
+#ifndef CARDIR_CARDIRECT_XML_H_
+#define CARDIR_CARDIRECT_XML_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "cardirect/model.h"
+#include "util/status.h"
+
+namespace cardir {
+
+/// A parsed XML element.
+struct XmlNode {
+  std::string tag;
+  std::vector<std::pair<std::string, std::string>> attributes;
+  std::vector<XmlNode> children;
+  std::string text;  ///< Concatenated character data of this element.
+
+  /// Attribute value, or nullptr when absent.
+  const std::string* FindAttribute(std::string_view name) const;
+
+  /// Attribute value, or `fallback` when absent.
+  std::string AttributeOr(std::string_view name, std::string fallback) const;
+
+  /// Child elements with the given tag, in document order.
+  std::vector<const XmlNode*> ChildrenNamed(std::string_view tag) const;
+};
+
+/// Parses a document; returns its root element. Prologue (XML declaration,
+/// DOCTYPE with internal subset, comments, processing instructions) is
+/// accepted and skipped.
+Result<XmlNode> ParseXml(std::string_view input);
+
+/// Serialises a tree. With `pretty`, children are indented two spaces.
+std::string WriteXml(const XmlNode& root, bool pretty = true);
+
+/// Escapes &, <, >, ", ' for use in attribute values / character data.
+std::string XmlEscape(std::string_view text);
+
+/// Maps a parsed document (DTD shape above) to a Configuration. Region
+/// geometry is validated; Relation records referring to unknown region ids
+/// are rejected.
+Result<Configuration> ConfigurationFromXml(std::string_view xml);
+
+/// Serialises a Configuration to the DTD shape (with xml declaration and
+/// DOCTYPE reference).
+std::string ConfigurationToXml(const Configuration& configuration);
+
+/// File convenience wrappers.
+Status SaveConfiguration(const Configuration& configuration,
+                         const std::string& path);
+Result<Configuration> LoadConfiguration(const std::string& path);
+
+}  // namespace cardir
+
+#endif  // CARDIR_CARDIRECT_XML_H_

@@ -1,0 +1,72 @@
+#include "clipping/baseline_cdr.h"
+
+#include "clipping/tile_clipper.h"
+
+namespace cardir {
+
+CdrComputation BaselineCdrUnchecked(const Region& primary,
+                                    const Region& reference) {
+  const TileDecomposition decomposition =
+      ClipRegionToTiles(primary, reference.BoundingBox());
+  CdrComputation result;
+  result.input_edges = decomposition.input_edges;
+  result.output_edges = decomposition.output_edges;
+  for (Tile tile : kAllTiles) {
+    for (const Polygon& piece :
+         decomposition.pieces[static_cast<int>(tile)]) {
+      if (piece.Area() > 0.0) {
+        result.relation.Add(tile);
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+CdrPercentComputation BaselineCdrPercentUnchecked(const Region& primary,
+                                                  const Region& reference) {
+  const TileDecomposition decomposition =
+      ClipRegionToTiles(primary, reference.BoundingBox());
+  CdrPercentComputation result;
+  for (Tile tile : kAllTiles) {
+    double area = 0.0;
+    for (const Polygon& piece :
+         decomposition.pieces[static_cast<int>(tile)]) {
+      area += piece.Area();
+    }
+    result.tile_areas[static_cast<int>(tile)] = area;
+    result.total_area += area;
+  }
+  result.matrix = PercentageMatrix::FromAreas(result.tile_areas);
+  return result;
+}
+
+Result<CdrComputation> BaselineCdrDetailed(const Region& primary,
+                                           const Region& reference) {
+  CARDIR_RETURN_IF_ERROR(primary.Validate());
+  CARDIR_RETURN_IF_ERROR(reference.Validate());
+  return BaselineCdrUnchecked(primary, reference);
+}
+
+Result<CardinalRelation> BaselineCdr(const Region& primary,
+                                     const Region& reference) {
+  CARDIR_ASSIGN_OR_RETURN(CdrComputation computation,
+                          BaselineCdrDetailed(primary, reference));
+  return computation.relation;
+}
+
+Result<CdrPercentComputation> BaselineCdrPercentDetailed(
+    const Region& primary, const Region& reference) {
+  CARDIR_RETURN_IF_ERROR(primary.Validate());
+  CARDIR_RETURN_IF_ERROR(reference.Validate());
+  return BaselineCdrPercentUnchecked(primary, reference);
+}
+
+Result<PercentageMatrix> BaselineCdrPercent(const Region& primary,
+                                            const Region& reference) {
+  CARDIR_ASSIGN_OR_RETURN(CdrPercentComputation computation,
+                          BaselineCdrPercentDetailed(primary, reference));
+  return computation.matrix;
+}
+
+}  // namespace cardir

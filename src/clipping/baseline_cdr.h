@@ -1,0 +1,43 @@
+// Clipping-based baseline for both computation problems (§3's rejected
+// alternative, implemented in full so the paper's comparison — deferred to
+// future work in §5 — can be run; see bench/ and the oracle property tests).
+
+#ifndef CARDIR_CLIPPING_BASELINE_CDR_H_
+#define CARDIR_CLIPPING_BASELINE_CDR_H_
+
+#include "core/cardinal_relation.h"
+#include "core/compute_cdr.h"
+#include "core/compute_cdr_percent.h"
+#include "core/percentage_matrix.h"
+#include "geometry/region.h"
+#include "util/status.h"
+
+namespace cardir {
+
+/// Qualitative relation via tile-by-tile polygon clipping: a tile belongs to
+/// the relation iff some clipped piece has positive area. Shares the
+/// `CdrComputation` instrumentation shape with the paper's algorithm so the
+/// introduced-edge counts can be compared directly.
+Result<CdrComputation> BaselineCdrDetailed(const Region& primary,
+                                           const Region& reference);
+
+Result<CardinalRelation> BaselineCdr(const Region& primary,
+                                     const Region& reference);
+
+/// Quantitative relation via clipping: per-tile areas are shoelace areas of
+/// the clipped pieces.
+Result<CdrPercentComputation> BaselineCdrPercentDetailed(
+    const Region& primary, const Region& reference);
+
+Result<PercentageMatrix> BaselineCdrPercent(const Region& primary,
+                                            const Region& reference);
+
+/// Unchecked fast paths for benchmarks.
+CdrComputation BaselineCdrUnchecked(const Region& primary,
+                                    const Region& reference);
+CdrPercentComputation BaselineCdrPercentUnchecked(const Region& primary,
+                                                  const Region& reference);
+
+}  // namespace cardir
+
+#endif  // CARDIR_CLIPPING_BASELINE_CDR_H_

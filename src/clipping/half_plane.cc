@@ -1,0 +1,54 @@
+#include "clipping/half_plane.h"
+
+namespace cardir {
+namespace {
+
+// Intersection of segment ab with the half-plane boundary; fa/fb are the
+// signed evaluations at a and b (opposite strict signs).
+Point BoundaryIntersection(const Point& a, const Point& b,
+                           const HalfPlane& half_plane, double fa, double fb) {
+  const double t = fa / (fa - fb);
+  Point p = a + t * (b - a);
+  // Snap onto axis-aligned boundaries so later exact comparisons hold.
+  if (half_plane.normal.y == 0.0) p.x = half_plane.p.x;
+  if (half_plane.normal.x == 0.0) p.y = half_plane.p.y;
+  return p;
+}
+
+}  // namespace
+
+std::vector<Point> ClipRingByHalfPlane(const std::vector<Point>& ring,
+                                       const HalfPlane& half_plane) {
+  std::vector<Point> out;
+  const size_t n = ring.size();
+  if (n == 0) return out;
+  out.reserve(n + 2);
+  for (size_t i = 0; i < n; ++i) {
+    const Point& current = ring[i];
+    const Point& next = ring[(i + 1) % n];
+    const double fc = half_plane.Evaluate(current);
+    const double fn = half_plane.Evaluate(next);
+    const bool current_in = fc >= 0.0;
+    const bool next_in = fn >= 0.0;
+    if (current_in) {
+      out.push_back(current);
+      if (!next_in && fc > 0.0) {
+        out.push_back(BoundaryIntersection(current, next, half_plane, fc, fn));
+      }
+    } else if (next_in) {
+      if (fn > 0.0) {
+        out.push_back(BoundaryIntersection(current, next, half_plane, fc, fn));
+      }
+    }
+  }
+  // Remove consecutive duplicates introduced by vertices on the boundary.
+  std::vector<Point> dedup;
+  dedup.reserve(out.size());
+  for (const Point& p : out) {
+    if (dedup.empty() || !(dedup.back() == p)) dedup.push_back(p);
+  }
+  while (dedup.size() > 1 && dedup.front() == dedup.back()) dedup.pop_back();
+  return dedup;
+}
+
+}  // namespace cardir

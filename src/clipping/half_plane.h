@@ -1,0 +1,52 @@
+// Oriented half-planes and the single-step polygon clip used by
+// Sutherland–Hodgman. The nine tiles of a reference mbb are intersections of
+// at most four axis-aligned half-planes, so axis-aligned factories are
+// provided; the clip itself is generic.
+
+#ifndef CARDIR_CLIPPING_HALF_PLANE_H_
+#define CARDIR_CLIPPING_HALF_PLANE_H_
+
+#include <vector>
+
+#include "geometry/point.h"
+#include "geometry/polygon.h"
+
+namespace cardir {
+
+/// The closed half-plane { q : Dot(q − p, normal) ≥ 0 }.
+struct HalfPlane {
+  Point p;       ///< A point on the boundary line.
+  Point normal;  ///< Inward normal (need not be unit length).
+
+  /// Signed "insideness" of q (positive inside, 0 on the line).
+  double Evaluate(const Point& q) const { return Dot(q - p, normal); }
+  bool Contains(const Point& q) const { return Evaluate(q) >= 0.0; }
+
+  /// { (x, y) : x ≤ bound }.
+  static HalfPlane XAtMost(double bound) {
+    return {Point(bound, 0.0), Point(-1.0, 0.0)};
+  }
+  /// { (x, y) : x ≥ bound }.
+  static HalfPlane XAtLeast(double bound) {
+    return {Point(bound, 0.0), Point(1.0, 0.0)};
+  }
+  /// { (x, y) : y ≤ bound }.
+  static HalfPlane YAtMost(double bound) {
+    return {Point(0.0, bound), Point(0.0, -1.0)};
+  }
+  /// { (x, y) : y ≥ bound }.
+  static HalfPlane YAtLeast(double bound) {
+    return {Point(0.0, bound), Point(0.0, 1.0)};
+  }
+};
+
+/// One Sutherland–Hodgman step: clips `ring` (any simple ring) by the closed
+/// half-plane, returning the clipped ring (possibly empty). Vertices exactly
+/// on the boundary are kept; for axis-aligned half-planes the intersection
+/// coordinates are snapped exactly onto the boundary line.
+std::vector<Point> ClipRingByHalfPlane(const std::vector<Point>& ring,
+                                       const HalfPlane& half_plane);
+
+}  // namespace cardir
+
+#endif  // CARDIR_CLIPPING_HALF_PLANE_H_

@@ -1,0 +1,37 @@
+#include "clipping/liang_barsky.h"
+
+#include <algorithm>
+
+namespace cardir {
+
+std::optional<Segment> ClipSegmentToBox(const Segment& segment,
+                                        const Box& box) {
+  const double dx = segment.b.x - segment.a.x;
+  const double dy = segment.b.y - segment.a.y;
+  double t0 = 0.0;
+  double t1 = 1.0;
+
+  // For each of the four boundaries: p·t ≤ q must hold for points inside.
+  const double p[4] = {-dx, dx, -dy, dy};
+  const double q[4] = {segment.a.x - box.min_x(), box.max_x() - segment.a.x,
+                       segment.a.y - box.min_y(), box.max_y() - segment.a.y};
+
+  for (int i = 0; i < 4; ++i) {
+    if (p[i] == 0.0) {
+      if (q[i] < 0.0) return std::nullopt;  // Parallel and outside.
+      continue;
+    }
+    const double r = q[i] / p[i];
+    if (p[i] < 0.0) {
+      if (r > t1) return std::nullopt;
+      t0 = std::max(t0, r);
+    } else {
+      if (r < t0) return std::nullopt;
+      t1 = std::min(t1, r);
+    }
+  }
+  if (t0 > t1) return std::nullopt;
+  return Segment(segment.At(t0), segment.At(t1));
+}
+
+}  // namespace cardir

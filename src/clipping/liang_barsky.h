@@ -1,0 +1,24 @@
+// Liang–Barsky parametric segment clipping against a box (paper ref. [7]).
+//
+// Used as a cross-check utility: the sub-segment of an edge inside the B
+// tile computed here must agree with the edge splitter's B pieces.
+
+#ifndef CARDIR_CLIPPING_LIANG_BARSKY_H_
+#define CARDIR_CLIPPING_LIANG_BARSKY_H_
+
+#include <optional>
+
+#include "geometry/box.h"
+#include "geometry/segment.h"
+
+namespace cardir {
+
+/// The portion of `segment` inside the closed box, or nullopt when the
+/// segment misses the box entirely. A touching segment yields a degenerate
+/// (zero-length) result.
+std::optional<Segment> ClipSegmentToBox(const Segment& segment,
+                                        const Box& box);
+
+}  // namespace cardir
+
+#endif  // CARDIR_CLIPPING_LIANG_BARSKY_H_

@@ -1,0 +1,24 @@
+#include "clipping/sutherland_hodgman.h"
+
+namespace cardir {
+
+Polygon ClipPolygon(const Polygon& polygon,
+                    const std::vector<HalfPlane>& half_planes) {
+  std::vector<Point> ring = polygon.vertices();
+  for (const HalfPlane& half_plane : half_planes) {
+    if (ring.empty()) break;
+    ring = ClipRingByHalfPlane(ring, half_plane);
+  }
+  return Polygon(std::move(ring));
+}
+
+Polygon ClipPolygonToBox(const Polygon& polygon, const Box& box) {
+  return ClipPolygon(polygon, {
+                                  HalfPlane::XAtLeast(box.min_x()),
+                                  HalfPlane::XAtMost(box.max_x()),
+                                  HalfPlane::YAtLeast(box.min_y()),
+                                  HalfPlane::YAtMost(box.max_y()),
+                              });
+}
+
+}  // namespace cardir

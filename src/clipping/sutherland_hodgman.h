@@ -1,0 +1,29 @@
+// Sutherland–Hodgman polygon clipping against a convex clip region given as
+// an intersection of half-planes (paper refs [7,10] discuss clipping as the
+// obvious — and rejected — route to computing cardinal direction relations).
+
+#ifndef CARDIR_CLIPPING_SUTHERLAND_HODGMAN_H_
+#define CARDIR_CLIPPING_SUTHERLAND_HODGMAN_H_
+
+#include <vector>
+
+#include "clipping/half_plane.h"
+#include "geometry/box.h"
+#include "geometry/polygon.h"
+
+namespace cardir {
+
+/// Clips `polygon` by every half-plane in turn. The result ring can be empty
+/// (fully clipped away) or degenerate (zero area) when the polygon only
+/// touches the clip region. For concave subject polygons the classic
+/// algorithm may emit coincident "bridge" edges; their net area is zero, so
+/// area computations remain correct.
+Polygon ClipPolygon(const Polygon& polygon,
+                    const std::vector<HalfPlane>& half_planes);
+
+/// Clips `polygon` to a closed box (four half-planes).
+Polygon ClipPolygonToBox(const Polygon& polygon, const Box& box);
+
+}  // namespace cardir
+
+#endif  // CARDIR_CLIPPING_SUTHERLAND_HODGMAN_H_

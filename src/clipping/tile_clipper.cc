@@ -1,0 +1,54 @@
+#include "clipping/tile_clipper.h"
+
+#include "clipping/sutherland_hodgman.h"
+
+namespace cardir {
+
+std::vector<HalfPlane> TileHalfPlanes(Tile tile, const Box& mbb) {
+  std::vector<HalfPlane> planes;
+  planes.reserve(4);
+  switch (ColumnOf(tile)) {
+    case TileColumn::kWest:
+      planes.push_back(HalfPlane::XAtMost(mbb.min_x()));
+      break;
+    case TileColumn::kMiddle:
+      planes.push_back(HalfPlane::XAtLeast(mbb.min_x()));
+      planes.push_back(HalfPlane::XAtMost(mbb.max_x()));
+      break;
+    case TileColumn::kEast:
+      planes.push_back(HalfPlane::XAtLeast(mbb.max_x()));
+      break;
+  }
+  switch (RowOf(tile)) {
+    case TileRow::kSouth:
+      planes.push_back(HalfPlane::YAtMost(mbb.min_y()));
+      break;
+    case TileRow::kMiddle:
+      planes.push_back(HalfPlane::YAtLeast(mbb.min_y()));
+      planes.push_back(HalfPlane::YAtMost(mbb.max_y()));
+      break;
+    case TileRow::kNorth:
+      planes.push_back(HalfPlane::YAtLeast(mbb.max_y()));
+      break;
+  }
+  return planes;
+}
+
+TileDecomposition ClipRegionToTiles(const Region& region, const Box& mbb) {
+  TileDecomposition result;
+  result.input_edges = region.TotalEdges();
+  for (Tile tile : kAllTiles) {
+    const std::vector<HalfPlane> planes = TileHalfPlanes(tile, mbb);
+    std::vector<Polygon>& bucket = result.pieces[static_cast<int>(tile)];
+    for (const Polygon& polygon : region.polygons()) {
+      Polygon piece = ClipPolygon(polygon, planes);
+      if (piece.size() >= 3 && piece.Area() > 0.0) {
+        result.output_edges += piece.size();
+        bucket.push_back(std::move(piece));
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace cardir

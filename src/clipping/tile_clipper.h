@@ -1,0 +1,44 @@
+// Clipping a region against the nine (possibly unbounded) tiles of a
+// reference mbb — the "obvious" approach the paper argues against (§3,
+// Fig. 3): each tile is a convex intersection of at most four half-planes,
+// so Sutherland–Hodgman applies even to the unbounded peripheral tiles
+// (bounded subject ⇒ bounded output).
+
+#ifndef CARDIR_CLIPPING_TILE_CLIPPER_H_
+#define CARDIR_CLIPPING_TILE_CLIPPER_H_
+
+#include <array>
+#include <vector>
+
+#include "clipping/half_plane.h"
+#include "core/tile.h"
+#include "geometry/region.h"
+
+namespace cardir {
+
+/// Half-planes whose intersection is the closed tile `tile` of `mbb`
+/// (1, 2, 3 or 4 planes depending on the tile).
+std::vector<HalfPlane> TileHalfPlanes(Tile tile, const Box& mbb);
+
+/// All pieces of `region` clipped into the nine tiles, plus the edge-count
+/// instrumentation reported in §3.1 (e.g. Fig. 3b: one quadrangle becomes
+/// four quadrangles, 16 edges).
+struct TileDecomposition {
+  /// pieces[t] = the clipped polygons of the region inside tile t (possibly
+  /// empty or degenerate rings).
+  std::array<std::vector<Polygon>, kNumTiles> pieces;
+  /// Total edges of the input region.
+  size_t input_edges = 0;
+  /// Total edges over all non-degenerate output pieces (the clipping
+  /// counterpart of CdrComputation::output_edges).
+  size_t output_edges = 0;
+};
+
+/// Clips every polygon of `region` against every tile of `mbb`. This scans
+/// the edges of the region once per tile (9 passes) — exactly the cost the
+/// paper's algorithms avoid.
+TileDecomposition ClipRegionToTiles(const Region& region, const Box& mbb);
+
+}  // namespace cardir
+
+#endif  // CARDIR_CLIPPING_TILE_CLIPPER_H_

@@ -1,0 +1,89 @@
+#include "core/cardinal_relation.h"
+
+#include <bit>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace cardir {
+
+CardinalRelation CardinalRelation::FromMask(uint16_t mask) {
+  CARDIR_CHECK((mask & ~0x1ffu) == 0) << "mask uses bits above the 9 tiles";
+  CardinalRelation relation;
+  relation.mask_ = mask;
+  return relation;
+}
+
+Result<CardinalRelation> CardinalRelation::Parse(std::string_view text) {
+  CardinalRelation relation;
+  for (const std::string& piece : StrSplit(text, ':')) {
+    const std::string_view name = StripWhitespace(piece);
+    Tile tile;
+    if (!ParseTile(name, &tile)) {
+      return Status::ParseError("unknown tile name: '" + std::string(name) +
+                                "'");
+    }
+    if (relation.Includes(tile)) {
+      return Status::ParseError("duplicate tile in relation: '" +
+                                std::string(name) + "'");
+    }
+    relation.Add(tile);
+  }
+  if (relation.IsEmpty()) {
+    return Status::ParseError("empty cardinal direction relation");
+  }
+  return relation;
+}
+
+int CardinalRelation::TileCount() const { return std::popcount(mask_); }
+
+std::vector<Tile> CardinalRelation::Tiles() const {
+  std::vector<Tile> tiles;
+  for (Tile t : kAllTiles) {
+    if (Includes(t)) tiles.push_back(t);
+  }
+  return tiles;
+}
+
+std::string CardinalRelation::ToString() const {
+  if (IsEmpty()) return "(empty)";
+  std::string out;
+  for (Tile t : Tiles()) {
+    if (!out.empty()) out += ':';
+    out += TileName(t);
+  }
+  return out;
+}
+
+std::string CardinalRelation::ToMatrixString() const {
+  // Rows printed north to south, columns west to east, as in the paper's
+  // direction-relation matrices.
+  static constexpr Tile kLayout[3][3] = {
+      {Tile::kNW, Tile::kN, Tile::kNE},
+      {Tile::kW, Tile::kB, Tile::kE},
+      {Tile::kSW, Tile::kS, Tile::kSE},
+  };
+  std::string out;
+  for (int r = 0; r < 3; ++r) {
+    out += '[';
+    for (int c = 0; c < 3; ++c) {
+      out += Includes(kLayout[r][c]) ? '#' : '.';
+      if (c < 2) out += ' ';
+    }
+    out += ']';
+    if (r < 2) out += '\n';
+  }
+  return out;
+}
+
+CardinalRelation TileUnion(const std::vector<CardinalRelation>& relations) {
+  CardinalRelation out;
+  for (const CardinalRelation& r : relations) out = out.Union(r);
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const CardinalRelation& relation) {
+  return os << relation.ToString();
+}
+
+}  // namespace cardir

@@ -1,0 +1,51 @@
+#include "core/compute_cdr.h"
+
+#include "core/edge_splitter.h"
+#include "util/logging.h"
+
+namespace cardir {
+
+CdrComputation ComputeCdrUnchecked(const Region& primary,
+                                   const Region& reference) {
+  const Box mbb = reference.BoundingBox();
+  CARDIR_DCHECK(!mbb.IsEmpty());
+  const Point center = mbb.Center();
+
+  CdrComputation result;
+  std::vector<ClassifiedEdge> pieces;  // Reused across edges.
+  for (const Polygon& polygon : primary.polygons()) {
+    const size_t n = polygon.size();
+    result.input_edges += n;
+    for (size_t i = 0; i < n; ++i) {
+      pieces.clear();
+      result.output_edges += static_cast<size_t>(
+          SplitAndClassifyEdge(polygon.edge(i), mbb, &pieces));
+      for (const ClassifiedEdge& piece : pieces) {
+        result.relation.Add(piece.tile);
+      }
+    }
+    // Fig. 5: "If the center of mbb(b) is in p Then R = tile-union(R, B)".
+    // Catches polygons that contain the whole bounding box, whose boundary
+    // never enters the B tile.
+    if (!result.relation.Includes(Tile::kB) && polygon.Contains(center)) {
+      result.relation.Add(Tile::kB);
+    }
+  }
+  return result;
+}
+
+Result<CdrComputation> ComputeCdrDetailed(const Region& primary,
+                                          const Region& reference) {
+  CARDIR_RETURN_IF_ERROR(primary.Validate());
+  CARDIR_RETURN_IF_ERROR(reference.Validate());
+  return ComputeCdrUnchecked(primary, reference);
+}
+
+Result<CardinalRelation> ComputeCdr(const Region& primary,
+                                    const Region& reference) {
+  CARDIR_ASSIGN_OR_RETURN(CdrComputation computation,
+                          ComputeCdrDetailed(primary, reference));
+  return computation.relation;
+}
+
+}  // namespace cardir

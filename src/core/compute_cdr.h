@@ -1,0 +1,51 @@
+// Algorithm Compute-CDR (paper §3.1, Fig. 5).
+//
+// Computes the qualitative cardinal direction relation R with a R b between
+// regions a (primary) and b (reference) in REG*, in a single pass over the
+// edges of a: each edge is divided at the mbb(b) lines into sub-edges lying
+// in exactly one tile, the tiles are tile-unioned (Definition 2), and a
+// per-polygon containment test of the centre of mbb(b) adds the B tile when
+// a polygon of `a` swallows the whole bounding box without touching it.
+//
+// Running time: O(k_a + k_b) where k_a, k_b are the total edge counts
+// (Theorem 1).
+
+#ifndef CARDIR_CORE_COMPUTE_CDR_H_
+#define CARDIR_CORE_COMPUTE_CDR_H_
+
+#include "core/cardinal_relation.h"
+#include "geometry/region.h"
+#include "util/status.h"
+
+namespace cardir {
+
+/// Result of Compute-CDR together with instrumentation used by the
+/// edge-introduction experiments (E4/E5 in DESIGN.md).
+struct CdrComputation {
+  /// The relation R such that `primary R reference` holds.
+  CardinalRelation relation;
+  /// Total edges of the primary region before division.
+  size_t input_edges = 0;
+  /// Total sub-edges after division at the mbb lines (Example 3: the
+  /// quadrangle of Fig. 4 yields 9; polygon clipping would yield 19).
+  size_t output_edges = 0;
+};
+
+/// Runs Compute-CDR. Fails with kInvalidArgument when either region fails
+/// `Region::Validate()`. Both regions must use clockwise polygon rings (call
+/// `Region::EnsureClockwise()` when unsure).
+Result<CdrComputation> ComputeCdrDetailed(const Region& primary,
+                                          const Region& reference);
+
+/// Convenience wrapper returning only the relation.
+Result<CardinalRelation> ComputeCdr(const Region& primary,
+                                    const Region& reference);
+
+/// Unchecked fast path used by benchmarks: skips validation. Preconditions:
+/// both regions valid, clockwise, reference mbb non-empty.
+CdrComputation ComputeCdrUnchecked(const Region& primary,
+                                   const Region& reference);
+
+}  // namespace cardir
+
+#endif  // CARDIR_CORE_COMPUTE_CDR_H_

@@ -1,0 +1,92 @@
+#include "core/compute_cdr_percent.h"
+
+#include <cmath>
+
+#include "core/edge_splitter.h"
+#include "util/logging.h"
+
+namespace cardir {
+
+CdrPercentComputation ComputeCdrPercentUnchecked(const Region& primary,
+                                                 const Region& reference) {
+  const Box mbb = reference.BoundingBox();
+  CARDIR_DCHECK(!mbb.IsEmpty());
+  const double m1 = mbb.min_x();
+  const double m2 = mbb.max_x();
+  const double l1 = mbb.min_y();
+  const double l2 = mbb.max_y();
+
+  // Signed accumulators, one per tile plus the combined B+N term (Fig. 10).
+  std::array<double, kNumTiles> signed_sum{};
+  double signed_b_plus_n = 0.0;
+
+  std::vector<ClassifiedEdge> pieces;
+  for (const Polygon& polygon : primary.polygons()) {
+    for (size_t i = 0; i < polygon.size(); ++i) {
+      pieces.clear();
+      SplitAndClassifyEdge(polygon.edge(i), mbb, &pieces);
+      for (const ClassifiedEdge& piece : pieces) {
+        const Segment& s = piece.segment;
+        switch (piece.tile) {
+          case Tile::kNW:
+          case Tile::kW:
+          case Tile::kSW:
+            signed_sum[static_cast<int>(piece.tile)] +=
+                TrapezoidVertical(s, m1);
+            break;
+          case Tile::kNE:
+          case Tile::kE:
+          case Tile::kSE:
+            signed_sum[static_cast<int>(piece.tile)] +=
+                TrapezoidVertical(s, m2);
+            break;
+          case Tile::kS:
+            signed_sum[static_cast<int>(Tile::kS)] +=
+                TrapezoidHorizontal(s, l1);
+            break;
+          case Tile::kN:
+            signed_sum[static_cast<int>(Tile::kN)] +=
+                TrapezoidHorizontal(s, l2);
+            break;
+          case Tile::kB:
+            // B has no private reference line; only the B+N accumulator
+            // below sees its edges.
+            break;
+        }
+        if (piece.tile == Tile::kN || piece.tile == Tile::kB) {
+          signed_b_plus_n += TrapezoidHorizontal(s, l1);
+        }
+      }
+    }
+  }
+
+  CdrPercentComputation result;
+  for (Tile t : kAllTiles) {
+    result.tile_areas[static_cast<int>(t)] =
+        std::abs(signed_sum[static_cast<int>(t)]);
+  }
+  // a_B = |a_{B+N}| − |a_N|; clamp tiny negative floating-point residue.
+  const double area_b = std::abs(signed_b_plus_n) -
+                        result.tile_areas[static_cast<int>(Tile::kN)];
+  result.tile_areas[static_cast<int>(Tile::kB)] = std::max(0.0, area_b);
+
+  for (double area : result.tile_areas) result.total_area += area;
+  result.matrix = PercentageMatrix::FromAreas(result.tile_areas);
+  return result;
+}
+
+Result<CdrPercentComputation> ComputeCdrPercentDetailed(
+    const Region& primary, const Region& reference) {
+  CARDIR_RETURN_IF_ERROR(primary.Validate());
+  CARDIR_RETURN_IF_ERROR(reference.Validate());
+  return ComputeCdrPercentUnchecked(primary, reference);
+}
+
+Result<PercentageMatrix> ComputeCdrPercent(const Region& primary,
+                                           const Region& reference) {
+  CARDIR_ASSIGN_OR_RETURN(CdrPercentComputation computation,
+                          ComputeCdrPercentDetailed(primary, reference));
+  return computation.matrix;
+}
+
+}  // namespace cardir

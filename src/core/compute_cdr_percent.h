@@ -1,0 +1,62 @@
+// Algorithm Compute-CDR% (paper §3.2, Fig. 10).
+//
+// Computes the cardinal direction relation *with percentages* between a
+// primary region a and a reference region b without clipping any polygon:
+// after dividing a's edges at the mbb(b) lines (core/edge_splitter.h), the
+// area of a inside each tile is accumulated from the signed trapezoid
+// expressions of Definition 4 against a per-tile reference line:
+//
+//   NW, W, SW  →  E'_{m1}  (west line  x = m1)
+//   NE, E, SE  →  E'_{m2}  (east line  x = m2)
+//   S          →  E_{l1}   (south line y = l1)
+//   N          →  E_{l2}   (north line y = l2)
+//   B          →  |a_{B+N}| − |a_N|, where a_{B+N} accumulates E_{l1} over
+//                 all edges lying in B or N.
+//
+// The choice of reference line makes the "virtual" boundary segments of
+// a ∩ tile (which lie on the mbb lines) contribute exactly zero, so omitting
+// them is sound. (The paper's Fig. 10 pseudo-code reuses m1 for the eastern
+// tiles; we follow the worked derivation in §3.2, which uses the east line
+// m2 — using m1 would count the spurious rectangle between the two vertical
+// lines.)
+//
+// Running time: O(k_a + k_b) (Theorem 2).
+
+#ifndef CARDIR_CORE_COMPUTE_CDR_PERCENT_H_
+#define CARDIR_CORE_COMPUTE_CDR_PERCENT_H_
+
+#include <array>
+
+#include "core/percentage_matrix.h"
+#include "geometry/region.h"
+#include "util/status.h"
+
+namespace cardir {
+
+/// Result of Compute-CDR% with the intermediate per-tile areas exposed for
+/// testing and for callers that want absolute areas rather than percentages.
+struct CdrPercentComputation {
+  PercentageMatrix matrix;
+  /// area(tile(b) ∩ a) per tile, in square coordinate units.
+  std::array<double, kNumTiles> tile_areas{};
+  /// Sum of tile areas; equals area(a) up to floating-point error.
+  double total_area = 0.0;
+};
+
+/// Runs Compute-CDR%. Fails with kInvalidArgument when either region fails
+/// `Region::Validate()` (which implies area(a) > 0, so percentages are well
+/// defined). Regions must use clockwise rings.
+Result<CdrPercentComputation> ComputeCdrPercentDetailed(
+    const Region& primary, const Region& reference);
+
+/// Convenience wrapper returning only the percentage matrix.
+Result<PercentageMatrix> ComputeCdrPercent(const Region& primary,
+                                           const Region& reference);
+
+/// Unchecked fast path used by benchmarks (no validation).
+CdrPercentComputation ComputeCdrPercentUnchecked(const Region& primary,
+                                                 const Region& reference);
+
+}  // namespace cardir
+
+#endif  // CARDIR_CORE_COMPUTE_CDR_PERCENT_H_

@@ -1,0 +1,148 @@
+#include "core/edge_splitter.h"
+
+#include <algorithm>
+#include <array>
+
+#include "util/logging.h"
+
+namespace cardir {
+namespace {
+
+// Column of a sub-edge that does not properly cross x = m1 or x = m2.
+// `dir_y` is the y-component of the edge direction, used only to resolve
+// segments lying exactly on a line: for a clockwise ring the interior is to
+// the right of the direction, so a vertical segment going up (dir_y > 0) has
+// the interior on its east side.
+TileColumn ClassifyColumn(double lo, double hi, double dir_y, double m1,
+                          double m2) {
+  if (hi < m1) return TileColumn::kWest;
+  if (lo > m2) return TileColumn::kEast;
+  if (lo == hi && lo == m1 && m1 == m2) {
+    // Degenerate mbb (zero width) with the segment on the only line.
+    return dir_y > 0 ? TileColumn::kEast : TileColumn::kWest;
+  }
+  if (hi == m1) {
+    if (lo < m1) return TileColumn::kWest;  // Touches the line from the west.
+    // Segment lies on x = m1: interior side decides W vs middle.
+    return dir_y > 0 ? TileColumn::kMiddle : TileColumn::kWest;
+  }
+  if (lo == m2) {
+    if (hi > m2) return TileColumn::kEast;
+    // Segment lies on x = m2.
+    return dir_y > 0 ? TileColumn::kEast : TileColumn::kMiddle;
+  }
+  if (lo >= m1 && hi <= m2) return TileColumn::kMiddle;
+  // Defensive: a residual floating-point straddle (split points are snapped
+  // onto the lines, so this should not occur). Classify by the larger part.
+  if (lo < m1) return (m1 - lo > hi - m1) ? TileColumn::kWest
+                                          : TileColumn::kMiddle;
+  return (hi - m2 > m2 - lo) ? TileColumn::kEast : TileColumn::kMiddle;
+}
+
+// Row counterpart; `dir_x` resolves horizontal segments lying on y = l1 or
+// y = l2 (clockwise: going east (dir_x > 0) keeps the interior to the south).
+TileRow ClassifyRow(double lo, double hi, double dir_x, double l1, double l2) {
+  if (hi < l1) return TileRow::kSouth;
+  if (lo > l2) return TileRow::kNorth;
+  if (lo == hi && lo == l1 && l1 == l2) {
+    return dir_x > 0 ? TileRow::kSouth : TileRow::kNorth;
+  }
+  if (hi == l1) {
+    if (lo < l1) return TileRow::kSouth;
+    return dir_x > 0 ? TileRow::kSouth : TileRow::kMiddle;
+  }
+  if (lo == l2) {
+    if (hi > l2) return TileRow::kNorth;
+    return dir_x > 0 ? TileRow::kMiddle : TileRow::kNorth;
+  }
+  if (lo >= l1 && hi <= l2) return TileRow::kMiddle;
+  if (lo < l1) return (l1 - lo > hi - l1) ? TileRow::kSouth : TileRow::kMiddle;
+  return (hi - l2 > l2 - lo) ? TileRow::kNorth : TileRow::kMiddle;
+}
+
+// Which mbb line a crossing parameter came from (for coordinate snapping).
+enum class CrossedLine { kWest, kEast, kSouth, kNorth };
+
+struct Crossing {
+  double t;
+  CrossedLine line;
+};
+
+}  // namespace
+
+Tile ClassifySubEdge(const Segment& segment, const Box& mbb) {
+  CARDIR_DCHECK(!mbb.IsEmpty());
+  const Point dir = segment.Direction();
+  const TileColumn column = ClassifyColumn(
+      std::min(segment.a.x, segment.b.x), std::max(segment.a.x, segment.b.x),
+      dir.y, mbb.min_x(), mbb.max_x());
+  const TileRow row = ClassifyRow(std::min(segment.a.y, segment.b.y),
+                                  std::max(segment.a.y, segment.b.y), dir.x,
+                                  mbb.min_y(), mbb.max_y());
+  return TileAt(column, row);
+}
+
+int SplitAndClassifyEdge(const Segment& edge, const Box& mbb,
+                         std::vector<ClassifiedEdge>* out) {
+  CARDIR_DCHECK(out != nullptr);
+  if (edge.IsDegenerate()) return 0;
+
+  // Parameters in (0,1) of proper crossings with the four mbb lines.
+  std::array<Crossing, 4> crossings;
+  int crossing_count = 0;
+  auto add = [&crossings, &crossing_count](std::optional<double> t,
+                                           CrossedLine line) {
+    if (t.has_value()) crossings[crossing_count++] = {*t, line};
+  };
+  add(CrossVerticalLine(edge, mbb.min_x()), CrossedLine::kWest);
+  if (mbb.max_x() != mbb.min_x()) {
+    add(CrossVerticalLine(edge, mbb.max_x()), CrossedLine::kEast);
+  }
+  add(CrossHorizontalLine(edge, mbb.min_y()), CrossedLine::kSouth);
+  if (mbb.max_y() != mbb.min_y()) {
+    add(CrossHorizontalLine(edge, mbb.max_y()), CrossedLine::kNorth);
+  }
+  std::sort(crossings.begin(), crossings.begin() + crossing_count,
+            [](const Crossing& a, const Crossing& b) { return a.t < b.t; });
+
+  // Snap each split point's coordinate exactly onto the line(s) it crosses,
+  // so sub-edge extents compare exactly against the mbb bounds.
+  auto snapped_point = [&](int index) {
+    Point p = edge.At(crossings[index].t);
+    const double t = crossings[index].t;
+    for (int j = 0; j < crossing_count; ++j) {
+      if (crossings[j].t != t) continue;
+      switch (crossings[j].line) {
+        case CrossedLine::kWest: p.x = mbb.min_x(); break;
+        case CrossedLine::kEast: p.x = mbb.max_x(); break;
+        case CrossedLine::kSouth: p.y = mbb.min_y(); break;
+        case CrossedLine::kNorth: p.y = mbb.max_y(); break;
+      }
+    }
+    return p;
+  };
+
+  int emitted = 0;
+  Point start = edge.a;
+  double prev_t = 0.0;
+  for (int i = 0; i <= crossing_count; ++i) {
+    Point end;
+    if (i == crossing_count) {
+      end = edge.b;
+    } else {
+      const double t = crossings[i].t;
+      if (t == prev_t && i > 0) continue;  // Coincident crossing (corner).
+      end = snapped_point(i);
+      prev_t = t;
+    }
+    const Segment piece(start, end);
+    if (!piece.IsDegenerate()) {
+      out->push_back({piece, ClassifySubEdge(piece, mbb)});
+      ++emitted;
+    }
+    start = end;
+  }
+  return emitted;
+}
+
+}  // namespace cardir

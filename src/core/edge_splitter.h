@@ -1,0 +1,56 @@
+// Edge division at the reference mbb lines (paper §3.1).
+//
+// For every edge AB of the primary region, the set I of intersection points
+// of AB with the four lines of mbb(b) divides AB into segments
+// A O1, ..., Ok B such that every segment lies in exactly one (closed) tile
+// of b (Example 3 / Fig. 4b). Replacing AB by these segments does not change
+// the region; the tile of each segment is then read off its position.
+//
+// Robustness notes (doubles, no epsilons):
+//  * only *proper* crossings split an edge (touching a line at an endpoint
+//    or running along it produces no split — Definition 3's "does not
+//    cross");
+//  * a sub-edge is classified by the interval position of its x/y extent
+//    relative to the mbb lines, not by floating-point midpoints;
+//  * a sub-edge lying exactly ON an mbb line belongs to two closed tiles;
+//    we resolve to the tile on the polygon's *interior* side (clockwise
+//    rings keep the interior to the right), so regions that merely touch a
+//    line never report a spurious tile — matching Definition 1, where every
+//    piece a_i is a REG* region with positive area.
+
+#ifndef CARDIR_CORE_EDGE_SPLITTER_H_
+#define CARDIR_CORE_EDGE_SPLITTER_H_
+
+#include <vector>
+
+#include "core/tile.h"
+#include "geometry/box.h"
+#include "geometry/segment.h"
+
+namespace cardir {
+
+/// One sub-edge produced by the division, together with the unique tile it
+/// lies in.
+struct ClassifiedEdge {
+  Segment segment;
+  Tile tile;
+};
+
+/// Splits `edge` at its proper crossings with the four mbb lines and
+/// classifies every resulting sub-edge. Degenerate (zero-length) inputs
+/// produce no output. Appends to `*out` and returns the number of sub-edges
+/// appended (≤ 5: at most 4 crossing points).
+///
+/// `edge` must be traversed in the polygon's clockwise ring order; the
+/// interior-to-the-right convention resolves sub-edges lying exactly on an
+/// mbb line.
+int SplitAndClassifyEdge(const Segment& edge, const Box& mbb,
+                         std::vector<ClassifiedEdge>* out);
+
+/// Classifies a segment known not to properly cross any mbb line (e.g. an
+/// output of SplitAndClassifyEdge). Exposed for tests.
+Tile ClassifySubEdge(const Segment& segment, const Box& mbb);
+
+}  // namespace cardir
+
+#endif  // CARDIR_CORE_EDGE_SPLITTER_H_

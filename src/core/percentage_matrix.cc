@@ -1,0 +1,71 @@
+#include "core/percentage_matrix.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace cardir {
+
+PercentageMatrix PercentageMatrix::FromAreas(
+    const std::array<double, kNumTiles>& areas) {
+  double total = 0.0;
+  for (double a : areas) {
+    CARDIR_DCHECK(a >= 0.0) << "negative tile area";
+    total += a;
+  }
+  PercentageMatrix matrix;
+  if (total <= 0.0) return matrix;
+  for (int i = 0; i < kNumTiles; ++i) {
+    matrix.values_[i] = 100.0 * areas[i] / total;
+  }
+  return matrix;
+}
+
+double PercentageMatrix::Total() const {
+  double total = 0.0;
+  for (double v : values_) total += v;
+  return total;
+}
+
+CardinalRelation PercentageMatrix::ToRelation(double threshold_percent) const {
+  CardinalRelation relation;
+  for (Tile t : kAllTiles) {
+    if (at(t) > threshold_percent) relation.Add(t);
+  }
+  return relation;
+}
+
+std::string PercentageMatrix::ToString(int precision) const {
+  static constexpr Tile kLayout[3][3] = {
+      {Tile::kNW, Tile::kN, Tile::kNE},
+      {Tile::kW, Tile::kB, Tile::kE},
+      {Tile::kSW, Tile::kS, Tile::kSE},
+  };
+  std::string out;
+  for (int r = 0; r < 3; ++r) {
+    out += '[';
+    for (int c = 0; c < 3; ++c) {
+      if (c > 0) out += "  ";
+      out += StrFormat("%*.*f%%", 6 + precision, precision,
+                       at(kLayout[r][c]));
+    }
+    out += ']';
+    if (r < 2) out += '\n';
+  }
+  return out;
+}
+
+bool PercentageMatrix::ApproxEquals(const PercentageMatrix& other,
+                                    double tolerance) const {
+  for (Tile t : kAllTiles) {
+    if (std::abs(at(t) - other.at(t)) > tolerance) return false;
+  }
+  return true;
+}
+
+std::ostream& operator<<(std::ostream& os, const PercentageMatrix& matrix) {
+  return os << matrix.ToString();
+}
+
+}  // namespace cardir

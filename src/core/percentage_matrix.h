@@ -1,0 +1,65 @@
+// Cardinal direction relations with percentages (paper §2, after [5,6]).
+//
+// The quantitative relation between a primary region a and a reference
+// region b is the 3×3 matrix whose (dir) entry is
+//   100% · area(dir(b) ∩ a) / area(a),
+// i.e. the percentage of a's area falling in each tile of b. Entries are
+// non-negative and sum to 100.
+
+#ifndef CARDIR_CORE_PERCENTAGE_MATRIX_H_
+#define CARDIR_CORE_PERCENTAGE_MATRIX_H_
+
+#include <array>
+#include <ostream>
+#include <string>
+
+#include "core/cardinal_relation.h"
+#include "core/tile.h"
+
+namespace cardir {
+
+/// The cardinal direction matrix with percentages.
+class PercentageMatrix {
+ public:
+  /// All-zero matrix (not a valid final relation; used as accumulator).
+  PercentageMatrix() { values_.fill(0.0); }
+
+  /// Builds from raw (non-negative) per-tile areas, normalising to
+  /// percentages of the total.
+  static PercentageMatrix FromAreas(const std::array<double, kNumTiles>& areas);
+
+  double at(Tile tile) const { return values_[static_cast<int>(tile)]; }
+  void set(Tile tile, double percent) {
+    values_[static_cast<int>(tile)] = percent;
+  }
+
+  /// Sum of all entries (≈100 for a valid matrix).
+  double Total() const;
+
+  /// The qualitative relation implied by the matrix: tiles whose percentage
+  /// exceeds `threshold_percent` (default: strictly positive). The paper's
+  /// Compute-CDR captures boundary-touching tiles of measure zero, so the
+  /// qualitative relation can be a superset of `ToRelation(0)`.
+  CardinalRelation ToRelation(double threshold_percent = 0.0) const;
+
+  /// Pretty 3×3 rendering with "%" entries, rows north to south, like the
+  /// matrices displayed in §2 of the paper.
+  std::string ToString(int precision = 2) const;
+
+  /// True when all entries match `other` within `tolerance` percentage
+  /// points.
+  bool ApproxEquals(const PercentageMatrix& other, double tolerance) const;
+
+  friend bool operator==(const PercentageMatrix& a, const PercentageMatrix& b) {
+    return a.values_ == b.values_;
+  }
+
+ private:
+  std::array<double, kNumTiles> values_;
+};
+
+std::ostream& operator<<(std::ostream& os, const PercentageMatrix& matrix);
+
+}  // namespace cardir
+
+#endif  // CARDIR_CORE_PERCENTAGE_MATRIX_H_

@@ -1,0 +1,17 @@
+#include "core/relation_pair.h"
+
+#include "core/compute_cdr.h"
+
+namespace cardir {
+
+Result<RelationPair> ComputeRelationPair(const Region& a, const Region& b) {
+  CARDIR_ASSIGN_OR_RETURN(CardinalRelation a_to_b, ComputeCdr(a, b));
+  CARDIR_ASSIGN_OR_RETURN(CardinalRelation b_to_a, ComputeCdr(b, a));
+  return RelationPair{a_to_b, b_to_a};
+}
+
+std::ostream& operator<<(std::ostream& os, const RelationPair& pair) {
+  return os << "(" << pair.a_to_b << ", " << pair.b_to_a << ")";
+}
+
+}  // namespace cardir

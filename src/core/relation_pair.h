@@ -1,0 +1,35 @@
+// Relation pairs (paper §2): the relative position of two regions a and b is
+// fully characterised by the pair (R1, R2) with a R1 b and b R2 a.
+
+#ifndef CARDIR_CORE_RELATION_PAIR_H_
+#define CARDIR_CORE_RELATION_PAIR_H_
+
+#include <ostream>
+
+#include "core/cardinal_relation.h"
+#include "geometry/region.h"
+#include "util/status.h"
+
+namespace cardir {
+
+/// The (R1, R2) pair of §2: `a_to_b` holds of (a, b) and `b_to_a` of (b, a).
+struct RelationPair {
+  CardinalRelation a_to_b;
+  CardinalRelation b_to_a;
+
+  friend bool operator==(const RelationPair& x, const RelationPair& y) {
+    return x.a_to_b == y.a_to_b && x.b_to_a == y.b_to_a;
+  }
+};
+
+/// Computes both directions with Compute-CDR. By construction the result
+/// satisfies the mutual-inverse property of §2 (each component is a disjunct
+/// of the inverse of the other) — asserted by the property tests against the
+/// reasoning layer's Inverse().
+Result<RelationPair> ComputeRelationPair(const Region& a, const Region& b);
+
+std::ostream& operator<<(std::ostream& os, const RelationPair& pair);
+
+}  // namespace cardir
+
+#endif  // CARDIR_CORE_RELATION_PAIR_H_

@@ -1,0 +1,101 @@
+#include "core/tile.h"
+
+#include "util/logging.h"
+
+namespace cardir {
+
+std::string_view TileName(Tile tile) {
+  switch (tile) {
+    case Tile::kB: return "B";
+    case Tile::kS: return "S";
+    case Tile::kSW: return "SW";
+    case Tile::kW: return "W";
+    case Tile::kNW: return "NW";
+    case Tile::kN: return "N";
+    case Tile::kNE: return "NE";
+    case Tile::kE: return "E";
+    case Tile::kSE: return "SE";
+  }
+  return "?";
+}
+
+bool ParseTile(std::string_view name, Tile* tile) {
+  for (Tile t : kAllTiles) {
+    if (TileName(t) == name) {
+      *tile = t;
+      return true;
+    }
+  }
+  return false;
+}
+
+TileColumn ColumnOf(Tile tile) {
+  switch (tile) {
+    case Tile::kSW:
+    case Tile::kW:
+    case Tile::kNW:
+      return TileColumn::kWest;
+    case Tile::kS:
+    case Tile::kB:
+    case Tile::kN:
+      return TileColumn::kMiddle;
+    case Tile::kSE:
+    case Tile::kE:
+    case Tile::kNE:
+      return TileColumn::kEast;
+  }
+  CARDIR_CHECK(false) << "bad tile";
+  return TileColumn::kMiddle;
+}
+
+TileRow RowOf(Tile tile) {
+  switch (tile) {
+    case Tile::kSW:
+    case Tile::kS:
+    case Tile::kSE:
+      return TileRow::kSouth;
+    case Tile::kW:
+    case Tile::kB:
+    case Tile::kE:
+      return TileRow::kMiddle;
+    case Tile::kNW:
+    case Tile::kN:
+    case Tile::kNE:
+      return TileRow::kNorth;
+  }
+  CARDIR_CHECK(false) << "bad tile";
+  return TileRow::kMiddle;
+}
+
+Tile TileAt(TileColumn column, TileRow row) {
+  static constexpr Tile kGrid[3][3] = {
+      // rows: south, middle, north; columns: west, middle, east.
+      {Tile::kSW, Tile::kS, Tile::kSE},
+      {Tile::kW, Tile::kB, Tile::kE},
+      {Tile::kNW, Tile::kN, Tile::kNE},
+  };
+  return kGrid[static_cast<int>(row)][static_cast<int>(column)];
+}
+
+Tile ClassifyPoint(const Point& p, const Box& mbb) {
+  CARDIR_DCHECK(!mbb.IsEmpty());
+  TileColumn column = TileColumn::kMiddle;
+  if (p.x < mbb.min_x()) {
+    column = TileColumn::kWest;
+  } else if (p.x > mbb.max_x()) {
+    column = TileColumn::kEast;
+  }
+  TileRow row = TileRow::kMiddle;
+  if (p.y < mbb.min_y()) {
+    row = TileRow::kSouth;
+  } else if (p.y > mbb.max_y()) {
+    row = TileRow::kNorth;
+  }
+  return TileAt(column, row);
+}
+
+std::ostream& operator<<(std::ostream& os, Tile tile) {
+  return os << TileName(tile);
+}
+
+}  // namespace cardir

@@ -1,0 +1,72 @@
+// The nine tiles induced by a reference region's minimum bounding box
+// (paper §2, Fig. 1a): the mbb itself (B) and the eight cardinal areas.
+//
+// Tiles are *closed*: each tile includes the parts of the mbb lines that
+// bound it, so neighbouring tiles overlap on those lines. The union of the
+// nine tiles is the whole plane.
+
+#ifndef CARDIR_CORE_TILE_H_
+#define CARDIR_CORE_TILE_H_
+
+#include <array>
+#include <ostream>
+#include <string_view>
+
+#include "geometry/box.h"
+#include "geometry/point.h"
+
+namespace cardir {
+
+/// The nine tiles, in the paper's canonical writing order (§2):
+/// B, S, SW, W, NW, N, NE, E, SE.
+enum class Tile : int {
+  kB = 0,
+  kS = 1,
+  kSW = 2,
+  kW = 3,
+  kNW = 4,
+  kN = 5,
+  kNE = 6,
+  kE = 7,
+  kSE = 8,
+};
+
+inline constexpr int kNumTiles = 9;
+
+/// All tiles in canonical order.
+inline constexpr std::array<Tile, kNumTiles> kAllTiles = {
+    Tile::kB,  Tile::kS, Tile::kSW, Tile::kW, Tile::kNW,
+    Tile::kN,  Tile::kNE, Tile::kE, Tile::kSE};
+
+/// Horizontal band of a tile relative to the mbb.
+enum class TileColumn : int { kWest = 0, kMiddle = 1, kEast = 2 };
+
+/// Vertical band of a tile relative to the mbb.
+enum class TileRow : int { kSouth = 0, kMiddle = 1, kNorth = 2 };
+
+/// Canonical short name ("B", "S", "SW", ...).
+std::string_view TileName(Tile tile);
+
+/// Parses a canonical tile name; returns false on failure.
+bool ParseTile(std::string_view name, Tile* tile);
+
+/// Column (west/middle/east) of the tile.
+TileColumn ColumnOf(Tile tile);
+
+/// Row (south/middle/north) of the tile.
+TileRow RowOf(Tile tile);
+
+/// Tile at the given column/row (e.g. kWest+kNorth = NW; kMiddle+kMiddle = B).
+Tile TileAt(TileColumn column, TileRow row);
+
+/// Classifies a point into a tile of `mbb`. Points on an mbb line belong to
+/// several closed tiles; this function resolves ties toward the *middle*
+/// column/row (i.e. a point on x = min_x is reported in the middle column).
+/// Callers that need interior-side resolution use the edge splitter instead.
+Tile ClassifyPoint(const Point& p, const Box& mbb);
+
+std::ostream& operator<<(std::ostream& os, Tile tile);
+
+}  // namespace cardir
+
+#endif  // CARDIR_CORE_TILE_H_

@@ -1,0 +1,93 @@
+#include "extensions/distance.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "geometry/primitives.h"
+#include "util/logging.h"
+
+namespace cardir {
+namespace {
+
+// Distance between two segments: 0 when they intersect, else the minimum
+// endpoint-to-segment distance (sufficient for non-intersecting segments).
+double SegmentDistance(const Segment& s, const Segment& t) {
+  if (SegmentsIntersect(s, t)) return 0.0;
+  return std::min(
+      std::min(PointSegmentDistance(s.a, t), PointSegmentDistance(s.b, t)),
+      std::min(PointSegmentDistance(t.a, s), PointSegmentDistance(t.b, s)));
+}
+
+}  // namespace
+
+std::string_view DistanceRelationName(DistanceRelation relation) {
+  switch (relation) {
+    case DistanceRelation::kVeryClose: return "veryClose";
+    case DistanceRelation::kClose: return "close";
+    case DistanceRelation::kCommensurate: return "commensurate";
+    case DistanceRelation::kFar: return "far";
+    case DistanceRelation::kVeryFar: return "veryFar";
+  }
+  return "?";
+}
+
+bool ParseDistanceRelation(std::string_view name, DistanceRelation* relation) {
+  static constexpr DistanceRelation kAll[] = {
+      DistanceRelation::kVeryClose, DistanceRelation::kClose,
+      DistanceRelation::kCommensurate, DistanceRelation::kFar,
+      DistanceRelation::kVeryFar};
+  for (DistanceRelation r : kAll) {
+    if (DistanceRelationName(r) == name) {
+      *relation = r;
+      return true;
+    }
+  }
+  return false;
+}
+
+Result<double> MinimumDistance(const Region& a, const Region& b) {
+  CARDIR_RETURN_IF_ERROR(a.Validate());
+  CARDIR_RETURN_IF_ERROR(b.Validate());
+  // Containment without boundary intersection (one region deep inside the
+  // other) also gives distance zero.
+  if (b.Contains(a.polygons().front().vertex(0)) ||
+      a.Contains(b.polygons().front().vertex(0))) {
+    return 0.0;
+  }
+  double best = std::numeric_limits<double>::infinity();
+  for (const Polygon& pa : a.polygons()) {
+    for (size_t ea = 0; ea < pa.size(); ++ea) {
+      const Segment sa = pa.edge(ea);
+      for (const Polygon& pb : b.polygons()) {
+        for (size_t eb = 0; eb < pb.size(); ++eb) {
+          best = std::min(best, SegmentDistance(sa, pb.edge(eb)));
+          if (best == 0.0) return 0.0;
+        }
+      }
+    }
+  }
+  return best;
+}
+
+Result<DistanceRelation> ComputeDistanceRelation(const Region& a,
+                                                 const Region& b,
+                                                 const DistanceScheme& scheme) {
+  CARDIR_ASSIGN_OR_RETURN(double distance, MinimumDistance(a, b));
+  const Box mbb = b.BoundingBox();
+  const double scale = std::hypot(mbb.width(), mbb.height());
+  CARDIR_CHECK(scale > 0.0) << "reference region with degenerate mbb";
+  const double ratio = distance / scale;
+  for (int i = 0; i < 4; ++i) {
+    if (ratio < scheme.thresholds[static_cast<size_t>(i)]) {
+      return static_cast<DistanceRelation>(i);
+    }
+  }
+  return DistanceRelation::kVeryFar;
+}
+
+std::ostream& operator<<(std::ostream& os, DistanceRelation relation) {
+  return os << DistanceRelationName(relation);
+}
+
+}  // namespace cardir

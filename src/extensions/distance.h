@@ -1,0 +1,61 @@
+// Qualitative distance relations between REG* regions — the other half of
+// the paper's §5 future-work item "combining topological [2] and distance
+// [3] relations" (Frank's qualitative distance system).
+//
+// The metric substrate is the exact Euclidean set distance between the two
+// regions (0 when they intersect). The qualitative layer buckets the metric
+// into named ranges relative to a scale — by default the diagonal of the
+// reference region's bounding box, so "near" means "within a reference-
+// region's size", mirroring Frank's frame-of-reference proportions.
+
+#ifndef CARDIR_EXTENSIONS_DISTANCE_H_
+#define CARDIR_EXTENSIONS_DISTANCE_H_
+
+#include <array>
+#include <ostream>
+#include <string_view>
+
+#include "geometry/region.h"
+#include "util/status.h"
+
+namespace cardir {
+
+/// Frank-style qualitative distance, ordered from closest to farthest.
+enum class DistanceRelation {
+  kVeryClose = 0,
+  kClose = 1,
+  kCommensurate = 2,
+  kFar = 3,
+  kVeryFar = 4,
+};
+
+/// Canonical lowercase name ("veryClose", "close", ...), matching the query
+/// language keywords.
+std::string_view DistanceRelationName(DistanceRelation relation);
+
+/// Parses a canonical name; returns false on failure.
+bool ParseDistanceRelation(std::string_view name, DistanceRelation* relation);
+
+/// Threshold scheme: distance d with scale s falls into bucket i when
+/// d / s < thresholds[i] (first match; otherwise kVeryFar). Defaults follow
+/// a geometric progression.
+struct DistanceScheme {
+  std::array<double, 4> thresholds = {0.25, 1.0, 4.0, 16.0};
+};
+
+/// Exact Euclidean set distance between the regions: 0 when their closures
+/// intersect, otherwise the minimum distance between boundary points.
+/// Fails with kInvalidArgument on invalid regions.
+Result<double> MinimumDistance(const Region& a, const Region& b);
+
+/// Buckets MinimumDistance(a, b) relative to the diagonal of b's bounding
+/// box (the reference region's frame, matching the cardinal-direction
+/// model's asymmetry).
+Result<DistanceRelation> ComputeDistanceRelation(
+    const Region& a, const Region& b, const DistanceScheme& scheme = {});
+
+std::ostream& operator<<(std::ostream& os, DistanceRelation relation);
+
+}  // namespace cardir
+
+#endif  // CARDIR_EXTENSIONS_DISTANCE_H_

@@ -1,0 +1,181 @@
+#include "extensions/topology.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "geometry/primitives.h"
+#include "util/logging.h"
+
+namespace cardir {
+namespace {
+
+// Splits `edge` at every contact point with the boundary of `other` (the
+// caller guarantees no proper crossings) and classifies the pieces'
+// midpoints. Sets *saw_inside / *saw_outside; *saw_contact is set when the
+// edge touches the other boundary at all. Pieces whose midpoint is interior
+// to `self` are skipped: they are shared internal edges of a decomposed
+// representation (Fig. 2 style) and not part of the union's boundary.
+void ClassifyEdgeAgainst(const Segment& edge, const Region& self,
+                         const Region& other, bool* saw_inside,
+                         bool* saw_outside, bool* saw_contact) {
+  // Contact parameters along `edge`: endpoints of the other region's edges
+  // that lie on it (tangent touches and collinear-overlap bounds all occur
+  // at such points when there is no proper crossing).
+  std::vector<double> params;
+  const Point dir = edge.Direction();
+  const double len2 = Dot(dir, dir);
+  for (const Polygon& polygon : other.polygons()) {
+    for (size_t e = 0; e < polygon.size(); ++e) {
+      const Segment be = polygon.edge(e);
+      if (!SegmentsIntersect(edge, be)) continue;
+      *saw_contact = true;
+      for (const Point& q : {be.a, be.b}) {
+        if (OnSegment(q, edge)) {
+          params.push_back(Dot(q - edge.a, dir) / len2);
+        }
+      }
+    }
+  }
+  params.push_back(0.0);
+  params.push_back(1.0);
+  std::sort(params.begin(), params.end());
+  for (size_t i = 0; i + 1 < params.size(); ++i) {
+    const double t0 = std::clamp(params[i], 0.0, 1.0);
+    const double t1 = std::clamp(params[i + 1], 0.0, 1.0);
+    if (t1 <= t0) continue;
+    const Point mid = edge.At(0.5 * (t0 + t1));
+    if (self.Locate(mid) == PointLocation::kInside) continue;
+    switch (other.Locate(mid)) {
+      case PointLocation::kInside: *saw_inside = true; break;
+      case PointLocation::kOutside: *saw_outside = true; break;
+      case PointLocation::kBoundary: *saw_contact = true; break;
+    }
+  }
+}
+
+// Classifies all of `region`'s boundary against `other`.
+void ClassifyBoundary(const Region& region, const Region& other,
+                      bool* saw_inside, bool* saw_outside,
+                      bool* saw_contact) {
+  for (const Polygon& polygon : region.polygons()) {
+    for (size_t e = 0; e < polygon.size(); ++e) {
+      ClassifyEdgeAgainst(polygon.edge(e), region, other, saw_inside,
+                          saw_outside, saw_contact);
+    }
+  }
+}
+
+}  // namespace
+
+std::string_view TopologicalRelationName(TopologicalRelation relation) {
+  switch (relation) {
+    case TopologicalRelation::kDisjoint: return "disjoint";
+    case TopologicalRelation::kMeet: return "meet";
+    case TopologicalRelation::kOverlap: return "overlap";
+    case TopologicalRelation::kEqual: return "equal";
+    case TopologicalRelation::kInside: return "inside";
+    case TopologicalRelation::kCoveredBy: return "coveredBy";
+    case TopologicalRelation::kContains: return "contains";
+    case TopologicalRelation::kCovers: return "covers";
+  }
+  return "?";
+}
+
+bool ParseTopologicalRelation(std::string_view name,
+                              TopologicalRelation* relation) {
+  static constexpr TopologicalRelation kAll[] = {
+      TopologicalRelation::kDisjoint, TopologicalRelation::kMeet,
+      TopologicalRelation::kOverlap,  TopologicalRelation::kEqual,
+      TopologicalRelation::kInside,   TopologicalRelation::kCoveredBy,
+      TopologicalRelation::kContains, TopologicalRelation::kCovers};
+  for (TopologicalRelation r : kAll) {
+    if (TopologicalRelationName(r) == name) {
+      *relation = r;
+      return true;
+    }
+  }
+  return false;
+}
+
+TopologicalRelation ConverseTopology(TopologicalRelation relation) {
+  switch (relation) {
+    case TopologicalRelation::kInside: return TopologicalRelation::kContains;
+    case TopologicalRelation::kContains: return TopologicalRelation::kInside;
+    case TopologicalRelation::kCoveredBy: return TopologicalRelation::kCovers;
+    case TopologicalRelation::kCovers: return TopologicalRelation::kCoveredBy;
+    default: return relation;  // disjoint/meet/overlap/equal are symmetric.
+  }
+}
+
+Result<TopologicalRelation> ComputeTopology(const Region& a,
+                                            const Region& b) {
+  CARDIR_RETURN_IF_ERROR(a.Validate());
+  CARDIR_RETURN_IF_ERROR(b.Validate());
+
+  // Fast reject: separated bounding boxes cannot even touch.
+  if (!a.BoundingBox().Intersects(b.BoundingBox())) {
+    return TopologicalRelation::kDisjoint;
+  }
+
+  // Any proper boundary crossing implies partial overlap.
+  for (const Polygon& pa : a.polygons()) {
+    for (size_t ea = 0; ea < pa.size(); ++ea) {
+      const Segment sa = pa.edge(ea);
+      for (const Polygon& pb : b.polygons()) {
+        for (size_t eb = 0; eb < pb.size(); ++eb) {
+          if (SegmentsProperlyCross(sa, pb.edge(eb))) {
+            return TopologicalRelation::kOverlap;
+          }
+        }
+      }
+    }
+  }
+
+  bool a_in = false, a_out = false, b_in = false, b_out = false;
+  bool contact = false;
+  ClassifyBoundary(a, b, &a_in, &a_out, &contact);
+  ClassifyBoundary(b, a, &b_in, &b_out, &contact);
+
+  // Interior probes: one strictly interior point per member polygon. They
+  // distinguish containment from enclave configurations where one region's
+  // boundary lies entirely on the other's (e.g. a region exactly filling a
+  // hole): the boundaries coincide but the interiors are disjoint.
+  bool a_int_in = false, a_int_out = false;
+  bool b_int_in = false, b_int_out = false;
+  for (const Polygon& polygon : a.polygons()) {
+    switch (b.Locate(polygon.AnyInteriorPoint())) {
+      case PointLocation::kInside: a_int_in = true; break;
+      case PointLocation::kOutside: a_int_out = true; break;
+      case PointLocation::kBoundary: break;  // Measure-zero graze: neutral.
+    }
+  }
+  for (const Polygon& polygon : b.polygons()) {
+    switch (a.Locate(polygon.AnyInteriorPoint())) {
+      case PointLocation::kInside: b_int_in = true; break;
+      case PointLocation::kOutside: b_int_out = true; break;
+      case PointLocation::kBoundary: break;
+    }
+  }
+
+  const bool a_subset = !a_out && !a_int_out;
+  const bool b_subset = !b_out && !b_int_out;
+  const bool interiors_meet = a_in || b_in || a_int_in || b_int_in;
+  if (a_subset && b_subset) return TopologicalRelation::kEqual;
+  if (a_subset) {
+    return contact ? TopologicalRelation::kCoveredBy
+                   : TopologicalRelation::kInside;
+  }
+  if (b_subset) {
+    return contact ? TopologicalRelation::kCovers
+                   : TopologicalRelation::kContains;
+  }
+  if (interiors_meet) return TopologicalRelation::kOverlap;
+  return contact ? TopologicalRelation::kMeet
+                 : TopologicalRelation::kDisjoint;
+}
+
+std::ostream& operator<<(std::ostream& os, TopologicalRelation relation) {
+  return os << TopologicalRelationName(relation);
+}
+
+}  // namespace cardir

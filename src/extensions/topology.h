@@ -1,0 +1,60 @@
+// Topological relations between REG* regions — the paper's §5 lists
+// "combining topological [2] and distance [3] relations" with cardinal
+// directions as future work; this module provides the topological half.
+//
+// The relations are the RCC8 base relations specialised to regular closed
+// polygon regions (Egenhofer's 9-intersection for regions yields the same
+// eight): disjoint, meet (externally connected), overlap (partial overlap),
+// equal, inside (non-tangential proper part), coveredBy (tangential proper
+// part), and the converses contains / covers.
+//
+// The classifier works without boolean polygon operations: a proper edge
+// crossing between the two boundaries immediately implies overlap; without
+// proper crossings, each boundary is split at its contact points with the
+// other region and the resulting sub-edges are classified strictly-inside /
+// on-boundary / strictly-outside, which determines the relation.
+
+#ifndef CARDIR_EXTENSIONS_TOPOLOGY_H_
+#define CARDIR_EXTENSIONS_TOPOLOGY_H_
+
+#include <ostream>
+#include <string_view>
+
+#include "geometry/region.h"
+#include "util/status.h"
+
+namespace cardir {
+
+/// The eight RCC8 base relations. Naming follows the region-calculus
+/// convention; `a Inside b` means a is a non-tangential proper part of b.
+enum class TopologicalRelation {
+  kDisjoint,
+  kMeet,
+  kOverlap,
+  kEqual,
+  kInside,
+  kCoveredBy,
+  kContains,
+  kCovers,
+};
+
+/// Canonical lowercase name ("disjoint", "meet", ...), matching the query
+/// language keywords.
+std::string_view TopologicalRelationName(TopologicalRelation relation);
+
+/// Parses a canonical name; returns false on failure.
+bool ParseTopologicalRelation(std::string_view name,
+                              TopologicalRelation* relation);
+
+/// The converse relation (meet ↔ meet, inside ↔ contains, ...).
+TopologicalRelation ConverseTopology(TopologicalRelation relation);
+
+/// Classifies the topological relation of a w.r.t. b. Fails with
+/// kInvalidArgument when either region fails Validate().
+Result<TopologicalRelation> ComputeTopology(const Region& a, const Region& b);
+
+std::ostream& operator<<(std::ostream& os, TopologicalRelation relation);
+
+}  // namespace cardir
+
+#endif  // CARDIR_EXTENSIONS_TOPOLOGY_H_

@@ -1,0 +1,11 @@
+#include "geometry/box.h"
+
+namespace cardir {
+
+std::ostream& operator<<(std::ostream& os, const Box& box) {
+  if (box.IsEmpty()) return os << "Box(empty)";
+  return os << "Box[" << box.min_x() << "," << box.max_x() << "]x["
+            << box.min_y() << "," << box.max_y() << "]";
+}
+
+}  // namespace cardir

@@ -1,0 +1,109 @@
+// Axis-aligned boxes: the minimum bounding box (mbb) of the paper's §2.
+//
+// The four lines x = min_x, x = max_x, y = min_y, y = max_y of the reference
+// region's mbb partition the plane into the nine closed tiles of Fig. 1a.
+
+#ifndef CARDIR_GEOMETRY_BOX_H_
+#define CARDIR_GEOMETRY_BOX_H_
+
+#include <limits>
+#include <ostream>
+
+#include "geometry/point.h"
+
+namespace cardir {
+
+/// Closed axis-aligned rectangle [min_x, max_x] × [min_y, max_y].
+///
+/// A default-constructed Box is *empty* (inverted bounds); extending an empty
+/// box with a point yields the degenerate box at that point.
+class Box {
+ public:
+  Box() = default;
+  Box(double min_x, double min_y, double max_x, double max_y)
+      : min_x_(min_x), min_y_(min_y), max_x_(max_x), max_y_(max_y) {}
+
+  static Box Empty() { return Box(); }
+
+  /// Smallest box containing both corners.
+  static Box FromCorners(const Point& a, const Point& b) {
+    Box box;
+    box.Extend(a);
+    box.Extend(b);
+    return box;
+  }
+
+  bool IsEmpty() const { return min_x_ > max_x_ || min_y_ > max_y_; }
+
+  /// True when the box has zero width or height (a point or a segment):
+  /// legal as a bound but not as the mbb of a REG* region, which has
+  /// positive area in both projections.
+  bool IsDegenerate() const {
+    return !IsEmpty() && (min_x_ == max_x_ || min_y_ == max_y_);
+  }
+
+  double min_x() const { return min_x_; }
+  double min_y() const { return min_y_; }
+  double max_x() const { return max_x_; }
+  double max_y() const { return max_y_; }
+
+  double width() const { return max_x_ - min_x_; }
+  double height() const { return max_y_ - min_y_; }
+  double area() const { return IsEmpty() ? 0.0 : width() * height(); }
+
+  Point Center() const {
+    return Point(0.5 * (min_x_ + max_x_), 0.5 * (min_y_ + max_y_));
+  }
+
+  /// Grows the box to contain `p`.
+  void Extend(const Point& p) {
+    if (p.x < min_x_) min_x_ = p.x;
+    if (p.x > max_x_) max_x_ = p.x;
+    if (p.y < min_y_) min_y_ = p.y;
+    if (p.y > max_y_) max_y_ = p.y;
+  }
+
+  /// Grows the box to contain `other`.
+  void Extend(const Box& other) {
+    if (other.IsEmpty()) return;
+    Extend(Point(other.min_x_, other.min_y_));
+    Extend(Point(other.max_x_, other.max_y_));
+  }
+
+  /// Closed containment of a point.
+  bool Contains(const Point& p) const {
+    return !IsEmpty() && p.x >= min_x_ && p.x <= max_x_ && p.y >= min_y_ &&
+           p.y <= max_y_;
+  }
+
+  /// Closed containment of another box.
+  bool Contains(const Box& other) const {
+    return !IsEmpty() && !other.IsEmpty() && other.min_x_ >= min_x_ &&
+           other.max_x_ <= max_x_ && other.min_y_ >= min_y_ &&
+           other.max_y_ <= max_y_;
+  }
+
+  /// True when the closed boxes share at least one point.
+  bool Intersects(const Box& other) const {
+    return !IsEmpty() && !other.IsEmpty() && other.min_x_ <= max_x_ &&
+           other.max_x_ >= min_x_ && other.min_y_ <= max_y_ &&
+           other.max_y_ >= min_y_;
+  }
+
+  friend bool operator==(const Box& a, const Box& b) {
+    return a.min_x_ == b.min_x_ && a.min_y_ == b.min_y_ &&
+           a.max_x_ == b.max_x_ && a.max_y_ == b.max_y_;
+  }
+
+ private:
+  double min_x_ = std::numeric_limits<double>::infinity();
+  double min_y_ = std::numeric_limits<double>::infinity();
+  double max_x_ = -std::numeric_limits<double>::infinity();
+  double max_y_ = -std::numeric_limits<double>::infinity();
+};
+
+std::ostream& operator<<(std::ostream& os, const Box& box);
+
+}  // namespace cardir
+
+#endif  // CARDIR_GEOMETRY_BOX_H_

@@ -1,0 +1,102 @@
+#include "geometry/decompose.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/string_util.h"
+
+namespace cardir {
+namespace {
+
+// A non-horizontal edge prepared for slab processing: endpoints ordered by
+// ascending y.
+struct SlabEdge {
+  Point low;
+  Point high;
+
+  double XAt(double y) const {
+    const double t = (y - low.y) / (high.y - low.y);
+    return low.x + t * (high.x - low.x);
+  }
+};
+
+}  // namespace
+
+Result<Region> DecomposeEvenOdd(const std::vector<Polygon>& rings) {
+  std::vector<SlabEdge> edges;
+  std::set<double> cuts;
+  for (size_t r = 0; r < rings.size(); ++r) {
+    const Polygon& ring = rings[r];
+    CARDIR_RETURN_IF_ERROR(ring.Validate());
+    for (size_t e = 0; e < ring.size(); ++e) {
+      const Segment edge = ring.edge(e);
+      cuts.insert(edge.a.y);
+      cuts.insert(edge.b.y);
+      if (edge.a.y == edge.b.y) continue;  // Horizontal: no slab crossing.
+      SlabEdge slab_edge{edge.a, edge.b};
+      if (slab_edge.low.y > slab_edge.high.y) {
+        std::swap(slab_edge.low, slab_edge.high);
+      }
+      edges.push_back(slab_edge);
+    }
+  }
+
+  Region region;
+  const std::vector<double> levels(cuts.begin(), cuts.end());
+  std::vector<std::pair<double, const SlabEdge*>> crossing;  // (x_mid, edge).
+  for (size_t i = 0; i + 1 < levels.size(); ++i) {
+    const double y1 = levels[i];
+    const double y2 = levels[i + 1];
+    const double ym = 0.5 * (y1 + y2);
+    crossing.clear();
+    for (const SlabEdge& edge : edges) {
+      // Slabs are cut at every vertex y, so an edge either spans the slab
+      // fully or misses it.
+      if (edge.low.y <= y1 && edge.high.y >= y2) {
+        crossing.emplace_back(edge.XAt(ym), &edge);
+      }
+    }
+    if (crossing.size() % 2 != 0) {
+      return Status::InvalidArgument(
+          StrFormat("rings are not even-odd consistent in slab [%g, %g] "
+                    "(crossing or open rings?)",
+                    y1, y2));
+    }
+    std::sort(crossing.begin(), crossing.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (size_t k = 0; k + 1 < crossing.size(); k += 2) {
+      const SlabEdge* left = crossing[k].second;
+      const SlabEdge* right = crossing[k + 1].second;
+      // Clockwise trapezoid: top-left, top-right, bottom-right, bottom-left.
+      Polygon trapezoid;
+      const Point tl(left->XAt(y2), y2);
+      const Point tr(right->XAt(y2), y2);
+      const Point br(right->XAt(y1), y1);
+      const Point bl(left->XAt(y1), y1);
+      trapezoid.AddVertex(tl);
+      if (tr != tl) trapezoid.AddVertex(tr);
+      if (br != tr) trapezoid.AddVertex(br);
+      if (bl != br && bl != tl) trapezoid.AddVertex(bl);
+      if (trapezoid.size() < 3 || trapezoid.SignedArea() == 0.0) {
+        continue;  // Degenerate sliver (edges meeting at a vertex).
+      }
+      trapezoid.EnsureClockwise();
+      region.AddPolygon(std::move(trapezoid));
+    }
+  }
+  if (region.empty()) {
+    return Status::InvalidArgument("rings cover no area");
+  }
+  return region;
+}
+
+Result<Region> DecomposePolygonWithHoles(const Polygon& outer,
+                                         const std::vector<Polygon>& holes) {
+  std::vector<Polygon> rings;
+  rings.reserve(holes.size() + 1);
+  rings.push_back(outer);
+  rings.insert(rings.end(), holes.begin(), holes.end());
+  return DecomposeEvenOdd(rings);
+}
+
+}  // namespace cardir

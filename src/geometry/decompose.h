@@ -1,0 +1,36 @@
+// Even-odd trapezoidal decomposition: turns a set of rings (an outer
+// boundary plus holes, or any non-crossing arrangement interpreted with the
+// even-odd rule) into a set of simple polygons with pairwise-disjoint
+// interiors — the REG* representation of Fig. 2, generalised beyond
+// axis-aligned rings.
+//
+// The plane is sliced into horizontal slabs at every ring vertex; inside a
+// slab each non-horizontal edge spans it fully, so sorting the crossing
+// edges by x and pairing them even-odd yields the covered trapezoids.
+// Neighbouring trapezoids share edges, exactly like the paper's
+// hole-decomposition examples.
+
+#ifndef CARDIR_GEOMETRY_DECOMPOSE_H_
+#define CARDIR_GEOMETRY_DECOMPOSE_H_
+
+#include <vector>
+
+#include "geometry/polygon.h"
+#include "geometry/region.h"
+#include "util/status.h"
+
+namespace cardir {
+
+/// Decomposes the even-odd interior of `rings` into trapezoids. Rings may
+/// be nested (holes, islands-in-holes, ...) but must not cross each other
+/// or themselves; ring orientation is irrelevant. Fails when the covered
+/// area is empty or a ring is structurally invalid.
+Result<Region> DecomposeEvenOdd(const std::vector<Polygon>& rings);
+
+/// Convenience for the common case: one outer ring and its holes.
+Result<Region> DecomposePolygonWithHoles(const Polygon& outer,
+                                         const std::vector<Polygon>& holes);
+
+}  // namespace cardir
+
+#endif  // CARDIR_GEOMETRY_DECOMPOSE_H_

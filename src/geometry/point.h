@@ -1,0 +1,72 @@
+// 2-D point / vector in the Euclidean plane (paper §2: regions live in R^2).
+
+#ifndef CARDIR_GEOMETRY_POINT_H_
+#define CARDIR_GEOMETRY_POINT_H_
+
+#include <cmath>
+#include <ostream>
+
+namespace cardir {
+
+/// A point (or free vector) in R^2. Plain value type; exact comparisons.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Point() = default;
+  constexpr Point(double px, double py) : x(px), y(py) {}
+
+  friend constexpr bool operator==(const Point& a, const Point& b) {
+    return a.x == b.x && a.y == b.y;
+  }
+  friend constexpr bool operator!=(const Point& a, const Point& b) {
+    return !(a == b);
+  }
+
+  friend constexpr Point operator+(const Point& a, const Point& b) {
+    return Point(a.x + b.x, a.y + b.y);
+  }
+  friend constexpr Point operator-(const Point& a, const Point& b) {
+    return Point(a.x - b.x, a.y - b.y);
+  }
+  friend constexpr Point operator*(double s, const Point& p) {
+    return Point(s * p.x, s * p.y);
+  }
+  friend constexpr Point operator*(const Point& p, double s) { return s * p; }
+};
+
+/// Dot product of vectors a and b.
+constexpr double Dot(const Point& a, const Point& b) {
+  return a.x * b.x + a.y * b.y;
+}
+
+/// 2-D cross product (z-component of a × b). Positive when b is
+/// counter-clockwise from a.
+constexpr double Cross(const Point& a, const Point& b) {
+  return a.x * b.y - a.y * b.x;
+}
+
+/// Signed area of the parallelogram (b−a, c−a): >0 when a,b,c turn
+/// counter-clockwise, <0 clockwise, 0 collinear.
+constexpr double Orient2D(const Point& a, const Point& b, const Point& c) {
+  return Cross(b - a, c - a);
+}
+
+/// Euclidean norm.
+inline double Norm(const Point& p) { return std::hypot(p.x, p.y); }
+
+/// Euclidean distance between a and b.
+inline double Distance(const Point& a, const Point& b) { return Norm(b - a); }
+
+/// Midpoint of segment ab.
+constexpr Point Midpoint(const Point& a, const Point& b) {
+  return Point(0.5 * (a.x + b.x), 0.5 * (a.y + b.y));
+}
+
+inline std::ostream& operator<<(std::ostream& os, const Point& p) {
+  return os << "(" << p.x << ", " << p.y << ")";
+}
+
+}  // namespace cardir
+
+#endif  // CARDIR_GEOMETRY_POINT_H_

@@ -1,0 +1,191 @@
+#include "geometry/polygon.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geometry/primitives.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace cardir {
+
+std::vector<Segment> Polygon::Edges() const {
+  std::vector<Segment> edges;
+  if (vertices_.size() < 2) return edges;
+  edges.reserve(vertices_.size());
+  for (size_t i = 0; i < vertices_.size(); ++i) edges.push_back(edge(i));
+  return edges;
+}
+
+double Polygon::SignedArea() const {
+  // Shoelace; positive for counter-clockwise rings.
+  const size_t n = vertices_.size();
+  if (n < 3) return 0.0;
+  double twice = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const Point& p = vertices_[i];
+    const Point& q = vertices_[(i + 1) % n];
+    twice += Cross(p, q);
+  }
+  return 0.5 * twice;
+}
+
+Point Polygon::Centroid() const {
+  const size_t n = vertices_.size();
+  const double signed_area = SignedArea();
+  CARDIR_CHECK(signed_area != 0.0) << "centroid of a degenerate polygon";
+  double cx = 0.0;
+  double cy = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const Point& p = vertices_[i];
+    const Point& q = vertices_[(i + 1) % n];
+    const double w = Cross(p, q);
+    cx += (p.x + q.x) * w;
+    cy += (p.y + q.y) * w;
+  }
+  return Point(cx / (6.0 * signed_area), cy / (6.0 * signed_area));
+}
+
+double Polygon::Perimeter() const {
+  const size_t n = vertices_.size();
+  if (n < 2) return 0.0;
+  double total = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    total += Distance(vertices_[i], vertices_[(i + 1) % n]);
+  }
+  return total;
+}
+
+Orientation Polygon::GetOrientation() const {
+  const double area = SignedArea();
+  if (area < 0.0) return Orientation::kClockwise;
+  if (area > 0.0) return Orientation::kCounterClockwise;
+  return Orientation::kDegenerate;
+}
+
+void Polygon::Reverse() { std::reverse(vertices_.begin(), vertices_.end()); }
+
+void Polygon::EnsureClockwise() {
+  if (GetOrientation() == Orientation::kCounterClockwise) Reverse();
+}
+
+Box Polygon::BoundingBox() const {
+  Box box;
+  for (const Point& p : vertices_) box.Extend(p);
+  return box;
+}
+
+PointLocation Polygon::Locate(const Point& p) const {
+  const size_t n = vertices_.size();
+  if (n < 3) return PointLocation::kOutside;
+  // Exact boundary test first.
+  for (size_t i = 0; i < n; ++i) {
+    if (OnSegment(p, edge(i))) return PointLocation::kBoundary;
+  }
+  // Ray crossing to +x. Because p is not on the boundary, the usual
+  // half-open vertex rule is unambiguous.
+  bool inside = false;
+  for (size_t i = 0; i < n; ++i) {
+    const Point& a = vertices_[i];
+    const Point& b = vertices_[(i + 1) % n];
+    const bool a_below = a.y <= p.y;
+    const bool b_below = b.y <= p.y;
+    if (a_below == b_below) continue;  // Edge does not straddle the ray line.
+    // x-coordinate where the edge crosses y = p.y.
+    const double t = (p.y - a.y) / (b.y - a.y);
+    const double x_cross = a.x + t * (b.x - a.x);
+    if (x_cross > p.x) inside = !inside;
+  }
+  return inside ? PointLocation::kInside : PointLocation::kOutside;
+}
+
+Point Polygon::AnyInteriorPoint() const {
+  const size_t n = vertices_.size();
+  CARDIR_CHECK(n >= 3) << "no interior point of a degenerate polygon";
+  // Ear centroids: for most polygons the centroid of some vertex triangle
+  // lies inside.
+  for (size_t i = 0; i < n; ++i) {
+    const Point& prev = vertices_[(i + n - 1) % n];
+    const Point& curr = vertices_[i];
+    const Point& next = vertices_[(i + 1) % n];
+    const Point centroid((prev.x + curr.x + next.x) / 3.0,
+                         (prev.y + curr.y + next.y) / 3.0);
+    if (Locate(centroid) == PointLocation::kInside) return centroid;
+  }
+  // Fallback: progressively finer grid scan of the bounding box.
+  const Box box = BoundingBox();
+  for (int grid = 4; grid <= 4096; grid *= 2) {
+    for (int gy = 0; gy < grid; ++gy) {
+      for (int gx = 0; gx < grid; ++gx) {
+        const Point candidate(
+            box.min_x() + (gx + 0.5) / grid * box.width(),
+            box.min_y() + (gy + 0.5) / grid * box.height());
+        if (Locate(candidate) == PointLocation::kInside) return candidate;
+      }
+    }
+  }
+  CARDIR_CHECK(false) << "no interior point found (degenerate polygon?)";
+  return Point();
+}
+
+Status Polygon::Validate() const {
+  const size_t n = vertices_.size();
+  if (n < 3) {
+    return Status::InvalidArgument(
+        StrFormat("polygon needs at least 3 vertices, got %zu", n));
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (vertices_[i] == vertices_[(i + 1) % n]) {
+      return Status::InvalidArgument(
+          StrFormat("duplicate consecutive vertex at index %zu", i));
+    }
+    if (!std::isfinite(vertices_[i].x) || !std::isfinite(vertices_[i].y)) {
+      return Status::InvalidArgument(
+          StrFormat("non-finite coordinate at index %zu", i));
+    }
+  }
+  if (SignedArea() == 0.0) {
+    return Status::InvalidArgument("polygon has zero area");
+  }
+  return Status::Ok();
+}
+
+Status Polygon::ValidateSimple() const {
+  CARDIR_RETURN_IF_ERROR(Validate());
+  const size_t n = vertices_.size();
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      // Adjacent edges (sharing a vertex) legitimately touch.
+      const bool adjacent = (j == i + 1) || (i == 0 && j == n - 1);
+      if (adjacent) {
+        if (SegmentsProperlyCross(edge(i), edge(j))) {
+          return Status::InvalidArgument(
+              StrFormat("adjacent edges %zu and %zu cross", i, j));
+        }
+        continue;
+      }
+      if (SegmentsIntersect(edge(i), edge(j))) {
+        return Status::InvalidArgument(
+            StrFormat("non-adjacent edges %zu and %zu intersect", i, j));
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+std::ostream& operator<<(std::ostream& os, const Polygon& polygon) {
+  os << "Polygon{";
+  for (size_t i = 0; i < polygon.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << polygon.vertex(i);
+  }
+  return os << "}";
+}
+
+Polygon MakeRectangle(double min_x, double min_y, double max_x, double max_y) {
+  // Clockwise ring: NW -> NE -> SE -> SW.
+  return Polygon({Point(min_x, max_y), Point(max_x, max_y),
+                  Point(max_x, min_y), Point(min_x, min_y)});
+}
+
+}  // namespace cardir

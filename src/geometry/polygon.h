@@ -1,0 +1,128 @@
+// Simple polygons stored as vertex rings.
+//
+// Following the paper (§3), polygon edges are taken in *clockwise* order:
+// walking along an edge, the polygon interior lies to the right. Composite
+// regions (class REG*) are sets of such polygons; see geometry/region.h.
+
+#ifndef CARDIR_GEOMETRY_POLYGON_H_
+#define CARDIR_GEOMETRY_POLYGON_H_
+
+#include <initializer_list>
+#include <ostream>
+#include <vector>
+
+#include "geometry/box.h"
+#include "geometry/point.h"
+#include "geometry/segment.h"
+#include "util/status.h"
+
+namespace cardir {
+
+/// Orientation of a vertex ring.
+enum class Orientation {
+  kClockwise,
+  kCounterClockwise,
+  kDegenerate,  ///< Zero signed area (collinear or self-cancelling ring).
+};
+
+/// Where a point lies relative to a polygon.
+enum class PointLocation {
+  kInside,
+  kBoundary,
+  kOutside,
+};
+
+/// A simple polygon given by its vertex ring (no repetition of the first
+/// vertex at the end). The library's canonical orientation is clockwise; use
+/// `EnsureClockwise()` after building from untrusted input.
+class Polygon {
+ public:
+  Polygon() = default;
+  explicit Polygon(std::vector<Point> vertices)
+      : vertices_(std::move(vertices)) {}
+  Polygon(std::initializer_list<Point> vertices) : vertices_(vertices) {}
+
+  const std::vector<Point>& vertices() const { return vertices_; }
+  size_t size() const { return vertices_.size(); }
+  bool empty() const { return vertices_.empty(); }
+  const Point& vertex(size_t i) const { return vertices_[i]; }
+
+  void AddVertex(const Point& p) { vertices_.push_back(p); }
+
+  /// Edge i runs from vertex i to vertex (i+1) mod n.
+  Segment edge(size_t i) const {
+    return Segment(vertices_[i], vertices_[(i + 1) % vertices_.size()]);
+  }
+
+  /// All n edges in ring order.
+  std::vector<Segment> Edges() const;
+
+  /// Signed area by the shoelace formula: negative for clockwise rings
+  /// (the canonical orientation), positive for counter-clockwise.
+  double SignedArea() const;
+
+  /// Area centroid (centre of mass of the enclosed lamina). CHECK-fails on
+  /// degenerate (zero-area) rings.
+  Point Centroid() const;
+
+  /// |SignedArea()|.
+  double Area() const { return std::abs(SignedArea()); }
+
+  double Perimeter() const;
+
+  Orientation GetOrientation() const;
+
+  /// True when the ring is clockwise (the paper's convention).
+  bool IsClockwise() const {
+    return GetOrientation() == Orientation::kClockwise;
+  }
+
+  /// Reverses the vertex ring in place.
+  void Reverse();
+
+  /// Reverses the ring if needed so that it is clockwise. Degenerate rings
+  /// are left untouched.
+  void EnsureClockwise();
+
+  /// Minimum bounding box of the vertex ring.
+  Box BoundingBox() const;
+
+  /// Locates `p` relative to the closed polygon (ray-crossing with an exact
+  /// boundary test first, so boundary points are never misclassified).
+  PointLocation Locate(const Point& p) const;
+
+  /// Closed containment: inside or on the boundary.
+  bool Contains(const Point& p) const {
+    return Locate(p) != PointLocation::kOutside;
+  }
+
+  /// A point strictly inside the polygon (ear centroids first, then a grid
+  /// scan over the bounding box). CHECK-fails on degenerate polygons, for
+  /// which no interior point exists.
+  Point AnyInteriorPoint() const;
+
+  /// Structural validation: at least 3 vertices, no consecutive duplicate
+  /// vertices, non-zero area. Does not check self-intersection (see
+  /// `ValidateSimple`, which is O(n^2)).
+  Status Validate() const;
+
+  /// `Validate()` plus a quadratic check that no two non-adjacent edges
+  /// intersect (i.e. the ring is a simple polygon).
+  Status ValidateSimple() const;
+
+  friend bool operator==(const Polygon& a, const Polygon& b) {
+    return a.vertices_ == b.vertices_;
+  }
+
+ private:
+  std::vector<Point> vertices_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Polygon& polygon);
+
+/// Convenience: axis-aligned rectangle as a clockwise polygon.
+Polygon MakeRectangle(double min_x, double min_y, double max_x, double max_y);
+
+}  // namespace cardir
+
+#endif  // CARDIR_GEOMETRY_POLYGON_H_

@@ -1,0 +1,72 @@
+#include "geometry/primitives.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geometry/robust.h"
+
+namespace cardir {
+namespace {
+
+// Sign of the orientation of (a, b, c): +1 ccw, -1 cw, 0 collinear.
+// Exact for all double inputs (geometry/robust.h), so the intersection
+// predicates never misclassify nearly-collinear configurations.
+int OrientSign(const Point& a, const Point& b, const Point& c) {
+  return RobustOrientSign(a, b, c);
+}
+
+bool InClosedBox(const Point& p, const Point& a, const Point& b) {
+  return p.x >= std::min(a.x, b.x) && p.x <= std::max(a.x, b.x) &&
+         p.y >= std::min(a.y, b.y) && p.y <= std::max(a.y, b.y);
+}
+
+}  // namespace
+
+bool OnSegment(const Point& p, const Segment& s) {
+  return OrientSign(s.a, s.b, p) == 0 && InClosedBox(p, s.a, s.b);
+}
+
+bool SegmentsIntersect(const Segment& s, const Segment& t) {
+  const int d1 = OrientSign(t.a, t.b, s.a);
+  const int d2 = OrientSign(t.a, t.b, s.b);
+  const int d3 = OrientSign(s.a, s.b, t.a);
+  const int d4 = OrientSign(s.a, s.b, t.b);
+  if (((d1 > 0 && d2 < 0) || (d1 < 0 && d2 > 0)) &&
+      ((d3 > 0 && d4 < 0) || (d3 < 0 && d4 > 0))) {
+    return true;
+  }
+  if (d1 == 0 && InClosedBox(s.a, t.a, t.b)) return true;
+  if (d2 == 0 && InClosedBox(s.b, t.a, t.b)) return true;
+  if (d3 == 0 && InClosedBox(t.a, s.a, s.b)) return true;
+  if (d4 == 0 && InClosedBox(t.b, s.a, s.b)) return true;
+  return false;
+}
+
+bool SegmentsProperlyCross(const Segment& s, const Segment& t) {
+  const int d1 = OrientSign(t.a, t.b, s.a);
+  const int d2 = OrientSign(t.a, t.b, s.b);
+  const int d3 = OrientSign(s.a, s.b, t.a);
+  const int d4 = OrientSign(s.a, s.b, t.b);
+  return ((d1 > 0 && d2 < 0) || (d1 < 0 && d2 > 0)) &&
+         ((d3 > 0 && d4 < 0) || (d3 < 0 && d4 > 0));
+}
+
+std::optional<Point> ProperIntersection(const Segment& s, const Segment& t) {
+  if (!SegmentsProperlyCross(s, t)) return std::nullopt;
+  const Point r = s.Direction();
+  const Point q = t.Direction();
+  const double denom = Cross(r, q);
+  // denom != 0 is guaranteed by the proper-crossing test.
+  const double u = Cross(t.a - s.a, q) / denom;
+  return s.At(u);
+}
+
+double PointSegmentDistance(const Point& p, const Segment& s) {
+  const Point d = s.Direction();
+  const double len2 = Dot(d, d);
+  if (len2 == 0.0) return Distance(p, s.a);
+  const double t = std::clamp(Dot(p - s.a, d) / len2, 0.0, 1.0);
+  return Distance(p, s.At(t));
+}
+
+}  // namespace cardir

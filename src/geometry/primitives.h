@@ -1,0 +1,34 @@
+// Shared low-level geometric predicates and constructions.
+
+#ifndef CARDIR_GEOMETRY_PRIMITIVES_H_
+#define CARDIR_GEOMETRY_PRIMITIVES_H_
+
+#include <optional>
+
+#include "geometry/point.h"
+#include "geometry/segment.h"
+
+namespace cardir {
+
+/// True when point p lies on the closed segment s (collinear and within the
+/// segment's bounding box). Exact arithmetic on the cross product.
+bool OnSegment(const Point& p, const Segment& s);
+
+/// True when the closed segments share at least one point (includes touching
+/// endpoints and collinear overlap).
+bool SegmentsIntersect(const Segment& s, const Segment& t);
+
+/// True when the *open* interiors of the segments cross at a single point
+/// (proper crossing; endpoint touching and collinear overlap excluded).
+bool SegmentsProperlyCross(const Segment& s, const Segment& t);
+
+/// Intersection point of properly crossing segments; nullopt when they do
+/// not properly cross.
+std::optional<Point> ProperIntersection(const Segment& s, const Segment& t);
+
+/// Distance from point p to the closed segment s.
+double PointSegmentDistance(const Point& p, const Segment& s);
+
+}  // namespace cardir
+
+#endif  // CARDIR_GEOMETRY_PRIMITIVES_H_

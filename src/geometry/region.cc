@@ -1,0 +1,156 @@
+#include "geometry/region.h"
+
+#include "geometry/primitives.h"
+#include "geometry/sweep.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace cardir {
+
+size_t Region::TotalEdges() const {
+  size_t total = 0;
+  for (const Polygon& p : polygons_) total += p.size();
+  return total;
+}
+
+Box Region::BoundingBox() const {
+  Box box;
+  for (const Polygon& p : polygons_) box.Extend(p.BoundingBox());
+  return box;
+}
+
+double Region::Area() const {
+  double total = 0.0;
+  for (const Polygon& p : polygons_) total += p.Area();
+  return total;
+}
+
+Point Region::Centroid() const {
+  double total = 0.0;
+  Point weighted(0.0, 0.0);
+  for (const Polygon& polygon : polygons_) {
+    const double area = polygon.Area();
+    weighted = weighted + area * polygon.Centroid();
+    total += area;
+  }
+  CARDIR_CHECK(total > 0.0) << "centroid of an empty/zero-area region";
+  return Point(weighted.x / total, weighted.y / total);
+}
+
+bool Region::Contains(const Point& p) const {
+  for (const Polygon& polygon : polygons_) {
+    if (polygon.Contains(p)) return true;
+  }
+  return false;
+}
+
+PointLocation Region::Locate(const Point& p) const {
+  bool on_boundary = false;
+  // Edges (from distinct polygons) whose relative interior contains p: a
+  // collinear pair means p sits on a shared edge, interior to the union.
+  struct InteriorHit {
+    size_t polygon;
+    Point direction;
+  };
+  std::vector<InteriorHit> hits;
+  for (size_t i = 0; i < polygons_.size(); ++i) {
+    const Polygon& polygon = polygons_[i];
+    switch (polygon.Locate(p)) {
+      case PointLocation::kInside:
+        return PointLocation::kInside;
+      case PointLocation::kBoundary: {
+        on_boundary = true;
+        for (size_t e = 0; e < polygon.size(); ++e) {
+          const Segment edge = polygon.edge(e);
+          if (p != edge.a && p != edge.b && OnSegment(p, edge)) {
+            hits.push_back({i, edge.Direction()});
+          }
+        }
+        break;
+      }
+      case PointLocation::kOutside:
+        break;
+    }
+  }
+  for (size_t x = 0; x < hits.size(); ++x) {
+    for (size_t y = x + 1; y < hits.size(); ++y) {
+      if (hits[x].polygon != hits[y].polygon &&
+          Cross(hits[x].direction, hits[y].direction) == 0.0) {
+        return PointLocation::kInside;  // Shared edge of two members.
+      }
+    }
+  }
+  return on_boundary ? PointLocation::kBoundary : PointLocation::kOutside;
+}
+
+void Region::EnsureClockwise() {
+  for (Polygon& p : polygons_) p.EnsureClockwise();
+}
+
+Status Region::Validate() const {
+  if (polygons_.empty()) {
+    return Status::InvalidArgument("region has no polygons");
+  }
+  for (size_t i = 0; i < polygons_.size(); ++i) {
+    Status status = polygons_[i].Validate();
+    if (!status.ok()) {
+      return Status::InvalidArgument(
+          StrFormat("polygon %zu: %s", i, status.message().c_str()));
+    }
+  }
+  return Status::Ok();
+}
+
+Status Region::ValidateStrict() const {
+  CARDIR_RETURN_IF_ERROR(Validate());
+  for (size_t i = 0; i < polygons_.size(); ++i) {
+    // The quadratic pairwise check is the exact reference on small rings;
+    // larger rings use the O(n log n) sweep.
+    Status status = polygons_[i].size() <= 64
+                        ? polygons_[i].ValidateSimple()
+                        : ValidatePolygonSimpleSweep(polygons_[i]);
+    if (!status.ok()) {
+      return Status::InvalidArgument(
+          StrFormat("polygon %zu: %s", i, status.message().c_str()));
+    }
+  }
+  // Pairwise interior disjointness (approximate but strong): no proper edge
+  // crossings, and no vertex of one polygon strictly inside another.
+  for (size_t i = 0; i < polygons_.size(); ++i) {
+    for (size_t j = i + 1; j < polygons_.size(); ++j) {
+      const Polygon& p = polygons_[i];
+      const Polygon& q = polygons_[j];
+      for (size_t ei = 0; ei < p.size(); ++ei) {
+        for (size_t ej = 0; ej < q.size(); ++ej) {
+          if (SegmentsProperlyCross(p.edge(ei), q.edge(ej))) {
+            return Status::InvalidArgument(
+                StrFormat("polygons %zu and %zu have crossing edges", i, j));
+          }
+        }
+      }
+      for (const Point& v : p.vertices()) {
+        if (q.Locate(v) == PointLocation::kInside) {
+          return Status::InvalidArgument(StrFormat(
+              "vertex of polygon %zu lies strictly inside polygon %zu", i,
+              j));
+        }
+      }
+      for (const Point& v : q.vertices()) {
+        if (p.Locate(v) == PointLocation::kInside) {
+          return Status::InvalidArgument(StrFormat(
+              "vertex of polygon %zu lies strictly inside polygon %zu", j,
+              i));
+        }
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+std::ostream& operator<<(std::ostream& os, const Region& region) {
+  os << "Region{" << region.polygon_count() << " polygons, "
+     << region.TotalEdges() << " edges}";
+  return os;
+}
+
+}  // namespace cardir

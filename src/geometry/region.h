@@ -1,0 +1,89 @@
+// Composite regions: the class REG* of the paper (§2).
+//
+// A Region is a non-empty finite set of simple clockwise polygons with
+// pairwise-disjoint interiors (they may share boundary points/edges). This
+// representation covers connected regions (one polygon), disconnected
+// regions (several polygons) and regions with holes — a ring with a hole is
+// decomposed into simple polygons that share boundary edges, exactly as in
+// Fig. 2 of the paper.
+
+#ifndef CARDIR_GEOMETRY_REGION_H_
+#define CARDIR_GEOMETRY_REGION_H_
+
+#include <initializer_list>
+#include <ostream>
+#include <vector>
+
+#include "geometry/box.h"
+#include "geometry/polygon.h"
+#include "util/status.h"
+
+namespace cardir {
+
+/// A region in REG*: a set of simple polygons (clockwise rings).
+class Region {
+ public:
+  Region() = default;
+  explicit Region(std::vector<Polygon> polygons)
+      : polygons_(std::move(polygons)) {}
+  Region(std::initializer_list<Polygon> polygons) : polygons_(polygons) {}
+
+  /// Convenience for connected regions (class REG).
+  explicit Region(Polygon polygon) { polygons_.push_back(std::move(polygon)); }
+
+  const std::vector<Polygon>& polygons() const { return polygons_; }
+  size_t polygon_count() const { return polygons_.size(); }
+  bool empty() const { return polygons_.empty(); }
+
+  void AddPolygon(Polygon polygon) { polygons_.push_back(std::move(polygon)); }
+
+  /// Total number of edges over all polygons (the `k_a` of Theorems 1–2).
+  size_t TotalEdges() const;
+
+  /// Minimum bounding box over all polygons (paper's mbb).
+  Box BoundingBox() const;
+
+  /// Sum of polygon areas. Correct under the interior-disjointness
+  /// invariant.
+  double Area() const;
+
+  /// Area-weighted centroid over all member polygons. CHECK-fails on empty
+  /// or zero-area regions.
+  Point Centroid() const;
+
+  /// Closed containment: true when `p` lies inside or on the boundary of
+  /// any member polygon.
+  bool Contains(const Point& p) const;
+
+  /// Locates `p` relative to the region as a point set: on the boundary of
+  /// the union, strictly inside it, or outside. A point on a *shared* edge
+  /// of two member polygons is interior to the union and reported kInside.
+  PointLocation Locate(const Point& p) const;
+
+  /// Reorients every polygon to the canonical clockwise order.
+  void EnsureClockwise();
+
+  /// Validates every polygon (`Polygon::Validate`) and that the region is
+  /// non-empty. Interior disjointness is not checked here (quadratic); see
+  /// `ValidateDisjointInteriors`.
+  Status Validate() const;
+
+  /// `Validate()` plus `Polygon::ValidateSimple` per polygon plus a
+  /// quadratic pairwise check that no polygon's vertex lies strictly inside
+  /// another polygon and no two edges properly cross. Sufficient for the
+  /// generated and hand-written fixtures in this repo.
+  Status ValidateStrict() const;
+
+  friend bool operator==(const Region& a, const Region& b) {
+    return a.polygons_ == b.polygons_;
+  }
+
+ private:
+  std::vector<Polygon> polygons_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Region& region);
+
+}  // namespace cardir
+
+#endif  // CARDIR_GEOMETRY_REGION_H_

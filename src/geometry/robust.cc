@@ -1,0 +1,229 @@
+#include "geometry/robust.h"
+
+#include <cmath>
+
+namespace cardir {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Expansion arithmetic (Shewchuk 1997). An expansion is a sum of
+// non-overlapping doubles stored least-significant first; the primitives
+// below are exact: no rounding error escapes.
+// ---------------------------------------------------------------------------
+
+struct TwoSum {
+  double hi;
+  double lo;
+};
+
+inline TwoSum FastTwoSum(double a, double b) {
+  // Requires |a| >= |b|.
+  const double hi = a + b;
+  const double lo = b - (hi - a);
+  return {hi, lo};
+}
+
+inline TwoSum ExactTwoSum(double a, double b) {
+  const double hi = a + b;
+  const double b_virtual = hi - a;
+  const double a_virtual = hi - b_virtual;
+  const double b_round = b - b_virtual;
+  const double a_round = a - a_virtual;
+  return {hi, a_round + b_round};
+}
+
+inline TwoSum ExactTwoDiff(double a, double b) {
+  const double hi = a - b;
+  const double b_virtual = a - hi;
+  const double a_virtual = hi + b_virtual;
+  const double b_round = b_virtual - b;
+  const double a_round = a - a_virtual;
+  return {hi, a_round + b_round};
+}
+
+// Splits a double into two 26-bit halves for exact multiplication.
+inline void Split(double a, double* hi, double* lo) {
+  constexpr double kSplitter = 134217729.0;  // 2^27 + 1.
+  const double c = kSplitter * a;
+  *hi = c - (c - a);
+  *lo = a - *hi;
+}
+
+inline TwoSum TwoProduct(double a, double b) {
+  const double hi = a * b;
+  double a_hi, a_lo, b_hi, b_lo;
+  Split(a, &a_hi, &a_lo);
+  Split(b, &b_hi, &b_lo);
+  const double err1 = hi - (a_hi * b_hi);
+  const double err2 = err1 - (a_lo * b_hi);
+  const double err3 = err2 - (a_hi * b_lo);
+  return {hi, (a_lo * b_lo) - err3};
+}
+
+// Machine epsilon related constants, computed once (Shewchuk's exactinit).
+struct Constants {
+  double ccw_err_bound_a;
+  double ccw_err_bound_b;
+  double ccw_err_bound_c;
+  double result_err_bound;
+
+  Constants() {
+    double epsilon = 1.0;
+    double check = 1.0;
+    double last_check;
+    do {
+      last_check = check;
+      epsilon *= 0.5;
+      check = 1.0 + epsilon;
+    } while (check != 1.0 && check != last_check);
+    result_err_bound = (3.0 + 8.0 * epsilon) * epsilon;
+    ccw_err_bound_a = (3.0 + 16.0 * epsilon) * epsilon;
+    ccw_err_bound_b = (2.0 + 12.0 * epsilon) * epsilon;
+    ccw_err_bound_c = (9.0 + 64.0 * epsilon) * epsilon * epsilon;
+  }
+};
+
+const Constants& GetConstants() {
+  static const Constants constants;
+  return constants;
+}
+
+double Estimate(int n, const double* e) {
+  double q = e[0];
+  for (int i = 1; i < n; ++i) q += e[i];
+  return q;
+}
+
+// Adds scalar b to expansion e (length n), eliminating zero components
+// (Shewchuk's GrowExpansionZeroElim). Returns the new length.
+int GrowExpansionZeroElim(int n, const double* e, double b, double* h) {
+  double q = b;
+  int h_len = 0;
+  for (int i = 0; i < n; ++i) {
+    const TwoSum s = ExactTwoSum(q, e[i]);
+    q = s.hi;
+    if (s.lo != 0.0) h[h_len++] = s.lo;
+  }
+  if (q != 0.0 || h_len == 0) h[h_len++] = q;
+  return h_len;
+}
+
+// The adaptive stage of orient2d: exact evaluation of the determinant when
+// the filtered estimate is inconclusive.
+double Orient2DAdapt(const Point& pa, const Point& pb, const Point& pc,
+                     double detsum) {
+  const Constants& k = GetConstants();
+
+  const double acx = pa.x - pc.x;
+  const double bcx = pb.x - pc.x;
+  const double acy = pa.y - pc.y;
+  const double bcy = pb.y - pc.y;
+
+  TwoSum detleft = TwoProduct(acx, bcy);
+  TwoSum detright = TwoProduct(acy, bcx);
+  double b[4];
+  // B = detleft − detright as a 4-expansion.
+  {
+    TwoSum s0 = ExactTwoDiff(detleft.lo, detright.lo);
+    b[0] = s0.lo;
+    TwoSum t = ExactTwoSum(detleft.hi, s0.hi);
+    TwoSum u = ExactTwoDiff(t.lo, detright.hi);
+    b[1] = u.lo;
+    TwoSum v = FastTwoSum(t.hi, u.hi);
+    b[2] = v.lo;
+    b[3] = v.hi;
+  }
+
+  double det = Estimate(4, b);
+  double err_bound = k.ccw_err_bound_b * detsum;
+  if (det >= err_bound || -det >= err_bound) return det;
+
+  // Account for the rounding of the coordinate differences.
+  const double acx_tail = [&] {
+    const TwoSum d = ExactTwoDiff(pa.x, pc.x);
+    return d.hi == acx ? d.lo : 0.0;
+  }();
+  const double bcx_tail = [&] {
+    const TwoSum d = ExactTwoDiff(pb.x, pc.x);
+    return d.hi == bcx ? d.lo : 0.0;
+  }();
+  const double acy_tail = [&] {
+    const TwoSum d = ExactTwoDiff(pa.y, pc.y);
+    return d.hi == acy ? d.lo : 0.0;
+  }();
+  const double bcy_tail = [&] {
+    const TwoSum d = ExactTwoDiff(pb.y, pc.y);
+    return d.hi == bcy ? d.lo : 0.0;
+  }();
+
+  if (acx_tail == 0.0 && acy_tail == 0.0 && bcx_tail == 0.0 &&
+      bcy_tail == 0.0) {
+    return det;  // The differences were exact: so is det.
+  }
+
+  err_bound = k.ccw_err_bound_c * detsum + k.result_err_bound * std::abs(det);
+  det += (acx * bcy_tail + bcy * acx_tail) -
+         (acy * bcx_tail + bcx * acy_tail);
+  if (det >= err_bound || -det >= err_bound) return det;
+
+  // Full exact computation: accumulate all cross terms into one expansion.
+  double c1[20];
+  double c2[20];
+  double d[20];
+  int len = 4;
+  const double* current = b;
+  double* next = c1;
+
+  auto add_cross = [&](double x, double x_tail, double y, double y_tail,
+                       bool subtract) {
+    // (x + x_tail)·(y + y_tail) contributions beyond x·y, folded into the
+    // running expansion one exact product component at a time.
+    TwoSum p1 = TwoProduct(x_tail, y);
+    TwoSum p2 = TwoProduct(x, y_tail);
+    TwoSum p3 = TwoProduct(x_tail, y_tail);
+    double terms[6] = {p1.lo, p1.hi, p2.lo, p2.hi, p3.lo, p3.hi};
+    for (double term : terms) {
+      if (term == 0.0) continue;
+      len = GrowExpansionZeroElim(len, current, subtract ? -term : term,
+                                  next);
+      current = next;
+      next = (next == c1) ? c2 : (next == c2 ? d : c1);
+    }
+  };
+
+  // det = (acx + acx_tail)(bcy + bcy_tail) − (acy + acy_tail)(bcx + bcx_tail).
+  add_cross(acx, acx_tail, bcy, bcy_tail, /*subtract=*/false);
+  add_cross(acy, acy_tail, bcx, bcx_tail, /*subtract=*/true);
+  return current[len - 1];
+}
+
+}  // namespace
+
+double RobustOrient2D(const Point& pa, const Point& pb, const Point& pc) {
+  const Constants& k = GetConstants();
+  const double detleft = (pa.x - pc.x) * (pb.y - pc.y);
+  const double detright = (pa.y - pc.y) * (pb.x - pc.x);
+  const double det = detleft - detright;
+  double detsum;
+  if (detleft > 0.0) {
+    if (detright <= 0.0) return det;
+    detsum = detleft + detright;
+  } else if (detleft < 0.0) {
+    if (detright >= 0.0) return det;
+    detsum = -detleft - detright;
+  } else {
+    return det;
+  }
+  const double err_bound = k.ccw_err_bound_a * detsum;
+  if (det >= err_bound || -det >= err_bound) return det;
+  return Orient2DAdapt(pa, pb, pc, detsum);
+}
+
+int RobustOrientSign(const Point& a, const Point& b, const Point& c) {
+  const double det = RobustOrient2D(a, b, c);
+  if (det > 0.0) return 1;
+  if (det < 0.0) return -1;
+  return 0;
+}
+
+}  // namespace cardir

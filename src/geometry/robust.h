@@ -1,0 +1,29 @@
+// Exact-sign orientation predicate (a port of the orient2d routine from
+// Shewchuk's classic robust predicates): a fast floating-point filter backed
+// by adaptive exact expansion arithmetic, so the returned sign is correct
+// for ALL double inputs — including the nearly-collinear configurations
+// where the naive determinant rounds to the wrong side.
+//
+// The geometry layer's predicates (OnSegment, SegmentsIntersect, polygon
+// orientation and containment) route their orientation tests through this
+// module; everything downstream (edge splitting, clipping, topology,
+// sweep-line) inherits the robustness.
+
+#ifndef CARDIR_GEOMETRY_ROBUST_H_
+#define CARDIR_GEOMETRY_ROBUST_H_
+
+#include "geometry/point.h"
+
+namespace cardir {
+
+/// Sign of Orient2D(a, b, c), exactly: +1 when a,b,c turn counter-clockwise,
+/// −1 clockwise, 0 when exactly collinear.
+int RobustOrientSign(const Point& a, const Point& b, const Point& c);
+
+/// A value with the exact sign of Orient2D(a, b, c) (the magnitude is the
+/// adaptively-computed approximation, correct to machine precision).
+double RobustOrient2D(const Point& a, const Point& b, const Point& c);
+
+}  // namespace cardir
+
+#endif  // CARDIR_GEOMETRY_ROBUST_H_

@@ -1,0 +1,36 @@
+#include "geometry/segment.h"
+
+namespace cardir {
+
+std::optional<double> CrossVerticalLine(const Segment& s, double m) {
+  const double dx = s.b.x - s.a.x;
+  if (dx == 0.0) return std::nullopt;  // Parallel to (or on) the line.
+  // Proper crossing requires the endpoints strictly on opposite sides.
+  if ((s.a.x < m && s.b.x > m) || (s.a.x > m && s.b.x < m)) {
+    return (m - s.a.x) / dx;
+  }
+  return std::nullopt;
+}
+
+std::optional<double> CrossHorizontalLine(const Segment& s, double l) {
+  const double dy = s.b.y - s.a.y;
+  if (dy == 0.0) return std::nullopt;
+  if ((s.a.y < l && s.b.y > l) || (s.a.y > l && s.b.y < l)) {
+    return (l - s.a.y) / dy;
+  }
+  return std::nullopt;
+}
+
+bool VerticalLineDoesNotCross(const Segment& s, double m) {
+  return !CrossVerticalLine(s, m).has_value();
+}
+
+bool HorizontalLineDoesNotCross(const Segment& s, double l) {
+  return !CrossHorizontalLine(s, l).has_value();
+}
+
+std::ostream& operator<<(std::ostream& os, const Segment& s) {
+  return os << "[" << s.a << " -> " << s.b << "]";
+}
+
+}  // namespace cardir

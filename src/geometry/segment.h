@@ -1,0 +1,81 @@
+// Directed line segments and their interaction with axis-parallel lines.
+//
+// The core algorithms of the paper split polygon edges at the four lines of
+// the reference region's minimum bounding box; the helpers here compute those
+// intersection parameters exactly (ratios of differences, no epsilons).
+
+#ifndef CARDIR_GEOMETRY_SEGMENT_H_
+#define CARDIR_GEOMETRY_SEGMENT_H_
+
+#include <optional>
+#include <ostream>
+#include <vector>
+
+#include "geometry/point.h"
+
+namespace cardir {
+
+/// A directed segment from `a` to `b` (direction matters: polygons are
+/// clockwise rings, and the trapezoid expressions E_l / E'_m of Def. 4 are
+/// sign-sensitive).
+struct Segment {
+  Point a;
+  Point b;
+
+  constexpr Segment() = default;
+  constexpr Segment(const Point& pa, const Point& pb) : a(pa), b(pb) {}
+
+  /// Zero-length segments carry no geometric information and are dropped by
+  /// the edge splitter.
+  constexpr bool IsDegenerate() const { return a == b; }
+
+  constexpr Point Direction() const { return b - a; }
+  constexpr Point Mid() const { return Midpoint(a, b); }
+  double Length() const { return Distance(a, b); }
+
+  /// Point at parameter t ∈ [0,1] along the segment.
+  constexpr Point At(double t) const { return a + t * (b - a); }
+
+  friend constexpr bool operator==(const Segment& s, const Segment& t) {
+    return s.a == t.a && s.b == t.b;
+  }
+};
+
+/// Parameter t ∈ (0,1) where the segment properly crosses the vertical line
+/// x = m, or nullopt when it does not (touching at an endpoint or lying on
+/// the line is not a proper crossing).
+std::optional<double> CrossVerticalLine(const Segment& s, double m);
+
+/// Parameter t ∈ (0,1) where the segment properly crosses the horizontal
+/// line y = l, or nullopt.
+std::optional<double> CrossHorizontalLine(const Segment& s, double l);
+
+/// True when the line x = m "does not cross" the segment in the sense of
+/// Def. 3: they do not intersect, touch only at an endpoint, or the segment
+/// lies entirely on the line.
+bool VerticalLineDoesNotCross(const Segment& s, double m);
+
+/// Horizontal counterpart of VerticalLineDoesNotCross (line y = l).
+bool HorizontalLineDoesNotCross(const Segment& s, double l);
+
+/// Trapezoid expression E_l(AB) of Def. 4: the signed area between segment AB
+/// and the horizontal line y = l. Requires (for an area interpretation) that
+/// the line does not cross AB; the formula itself is total.
+///
+///   E_l(AB) = (x_B − x_A)(y_A + y_B − 2l) / 2
+constexpr double TrapezoidHorizontal(const Segment& s, double l) {
+  return 0.5 * (s.b.x - s.a.x) * (s.a.y + s.b.y - 2.0 * l);
+}
+
+/// Trapezoid expression E'_m(AB) of Def. 4 against the vertical line x = m.
+///
+///   E'_m(AB) = (y_B − y_A)(x_A + x_B − 2m) / 2
+constexpr double TrapezoidVertical(const Segment& s, double m) {
+  return 0.5 * (s.b.y - s.a.y) * (s.a.x + s.b.x - 2.0 * m);
+}
+
+std::ostream& operator<<(std::ostream& os, const Segment& s);
+
+}  // namespace cardir
+
+#endif  // CARDIR_GEOMETRY_SEGMENT_H_

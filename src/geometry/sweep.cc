@@ -1,0 +1,172 @@
+#include "geometry/sweep.h"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+
+#include "geometry/primitives.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace cardir {
+namespace {
+
+// Lexicographic point order: by x, then y.
+bool PointLess(const Point& a, const Point& b) {
+  return a.x < b.x || (a.x == b.x && a.y < b.y);
+}
+
+// A segment normalised so that `left` is the lexicographically smaller
+// endpoint.
+struct SweepSegment {
+  Point left;
+  Point right;
+  size_t index;
+
+  // y-coordinate of the segment at sweep position x (exact at endpoints).
+  double YAt(double x) const {
+    if (right.x == left.x) return left.y;  // Vertical: anchor at lower end.
+    if (x <= left.x) return left.y;
+    if (x >= right.x) return right.y;
+    const double t = (x - left.x) / (right.x - left.x);
+    return left.y + t * (right.y - left.y);
+  }
+
+  double Slope() const {
+    if (right.x == left.x) return std::numeric_limits<double>::infinity();
+    return (right.y - left.y) / (right.x - left.x);
+  }
+};
+
+struct Event {
+  double x;
+  int type;  // 0 = segment starts, 1 = segment ends (starts first).
+  double y;
+  size_t segment;  // Index into the SweepSegment array.
+
+  friend bool operator<(const Event& a, const Event& b) {
+    if (a.x != b.x) return a.x < b.x;
+    if (a.type != b.type) return a.type < b.type;
+    if (a.y != b.y) return a.y < b.y;
+    return a.segment < b.segment;
+  }
+};
+
+}  // namespace
+
+std::optional<std::pair<size_t, size_t>> FindIntersectingPair(
+    const std::vector<Segment>& segments,
+    const std::function<bool(size_t, size_t)>& exempt) {
+  std::vector<SweepSegment> sweep;
+  sweep.reserve(segments.size());
+  for (size_t i = 0; i < segments.size(); ++i) {
+    if (segments[i].IsDegenerate()) continue;
+    SweepSegment s{segments[i].a, segments[i].b, i};
+    if (PointLess(s.right, s.left)) std::swap(s.left, s.right);
+    sweep.push_back(s);
+  }
+  std::vector<Event> events;
+  events.reserve(2 * sweep.size());
+  for (size_t i = 0; i < sweep.size(); ++i) {
+    events.push_back({sweep[i].left.x, 0, sweep[i].left.y, i});
+    events.push_back({sweep[i].right.x, 1, sweep[i].right.y, i});
+  }
+  std::sort(events.begin(), events.end());
+
+  // Status: active segments ordered by y at the sweep position, slope and
+  // index breaking ties. Before the first intersection is found no two
+  // active segments share a point, so their order is strict and invariant
+  // between events; ties occur exactly at touch points and are handled by
+  // the tie-walk below. Erasure goes through stored iterators, never
+  // through comparator-based lookup, so right-endpoint ties cannot strand
+  // an element.
+  double sweep_x = 0.0;
+  auto less = [&sweep, &sweep_x](size_t a, size_t b) {
+    const double ya = sweep[a].YAt(sweep_x);
+    const double yb = sweep[b].YAt(sweep_x);
+    if (ya != yb) return ya < yb;
+    const double sa = sweep[a].Slope();
+    const double sb = sweep[b].Slope();
+    if (sa != sb) return sa < sb;
+    return sweep[a].index < sweep[b].index;
+  };
+  using Status = std::set<size_t, decltype(less)>;
+  Status status(less);
+  std::vector<Status::iterator> where(sweep.size());
+
+  // Tests a candidate pair; returns true when a genuine intersection was
+  // found (filling *result).
+  auto hits = [&](size_t a, size_t b, std::pair<size_t, size_t>* result) {
+    const size_t i = sweep[a].index;
+    const size_t j = sweep[b].index;
+    const Segment& si = segments[i];
+    const Segment& sj = segments[j];
+    const bool is_exempt = exempt != nullptr && (exempt(i, j) || exempt(j, i));
+    const bool bad = is_exempt ? SegmentsProperlyCross(si, sj)
+                               : SegmentsIntersect(si, sj);
+    if (!bad) return false;
+    *result = {std::min(i, j), std::max(i, j)};
+    return true;
+  };
+
+  // Tests `center` against its status neighbours and against the whole
+  // contiguous run of segments tying with it at the current sweep position
+  // (segments with equal y here share a point — every such pair is an
+  // intersection candidate).
+  auto probe_around = [&](Status::iterator center,
+                          std::pair<size_t, size_t>* result) {
+    const double y = sweep[*center].YAt(sweep_x);
+    // Downward: immediate neighbour, then the tying run.
+    for (auto it = center; it != status.begin();) {
+      --it;
+      if (hits(*it, *center, result)) return true;
+      if (sweep[*it].YAt(sweep_x) != y) break;  // Left the tying run.
+    }
+    // Upward.
+    for (auto it = std::next(center); it != status.end(); ++it) {
+      if (hits(*center, *it, result)) return true;
+      if (sweep[*it].YAt(sweep_x) != y) break;
+    }
+    return false;
+  };
+
+  std::pair<size_t, size_t> found;
+  for (const Event& event : events) {
+    sweep_x = event.x;
+    if (event.type == 0) {
+      const auto [it, inserted] = status.insert(event.segment);
+      CARDIR_CHECK(inserted);
+      where[event.segment] = it;
+      if (probe_around(it, &found)) return found;
+    } else {
+      const auto it = where[event.segment];
+      if (probe_around(it, &found)) return found;
+      // The segments flanking the removed one become neighbours.
+      const bool has_prev = it != status.begin();
+      const auto next = std::next(it);
+      if (has_prev && next != status.end()) {
+        if (hits(*std::prev(it), *next, &found)) return found;
+      }
+      status.erase(it);
+    }
+  }
+  return std::nullopt;
+}
+
+Status ValidatePolygonSimpleSweep(const Polygon& polygon) {
+  CARDIR_RETURN_IF_ERROR(polygon.Validate());
+  const std::vector<Segment> edges = polygon.Edges();
+  const size_t n = edges.size();
+  auto adjacent = [n](size_t i, size_t j) {
+    return j == (i + 1) % n || i == (j + 1) % n;
+  };
+  const auto intersection = FindIntersectingPair(edges, adjacent);
+  if (intersection.has_value()) {
+    return Status::InvalidArgument(
+        StrFormat("edges %zu and %zu intersect", intersection->first,
+                  intersection->second));
+  }
+  return Status::Ok();
+}
+
+}  // namespace cardir

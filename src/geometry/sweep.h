@@ -1,0 +1,41 @@
+// Sweep-line segment intersection detection (Shamos–Hoey) and the
+// O(n log n) polygon simplicity check built on it — the scalable
+// counterpart of Polygon::ValidateSimple's quadratic scan, for the large
+// polygons the benchmarks and the segmentation pipeline produce.
+//
+// Detection only (the algorithm stops at the first intersecting pair), so
+// the status order stays consistent throughout: as long as no intersection
+// has been found, no two active segments cross, and their vertical order is
+// invariant between events.
+
+#ifndef CARDIR_GEOMETRY_SWEEP_H_
+#define CARDIR_GEOMETRY_SWEEP_H_
+
+#include <functional>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "geometry/polygon.h"
+#include "geometry/segment.h"
+#include "util/status.h"
+
+namespace cardir {
+
+/// Finds some intersecting pair of segments (indices i < j), or nullopt
+/// when the set is intersection-free. `exempt(i, j)` pairs (e.g. adjacent
+/// polygon edges sharing a vertex) are tested with the *proper crossing*
+/// predicate only, so legitimate endpoint contact passes. Degenerate
+/// (zero-length) segments are ignored.
+std::optional<std::pair<size_t, size_t>> FindIntersectingPair(
+    const std::vector<Segment>& segments,
+    const std::function<bool(size_t, size_t)>& exempt = nullptr);
+
+/// O(n log n) equivalent of Polygon::ValidateSimple: Validate() plus a
+/// sweep-line check that no two non-adjacent edges intersect (adjacent
+/// edges may share their common vertex but must not properly cross).
+Status ValidatePolygonSimpleSweep(const Polygon& polygon);
+
+}  // namespace cardir
+
+#endif  // CARDIR_GEOMETRY_SWEEP_H_

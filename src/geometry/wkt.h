@@ -1,0 +1,36 @@
+// Well-Known Text (WKT) interop for regions: POLYGON and MULTIPOLYGON
+// read/write, so configurations can exchange geometry with GEOS/PostGIS/
+// Shapely-style tooling.
+//
+// REG* regions are sets of simple polygons, so exterior rings map 1:1;
+// interior rings (holes) are decomposed on import into trapezoids sharing
+// edges (geometry/decompose.h — the Fig. 2 representation, generalised).
+// On export every member polygon becomes one exterior ring, so a
+// WKT→Region→WKT round trip of a holed polygon yields an equivalent (equal
+// point set) but hole-free representation.
+
+#ifndef CARDIR_GEOMETRY_WKT_H_
+#define CARDIR_GEOMETRY_WKT_H_
+
+#include <string>
+#include <string_view>
+
+#include "geometry/region.h"
+#include "util/status.h"
+
+namespace cardir {
+
+/// Serialises as `MULTIPOLYGON (((x y, ...)), ...)` — one exterior ring per
+/// member polygon, rings closed (first point repeated last), coordinates in
+/// shortest round-trippable form.
+std::string ToWkt(const Region& region);
+
+/// Parses `POLYGON ((...))`, `MULTIPOLYGON (((...)), ...)` or
+/// `GEOMETRYCOLLECTION`-free input (case-insensitive keywords, `EMPTY`
+/// rejected). Closed rings are accepted with or without the repeated last
+/// point; rings are reoriented to the canonical clockwise order.
+Result<Region> RegionFromWkt(std::string_view wkt);
+
+}  // namespace cardir
+
+#endif  // CARDIR_GEOMETRY_WKT_H_

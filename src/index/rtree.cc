@@ -1,0 +1,373 @@
+#include "index/rtree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace cardir {
+
+namespace {
+
+// Area increase of `box` needed to cover `addition`.
+double Enlargement(const Box& box, const Box& addition) {
+  Box grown = box;
+  grown.Extend(addition);
+  return grown.area() - box.area();
+}
+
+}  // namespace
+
+struct RTree::Node {
+  bool leaf = true;
+  Node* parent = nullptr;
+  // Leaf: boxes/ids parallel arrays. Internal: boxes/children.
+  std::vector<Box> boxes;
+  std::vector<int64_t> ids;
+  std::vector<std::unique_ptr<Node>> children;
+
+  Box Cover() const {
+    Box cover;
+    for (const Box& b : boxes) cover.Extend(b);
+    return cover;
+  }
+};
+
+RTree::RTree(int max_entries)
+    : max_entries_(max_entries),
+      min_entries_(max_entries / 2),
+      root_(std::make_unique<Node>()) {
+  CARDIR_CHECK(max_entries >= 4) << "R-tree nodes need at least 4 slots";
+}
+
+RTree::~RTree() = default;
+RTree::RTree(RTree&&) noexcept = default;
+RTree& RTree::operator=(RTree&&) noexcept = default;
+
+RTree::Node* RTree::ChooseLeaf(const Box& box) const {
+  Node* node = root_.get();
+  while (!node->leaf) {
+    // Least enlargement, ties by smallest area (Guttman's ChooseLeaf).
+    size_t best = 0;
+    double best_enlargement = std::numeric_limits<double>::infinity();
+    double best_area = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < node->boxes.size(); ++i) {
+      const double enlargement = Enlargement(node->boxes[i], box);
+      const double area = node->boxes[i].area();
+      if (enlargement < best_enlargement ||
+          (enlargement == best_enlargement && area < best_area)) {
+        best = i;
+        best_enlargement = enlargement;
+        best_area = area;
+      }
+    }
+    node = node->children[best].get();
+  }
+  return node;
+}
+
+void RTree::SplitAndPropagate(Node* node) {
+  while (node != nullptr &&
+         static_cast<int>(node->boxes.size()) > max_entries_) {
+    // --- Quadratic split ------------------------------------------------
+    const size_t n = node->boxes.size();
+    // PickSeeds: the pair wasting the most area together.
+    size_t seed_a = 0, seed_b = 1;
+    double worst_waste = -std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i + 1; j < n; ++j) {
+        Box joint = node->boxes[i];
+        joint.Extend(node->boxes[j]);
+        const double waste =
+            joint.area() - node->boxes[i].area() - node->boxes[j].area();
+        if (waste > worst_waste) {
+          worst_waste = waste;
+          seed_a = i;
+          seed_b = j;
+        }
+      }
+    }
+    // Distribute entries into two groups.
+    std::vector<int> group(n, -1);
+    group[seed_a] = 0;
+    group[seed_b] = 1;
+    Box cover[2] = {node->boxes[seed_a], node->boxes[seed_b]};
+    int count[2] = {1, 1};
+    for (size_t assigned = 2; assigned < n; ++assigned) {
+      // If one group must take all remaining entries to reach min fill, do
+      // so (Guttman's stopping rule).
+      const int remaining = static_cast<int>(n - assigned);
+      int forced = -1;
+      if (count[0] + remaining == min_entries_) forced = 0;
+      if (count[1] + remaining == min_entries_) forced = 1;
+      // PickNext: entry with the greatest preference difference.
+      size_t pick = 0;
+      double best_diff = -1.0;
+      for (size_t i = 0; i < n; ++i) {
+        if (group[i] != -1) continue;
+        const double d0 = Enlargement(cover[0], node->boxes[i]);
+        const double d1 = Enlargement(cover[1], node->boxes[i]);
+        const double diff = std::abs(d0 - d1);
+        if (diff > best_diff) {
+          best_diff = diff;
+          pick = i;
+        }
+      }
+      int target;
+      if (forced >= 0) {
+        target = forced;
+      } else {
+        const double d0 = Enlargement(cover[0], node->boxes[pick]);
+        const double d1 = Enlargement(cover[1], node->boxes[pick]);
+        if (d0 != d1) {
+          target = d0 < d1 ? 0 : 1;
+        } else if (cover[0].area() != cover[1].area()) {
+          target = cover[0].area() < cover[1].area() ? 0 : 1;
+        } else {
+          target = count[0] <= count[1] ? 0 : 1;
+        }
+      }
+      group[pick] = target;
+      cover[target].Extend(node->boxes[pick]);
+      ++count[target];
+    }
+    // Materialise the sibling (group 1); keep group 0 in `node`.
+    auto sibling = std::make_unique<Node>();
+    sibling->leaf = node->leaf;
+    Node* sibling_raw = sibling.get();
+    std::vector<Box> kept_boxes;
+    std::vector<int64_t> kept_ids;
+    std::vector<std::unique_ptr<Node>> kept_children;
+    for (size_t i = 0; i < n; ++i) {
+      if (group[i] == 0) {
+        kept_boxes.push_back(node->boxes[i]);
+        if (node->leaf) {
+          kept_ids.push_back(node->ids[i]);
+        } else {
+          kept_children.push_back(std::move(node->children[i]));
+        }
+      } else {
+        sibling->boxes.push_back(node->boxes[i]);
+        if (node->leaf) {
+          sibling->ids.push_back(node->ids[i]);
+        } else {
+          sibling->children.push_back(std::move(node->children[i]));
+        }
+      }
+    }
+    node->boxes = std::move(kept_boxes);
+    node->ids = std::move(kept_ids);
+    node->children = std::move(kept_children);
+    for (auto& child : node->children) child->parent = node;
+    for (auto& child : sibling->children) child->parent = sibling_raw;
+
+    Node* parent = node->parent;
+    if (parent == nullptr) {
+      // Grow a new root.
+      auto new_root = std::make_unique<Node>();
+      new_root->leaf = false;
+      std::unique_ptr<Node> old_root = std::move(root_);
+      old_root->parent = new_root.get();
+      sibling->parent = new_root.get();
+      new_root->boxes.push_back(old_root->Cover());
+      new_root->children.push_back(std::move(old_root));
+      new_root->boxes.push_back(sibling->Cover());
+      new_root->children.push_back(std::move(sibling));
+      root_ = std::move(new_root);
+      return;
+    }
+    // Update the parent: refresh this node's box, append the sibling.
+    for (size_t i = 0; i < parent->children.size(); ++i) {
+      if (parent->children[i].get() == node) {
+        parent->boxes[i] = node->Cover();
+        break;
+      }
+    }
+    sibling->parent = parent;
+    parent->boxes.push_back(sibling->Cover());
+    parent->children.push_back(std::move(sibling));
+    node = parent;  // The parent may now overflow.
+  }
+  // Tighten covers up to the root.
+  while (node != nullptr) {
+    Node* parent = node->parent;
+    if (parent != nullptr) {
+      for (size_t i = 0; i < parent->children.size(); ++i) {
+        if (parent->children[i].get() == node) {
+          parent->boxes[i] = node->Cover();
+          break;
+        }
+      }
+    }
+    node = parent;
+  }
+}
+
+Status RTree::Insert(const Box& box, int64_t id) {
+  if (box.IsEmpty()) {
+    return Status::InvalidArgument("cannot index an empty box");
+  }
+  Node* leaf = ChooseLeaf(box);
+  leaf->boxes.push_back(box);
+  leaf->ids.push_back(id);
+  ++size_;
+  SplitAndPropagate(leaf);
+  return Status::Ok();
+}
+
+Status RTree::BulkLoad(std::vector<std::pair<Box, int64_t>> entries) {
+  if (size_ != 0) {
+    return Status::FailedPrecondition("BulkLoad requires an empty tree");
+  }
+  for (const auto& [box, id] : entries) {
+    if (box.IsEmpty()) {
+      return Status::InvalidArgument("cannot index an empty box");
+    }
+  }
+  if (entries.empty()) return Status::Ok();
+
+  // --- STR leaf packing ----------------------------------------------------
+  // Vertical slices of S = ceil(sqrt(n / M)) run-lengths by x-centre, each
+  // slice sorted by y-centre and chopped into full leaves.
+  const size_t n = entries.size();
+  const size_t per_node = static_cast<size_t>(max_entries_);
+  const size_t num_leaves = (n + per_node - 1) / per_node;
+  const size_t num_slices =
+      static_cast<size_t>(std::ceil(std::sqrt(static_cast<double>(num_leaves))));
+  const size_t slice_size =
+      ((num_leaves + num_slices - 1) / num_slices) * per_node;
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) {
+              return a.first.Center().x < b.first.Center().x;
+            });
+  std::vector<std::unique_ptr<Node>> level;
+  for (size_t slice_start = 0; slice_start < n; slice_start += slice_size) {
+    const size_t slice_end = std::min(n, slice_start + slice_size);
+    std::sort(entries.begin() + static_cast<ptrdiff_t>(slice_start),
+              entries.begin() + static_cast<ptrdiff_t>(slice_end),
+              [](const auto& a, const auto& b) {
+                return a.first.Center().y < b.first.Center().y;
+              });
+    for (size_t i = slice_start; i < slice_end; i += per_node) {
+      auto leaf = std::make_unique<Node>();
+      leaf->leaf = true;
+      for (size_t j = i; j < std::min(slice_end, i + per_node); ++j) {
+        leaf->boxes.push_back(entries[j].first);
+        leaf->ids.push_back(entries[j].second);
+      }
+      level.push_back(std::move(leaf));
+    }
+  }
+  size_ = n;
+  bulk_loaded_ = true;
+
+  // --- Pack upper levels the same way (nodes are already spatially
+  // coherent, so packing in order suffices) --------------------------------
+  while (level.size() > 1) {
+    std::vector<std::unique_ptr<Node>> parents;
+    for (size_t i = 0; i < level.size(); i += per_node) {
+      auto parent = std::make_unique<Node>();
+      parent->leaf = false;
+      for (size_t j = i; j < std::min(level.size(), i + per_node); ++j) {
+        parent->boxes.push_back(level[j]->Cover());
+        level[j]->parent = parent.get();
+        parent->children.push_back(std::move(level[j]));
+      }
+      parents.push_back(std::move(parent));
+    }
+    level = std::move(parents);
+  }
+  root_ = std::move(level.front());
+  root_->parent = nullptr;
+  return Status::Ok();
+}
+
+void RTree::Search(
+    const Box& query,
+    const std::function<void(const Box&, int64_t)>& visit) const {
+  if (query.IsEmpty() || size_ == 0) return;
+  std::vector<const Node*> stack = {root_.get()};
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    for (size_t i = 0; i < node->boxes.size(); ++i) {
+      if (!node->boxes[i].Intersects(query)) continue;
+      if (node->leaf) {
+        visit(node->boxes[i], node->ids[i]);
+      } else {
+        stack.push_back(node->children[i].get());
+      }
+    }
+  }
+}
+
+std::vector<int64_t> RTree::SearchIds(const Box& query) const {
+  std::vector<int64_t> ids;
+  Search(query, [&ids](const Box&, int64_t id) { ids.push_back(id); });
+  return ids;
+}
+
+int RTree::height() const {
+  if (size_ == 0) return 0;
+  int h = 1;
+  const Node* node = root_.get();
+  while (!node->leaf) {
+    node = node->children.front().get();
+    ++h;
+  }
+  return h;
+}
+
+Box RTree::bounds() const { return root_->Cover(); }
+
+Status RTree::CheckInvariants() const {
+  size_t counted = 0;
+  int leaf_depth = -1;
+  // (node, depth) walk.
+  std::vector<std::pair<const Node*, int>> stack = {{root_.get(), 1}};
+  while (!stack.empty()) {
+    const auto [node, depth] = stack.back();
+    stack.pop_back();
+    const size_t entries = node->boxes.size();
+    if (static_cast<int>(entries) > max_entries_) {
+      return Status::Internal("node over capacity");
+    }
+    if (!bulk_loaded_ && node != root_.get() &&
+        static_cast<int>(entries) < min_entries_) {
+      return Status::Internal("node under min fill");
+    }
+    if (node->leaf) {
+      if (node->ids.size() != entries) {
+        return Status::Internal("leaf ids/boxes length mismatch");
+      }
+      if (leaf_depth == -1) leaf_depth = depth;
+      if (leaf_depth != depth) {
+        return Status::Internal("leaves at different depths");
+      }
+      counted += entries;
+    } else {
+      if (node->children.size() != entries) {
+        return Status::Internal("internal children/boxes length mismatch");
+      }
+      for (size_t i = 0; i < entries; ++i) {
+        const Node* child = node->children[i].get();
+        if (child->parent != node) {
+          return Status::Internal("broken parent pointer");
+        }
+        if (!node->boxes[i].Contains(child->Cover())) {
+          return Status::Internal("parent box does not cover child");
+        }
+        stack.push_back({child, depth + 1});
+      }
+    }
+  }
+  if (counted != size_) {
+    return Status::Internal(
+        StrFormat("size mismatch: counted %zu, recorded %zu", counted, size_));
+  }
+  return Status::Ok();
+}
+
+}  // namespace cardir

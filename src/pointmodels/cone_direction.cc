@@ -1,0 +1,71 @@
+#include "pointmodels/cone_direction.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace cardir {
+
+std::string_view ConeDirectionName(ConeDirection direction) {
+  switch (direction) {
+    case ConeDirection::kNorth: return "N";
+    case ConeDirection::kNortheast: return "NE";
+    case ConeDirection::kEast: return "E";
+    case ConeDirection::kSoutheast: return "SE";
+    case ConeDirection::kSouth: return "S";
+    case ConeDirection::kSouthwest: return "SW";
+    case ConeDirection::kWest: return "W";
+    case ConeDirection::kNorthwest: return "NW";
+    case ConeDirection::kSame: return "same";
+  }
+  return "?";
+}
+
+ConeDirection ConeBetweenPoints(const Point& from, const Point& to) {
+  const double dx = to.x - from.x;
+  const double dy = to.y - from.y;
+  if (dx == 0.0 && dy == 0.0) return ConeDirection::kSame;
+  // Angle in [0, 360): 0 = east, counter-clockwise. Shift by half a sector
+  // so each named sector is centred on its axis.
+  const double degrees =
+      std::fmod(std::atan2(dy, dx) * 180.0 / std::numbers::pi + 382.5, 360.0);
+  static constexpr ConeDirection kSectors[8] = {
+      ConeDirection::kEast,      ConeDirection::kNortheast,
+      ConeDirection::kNorth,     ConeDirection::kNorthwest,
+      ConeDirection::kWest,      ConeDirection::kSouthwest,
+      ConeDirection::kSouth,     ConeDirection::kSoutheast};
+  return kSectors[static_cast<int>(degrees / 45.0) & 7];
+}
+
+Result<ConeDirection> ConeBetweenRegions(const Region& a, const Region& b) {
+  CARDIR_RETURN_IF_ERROR(a.Validate());
+  CARDIR_RETURN_IF_ERROR(b.Validate());
+  // Direction of a as seen from b: vector from b's centroid to a's.
+  return ConeBetweenPoints(b.Centroid(), a.Centroid());
+}
+
+Tile ConeToTile(ConeDirection direction) {
+  switch (direction) {
+    case ConeDirection::kNorth: return Tile::kN;
+    case ConeDirection::kNortheast: return Tile::kNE;
+    case ConeDirection::kEast: return Tile::kE;
+    case ConeDirection::kSoutheast: return Tile::kSE;
+    case ConeDirection::kSouth: return Tile::kS;
+    case ConeDirection::kSouthwest: return Tile::kSW;
+    case ConeDirection::kWest: return Tile::kW;
+    case ConeDirection::kNorthwest: return Tile::kNW;
+    case ConeDirection::kSame: return Tile::kB;
+  }
+  return Tile::kB;
+}
+
+bool ConeAgreesWithRelation(ConeDirection direction,
+                            const CardinalRelation& relation) {
+  return relation.IsSingleTile() &&
+         relation.Includes(ConeToTile(direction));
+}
+
+std::ostream& operator<<(std::ostream& os, ConeDirection direction) {
+  return os << ConeDirectionName(direction);
+}
+
+}  // namespace cardir

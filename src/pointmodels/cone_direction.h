@@ -1,0 +1,64 @@
+// Cone-based (centroid) cardinal directions — the point-approximation
+// school the paper's introduction contrasts with the tile model: "previous
+// approaches that approximate both extended regions using points or MBB's
+// [4,8,13]" and "Peuquet and Ci-Xiang [15] capture cardinal direction on
+// polygons using points and MBB's approximations".
+//
+// Each region collapses to its area centroid; the direction of a w.r.t. b
+// is the 45°-cone sector containing the centroid-difference vector. Cheap
+// and total, but lossy: it cannot express multi-tile relations (Fig. 1c's
+// "partly NE, partly E") and misreports surround configurations — the
+// expressiveness gap quantified in tests/pointmodels/ and bench_pointmodels.
+
+#ifndef CARDIR_POINTMODELS_CONE_DIRECTION_H_
+#define CARDIR_POINTMODELS_CONE_DIRECTION_H_
+
+#include <ostream>
+#include <string_view>
+
+#include "core/cardinal_relation.h"
+#include "geometry/region.h"
+#include "util/status.h"
+
+namespace cardir {
+
+/// The eight cone sectors plus the degenerate coincident case.
+enum class ConeDirection {
+  kNorth,
+  kNortheast,
+  kEast,
+  kSoutheast,
+  kSouth,
+  kSouthwest,
+  kWest,
+  kNorthwest,
+  kSame,  ///< Coincident centroids.
+};
+
+/// Canonical short name ("N", "NE", ..., "same").
+std::string_view ConeDirectionName(ConeDirection direction);
+
+/// Sector of the vector from `from` to `to`. Sector boundaries (exact
+/// multiples of 45°) belong to the counter-clockwise sector, so East covers
+/// angles [-22.5°, 22.5°).
+ConeDirection ConeBetweenPoints(const Point& from, const Point& to);
+
+/// Cone direction of region a w.r.t. region b via area centroids (note the
+/// argument order matches the tile model: the relation of a *as seen from*
+/// b). Fails on invalid regions.
+Result<ConeDirection> ConeBetweenRegions(const Region& a, const Region& b);
+
+/// The single tile the cone model would report, for comparing against the
+/// tile model's CardinalRelation (kSame maps to B).
+Tile ConeToTile(ConeDirection direction);
+
+/// True when the tile model's relation is *representable* by the cone
+/// model: a single-tile relation whose tile matches the cone sector.
+bool ConeAgreesWithRelation(ConeDirection direction,
+                            const CardinalRelation& relation);
+
+std::ostream& operator<<(std::ostream& os, ConeDirection direction);
+
+}  // namespace cardir
+
+#endif  // CARDIR_POINTMODELS_CONE_DIRECTION_H_

@@ -1,0 +1,93 @@
+#include "pointmodels/mbb_direction.h"
+
+namespace cardir {
+
+std::string_view MbbDirectionName(MbbDirection direction) {
+  switch (direction) {
+    case MbbDirection::kNorth: return "N";
+    case MbbDirection::kNortheast: return "NE";
+    case MbbDirection::kEast: return "E";
+    case MbbDirection::kSoutheast: return "SE";
+    case MbbDirection::kSouth: return "S";
+    case MbbDirection::kSouthwest: return "SW";
+    case MbbDirection::kWest: return "W";
+    case MbbDirection::kNorthwest: return "NW";
+    case MbbDirection::kMixed: return "mixed";
+  }
+  return "?";
+}
+
+AxisOrder OrderOnAxis(double a_lo, double a_hi, double b_lo, double b_hi) {
+  if (a_hi <= b_lo) return AxisOrder::kBefore;
+  if (a_lo >= b_hi) return AxisOrder::kAfter;
+  return AxisOrder::kOverlap;
+}
+
+MbbDirection MbbBetweenBoxes(const Box& a, const Box& b) {
+  const AxisOrder x = OrderOnAxis(a.min_x(), a.max_x(), b.min_x(), b.max_x());
+  const AxisOrder y = OrderOnAxis(a.min_y(), a.max_y(), b.min_y(), b.max_y());
+  switch (y) {
+    case AxisOrder::kAfter:  // North row.
+      if (x == AxisOrder::kBefore) return MbbDirection::kNorthwest;
+      if (x == AxisOrder::kAfter) return MbbDirection::kNortheast;
+      return MbbDirection::kNorth;
+    case AxisOrder::kBefore:  // South row.
+      if (x == AxisOrder::kBefore) return MbbDirection::kSouthwest;
+      if (x == AxisOrder::kAfter) return MbbDirection::kSoutheast;
+      return MbbDirection::kSouth;
+    case AxisOrder::kOverlap:
+      if (x == AxisOrder::kBefore) return MbbDirection::kWest;
+      if (x == AxisOrder::kAfter) return MbbDirection::kEast;
+      return MbbDirection::kMixed;
+  }
+  return MbbDirection::kMixed;
+}
+
+Result<MbbDirection> MbbBetweenRegions(const Region& a, const Region& b) {
+  CARDIR_RETURN_IF_ERROR(a.Validate());
+  CARDIR_RETURN_IF_ERROR(b.Validate());
+  return MbbBetweenBoxes(a.BoundingBox(), b.BoundingBox());
+}
+
+bool MbbConsistentWithRelation(MbbDirection direction,
+                               const CardinalRelation& relation) {
+  // Tiles allowed per MBB verdict: the asserted strict separations.
+  auto row_ok = [&](Tile t) {
+    switch (direction) {
+      case MbbDirection::kNorth:
+      case MbbDirection::kNortheast:
+      case MbbDirection::kNorthwest:
+        return RowOf(t) == TileRow::kNorth;
+      case MbbDirection::kSouth:
+      case MbbDirection::kSoutheast:
+      case MbbDirection::kSouthwest:
+        return RowOf(t) == TileRow::kSouth;
+      default:
+        return true;
+    }
+  };
+  auto column_ok = [&](Tile t) {
+    switch (direction) {
+      case MbbDirection::kEast:
+      case MbbDirection::kNortheast:
+      case MbbDirection::kSoutheast:
+        return ColumnOf(t) == TileColumn::kEast;
+      case MbbDirection::kWest:
+      case MbbDirection::kNorthwest:
+      case MbbDirection::kSouthwest:
+        return ColumnOf(t) == TileColumn::kWest;
+      default:
+        return true;
+    }
+  };
+  for (Tile t : relation.Tiles()) {
+    if (!row_ok(t) || !column_ok(t)) return false;
+  }
+  return true;
+}
+
+std::ostream& operator<<(std::ostream& os, MbbDirection direction) {
+  return os << MbbDirectionName(direction);
+}
+
+}  // namespace cardir

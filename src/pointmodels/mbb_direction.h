@@ -1,0 +1,65 @@
+// MBB-projection cardinal directions — the double-approximation model the
+// paper's introduction contrasts with its tile model (refs [4, 8, 13, 15]):
+// both regions collapse to their minimum bounding boxes, and the direction
+// is read off the per-axis interval order of the two boxes.
+//
+// Per axis, the primary box is Before / Overlapping / After the reference
+// box (positive-length overlap). The 3×3 combinations give the eight
+// directions plus kMixed (overlap on both axes). This matches the
+// projection-based fragment of Peuquet & Ci-Xiang [15] and Frank's
+// projection model [4]; like the cone model it is total but lossy, and the
+// tests quantify where it diverges from the tile model.
+
+#ifndef CARDIR_POINTMODELS_MBB_DIRECTION_H_
+#define CARDIR_POINTMODELS_MBB_DIRECTION_H_
+
+#include <ostream>
+#include <string_view>
+
+#include "core/cardinal_relation.h"
+#include "geometry/region.h"
+#include "util/status.h"
+
+namespace cardir {
+
+/// Interval order of one axis projection: strictly before the reference's
+/// projection, positive-length overlap, or strictly after.
+enum class AxisOrder { kBefore, kOverlap, kAfter };
+
+/// The MBB-projection direction of a w.r.t. b.
+enum class MbbDirection {
+  kNorth,
+  kNortheast,
+  kEast,
+  kSoutheast,
+  kSouth,
+  kSouthwest,
+  kWest,
+  kNorthwest,
+  kMixed,  ///< Projections overlap on both axes.
+};
+
+/// Canonical short name ("N", ..., "mixed").
+std::string_view MbbDirectionName(MbbDirection direction);
+
+/// Interval order of [a_lo, a_hi] relative to [b_lo, b_hi]; boundary touch
+/// (a_hi == b_lo) counts as kBefore — zero-length overlap carries no area.
+AxisOrder OrderOnAxis(double a_lo, double a_hi, double b_lo, double b_hi);
+
+/// Direction of box a w.r.t. box b.
+MbbDirection MbbBetweenBoxes(const Box& a, const Box& b);
+
+/// Direction of region a w.r.t. region b via their bounding boxes.
+Result<MbbDirection> MbbBetweenRegions(const Region& a, const Region& b);
+
+/// True when the tile model's relation is consistent with the MBB
+/// direction: every tile of the relation lies in the half-plane(s) the MBB
+/// direction asserts (e.g. kNorth ⇒ only N/NW/NE tiles).
+bool MbbConsistentWithRelation(MbbDirection direction,
+                               const CardinalRelation& relation);
+
+std::ostream& operator<<(std::ostream& os, MbbDirection direction);
+
+}  // namespace cardir
+
+#endif  // CARDIR_POINTMODELS_MBB_DIRECTION_H_

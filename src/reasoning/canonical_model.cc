@@ -1,0 +1,154 @@
+#include "reasoning/canonical_model.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/logging.h"
+
+namespace cardir {
+namespace internal_model {
+
+std::vector<std::vector<int8_t>> EnumerateAxisConfigs(int num_regions) {
+  CARDIR_CHECK(num_regions >= 1 && num_regions <= 3);
+  const int endpoints = 2 * num_regions;
+  const int max_level = endpoints;  // Levels 0..endpoints-1 suffice.
+  std::vector<std::vector<int8_t>> configs;
+  std::vector<int8_t> assignment(endpoints, 0);
+
+  // Enumerate all level assignments, keep canonical ones.
+  auto is_valid = [&]() {
+    // lo < hi per region (endpoint 2i is lo_i, 2i+1 is hi_i).
+    for (int r = 0; r < num_regions; ++r) {
+      if (assignment[2 * r] >= assignment[2 * r + 1]) return false;
+    }
+    // Used levels must form a gapless prefix 0..max.
+    int max_used = 0;
+    uint32_t used = 0;
+    for (int8_t level : assignment) {
+      used |= 1u << level;
+      max_used = std::max<int>(max_used, level);
+    }
+    return used == (1u << (max_used + 1)) - 1;
+  };
+
+  // Odometer over level vectors.
+  for (;;) {
+    if (is_valid()) configs.push_back(assignment);
+    int i = endpoints - 1;
+    while (i >= 0 && assignment[i] == max_level - 1) {
+      assignment[i] = 0;
+      --i;
+    }
+    if (i < 0) break;
+    ++assignment[i];
+  }
+  return configs;
+}
+
+}  // namespace internal_model
+
+namespace {
+
+using internal_model::EnumerateAxisConfigs;
+using internal_model::SlotBand;
+
+// Bands of the slots of span [lo_p, hi_p] w.r.t. span [lo_r, hi_r].
+std::vector<int8_t> SpanBands(int lo_p, int hi_p, int lo_r, int hi_r) {
+  std::vector<int8_t> bands;
+  bands.reserve(static_cast<size_t>(hi_p - lo_p));
+  for (int slot = lo_p; slot < hi_p; ++slot) {
+    bands.push_back(static_cast<int8_t>(SlotBand(slot, lo_r, hi_r)));
+  }
+  return bands;
+}
+
+std::vector<PairAxisSignature> BuildPairAxisSignatures() {
+  std::set<PairAxisSignature> unique;
+  for (const std::vector<int8_t>& cfg : EnumerateAxisConfigs(2)) {
+    PairAxisSignature sig;
+    sig.a_wrt_b = SpanBands(cfg[0], cfg[1], cfg[2], cfg[3]);
+    sig.b_wrt_a = SpanBands(cfg[2], cfg[3], cfg[0], cfg[1]);
+    unique.insert(std::move(sig));
+  }
+  return {unique.begin(), unique.end()};
+}
+
+std::vector<TripleAxisSignature> BuildTripleAxisSignatures() {
+  std::set<TripleAxisSignature> unique;
+  for (const std::vector<int8_t>& cfg : EnumerateAxisConfigs(3)) {
+    const int a_lo = cfg[0], a_hi = cfg[1];
+    const int b_lo = cfg[2], b_hi = cfg[3];
+    const int c_lo = cfg[4], c_hi = cfg[5];
+    TripleAxisSignature sig;
+    sig.a_slots.reserve(static_cast<size_t>(a_hi - a_lo));
+    for (int slot = a_lo; slot < a_hi; ++slot) {
+      const int wrt_b = SlotBand(slot, b_lo, b_hi);
+      const int wrt_c = SlotBand(slot, c_lo, c_hi);
+      sig.a_slots.push_back(static_cast<int8_t>(wrt_b * 3 + wrt_c));
+    }
+    sig.b_slots = SpanBands(b_lo, b_hi, c_lo, c_hi);
+    unique.insert(std::move(sig));
+  }
+  return {unique.begin(), unique.end()};
+}
+
+uint16_t TileBit(int column_band, int row_band) {
+  const Tile tile = TileAt(static_cast<TileColumn>(column_band),
+                           static_cast<TileRow>(row_band));
+  return static_cast<uint16_t>(1u << static_cast<int>(tile));
+}
+
+}  // namespace
+
+const std::vector<PairAxisSignature>& AllPairAxisSignatures() {
+  static const std::vector<PairAxisSignature>& signatures =
+      *new std::vector<PairAxisSignature>(BuildPairAxisSignatures());
+  return signatures;
+}
+
+const std::vector<TripleAxisSignature>& AllTripleAxisSignatures() {
+  static const std::vector<TripleAxisSignature>& signatures =
+      *new std::vector<TripleAxisSignature>(BuildTripleAxisSignatures());
+  return signatures;
+}
+
+PairTileSets MakePairTileSets(const std::vector<int8_t>& x_bands,
+                              const std::vector<int8_t>& y_bands) {
+  PairTileSets sets;
+  const size_t nx = x_bands.size();
+  const size_t ny = y_bands.size();
+  for (size_t i = 0; i < nx; ++i) {
+    for (size_t j = 0; j < ny; ++j) {
+      const uint16_t bit = TileBit(x_bands[i], y_bands[j]);
+      sets.avail |= bit;
+      if (i == 0) sets.first_x |= bit;
+      if (i == nx - 1) sets.last_x |= bit;
+      if (j == 0) sets.first_y |= bit;
+      if (j == ny - 1) sets.last_y |= bit;
+    }
+  }
+  return sets;
+}
+
+bool PairFeasible(uint16_t relation_mask, const PairTileSets& sets) {
+  if (relation_mask == 0) return false;
+  if ((relation_mask & ~sets.avail) != 0) return false;  // Tile unavailable.
+  return (relation_mask & sets.first_x) != 0 &&
+         (relation_mask & sets.last_x) != 0 &&
+         (relation_mask & sets.first_y) != 0 &&
+         (relation_mask & sets.last_y) != 0;
+}
+
+bool RelationRealizable(uint16_t relation_mask) {
+  for (const PairAxisSignature& x : AllPairAxisSignatures()) {
+    for (const PairAxisSignature& y : AllPairAxisSignatures()) {
+      if (PairFeasible(relation_mask,
+                       MakePairTileSets(x.a_wrt_b, y.a_wrt_b))) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace cardir

@@ -1,0 +1,130 @@
+// Canonical rectangle-grid models for cardinal direction reasoning.
+//
+// The reasoning services summarised in §2 of the paper (inverse,
+// composition, consistency — developed in the companion papers [20,21,22])
+// are implemented here *semantically*: a configuration of regions is
+// abstracted per axis by the weak order of the regions' span endpoints, and
+// regions are realised as unions of grid cells. This is complete for REG*
+// because REG* regions are regular closed sets: wherever a region attains a
+// span bound or occupies a tile it does so with positive area, so any
+// satisfiable configuration has a model whose regions are finite unions of
+// axis-aligned rectangles over the grid spanned by all mbb lines.
+//
+// Per axis, a region contributes two endpoints (lo < hi). A *configuration*
+// assigns each endpoint an integer level such that the used levels are
+// 0..max with no gaps (a canonical weak order). The unit interval between
+// consecutive levels is a *slot*; a slot inside a region's span is labelled
+// by its band (low/mid/high) relative to every other region's span. Cells
+// are x-slot × y-slot products; a cell's tile w.r.t. region r is
+// TileAt(band_x(r), band_y(r)).
+//
+// A region "realises relation R w.r.t. r with exact span" iff
+//   (1) every tile of R is the tile of some cell inside the span, and
+//   (2) each of the four extreme slot-strips of the span contains a cell
+//       whose tile is in R (so the region touches all four mbb sides).
+// When both hold, taking *all* span cells with tile ∈ R is a model.
+
+#ifndef CARDIR_REASONING_CANONICAL_MODEL_H_
+#define CARDIR_REASONING_CANONICAL_MODEL_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "core/cardinal_relation.h"
+#include "core/tile.h"
+
+namespace cardir {
+
+/// Per-axis tile availability masks for one (primary, reference) pair:
+/// `avail` is the set of tiles of cells inside the primary's span, and the
+/// four side masks restrict to the extreme slot-strips of the span.
+struct PairTileSets {
+  uint16_t avail = 0;
+  uint16_t first_x = 0;  ///< Cells in the westmost slot of the span.
+  uint16_t last_x = 0;   ///< Eastmost slot.
+  uint16_t first_y = 0;  ///< Southmost slot.
+  uint16_t last_y = 0;   ///< Northmost slot.
+};
+
+/// True when `relation_mask` (9-bit tile mask, non-zero) is realisable with
+/// the availability masks of `sets`.
+bool PairFeasible(uint16_t relation_mask, const PairTileSets& sets);
+
+/// Bands (0 = low/west/south, 1 = mid, 2 = high/east/north) of the slots of
+/// one region's span relative to the other regions, for one axis.
+struct PairAxisView {
+  /// Band of each slot of the *primary* span w.r.t. the reference span,
+  /// in axis order. Non-empty (spans are non-degenerate).
+  std::vector<int8_t> primary_bands;
+};
+
+/// One deduplicated two-region axis signature: the slot bands of a w.r.t. b
+/// and of b w.r.t. a.
+struct PairAxisSignature {
+  std::vector<int8_t> a_wrt_b;
+  std::vector<int8_t> b_wrt_a;
+
+  friend bool operator==(const PairAxisSignature& x,
+                         const PairAxisSignature& y) {
+    return x.a_wrt_b == y.a_wrt_b && x.b_wrt_a == y.b_wrt_a;
+  }
+  friend bool operator<(const PairAxisSignature& x,
+                        const PairAxisSignature& y) {
+    if (x.a_wrt_b != y.a_wrt_b) return x.a_wrt_b < y.a_wrt_b;
+    return x.b_wrt_a < y.b_wrt_a;
+  }
+};
+
+/// All distinct two-region axis signatures (computed once, cached).
+const std::vector<PairAxisSignature>& AllPairAxisSignatures();
+
+/// Combines an x and a y signature into availability masks for (a w.r.t. b).
+PairTileSets MakePairTileSets(const std::vector<int8_t>& x_bands,
+                              const std::vector<int8_t>& y_bands);
+
+/// One deduplicated three-region axis signature (regions a, b, c): slots of
+/// a's span carry (band w.r.t. b, band w.r.t. c); slots of b's span carry
+/// the band w.r.t. c (b's availability masks for realising S w.r.t. c).
+struct TripleAxisSignature {
+  /// (band of slot w.r.t. b) * 3 + (band w.r.t. c), per slot of a's span.
+  std::vector<int8_t> a_slots;
+  /// band w.r.t. c, per slot of b's span.
+  std::vector<int8_t> b_slots;
+
+  friend bool operator==(const TripleAxisSignature& x,
+                         const TripleAxisSignature& y) {
+    return x.a_slots == y.a_slots && x.b_slots == y.b_slots;
+  }
+  friend bool operator<(const TripleAxisSignature& x,
+                        const TripleAxisSignature& y) {
+    if (x.a_slots != y.a_slots) return x.a_slots < y.a_slots;
+    return x.b_slots < y.b_slots;
+  }
+};
+
+/// All distinct three-region axis signatures (computed once, cached).
+const std::vector<TripleAxisSignature>& AllTripleAxisSignatures();
+
+/// True when some two-region configuration realises `relation_mask` — every
+/// non-empty tile set should pass (all 511 relations of D* are satisfiable).
+bool RelationRealizable(uint16_t relation_mask);
+
+namespace internal_model {
+
+/// Enumerates all canonical endpoint-level assignments for `num_regions`
+/// regions on one axis (each region's lo strictly below its hi; levels form
+/// a gapless prefix 0..max). Exposed for tests.
+std::vector<std::vector<int8_t>> EnumerateAxisConfigs(int num_regions);
+
+/// Band (0/1/2) of slot (level, level+1) relative to span [lo, hi].
+inline int SlotBand(int slot, int lo, int hi) {
+  if (slot + 1 <= lo) return 0;
+  if (slot >= hi) return 2;
+  return 1;
+}
+
+}  // namespace internal_model
+}  // namespace cardir
+
+#endif  // CARDIR_REASONING_CANONICAL_MODEL_H_

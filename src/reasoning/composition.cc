@@ -1,0 +1,144 @@
+#include "reasoning/composition.h"
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <mutex>
+
+#include "reasoning/canonical_model.h"
+#include "util/logging.h"
+
+namespace cardir {
+namespace {
+
+// Availability masks of a's grid cells (w.r.t. c) once the cells are
+// filtered to those whose tile w.r.t. b lies in R.
+struct AllowedCellMasks {
+  uint16_t c_tiles = 0;                    // Tiles w.r.t. c of allowed cells.
+  std::array<uint16_t, kNumTiles> per_b{}; // c-tiles per b-tile r ∈ R.
+  uint16_t first_x = 0, last_x = 0, first_y = 0, last_y = 0;
+
+  friend bool operator<(const AllowedCellMasks& a, const AllowedCellMasks& b) {
+    if (a.c_tiles != b.c_tiles) return a.c_tiles < b.c_tiles;
+    if (a.per_b != b.per_b) return a.per_b < b.per_b;
+    if (a.first_x != b.first_x) return a.first_x < b.first_x;
+    if (a.last_x != b.last_x) return a.last_x < b.last_x;
+    if (a.first_y != b.first_y) return a.first_y < b.first_y;
+    return a.last_y < b.last_y;
+  }
+};
+
+uint16_t TileBit(int column_band, int row_band) {
+  const Tile tile = TileAt(static_cast<TileColumn>(column_band),
+                           static_cast<TileRow>(row_band));
+  return static_cast<uint16_t>(1u << static_cast<int>(tile));
+}
+
+// All exact c-tile coverages T achievable from the allowed cells, given that
+// the b-tile coverage must be exactly `r_mask`.
+std::bitset<512> AchievableTargets(uint16_t r_mask,
+                                   const AllowedCellMasks& masks) {
+  std::bitset<512> out;
+  // Every tile of R must be coverable at all.
+  for (int i = 0; i < kNumTiles; ++i) {
+    if ((r_mask & (1u << i)) != 0 && masks.per_b[i] == 0) return out;
+  }
+  if (masks.c_tiles == 0) return out;
+  // Enumerate non-empty submasks T of the available c-tiles.
+  for (uint16_t t = masks.c_tiles;; t = static_cast<uint16_t>((t - 1) & masks.c_tiles)) {
+    if (t == 0) break;
+    bool ok = (t & masks.first_x) != 0 && (t & masks.last_x) != 0 &&
+              (t & masks.first_y) != 0 && (t & masks.last_y) != 0;
+    if (ok) {
+      for (int i = 0; i < kNumTiles && ok; ++i) {
+        if ((r_mask & (1u << i)) != 0 && (t & masks.per_b[i]) == 0) ok = false;
+      }
+    }
+    if (ok) out.set(t);
+  }
+  return out;
+}
+
+// Memoised wrapper around AchievableTargets.
+const std::bitset<512>& MemoAchievableTargets(uint16_t r_mask,
+                                              const AllowedCellMasks& masks) {
+  static std::map<std::pair<uint16_t, AllowedCellMasks>, std::bitset<512>>&
+      memo = *new std::map<std::pair<uint16_t, AllowedCellMasks>,
+                           std::bitset<512>>();
+  const auto key = std::make_pair(r_mask, masks);
+  auto it = memo.find(key);
+  if (it == memo.end()) {
+    it = memo.emplace(key, AchievableTargets(r_mask, masks)).first;
+  }
+  return it->second;
+}
+
+std::bitset<512> ComposeMasks(uint16_t r_mask, uint16_t s_mask) {
+  std::bitset<512> result;
+  const std::vector<TripleAxisSignature>& sigs = AllTripleAxisSignatures();
+  for (const TripleAxisSignature& x : sigs) {
+    for (const TripleAxisSignature& y : sigs) {
+      // b must realise S w.r.t. c in this configuration.
+      if (!PairFeasible(s_mask, MakePairTileSets(x.b_slots, y.b_slots))) {
+        continue;
+      }
+      // Build the allowed-cell masks for a (cells whose b-tile is in R).
+      AllowedCellMasks masks;
+      const size_t nx = x.a_slots.size();
+      const size_t ny = y.a_slots.size();
+      for (size_t i = 0; i < nx; ++i) {
+        const int bx = x.a_slots[i] / 3;
+        const int cx = x.a_slots[i] % 3;
+        for (size_t j = 0; j < ny; ++j) {
+          const int by = y.a_slots[j] / 3;
+          const int cy = y.a_slots[j] % 3;
+          const Tile tile_b = TileAt(static_cast<TileColumn>(bx),
+                                     static_cast<TileRow>(by));
+          if ((r_mask & (1u << static_cast<int>(tile_b))) == 0) continue;
+          const uint16_t c_bit = TileBit(cx, cy);
+          masks.c_tiles |= c_bit;
+          masks.per_b[static_cast<int>(tile_b)] |= c_bit;
+          if (i == 0) masks.first_x |= c_bit;
+          if (i == nx - 1) masks.last_x |= c_bit;
+          if (j == 0) masks.first_y |= c_bit;
+          if (j == ny - 1) masks.last_y |= c_bit;
+        }
+      }
+      result |= MemoAchievableTargets(r_mask, masks);
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+DisjunctiveRelation Compose(const CardinalRelation& r,
+                            const CardinalRelation& s) {
+  CARDIR_CHECK(!r.IsEmpty() && !s.IsEmpty()) << "composition of empty relation";
+  static std::mutex& mu = *new std::mutex();
+  static std::map<uint32_t, DisjunctiveRelation>& memo =
+      *new std::map<uint32_t, DisjunctiveRelation>();
+  const uint32_t key = (static_cast<uint32_t>(r.mask()) << 16) | s.mask();
+  // The lock covers the whole computation: it also serialises access to the
+  // AchievableTargets memo inside ComposeMasks.
+  std::lock_guard<std::mutex> lock(mu);
+  auto it = memo.find(key);
+  if (it != memo.end()) return it->second;
+  DisjunctiveRelation out;
+  out.mutable_bits() = ComposeMasks(r.mask(), s.mask());
+  memo.emplace(key, out);
+  return out;
+}
+
+DisjunctiveRelation Compose(const DisjunctiveRelation& r,
+                            const DisjunctiveRelation& s) {
+  DisjunctiveRelation out;
+  for (const CardinalRelation& br : r.Relations()) {
+    for (const CardinalRelation& bs : s.Relations()) {
+      out.mutable_bits() |= Compose(br, bs).bits();
+    }
+  }
+  return out;
+}
+
+}  // namespace cardir

@@ -1,0 +1,31 @@
+// Existential composition of cardinal direction relations (paper §2, after
+// [20,22]):
+//
+//   Compose(R, S) = { T : ∃ a, b, c ∈ REG* with a R b, b S c and a T c }.
+//
+// Computed by exhaustive search over the canonical three-region models
+// (reasoning/canonical_model.h): per configuration, b must realise S w.r.t.
+// c, and a picks grid cells whose tiles w.r.t. b cover exactly R — the tiles
+// those cells cover w.r.t. c are the possible T. Results are memoised per
+// (R, S) pair.
+
+#ifndef CARDIR_REASONING_COMPOSITION_H_
+#define CARDIR_REASONING_COMPOSITION_H_
+
+#include "core/cardinal_relation.h"
+#include "reasoning/disjunctive_relation.h"
+
+namespace cardir {
+
+/// Existential composition of basic relations. CHECK-fails on empty inputs.
+/// Thread-safe (internal memo guarded by a mutex).
+DisjunctiveRelation Compose(const CardinalRelation& r,
+                            const CardinalRelation& s);
+
+/// Composition of disjunctive relations: union over member pairs.
+DisjunctiveRelation Compose(const DisjunctiveRelation& r,
+                            const DisjunctiveRelation& s);
+
+}  // namespace cardir
+
+#endif  // CARDIR_REASONING_COMPOSITION_H_

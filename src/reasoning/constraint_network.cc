@@ -1,0 +1,505 @@
+#include "reasoning/constraint_network.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "core/compute_cdr.h"
+#include "reasoning/composition.h"
+#include "reasoning/inverse.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace cardir {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Order constraint solving (one axis).
+//
+// Nodes are endpoint ids (2i = lo of variable i, 2i+1 = hi). Edges u -> v
+// mean u ≤ v; strict edges mean u < v. The system is satisfiable iff no
+// strict edge joins two nodes of the same strongly connected component of
+// the ≤-digraph. The canonical assignment gives each SCC a distinct level in
+// topological order ("maximally spread"), which maps any witness order onto
+// a refinement of itself.
+// ---------------------------------------------------------------------------
+
+struct OrderEdge {
+  int from;
+  int to;
+  bool strict;
+};
+
+class OrderSolver {
+ public:
+  explicit OrderSolver(int num_nodes) : n_(num_nodes), adjacency_(num_nodes) {}
+
+  void AddLessEqual(int u, int v) { AddEdge(u, v, false); }
+  void AddLess(int u, int v) { AddEdge(u, v, true); }
+
+  /// On success fills level[node] with canonical integer coordinates and
+  /// returns true; returns false when a strict edge lies on a cycle.
+  bool Solve(std::vector<int>* levels) {
+    ComputeSccs();
+    // A strict edge inside one SCC is a contradiction (u < v and v ≤ u).
+    for (const OrderEdge& e : edges_) {
+      if (e.strict && scc_of_[e.from] == scc_of_[e.to]) return false;
+    }
+    // Topological order of the condensation; assign one level per SCC.
+    const int num_sccs = scc_count_;
+    std::vector<std::vector<int>> dag(num_sccs);
+    std::vector<int> indegree(num_sccs, 0);
+    for (const OrderEdge& e : edges_) {
+      const int a = scc_of_[e.from];
+      const int b = scc_of_[e.to];
+      if (a != b) {
+        dag[a].push_back(b);
+        ++indegree[b];
+      }
+    }
+    // Kahn with a min-heap for determinism.
+    std::priority_queue<int, std::vector<int>, std::greater<int>> ready;
+    for (int s = 0; s < num_sccs; ++s) {
+      if (indegree[s] == 0) ready.push(s);
+    }
+    std::vector<int> scc_level(num_sccs, -1);
+    int next_level = 0;
+    while (!ready.empty()) {
+      const int s = ready.top();
+      ready.pop();
+      scc_level[s] = next_level++;
+      for (int t : dag[s]) {
+        if (--indegree[t] == 0) ready.push(t);
+      }
+    }
+    CARDIR_CHECK(next_level == num_sccs) << "condensation must be acyclic";
+    levels->resize(n_);
+    for (int v = 0; v < n_; ++v) (*levels)[v] = scc_level[scc_of_[v]];
+    return true;
+  }
+
+ private:
+  void AddEdge(int u, int v, bool strict) {
+    CARDIR_DCHECK(u >= 0 && u < n_ && v >= 0 && v < n_);
+    edges_.push_back({u, v, strict});
+    adjacency_[u].push_back(v);
+  }
+
+  // Iterative Tarjan SCC.
+  void ComputeSccs() {
+    scc_of_.assign(n_, -1);
+    std::vector<int> index(n_, -1);
+    std::vector<int> lowlink(n_, 0);
+    std::vector<bool> on_stack(n_, false);
+    std::vector<int> stack;
+    int next_index = 0;
+    scc_count_ = 0;
+
+    struct Frame {
+      int node;
+      size_t child;
+    };
+    for (int root = 0; root < n_; ++root) {
+      if (index[root] != -1) continue;
+      std::vector<Frame> frames{{root, 0}};
+      index[root] = lowlink[root] = next_index++;
+      stack.push_back(root);
+      on_stack[root] = true;
+      while (!frames.empty()) {
+        Frame& frame = frames.back();
+        const int v = frame.node;
+        if (frame.child < adjacency_[v].size()) {
+          const int w = adjacency_[v][frame.child++];
+          if (index[w] == -1) {
+            index[w] = lowlink[w] = next_index++;
+            stack.push_back(w);
+            on_stack[w] = true;
+            frames.push_back({w, 0});
+          } else if (on_stack[w]) {
+            lowlink[v] = std::min(lowlink[v], index[w]);
+          }
+        } else {
+          if (lowlink[v] == index[v]) {
+            for (;;) {
+              const int w = stack.back();
+              stack.pop_back();
+              on_stack[w] = false;
+              scc_of_[w] = scc_count_;
+              if (w == v) break;
+            }
+            ++scc_count_;
+          }
+          frames.pop_back();
+          if (!frames.empty()) {
+            const int parent = frames.back().node;
+            lowlink[parent] = std::min(lowlink[parent], lowlink[v]);
+          }
+        }
+      }
+    }
+  }
+
+  int n_;
+  std::vector<OrderEdge> edges_;
+  std::vector<std::vector<int>> adjacency_;
+  std::vector<int> scc_of_;
+  int scc_count_ = 0;
+};
+
+// Band sets on one axis of a relation: which of low/mid/high bands the
+// relation's tiles occupy.
+struct BandSet {
+  bool low = false;
+  bool mid = false;
+  bool high = false;
+};
+
+BandSet ColumnBands(const CardinalRelation& r) {
+  BandSet bands;
+  for (Tile t : r.Tiles()) {
+    switch (ColumnOf(t)) {
+      case TileColumn::kWest: bands.low = true; break;
+      case TileColumn::kMiddle: bands.mid = true; break;
+      case TileColumn::kEast: bands.high = true; break;
+    }
+  }
+  return bands;
+}
+
+BandSet RowBands(const CardinalRelation& r) {
+  BandSet bands;
+  for (Tile t : r.Tiles()) {
+    switch (RowOf(t)) {
+      case TileRow::kSouth: bands.low = true; break;
+      case TileRow::kMiddle: bands.mid = true; break;
+      case TileRow::kNorth: bands.high = true; break;
+    }
+  }
+  return bands;
+}
+
+// Adds the endpoint order constraints implied by "i R j" on one axis.
+// lo_i/hi_i/lo_j/hi_j are node ids in the solver.
+void AddAxisConstraints(const BandSet& bands, int lo_i, int hi_i, int lo_j,
+                        int hi_j, OrderSolver* solver) {
+  // Positive area strictly below j's low line ⇔ low band occupied.
+  if (bands.low) {
+    solver->AddLess(lo_i, lo_j);
+  } else {
+    solver->AddLessEqual(lo_j, lo_i);
+  }
+  if (bands.high) {
+    solver->AddLess(hi_j, hi_i);
+  } else {
+    solver->AddLessEqual(hi_i, hi_j);
+  }
+  if (bands.mid) {
+    // Positive-width overlap with j's span.
+    solver->AddLess(lo_i, hi_j);
+    solver->AddLess(lo_j, hi_i);
+  } else if (bands.low && !bands.high) {
+    // Entirely in the low band.
+    solver->AddLessEqual(hi_i, lo_j);
+  } else if (bands.high && !bands.low) {
+    solver->AddLessEqual(hi_j, lo_i);
+  }
+  // bands.low && bands.high && !bands.mid: span straddles j with a gap in
+  // the middle band; no further order constraint (the cell stage enforces
+  // the avoidance).
+}
+
+int SlotBand(int slot, int lo, int hi) {
+  if (slot + 1 <= lo) return 0;
+  if (slot >= hi) return 2;
+  return 1;
+}
+
+}  // namespace
+
+int ConstraintNetwork::AddVariable(std::string name) {
+  const int old_n = variable_count();
+  if (name.empty()) name = StrFormat("v%d", old_n);
+  names_.push_back(std::move(name));
+  const int n = old_n + 1;
+  std::vector<std::optional<DisjunctiveRelation>> grown(
+      static_cast<size_t>(n) * n);
+  for (int i = 0; i < old_n; ++i) {
+    for (int j = 0; j < old_n; ++j) {
+      grown[static_cast<size_t>(i) * n + j] =
+          std::move(constraints_[static_cast<size_t>(i) * old_n + j]);
+    }
+  }
+  constraints_ = std::move(grown);
+  return old_n;
+}
+
+Status ConstraintNetwork::AddConstraint(int i, int j,
+                                        const DisjunctiveRelation& constraint) {
+  const int n = variable_count();
+  if (i < 0 || i >= n || j < 0 || j >= n) {
+    return Status::OutOfRange(StrFormat("variable index out of range (n=%d)", n));
+  }
+  if (i == j) {
+    return Status::InvalidArgument("self-constraints are not supported");
+  }
+  if (constraint.IsEmpty()) {
+    return Status::InvalidArgument("empty (unsatisfiable) constraint");
+  }
+  std::optional<DisjunctiveRelation>& slot = constraints_[Index(i, j)];
+  if (slot.has_value()) {
+    *slot = slot->Intersection(constraint);
+  } else {
+    slot = constraint;
+  }
+  return Status::Ok();
+}
+
+const std::optional<DisjunctiveRelation>& ConstraintNetwork::constraint(
+    int i, int j) const {
+  CARDIR_CHECK(i >= 0 && i < variable_count() && j >= 0 &&
+               j < variable_count() && i != j);
+  return constraints_[Index(i, j)];
+}
+
+bool ConstraintNetwork::AlgebraicClosure(size_t max_product) {
+  const int n = variable_count();
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // Inverse coupling: C_ij ← C_ij ∩ Inverse(C_ji).
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) {
+        if (i == j) continue;
+        const std::optional<DisjunctiveRelation>& ji = constraints_[Index(j, i)];
+        if (!ji.has_value()) continue;
+        const DisjunctiveRelation inv = Inverse(*ji);
+        std::optional<DisjunctiveRelation>& ij = constraints_[Index(i, j)];
+        const DisjunctiveRelation refined =
+            ij.has_value() ? ij->Intersection(inv) : inv;
+        if (!ij.has_value() || !(refined == *ij)) {
+          ij = refined;
+          changed = true;
+          if (refined.IsEmpty()) return false;
+        }
+      }
+    }
+    // Composition refinement: C_ik ← C_ik ∩ (C_ij ∘ C_jk).
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) {
+        if (j == i) continue;
+        const std::optional<DisjunctiveRelation>& ij = constraints_[Index(i, j)];
+        if (!ij.has_value()) continue;
+        for (int k = 0; k < n; ++k) {
+          if (k == i || k == j) continue;
+          const std::optional<DisjunctiveRelation>& jk =
+              constraints_[Index(j, k)];
+          if (!jk.has_value()) continue;
+          if (ij->Count() * jk->Count() > max_product) continue;
+          const DisjunctiveRelation composed = Compose(*ij, *jk);
+          std::optional<DisjunctiveRelation>& ik = constraints_[Index(i, k)];
+          const DisjunctiveRelation refined =
+              ik.has_value() ? ik->Intersection(composed) : composed;
+          if (!ik.has_value() || !(refined == *ik)) {
+            ik = refined;
+            changed = true;
+            if (refined.IsEmpty()) return false;
+          }
+        }
+      }
+    }
+  }
+  return true;
+}
+
+Result<NetworkModel> ConstraintNetwork::RealizeBasic() const {
+  const int n = variable_count();
+  if (n == 0) return NetworkModel{};
+
+  // Collect the basic constraints.
+  struct BasicConstraint {
+    int i;
+    int j;
+    CardinalRelation relation;
+  };
+  std::vector<BasicConstraint> basics;
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const std::optional<DisjunctiveRelation>& c = constraints_[Index(i, j)];
+      if (!c.has_value()) continue;
+      if (c->Count() != 1) {
+        return Status::FailedPrecondition(
+            "RealizeBasic requires basic (single-relation) constraints; use "
+            "Solve() for disjunctive networks");
+      }
+      basics.push_back({i, j, c->Relations().front()});
+    }
+  }
+
+  // Per-axis order constraints and canonical levels.
+  OrderSolver x_solver(2 * n);
+  OrderSolver y_solver(2 * n);
+  for (int v = 0; v < n; ++v) {
+    x_solver.AddLess(2 * v, 2 * v + 1);
+    y_solver.AddLess(2 * v, 2 * v + 1);
+  }
+  for (const BasicConstraint& bc : basics) {
+    AddAxisConstraints(ColumnBands(bc.relation), 2 * bc.i, 2 * bc.i + 1,
+                       2 * bc.j, 2 * bc.j + 1, &x_solver);
+    AddAxisConstraints(RowBands(bc.relation), 2 * bc.i, 2 * bc.i + 1,
+                       2 * bc.j, 2 * bc.j + 1, &y_solver);
+  }
+  std::vector<int> x_level;
+  std::vector<int> y_level;
+  if (!x_solver.Solve(&x_level) || !y_solver.Solve(&y_level)) {
+    return Status::Inconsistent(
+        "endpoint order constraints are contradictory");
+  }
+
+  // Grid cells and per-variable allowed sets.
+  // Slot s on an axis is the unit interval (s, s+1) between levels.
+  auto tile_of_cell = [&](int sx, int sy, int ref) {
+    const int col = SlotBand(sx, x_level[2 * ref], x_level[2 * ref + 1]);
+    const int row = SlotBand(sy, y_level[2 * ref], y_level[2 * ref + 1]);
+    return TileAt(static_cast<TileColumn>(col), static_cast<TileRow>(row));
+  };
+
+  // Group constraints by primary variable.
+  std::vector<std::vector<const BasicConstraint*>> by_primary(n);
+  for (const BasicConstraint& bc : basics) by_primary[bc.i].push_back(&bc);
+
+  NetworkModel model;
+  model.regions.resize(n);
+  for (int v = 0; v < n; ++v) {
+    const int x_lo = x_level[2 * v], x_hi = x_level[2 * v + 1];
+    const int y_lo = y_level[2 * v], y_hi = y_level[2 * v + 1];
+    // allowed[sx][sy] over the span slots.
+    const int nx = x_hi - x_lo;
+    const int ny = y_hi - y_lo;
+    std::vector<std::vector<bool>> allowed(
+        static_cast<size_t>(nx), std::vector<bool>(static_cast<size_t>(ny)));
+    // Coverage bookkeeping per constraint: which required tiles were hit.
+    std::vector<uint16_t> covered(by_primary[v].size(), 0);
+    bool side_west = false, side_east = false, side_south = false,
+         side_north = false;
+    for (int sx = 0; sx < nx; ++sx) {
+      for (int sy = 0; sy < ny; ++sy) {
+        bool ok = true;
+        for (const BasicConstraint* bc : by_primary[v]) {
+          const Tile t = tile_of_cell(x_lo + sx, y_lo + sy, bc->j);
+          if (!bc->relation.Includes(t)) {
+            ok = false;
+            break;
+          }
+        }
+        allowed[sx][sy] = ok;
+        if (!ok) continue;
+        for (size_t ci = 0; ci < by_primary[v].size(); ++ci) {
+          const Tile t =
+              tile_of_cell(x_lo + sx, y_lo + sy, by_primary[v][ci]->j);
+          covered[ci] |= static_cast<uint16_t>(1u << static_cast<int>(t));
+        }
+        if (sx == 0) side_west = true;
+        if (sx == nx - 1) side_east = true;
+        if (sy == 0) side_south = true;
+        if (sy == ny - 1) side_north = true;
+      }
+    }
+    if (!(side_west && side_east && side_south && side_north)) {
+      return Status::Inconsistent(StrFormat(
+          "variable %s cannot touch all four sides of its bounding box",
+          names_[v].c_str()));
+    }
+    for (size_t ci = 0; ci < by_primary[v].size(); ++ci) {
+      if (covered[ci] != by_primary[v][ci]->relation.mask()) {
+        return Status::Inconsistent(StrFormat(
+            "constraint %s %s %s is not coverable in the canonical model",
+            names_[v].c_str(),
+            by_primary[v][ci]->relation.ToString().c_str(),
+            names_[by_primary[v][ci]->j].c_str()));
+      }
+    }
+    // Materialise the allowed cells, merging horizontal runs per row.
+    Region& region = model.regions[v];
+    for (int sy = 0; sy < ny; ++sy) {
+      int run_start = -1;
+      for (int sx = 0; sx <= nx; ++sx) {
+        const bool in = sx < nx && allowed[sx][sy];
+        if (in && run_start < 0) run_start = sx;
+        if (!in && run_start >= 0) {
+          region.AddPolygon(MakeRectangle(
+              x_lo + run_start, y_lo + sy, x_lo + sx, y_lo + sy + 1));
+          run_start = -1;
+        }
+      }
+    }
+    CARDIR_CHECK(!region.empty());
+  }
+  return model;
+}
+
+Result<NetworkModel> ConstraintNetwork::Solve(size_t max_leaves) const {
+  ConstraintNetwork pruned = *this;
+  if (!pruned.AlgebraicClosure()) {
+    return Status::Inconsistent("algebraic closure emptied a constraint");
+  }
+  // Find a branching point: a non-basic constraint with minimal count.
+  const int n = pruned.variable_count();
+  int best_i = -1, best_j = -1;
+  size_t best_count = 0;
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const std::optional<DisjunctiveRelation>& c = pruned.constraint(i, j);
+      if (!c.has_value() || c->Count() <= 1) continue;
+      if (best_i < 0 || c->Count() < best_count) {
+        best_i = i;
+        best_j = j;
+        best_count = c->Count();
+      }
+    }
+  }
+  if (best_i < 0) {
+    // All constraints basic (or absent): certify with the canonical model.
+    Result<NetworkModel> model = pruned.RealizeBasic();
+    if (model.ok()) return model;
+    return Status::Inconsistent(model.status().message());
+  }
+  size_t budget = max_leaves;
+  for (const CardinalRelation& choice :
+       pruned.constraint(best_i, best_j)->Relations()) {
+    if (budget == 0) {
+      return Status::FailedPrecondition(
+          "search budget exhausted before deciding consistency");
+    }
+    ConstraintNetwork branch = pruned;
+    branch.constraints_[branch.Index(best_i, best_j)] =
+        DisjunctiveRelation(choice);
+    Result<NetworkModel> result = branch.Solve(budget);
+    if (result.ok()) return result;
+    if (result.status().code() == StatusCode::kFailedPrecondition) {
+      return result.status();
+    }
+    --budget;
+  }
+  return Status::Inconsistent("all basic refinements are inconsistent");
+}
+
+Result<ConstraintNetwork> ConstraintNetwork::FromRegions(
+    const std::vector<Region>& regions) {
+  ConstraintNetwork network;
+  for (size_t i = 0; i < regions.size(); ++i) {
+    network.AddVariable(StrFormat("r%zu", i));
+  }
+  for (size_t i = 0; i < regions.size(); ++i) {
+    for (size_t j = 0; j < regions.size(); ++j) {
+      if (i == j) continue;
+      CARDIR_ASSIGN_OR_RETURN(CardinalRelation relation,
+                              ComputeCdr(regions[i], regions[j]));
+      CARDIR_RETURN_IF_ERROR(network.AddConstraint(
+          static_cast<int>(i), static_cast<int>(j), relation));
+    }
+  }
+  return network;
+}
+
+}  // namespace cardir

@@ -1,0 +1,95 @@
+// Networks of cardinal direction constraints and their consistency
+// (paper §2, after [21,22]: "algorithms that calculate ... the consistency
+// of a set of cardinal direction constraints").
+//
+// A network has variables v_0..v_{n-1} (regions in REG*) and constraints
+// v_i C_ij v_j where C_ij is a disjunctive cardinal direction relation.
+// Services:
+//   * AlgebraicClosure() — path-consistency style pruning using Compose()
+//     and Inverse(); sound for detecting inconsistency, not complete.
+//   * RealizeBasic()     — for networks whose constraints are all basic:
+//     derives the endpoint order constraints implied by each relation,
+//     builds a canonical coordinate assignment, and constructs an explicit
+//     model (one Region per variable, unions of grid-cell rectangles) or
+//     reports inconsistency. This reconstructs the CONSISTENCY procedure of
+//     [21] in spirit; the canonical order is a heuristic choice, so a
+//     failure on an exotic satisfiable network is conservative (see
+//     DESIGN.md §6.4).
+//   * Solve()            — backtracking over basic choices with closure
+//     pruning, certifying leaves with RealizeBasic().
+
+#ifndef CARDIR_REASONING_CONSTRAINT_NETWORK_H_
+#define CARDIR_REASONING_CONSTRAINT_NETWORK_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/cardinal_relation.h"
+#include "geometry/region.h"
+#include "reasoning/disjunctive_relation.h"
+#include "util/status.h"
+
+namespace cardir {
+
+/// A model of a constraint network: one region per variable, satisfying
+/// every constraint exactly (verifiable with ComputeCdr).
+struct NetworkModel {
+  std::vector<Region> regions;
+};
+
+/// Variables plus (optionally disjunctive) cardinal direction constraints.
+class ConstraintNetwork {
+ public:
+  ConstraintNetwork() = default;
+
+  /// Adds a variable; returns its index.
+  int AddVariable(std::string name = "");
+
+  int variable_count() const { return static_cast<int>(names_.size()); }
+  const std::string& variable_name(int i) const { return names_[i]; }
+
+  /// Constrains v_i C v_j, intersecting with any existing constraint on the
+  /// ordered pair. Fails on out-of-range indices, i == j, or an empty C.
+  Status AddConstraint(int i, int j, const DisjunctiveRelation& constraint);
+  Status AddConstraint(int i, int j, const CardinalRelation& relation) {
+    return AddConstraint(i, j, DisjunctiveRelation(relation));
+  }
+
+  /// The constraint on the ordered pair (i, j); nullopt when unconstrained.
+  const std::optional<DisjunctiveRelation>& constraint(int i, int j) const;
+
+  /// Tightens constraints by (a) coupling each C_ij with Inverse(C_ji) and
+  /// (b) refining C_ik by Compose(C_ij, C_jk) to a fixpoint. Compositions
+  /// whose operand disjunction product exceeds `max_product` are skipped
+  /// (keeps the closure polynomial in practice). Returns false when some
+  /// constraint becomes empty — the network is certainly inconsistent.
+  bool AlgebraicClosure(size_t max_product = 64);
+
+  /// Requires every present constraint to be basic (a single relation).
+  /// Returns an explicit model or kInconsistent / kFailedPrecondition.
+  Result<NetworkModel> RealizeBasic() const;
+
+  /// Decides consistency by branch-and-prune over basic choices; returns a
+  /// model on success, kInconsistent when the search space is exhausted, or
+  /// kFailedPrecondition when `max_leaves` basic candidates were refuted
+  /// without an answer.
+  Result<NetworkModel> Solve(size_t max_leaves = 4096) const;
+
+  /// Builds the complete basic network induced by concrete regions
+  /// (computing pairwise relations with Compute-CDR) — always consistent,
+  /// used by tests and benchmarks.
+  static Result<ConstraintNetwork> FromRegions(
+      const std::vector<Region>& regions);
+
+ private:
+  int Index(int i, int j) const { return i * variable_count() + j; }
+
+  std::vector<std::string> names_;
+  // Row-major (i, j) -> constraint; nullopt = unconstrained.
+  std::vector<std::optional<DisjunctiveRelation>> constraints_;
+};
+
+}  // namespace cardir
+
+#endif  // CARDIR_REASONING_CONSTRAINT_NETWORK_H_

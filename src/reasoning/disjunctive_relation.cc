@@ -1,0 +1,84 @@
+#include "reasoning/disjunctive_relation.h"
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace cardir {
+
+DisjunctiveRelation DisjunctiveRelation::Universal() {
+  DisjunctiveRelation out;
+  for (uint16_t mask = 1; mask <= 511; ++mask) out.bits_.set(mask);
+  return out;
+}
+
+Result<DisjunctiveRelation> DisjunctiveRelation::Parse(std::string_view text) {
+  std::string_view body = StripWhitespace(text);
+  DisjunctiveRelation out;
+  if (!body.empty() && body.front() == '{') {
+    if (body.back() != '}') {
+      return Status::ParseError("unterminated '{' in disjunctive relation");
+    }
+    body = body.substr(1, body.size() - 2);
+    if (StripWhitespace(body).empty()) return out;  // "{}" = empty.
+    for (const std::string& piece : StrSplit(body, ',')) {
+      CARDIR_ASSIGN_OR_RETURN(CardinalRelation relation,
+                              CardinalRelation::Parse(piece));
+      out.Add(relation);
+    }
+    return out;
+  }
+  CARDIR_ASSIGN_OR_RETURN(CardinalRelation relation,
+                          CardinalRelation::Parse(body));
+  out.Add(relation);
+  return out;
+}
+
+void DisjunctiveRelation::Add(const CardinalRelation& relation) {
+  CARDIR_CHECK(!relation.IsEmpty()) << "cannot add the empty relation";
+  bits_.set(relation.mask());
+}
+
+void DisjunctiveRelation::Remove(const CardinalRelation& relation) {
+  if (!relation.IsEmpty()) bits_.reset(relation.mask());
+}
+
+DisjunctiveRelation DisjunctiveRelation::Union(
+    const DisjunctiveRelation& other) const {
+  DisjunctiveRelation out;
+  out.bits_ = bits_ | other.bits_;
+  return out;
+}
+
+DisjunctiveRelation DisjunctiveRelation::Intersection(
+    const DisjunctiveRelation& other) const {
+  DisjunctiveRelation out;
+  out.bits_ = bits_ & other.bits_;
+  return out;
+}
+
+std::vector<CardinalRelation> DisjunctiveRelation::Relations() const {
+  std::vector<CardinalRelation> out;
+  out.reserve(bits_.count());
+  for (uint16_t mask = 1; mask <= 511; ++mask) {
+    if (bits_.test(mask)) out.push_back(CardinalRelation::FromMask(mask));
+  }
+  return out;
+}
+
+std::string DisjunctiveRelation::ToString() const {
+  std::string out = "{";
+  bool first = true;
+  for (const CardinalRelation& r : Relations()) {
+    if (!first) out += ", ";
+    out += r.ToString();
+    first = false;
+  }
+  out += "}";
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const DisjunctiveRelation& r) {
+  return os << r.ToString();
+}
+
+}  // namespace cardir

@@ -1,0 +1,78 @@
+// Disjunctive cardinal direction relations (paper §2): elements of the
+// powerset 2^{D*} of the 511 basic relations. Used to represent indefinite
+// information (e.g. a {N, W} b), inverses, compositions and the constraint
+// side of CARDIRECT queries.
+
+#ifndef CARDIR_REASONING_DISJUNCTIVE_RELATION_H_
+#define CARDIR_REASONING_DISJUNCTIVE_RELATION_H_
+
+#include <bitset>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/cardinal_relation.h"
+#include "util/status.h"
+
+namespace cardir {
+
+/// A set of basic relations, stored as a bitset indexed by the 9-bit tile
+/// mask of each basic relation (indices 1..511; index 0 unused).
+class DisjunctiveRelation {
+ public:
+  /// The empty disjunction (unsatisfiable constraint).
+  DisjunctiveRelation() = default;
+
+  /// The singleton disjunction {relation}.
+  explicit DisjunctiveRelation(const CardinalRelation& relation) {
+    Add(relation);
+  }
+
+  /// The universal relation: all 511 basic relations.
+  static DisjunctiveRelation Universal();
+
+  /// Parses "{B:S, N, NE:E}" or a bare basic relation "B:S".
+  static Result<DisjunctiveRelation> Parse(std::string_view text);
+
+  bool IsEmpty() const { return bits_.none(); }
+  size_t Count() const { return bits_.count(); }
+
+  bool Contains(const CardinalRelation& relation) const {
+    return !relation.IsEmpty() && bits_.test(relation.mask());
+  }
+
+  void Add(const CardinalRelation& relation);
+  void Remove(const CardinalRelation& relation);
+
+  DisjunctiveRelation Union(const DisjunctiveRelation& other) const;
+  DisjunctiveRelation Intersection(const DisjunctiveRelation& other) const;
+
+  bool IsSubsetOf(const DisjunctiveRelation& other) const {
+    return (bits_ & ~other.bits_).none();
+  }
+
+  /// The basic relations in ascending mask order.
+  std::vector<CardinalRelation> Relations() const;
+
+  /// "{B:S, N}" rendering; "{}" when empty.
+  std::string ToString() const;
+
+  /// Direct bitset access for the reasoning algorithms.
+  const std::bitset<512>& bits() const { return bits_; }
+  std::bitset<512>& mutable_bits() { return bits_; }
+
+  friend bool operator==(const DisjunctiveRelation& a,
+                         const DisjunctiveRelation& b) {
+    return a.bits_ == b.bits_;
+  }
+
+ private:
+  std::bitset<512> bits_;
+};
+
+std::ostream& operator<<(std::ostream& os, const DisjunctiveRelation& r);
+
+}  // namespace cardir
+
+#endif  // CARDIR_REASONING_DISJUNCTIVE_RELATION_H_

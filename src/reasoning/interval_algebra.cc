@@ -1,0 +1,125 @@
+#include "reasoning/interval_algebra.h"
+
+#include <array>
+#include <bit>
+
+#include "reasoning/canonical_model.h"
+#include "util/logging.h"
+
+namespace cardir {
+namespace {
+
+constexpr std::array<std::string_view, kNumAllenRelations> kNames = {
+    "before",   "meets",    "overlaps",     "finishedBy", "contains",
+    "starts",   "equals",   "startedBy",    "during",     "finishes",
+    "overlappedBy", "metBy", "after"};
+
+using CompositionTable =
+    std::array<std::array<AllenSet, kNumAllenRelations>, kNumAllenRelations>;
+
+// Derives the 13×13 composition table by enumerating every canonical weak
+// order of three intervals' endpoints (reasoning/canonical_model.h) and
+// recording, for each configuration, the triple of pairwise relations.
+CompositionTable BuildCompositionTable() {
+  CompositionTable table{};
+  for (const std::vector<int8_t>& cfg :
+       internal_model::EnumerateAxisConfigs(3)) {
+    const AllenRelation ab = ClassifyIntervals(cfg[0], cfg[1], cfg[2], cfg[3]);
+    const AllenRelation bc = ClassifyIntervals(cfg[2], cfg[3], cfg[4], cfg[5]);
+    const AllenRelation ac = ClassifyIntervals(cfg[0], cfg[1], cfg[4], cfg[5]);
+    table[static_cast<size_t>(ab)][static_cast<size_t>(bc)].Add(ac);
+  }
+  return table;
+}
+
+const CompositionTable& GetCompositionTable() {
+  static const CompositionTable& table =
+      *new CompositionTable(BuildCompositionTable());
+  return table;
+}
+
+}  // namespace
+
+std::string_view AllenRelationName(AllenRelation relation) {
+  return kNames[static_cast<size_t>(relation)];
+}
+
+bool ParseAllenRelation(std::string_view name, AllenRelation* relation) {
+  for (int i = 0; i < kNumAllenRelations; ++i) {
+    if (kNames[static_cast<size_t>(i)] == name) {
+      *relation = static_cast<AllenRelation>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+AllenRelation AllenConverse(AllenRelation relation) {
+  return static_cast<AllenRelation>(kNumAllenRelations - 1 -
+                                    static_cast<int>(relation));
+}
+
+AllenRelation ClassifyIntervals(double a_lo, double a_hi, double b_lo,
+                                double b_hi) {
+  CARDIR_DCHECK(a_lo < a_hi && b_lo < b_hi) << "degenerate interval";
+  if (a_hi < b_lo) return AllenRelation::kBefore;
+  if (a_hi == b_lo) return AllenRelation::kMeets;
+  if (b_hi < a_lo) return AllenRelation::kAfter;
+  if (b_hi == a_lo) return AllenRelation::kMetBy;
+  // The intervals properly overlap; compare endpoints.
+  if (a_lo == b_lo) {
+    if (a_hi == b_hi) return AllenRelation::kEquals;
+    return a_hi < b_hi ? AllenRelation::kStarts : AllenRelation::kStartedBy;
+  }
+  if (a_hi == b_hi) {
+    return a_lo < b_lo ? AllenRelation::kFinishedBy : AllenRelation::kFinishes;
+  }
+  if (a_lo < b_lo) {
+    return a_hi < b_hi ? AllenRelation::kOverlaps : AllenRelation::kContains;
+  }
+  return a_hi < b_hi ? AllenRelation::kDuring : AllenRelation::kOverlappedBy;
+}
+
+int AllenSet::Count() const { return std::popcount(bits_); }
+
+std::vector<AllenRelation> AllenSet::Relations() const {
+  std::vector<AllenRelation> out;
+  for (int i = 0; i < kNumAllenRelations; ++i) {
+    if (Contains(static_cast<AllenRelation>(i))) {
+      out.push_back(static_cast<AllenRelation>(i));
+    }
+  }
+  return out;
+}
+
+std::string AllenSet::ToString() const {
+  std::string out = "{";
+  bool first = true;
+  for (AllenRelation r : Relations()) {
+    if (!first) out += ", ";
+    out += AllenRelationName(r);
+    first = false;
+  }
+  out += "}";
+  return out;
+}
+
+AllenSet AllenCompose(AllenRelation r, AllenRelation s) {
+  return GetCompositionTable()[static_cast<size_t>(r)][static_cast<size_t>(s)];
+}
+
+AllenSet AllenConverse(const AllenSet& set) {
+  AllenSet out;
+  for (AllenRelation r : set.Relations()) out.Add(AllenConverse(r));
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, AllenRelation relation) {
+  return os << AllenRelationName(relation);
+}
+
+std::ostream& operator<<(std::ostream& os, const AllenSet& set) {
+  return os << set.ToString();
+}
+
+}  // namespace cardir

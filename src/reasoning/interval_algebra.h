@@ -1,0 +1,115 @@
+// Allen's interval algebra on one axis — the 1-D substrate beneath the tile
+// model: a region's column (west/middle/east) relative to a reference is a
+// coarsening of the Allen relation between the x-projections of the two
+// mbbs, and the canonical-model machinery enumerates exactly these interval
+// configurations. Exposed as a first-class algebra with the classification,
+// converse and composition operations; the composition table is *derived*
+// from the endpoint-order enumeration (reasoning/canonical_model.h) rather
+// than transcribed, and regression-tested against the published table.
+
+#ifndef CARDIR_REASONING_INTERVAL_ALGEBRA_H_
+#define CARDIR_REASONING_INTERVAL_ALGEBRA_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cardir {
+
+/// Allen's 13 basic interval relations, ordered so that the converse of
+/// relation i is relation 12 − i.
+enum class AllenRelation : int {
+  kBefore = 0,
+  kMeets = 1,
+  kOverlaps = 2,
+  kFinishedBy = 3,
+  kContains = 4,
+  kStarts = 5,
+  kEquals = 6,
+  kStartedBy = 7,
+  kDuring = 8,
+  kFinishes = 9,
+  kOverlappedBy = 10,
+  kMetBy = 11,
+  kAfter = 12,
+};
+
+inline constexpr int kNumAllenRelations = 13;
+
+/// Canonical lowercase name ("before", "meets", ...).
+std::string_view AllenRelationName(AllenRelation relation);
+
+/// Parses a canonical name; returns false on failure.
+bool ParseAllenRelation(std::string_view name, AllenRelation* relation);
+
+/// The converse relation (before ↔ after, starts ↔ startedBy, ...).
+AllenRelation AllenConverse(AllenRelation relation);
+
+/// Classifies the relation of interval [a_lo, a_hi] to [b_lo, b_hi].
+/// Requires non-degenerate intervals (lo < hi).
+AllenRelation ClassifyIntervals(double a_lo, double a_hi, double b_lo,
+                                double b_hi);
+
+/// A set of Allen relations (disjunction), as produced by composition.
+class AllenSet {
+ public:
+  AllenSet() = default;
+  explicit AllenSet(AllenRelation relation) { Add(relation); }
+
+  static AllenSet All() {
+    AllenSet set;
+    set.bits_ = (1u << kNumAllenRelations) - 1;
+    return set;
+  }
+
+  bool IsEmpty() const { return bits_ == 0; }
+  int Count() const;
+  bool Contains(AllenRelation relation) const {
+    return (bits_ & (1u << static_cast<int>(relation))) != 0;
+  }
+  void Add(AllenRelation relation) {
+    bits_ |= static_cast<uint16_t>(1u << static_cast<int>(relation));
+  }
+
+  AllenSet Union(const AllenSet& other) const {
+    AllenSet out;
+    out.bits_ = bits_ | other.bits_;
+    return out;
+  }
+  AllenSet Intersection(const AllenSet& other) const {
+    AllenSet out;
+    out.bits_ = bits_ & other.bits_;
+    return out;
+  }
+  bool IsSubsetOf(const AllenSet& other) const {
+    return (bits_ & ~other.bits_) == 0;
+  }
+
+  std::vector<AllenRelation> Relations() const;
+
+  /// "{before, meets}" rendering.
+  std::string ToString() const;
+
+  friend bool operator==(const AllenSet& a, const AllenSet& b) {
+    return a.bits_ == b.bits_;
+  }
+
+ private:
+  uint16_t bits_ = 0;
+};
+
+/// Existential composition: { t : ∃ intervals a, b, c with a r b, b s c,
+/// a t c }. Derived once from the canonical three-interval enumeration.
+AllenSet AllenCompose(AllenRelation r, AllenRelation s);
+
+/// Converse of a set (member-wise).
+AllenSet AllenConverse(const AllenSet& set);
+
+std::ostream& operator<<(std::ostream& os, AllenRelation relation);
+std::ostream& operator<<(std::ostream& os, const AllenSet& set);
+
+}  // namespace cardir
+
+#endif  // CARDIR_REASONING_INTERVAL_ALGEBRA_H_

@@ -1,0 +1,63 @@
+#include "reasoning/inverse.h"
+
+#include <array>
+
+#include "reasoning/canonical_model.h"
+#include "util/logging.h"
+
+namespace cardir {
+namespace {
+
+using InverseTable = std::array<DisjunctiveRelation, 512>;
+
+InverseTable BuildInverseTable() {
+  InverseTable table;
+  const std::vector<PairAxisSignature>& sigs = AllPairAxisSignatures();
+  for (const PairAxisSignature& x : sigs) {
+    for (const PairAxisSignature& y : sigs) {
+      const PairTileSets ab = MakePairTileSets(x.a_wrt_b, y.a_wrt_b);
+      const PairTileSets ba = MakePairTileSets(x.b_wrt_a, y.b_wrt_a);
+      // All relations S feasible for (b w.r.t. a) in this configuration.
+      DisjunctiveRelation feasible_ba;
+      for (uint16_t s = 1; s <= 511; ++s) {
+        if (PairFeasible(s, ba)) feasible_ba.mutable_bits().set(s);
+      }
+      for (uint16_t r = 1; r <= 511; ++r) {
+        if (PairFeasible(r, ab)) {
+          table[r].mutable_bits() |= feasible_ba.bits();
+        }
+      }
+    }
+  }
+  return table;
+}
+
+const InverseTable& GetInverseTable() {
+  static const InverseTable& table = *new InverseTable(BuildInverseTable());
+  return table;
+}
+
+}  // namespace
+
+const DisjunctiveRelation& Inverse(const CardinalRelation& relation) {
+  CARDIR_CHECK(!relation.IsEmpty()) << "inverse of the empty relation";
+  return GetInverseTable()[relation.mask()];
+}
+
+DisjunctiveRelation Inverse(const DisjunctiveRelation& relation) {
+  DisjunctiveRelation out;
+  for (uint16_t mask = 1; mask <= 511; ++mask) {
+    if (relation.bits().test(mask)) {
+      out.mutable_bits() |= GetInverseTable()[mask].bits();
+    }
+  }
+  return out;
+}
+
+bool IsValidRelationPair(const CardinalRelation& r1,
+                         const CardinalRelation& r2) {
+  if (r1.IsEmpty() || r2.IsEmpty()) return false;
+  return Inverse(r1).Contains(r2);
+}
+
+}  // namespace cardir

@@ -1,0 +1,33 @@
+// Inverse of a cardinal direction relation (paper §2, after [21]).
+//
+// The inverse of a basic relation R is in general *disjunctive*:
+// Inverse(R) = { S : ∃ a, b ∈ REG* with a R b and b S a }. For example
+// Inverse(S) = {N, N:NE, NE, N:NW, NW, NW:N:NE} — if a is south of b, then b
+// is north of a but may spill into NE/NW of a's (smaller) bounding box.
+//
+// Computed once for all 511 basic relations by exhaustive search over the
+// canonical two-region models (reasoning/canonical_model.h).
+
+#ifndef CARDIR_REASONING_INVERSE_H_
+#define CARDIR_REASONING_INVERSE_H_
+
+#include "core/cardinal_relation.h"
+#include "reasoning/disjunctive_relation.h"
+
+namespace cardir {
+
+/// The disjunctive inverse of a basic relation. CHECK-fails on the empty
+/// relation.
+const DisjunctiveRelation& Inverse(const CardinalRelation& relation);
+
+/// Inverse of a disjunctive relation: the union of the member inverses.
+DisjunctiveRelation Inverse(const DisjunctiveRelation& relation);
+
+/// The mutual-compatibility test of §2: (R1, R2) characterises a realisable
+/// relative position iff R1 ∈ Inverse(R2) (equivalently R2 ∈ Inverse(R1)).
+bool IsValidRelationPair(const CardinalRelation& r1,
+                         const CardinalRelation& r2);
+
+}  // namespace cardir
+
+#endif  // CARDIR_REASONING_INVERSE_H_

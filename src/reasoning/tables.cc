@@ -1,0 +1,56 @@
+#include "reasoning/tables.h"
+
+#include <algorithm>
+
+#include "reasoning/composition.h"
+#include "reasoning/inverse.h"
+#include "util/string_util.h"
+
+namespace cardir {
+
+std::string SingleTileCompositionTable() {
+  std::string out;
+  for (Tile r : kAllTiles) {
+    for (Tile s : kAllTiles) {
+      const DisjunctiveRelation composed =
+          Compose(CardinalRelation(r), CardinalRelation(s));
+      out += StrFormat("%-2s o %-2s = ", std::string(TileName(r)).c_str(),
+                       std::string(TileName(s)).c_str());
+      if (composed.Count() == 511) {
+        out += "D* (all 511 relations)";
+      } else if (composed.Count() > 24) {
+        out += StrFormat("(%zu relations)", composed.Count());
+      } else {
+        out += composed.ToString();
+      }
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+std::string SingleTileInverseTable() {
+  std::string out;
+  for (Tile t : kAllTiles) {
+    const DisjunctiveRelation inverse = Inverse(CardinalRelation(t));
+    out += StrFormat("inv(%-2s) = %s\n", std::string(TileName(t)).c_str(),
+                     inverse.ToString().c_str());
+  }
+  return out;
+}
+
+std::string InverseTableStatistics() {
+  size_t min_size = 512, max_size = 0, total = 0;
+  for (uint16_t mask = 1; mask <= 511; ++mask) {
+    const size_t n = Inverse(CardinalRelation::FromMask(mask)).Count();
+    min_size = std::min(min_size, n);
+    max_size = std::max(max_size, n);
+    total += n;
+  }
+  return StrFormat(
+      "inverse table over 511 basic relations: min |inv| = %zu, "
+      "max |inv| = %zu, mean |inv| = %.2f",
+      min_size, max_size, static_cast<double>(total) / 511.0);
+}
+
+}  // namespace cardir

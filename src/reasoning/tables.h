@@ -1,0 +1,26 @@
+// Human-readable reasoning tables: the single-tile composition table and
+// the inverse table that the companion papers [20,21,22] publish. Useful
+// for documentation, debugging, and regression-testing the model-search
+// reasoning engine against the literature.
+
+#ifndef CARDIR_REASONING_TABLES_H_
+#define CARDIR_REASONING_TABLES_H_
+
+#include <string>
+
+namespace cardir {
+
+/// The 9×9 existential composition table over single-tile relations, one
+/// line per (R, S) pair: "R o S = {...}".
+std::string SingleTileCompositionTable();
+
+/// The inverse of every single-tile relation, one line per tile.
+std::string SingleTileInverseTable();
+
+/// Summary statistics of the full 511-relation inverse table (min/max/mean
+/// disjunction size) — a cheap fingerprint of the reasoning engine.
+std::string InverseTableStatistics();
+
+}  // namespace cardir
+
+#endif  // CARDIR_REASONING_TABLES_H_

@@ -1,0 +1,94 @@
+#include "segmentation/extract.h"
+
+#include <optional>
+
+#include "util/string_util.h"
+
+namespace cardir {
+namespace {
+
+// A rectangle of cells being grown downward-to-upward across rows.
+struct OpenRun {
+  int x0;
+  int x1;  // Exclusive.
+  int y0;
+  int y1;  // Exclusive, grows as rows merge.
+};
+
+}  // namespace
+
+Result<Region> ExtractRegion(const Raster& raster, int label,
+                             double cell_size) {
+  if (label == 0) {
+    return Status::InvalidArgument("label 0 is the background");
+  }
+  if (cell_size <= 0.0) {
+    return Status::InvalidArgument("cell_size must be positive");
+  }
+  Region region;
+  std::vector<OpenRun> open;  // Runs that may still merge with the next row.
+  auto emit = [&region, cell_size](const OpenRun& run) {
+    region.AddPolygon(MakeRectangle(run.x0 * cell_size, run.y0 * cell_size,
+                                    run.x1 * cell_size, run.y1 * cell_size));
+  };
+  for (int y = 0; y < raster.height(); ++y) {
+    // Collect this row's maximal runs of `label`.
+    std::vector<OpenRun> row;
+    int x = 0;
+    while (x < raster.width()) {
+      if (raster.at(x, y) != label) {
+        ++x;
+        continue;
+      }
+      const int start = x;
+      while (x < raster.width() && raster.at(x, y) == label) ++x;
+      row.push_back({start, x, y, y + 1});
+    }
+    // Merge runs identical in x-extent with an open run ending at this row.
+    std::vector<OpenRun> next_open;
+    for (OpenRun& run : row) {
+      bool merged = false;
+      for (OpenRun& candidate : open) {
+        if (candidate.y1 == y && candidate.x0 == run.x0 &&
+            candidate.x1 == run.x1) {
+          candidate.y1 = y + 1;
+          next_open.push_back(candidate);
+          candidate.y1 = -1;  // Consumed.
+          merged = true;
+          break;
+        }
+      }
+      if (!merged) next_open.push_back(run);
+    }
+    for (const OpenRun& run : open) {
+      if (run.y1 != -1) emit(run);  // Could not continue: finalise.
+    }
+    open = std::move(next_open);
+  }
+  for (const OpenRun& run : open) emit(run);
+  if (region.empty()) {
+    return Status::NotFound(
+        StrFormat("label %d paints no cell in the raster", label));
+  }
+  return region;
+}
+
+Result<Configuration> ExtractConfiguration(const Raster& raster,
+                                           const std::vector<LabelSpec>& specs,
+                                           double cell_size) {
+  Configuration config("segmented-image", "raster");
+  for (const LabelSpec& spec : specs) {
+    CARDIR_ASSIGN_OR_RETURN(Region geometry,
+                            ExtractRegion(raster, spec.label, cell_size));
+    AnnotatedRegion region;
+    region.id = spec.id;
+    region.name = spec.name;
+    region.color = spec.color;
+    region.geometry = std::move(geometry);
+    CARDIR_RETURN_IF_ERROR(config.AddRegion(std::move(region)));
+  }
+  CARDIR_RETURN_IF_ERROR(config.ComputeAllRelations());
+  return config;
+}
+
+}  // namespace cardir

@@ -1,0 +1,46 @@
+// Vectorising a labelled raster into REG* regions and CARDIRECT
+// configurations (paper §5: "integration of CARDIRECT with image
+// segmentation software").
+//
+// Each label's cell set is converted into a set of axis-aligned rectangles:
+// maximal horizontal runs per row, greedily merged with identical runs in
+// adjacent rows. The rectangles have pairwise-disjoint interiors and share
+// edges, which is exactly the Fig. 2 representation style — so disconnected
+// labels and labels with holes come out as valid REG* regions for free.
+
+#ifndef CARDIR_SEGMENTATION_EXTRACT_H_
+#define CARDIR_SEGMENTATION_EXTRACT_H_
+
+#include <string>
+#include <vector>
+
+#include "cardirect/model.h"
+#include "geometry/region.h"
+#include "segmentation/raster.h"
+#include "util/status.h"
+
+namespace cardir {
+
+/// Vectorises one label. `cell_size` scales raster cells to map units.
+/// Fails with kNotFound when the label paints no cell.
+Result<Region> ExtractRegion(const Raster& raster, int label,
+                             double cell_size = 1.0);
+
+/// Annotation attached to a label during configuration extraction.
+struct LabelSpec {
+  int label;
+  std::string id;
+  std::string name;
+  std::string color;
+};
+
+/// Vectorises every listed label into an annotated CARDIRECT configuration
+/// and computes all pairwise relations. Labels missing from the raster are
+/// an error; label 0 (background) is not extractable.
+Result<Configuration> ExtractConfiguration(const Raster& raster,
+                                           const std::vector<LabelSpec>& specs,
+                                           double cell_size = 1.0);
+
+}  // namespace cardir
+
+#endif  // CARDIR_SEGMENTATION_EXTRACT_H_

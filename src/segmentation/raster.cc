@@ -1,0 +1,58 @@
+#include "segmentation/raster.h"
+
+#include <algorithm>
+#include <set>
+
+namespace cardir {
+
+void Raster::FillRect(int x0, int y0, int x1, int y1, int label) {
+  x0 = std::max(x0, 0);
+  y0 = std::max(y0, 0);
+  x1 = std::min(x1, width_);
+  y1 = std::min(y1, height_);
+  for (int y = y0; y < y1; ++y) {
+    for (int x = x0; x < x1; ++x) set(x, y, label);
+  }
+}
+
+void Raster::FillDisk(double cx, double cy, double radius, int label) {
+  const int x0 = std::max(0, static_cast<int>(cx - radius) - 1);
+  const int x1 = std::min(width_, static_cast<int>(cx + radius) + 2);
+  const int y0 = std::max(0, static_cast<int>(cy - radius) - 1);
+  const int y1 = std::min(height_, static_cast<int>(cy + radius) + 2);
+  const double r2 = radius * radius;
+  for (int y = y0; y < y1; ++y) {
+    for (int x = x0; x < x1; ++x) {
+      const double dx = x + 0.5 - cx;
+      const double dy = y + 0.5 - cy;
+      if (dx * dx + dy * dy <= r2) set(x, y, label);
+    }
+  }
+}
+
+void Raster::FillPolygon(const Polygon& polygon, int label) {
+  const Box bounds = polygon.BoundingBox();
+  const int x0 = std::max(0, static_cast<int>(bounds.min_x()) - 1);
+  const int x1 = std::min(width_, static_cast<int>(bounds.max_x()) + 2);
+  const int y0 = std::max(0, static_cast<int>(bounds.min_y()) - 1);
+  const int y1 = std::min(height_, static_cast<int>(bounds.max_y()) + 2);
+  for (int y = y0; y < y1; ++y) {
+    for (int x = x0; x < x1; ++x) {
+      if (polygon.Contains(Point(x + 0.5, y + 0.5))) set(x, y, label);
+    }
+  }
+}
+
+std::vector<int> Raster::Labels() const {
+  std::set<int> labels(cells_.begin(), cells_.end());
+  labels.erase(0);
+  return {labels.begin(), labels.end()};
+}
+
+size_t Raster::CountLabel(int label) const {
+  size_t count = 0;
+  for (int cell : cells_) count += (cell == label);
+  return count;
+}
+
+}  // namespace cardir

@@ -1,0 +1,75 @@
+// A labelled raster: the stand-in for the image segmentation software the
+// paper's §5 names as CARDIRECT's long-term integration target ("a complete
+// environment for the management of image configurations"). Synthetic
+// shapes are painted onto a grid of integer labels; segmentation/extract.h
+// vectorises the labels into REG* regions.
+
+#ifndef CARDIR_SEGMENTATION_RASTER_H_
+#define CARDIR_SEGMENTATION_RASTER_H_
+
+#include <vector>
+
+#include "geometry/polygon.h"
+#include "util/logging.h"
+
+namespace cardir {
+
+/// A dense width × height grid of integer labels. Label 0 is background by
+/// convention. Cell (x, y) covers the unit square [x, x+1) × [y, y+1) in
+/// raster coordinates; y grows north, matching the geometry layer.
+class Raster {
+ public:
+  Raster(int width, int height, int background = 0)
+      : width_(width),
+        height_(height),
+        cells_(static_cast<size_t>(width) * static_cast<size_t>(height),
+               background) {
+    CARDIR_CHECK(width > 0 && height > 0);
+  }
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+
+  bool InBounds(int x, int y) const {
+    return x >= 0 && x < width_ && y >= 0 && y < height_;
+  }
+
+  int at(int x, int y) const {
+    CARDIR_DCHECK(InBounds(x, y));
+    return cells_[Index(x, y)];
+  }
+
+  void set(int x, int y, int label) {
+    CARDIR_DCHECK(InBounds(x, y));
+    cells_[Index(x, y)] = label;
+  }
+
+  /// Paints the cell rectangle [x0, x1) × [y0, y1), clipped to the raster.
+  void FillRect(int x0, int y0, int x1, int y1, int label);
+
+  /// Paints all cells whose centre lies within `radius` of (cx, cy).
+  void FillDisk(double cx, double cy, double radius, int label);
+
+  /// Paints all cells whose centre lies inside the polygon.
+  void FillPolygon(const Polygon& polygon, int label);
+
+  /// Distinct labels present, ascending (background 0 excluded).
+  std::vector<int> Labels() const;
+
+  /// Number of cells carrying `label`.
+  size_t CountLabel(int label) const;
+
+ private:
+  size_t Index(int x, int y) const {
+    return static_cast<size_t>(y) * static_cast<size_t>(width_) +
+           static_cast<size_t>(x);
+  }
+
+  int width_;
+  int height_;
+  std::vector<int> cells_;
+};
+
+}  // namespace cardir
+
+#endif  // CARDIR_SEGMENTATION_RASTER_H_

@@ -1,0 +1,77 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace cardir {
+namespace {
+
+std::atomic<int> g_log_level{-1};  // -1: not yet initialised.
+
+LogLevel InitialLevelFromEnv() {
+  const char* env = std::getenv("CARDIR_LOG_LEVEL");
+  if (env == nullptr) return LogLevel::kWarning;
+  if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
+  if (std::strcmp(env, "info") == 0) return LogLevel::kInfo;
+  if (std::strcmp(env, "warning") == 0) return LogLevel::kWarning;
+  if (std::strcmp(env, "error") == 0) return LogLevel::kError;
+  return LogLevel::kWarning;
+}
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarning: return "WARNING";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kFatal: return "FATAL";
+  }
+  return "?";
+}
+
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash != nullptr ? slash + 1 : path;
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) {
+  g_log_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel GetLogLevel() {
+  int level = g_log_level.load(std::memory_order_relaxed);
+  if (level < 0) {
+    level = static_cast<int>(InitialLevelFromEnv());
+    g_log_level.store(level, std::memory_order_relaxed);
+  }
+  return static_cast<LogLevel>(level);
+}
+
+namespace internal_logging {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level), file_(file), line_(line) {}
+
+LogMessage::~LogMessage() {
+  std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level_), Basename(file_),
+               line_, stream_.str().c_str());
+  if (level_ == LogLevel::kFatal) std::abort();
+}
+
+void DieCheckFailure(const char* file, int line, const char* expression,
+                     const std::string& extra) {
+  std::fprintf(stderr, "[FATAL %s:%d] CHECK failed: %s%s%s\n", Basename(file),
+               line, expression, extra.empty() ? "" : " — ", extra.c_str());
+  std::abort();
+}
+
+CheckFailureStream::~CheckFailureStream() {
+  DieCheckFailure(file_, line_, expression_, stream_.str());
+}
+
+}  // namespace internal_logging
+}  // namespace cardir

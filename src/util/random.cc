@@ -1,0 +1,4 @@
+#include "util/random.h"
+
+// Rng is header-only; this translation unit anchors the library target and
+// hosts no definitions today.

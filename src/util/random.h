@@ -1,0 +1,76 @@
+// Deterministic pseudo-random number generation for workloads and tests.
+//
+// `Rng` wraps a SplitMix64 core: fast, high quality for simulation purposes,
+// trivially seedable, and fully reproducible across platforms (unlike
+// std::uniform_*_distribution, whose output is implementation-defined).
+
+#ifndef CARDIR_UTIL_RANDOM_H_
+#define CARDIR_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace cardir {
+
+/// Deterministic, seedable PRNG. Not cryptographic.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed + kGamma) {}
+
+  /// Next raw 64-bit value (SplitMix64).
+  uint64_t NextUint64() {
+    uint64_t z = (state_ += kGamma);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, bound). Requires bound > 0.
+  uint64_t NextBelow(uint64_t bound) {
+    CARDIR_DCHECK(bound > 0);
+    // Rejection sampling to remove modulo bias.
+    const uint64_t threshold = -bound % bound;
+    for (;;) {
+      const uint64_t r = NextUint64();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform integer in the inclusive range [lo, hi].
+  int64_t NextInt(int64_t lo, int64_t hi) {
+    CARDIR_DCHECK(lo <= hi);
+    return lo + static_cast<int64_t>(
+                    NextBelow(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double NextDouble(double lo, double hi) {
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool NextBool(double p = 0.5) { return NextDouble() < p; }
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* values) {
+    for (size_t i = values->size(); i > 1; --i) {
+      std::swap((*values)[i - 1], (*values)[NextBelow(i)]);
+    }
+  }
+
+ private:
+  static constexpr uint64_t kGamma = 0x9e3779b97f4a7c15ULL;
+  uint64_t state_;
+};
+
+}  // namespace cardir
+
+#endif  // CARDIR_UTIL_RANDOM_H_

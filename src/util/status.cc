@@ -1,0 +1,54 @@
+#include "util/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace cardir {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kInvalidArgument: return "invalid_argument";
+    case StatusCode::kNotFound: return "not_found";
+    case StatusCode::kAlreadyExists: return "already_exists";
+    case StatusCode::kFailedPrecondition: return "failed_precondition";
+    case StatusCode::kOutOfRange: return "out_of_range";
+    case StatusCode::kUnimplemented: return "unimplemented";
+    case StatusCode::kInternal: return "internal";
+    case StatusCode::kParseError: return "parse_error";
+    case StatusCode::kIoError: return "io_error";
+    case StatusCode::kInconsistent: return "inconsistent";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "ok";
+  std::string out = StatusCodeName(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& status) {
+  return os << status.ToString();
+}
+
+namespace internal_status {
+
+void DieBadResultAccess(const Status& status) {
+  std::fprintf(stderr, "cardir: value() called on errored Result: %s\n",
+               status.ToString().c_str());
+  std::abort();
+}
+
+void DieOkStatusInResult() {
+  std::fprintf(stderr,
+               "cardir: Result constructed from OK status without a value\n");
+  std::abort();
+}
+
+}  // namespace internal_status
+}  // namespace cardir

@@ -1,0 +1,183 @@
+// Error-handling vocabulary for the cardir library.
+//
+// The library does not throw exceptions across its public API. Functions
+// that can fail for data-dependent reasons return `Status` (when there is no
+// payload) or `Result<T>` (when there is one). Programming errors (violated
+// preconditions inside the library) abort via CARDIR_CHECK in logging.h.
+
+#ifndef CARDIR_UTIL_STATUS_H_
+#define CARDIR_UTIL_STATUS_H_
+
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace cardir {
+
+/// Machine-readable classification of a failure.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,   ///< Caller supplied malformed data.
+  kNotFound = 2,          ///< A named entity does not exist.
+  kAlreadyExists = 3,     ///< A named entity already exists.
+  kFailedPrecondition = 4,///< Operation not valid in the current state.
+  kOutOfRange = 5,        ///< Numeric/index value outside the valid range.
+  kUnimplemented = 6,     ///< Feature intentionally not provided.
+  kInternal = 7,          ///< Invariant violation detected at runtime.
+  kParseError = 8,        ///< Textual input could not be parsed.
+  kIoError = 9,           ///< Filesystem / stream failure.
+  kInconsistent = 10,     ///< A constraint network admits no model.
+};
+
+/// Returns the canonical lowercase name of `code` (e.g. "invalid_argument").
+const char* StatusCodeName(StatusCode code);
+
+/// Result of an operation: either OK or a code plus a human-readable message.
+///
+/// `Status` is cheap to copy for the OK case and small otherwise. Use the
+/// factory helpers (`Status::InvalidArgument(...)` etc.) to construct errors.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Inconsistent(std::string msg) {
+    return Status(StatusCode::kInconsistent, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "ok" or "<code_name>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Either a value of type `T` or an error `Status`.
+///
+/// Accessors `value()` / `operator*` require `ok()`; this is enforced with a
+/// process abort (never undefined behaviour) so misuse is diagnosed loudly.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value: allows `return t;` in Result-returning functions.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from an error status: allows `return Status::...;`.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    AbortIfOkStatus();
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    AbortIfNotOk();
+    return *value_;
+  }
+  T& value() & {
+    AbortIfNotOk();
+    return *value_;
+  }
+  T&& value() && {
+    AbortIfNotOk();
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value or `fallback` when this holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  void AbortIfNotOk() const;
+  void AbortIfOkStatus() const;
+
+  std::optional<T> value_;
+  Status status_;
+};
+
+namespace internal_status {
+[[noreturn]] void DieBadResultAccess(const Status& status);
+[[noreturn]] void DieOkStatusInResult();
+}  // namespace internal_status
+
+template <typename T>
+void Result<T>::AbortIfNotOk() const {
+  if (!ok()) internal_status::DieBadResultAccess(status_);
+}
+
+template <typename T>
+void Result<T>::AbortIfOkStatus() const {
+  if (status_.ok()) internal_status::DieOkStatusInResult();
+}
+
+/// Propagates an error status from an expression returning `Status`.
+#define CARDIR_RETURN_IF_ERROR(expr)                  \
+  do {                                                \
+    ::cardir::Status cardir_status__ = (expr);        \
+    if (!cardir_status__.ok()) return cardir_status__;\
+  } while (false)
+
+/// Evaluates `rexpr` (a Result<T>), propagating the error or assigning the
+/// value to `lhs`.
+#define CARDIR_ASSIGN_OR_RETURN(lhs, rexpr)                  \
+  CARDIR_ASSIGN_OR_RETURN_IMPL_(                             \
+      CARDIR_STATUS_CONCAT_(result__, __LINE__), lhs, rexpr)
+
+#define CARDIR_STATUS_CONCAT_INNER_(a, b) a##b
+#define CARDIR_STATUS_CONCAT_(a, b) CARDIR_STATUS_CONCAT_INNER_(a, b)
+#define CARDIR_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                  \
+  if (!tmp.ok()) return tmp.status();                  \
+  lhs = std::move(tmp).value()
+
+}  // namespace cardir
+
+#endif  // CARDIR_UTIL_STATUS_H_

@@ -1,0 +1,42 @@
+// Small string helpers shared across the library (no locale dependence).
+
+#ifndef CARDIR_UTIL_STRING_UTIL_H_
+#define CARDIR_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace cardir {
+
+/// Splits `text` on `sep`, keeping empty pieces.
+std::vector<std::string> StrSplit(std::string_view text, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view text);
+
+/// True when `text` begins with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// Lowercases ASCII letters.
+std::string AsciiToLower(std::string_view text);
+
+/// Joins `pieces` with `sep`.
+std::string StrJoin(const std::vector<std::string>& pieces,
+                    std::string_view sep);
+
+/// Parses a double from the whole of `text` (no trailing garbage allowed).
+Result<double> ParseDouble(std::string_view text);
+
+/// Parses a base-10 integer from the whole of `text`.
+Result<int64_t> ParseInt(std::string_view text);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* format, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace cardir
+
+#endif  // CARDIR_UTIL_STRING_UTIL_H_

@@ -1,0 +1,123 @@
+#include "workload/polygon_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace cardir {
+
+Polygon RandomRectangle(Rng* rng, const Box& bounds, double min_extent) {
+  CARDIR_CHECK(bounds.width() > min_extent && bounds.height() > min_extent);
+  const double w = rng->NextDouble(min_extent, bounds.width());
+  const double h = rng->NextDouble(min_extent, bounds.height());
+  const double x = rng->NextDouble(bounds.min_x(), bounds.max_x() - w);
+  const double y = rng->NextDouble(bounds.min_y(), bounds.max_y() - h);
+  return MakeRectangle(x, y, x + w, y + h);
+}
+
+Polygon RandomConvexPolygon(Rng* rng, int n, const Box& bounds) {
+  CARDIR_CHECK(n >= 3);
+  CARDIR_CHECK(!bounds.IsEmpty() && !bounds.IsDegenerate());
+  // Valtr's algorithm: random x and y coordinates, decomposed into two
+  // monotone delta chains each, paired and sorted by angle.
+  auto make_deltas = [rng, n]() {
+    std::vector<double> values(static_cast<size_t>(n));
+    for (double& v : values) v = rng->NextDouble();
+    std::sort(values.begin(), values.end());
+    const double lo = values.front();
+    const double hi = values.back();
+    std::vector<double> deltas;
+    deltas.reserve(static_cast<size_t>(n));
+    double last_top = lo;
+    double last_bottom = lo;
+    for (int i = 1; i < n - 1; ++i) {
+      if (rng->NextBool()) {
+        deltas.push_back(values[static_cast<size_t>(i)] - last_top);
+        last_top = values[static_cast<size_t>(i)];
+      } else {
+        deltas.push_back(last_bottom - values[static_cast<size_t>(i)]);
+        last_bottom = values[static_cast<size_t>(i)];
+      }
+    }
+    deltas.push_back(hi - last_top);
+    deltas.push_back(last_bottom - hi);
+    return deltas;
+  };
+  std::vector<double> dx = make_deltas();
+  std::vector<double> dy = make_deltas();
+  rng->Shuffle(&dy);
+  std::vector<Point> vectors(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    vectors[static_cast<size_t>(i)] =
+        Point(dx[static_cast<size_t>(i)], dy[static_cast<size_t>(i)]);
+  }
+  std::sort(vectors.begin(), vectors.end(), [](const Point& a, const Point& b) {
+    return std::atan2(a.y, a.x) < std::atan2(b.y, b.x);
+  });
+  // Chain the vectors; the result is convex by construction.
+  std::vector<Point> ring(static_cast<size_t>(n));
+  Point cursor(0.0, 0.0);
+  Box extent;
+  for (int i = 0; i < n; ++i) {
+    ring[static_cast<size_t>(i)] = cursor;
+    extent.Extend(cursor);
+    cursor = cursor + vectors[static_cast<size_t>(i)];
+  }
+  // Scale and translate into `bounds`, clamping the floating-point residue
+  // of the affine map so the result never escapes the box by an ulp.
+  const double sx = bounds.width() / std::max(extent.width(), 1e-12);
+  const double sy = bounds.height() / std::max(extent.height(), 1e-12);
+  for (Point& p : ring) {
+    p.x = std::clamp(bounds.min_x() + (p.x - extent.min_x()) * sx,
+                     bounds.min_x(), bounds.max_x());
+    p.y = std::clamp(bounds.min_y() + (p.y - extent.min_y()) * sy,
+                     bounds.min_y(), bounds.max_y());
+  }
+  Polygon polygon(std::move(ring));
+  polygon.EnsureClockwise();
+  return polygon;
+}
+
+Polygon RandomStarPolygon(Rng* rng, int n, const Box& bounds,
+                          double min_radius_fraction) {
+  CARDIR_CHECK(n >= 3);
+  CARDIR_CHECK(min_radius_fraction > 0.0 && min_radius_fraction <= 1.0);
+  const Point center = bounds.Center();
+  const double max_radius = 0.5 * std::min(bounds.width(), bounds.height());
+  // Strictly increasing angles: a random positive gap per vertex,
+  // normalised to 2π, guarantees simplicity for any n.
+  std::vector<double> gaps(static_cast<size_t>(n));
+  double total = 0.0;
+  for (double& g : gaps) {
+    g = 0.05 + rng->NextDouble();  // Bounded away from zero.
+    total += g;
+  }
+  std::vector<Point> ring;
+  ring.reserve(static_cast<size_t>(n));
+  double angle = rng->NextDouble(0.0, 2.0 * std::numbers::pi);
+  for (int i = 0; i < n; ++i) {
+    angle += gaps[static_cast<size_t>(i)] / total * 2.0 * std::numbers::pi;
+    const double radius =
+        max_radius * rng->NextDouble(min_radius_fraction, 1.0);
+    ring.push_back(Point(center.x + radius * std::cos(angle),
+                         center.y + radius * std::sin(angle)));
+  }
+  Polygon polygon(std::move(ring));
+  polygon.EnsureClockwise();
+  return polygon;
+}
+
+Polygon RandomPolygon(Rng* rng, PolygonKind kind, int n, const Box& bounds) {
+  switch (kind) {
+    case PolygonKind::kRectangle: return RandomRectangle(rng, bounds);
+    case PolygonKind::kConvex: return RandomConvexPolygon(rng, n, bounds);
+    case PolygonKind::kStar: return RandomStarPolygon(rng, n, bounds);
+  }
+  CARDIR_CHECK(false) << "bad polygon kind";
+  return Polygon();
+}
+
+}  // namespace cardir

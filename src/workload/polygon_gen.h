@@ -1,0 +1,44 @@
+// Random polygon generators for benchmarks and property tests.
+//
+// All generators return *simple* polygons in the canonical clockwise
+// orientation, with exactly the requested number of vertices, so benchmark
+// edge counts are exact.
+
+#ifndef CARDIR_WORKLOAD_POLYGON_GEN_H_
+#define CARDIR_WORKLOAD_POLYGON_GEN_H_
+
+#include "geometry/box.h"
+#include "geometry/polygon.h"
+#include "util/random.h"
+
+namespace cardir {
+
+/// Uniformly random axis-aligned rectangle inside `bounds` with width and
+/// height at least `min_extent`.
+Polygon RandomRectangle(Rng* rng, const Box& bounds, double min_extent = 1.0);
+
+/// Random convex polygon with exactly `n` (≥ 3) vertices inside `bounds`
+/// (Valtr's algorithm: uniformly random convex position sets).
+Polygon RandomConvexPolygon(Rng* rng, int n, const Box& bounds);
+
+/// Random star-shaped simple polygon with exactly `n` (≥ 3) vertices:
+/// sorted random angles around `bounds`' centre with radii in
+/// [min_radius_fraction, 1] × (half the smaller extent). Star-shaped
+/// polygons are always simple and support arbitrary vertex counts — the
+/// workhorse for the linear-scaling benchmarks (E6/E7/E13).
+Polygon RandomStarPolygon(Rng* rng, int n, const Box& bounds,
+                          double min_radius_fraction = 0.3);
+
+/// What RandomPolygon should produce.
+enum class PolygonKind {
+  kRectangle,
+  kConvex,
+  kStar,
+};
+
+/// Dispatches on `kind` (rectangles ignore `n`).
+Polygon RandomPolygon(Rng* rng, PolygonKind kind, int n, const Box& bounds);
+
+}  // namespace cardir
+
+#endif  // CARDIR_WORKLOAD_POLYGON_GEN_H_

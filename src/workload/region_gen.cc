@@ -1,0 +1,74 @@
+#include "workload/region_gen.h"
+
+#include <cmath>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace cardir {
+
+Region RandomRegion(Rng* rng, const RegionGenOptions& options) {
+  CARDIR_CHECK(options.num_polygons >= 1);
+  // Layout: ceil(sqrt(k)) × ceil(sqrt(k)) grid; one polygon per cell, in a
+  // random sample of cells, with 10% padding so polygons stay disjoint.
+  const int k = options.num_polygons;
+  const int grid = static_cast<int>(std::ceil(std::sqrt(k)));
+  std::vector<int> cells(static_cast<size_t>(grid) * grid);
+  for (size_t i = 0; i < cells.size(); ++i) cells[i] = static_cast<int>(i);
+  rng->Shuffle(&cells);
+
+  const double cell_w = options.bounds.width() / grid;
+  const double cell_h = options.bounds.height() / grid;
+  Region region;
+  for (int p = 0; p < k; ++p) {
+    const int cell = cells[static_cast<size_t>(p)];
+    const int cx = cell % grid;
+    const int cy = cell / grid;
+    const double pad_x = 0.05 * cell_w;
+    const double pad_y = 0.05 * cell_h;
+    const Box cell_box(options.bounds.min_x() + cx * cell_w + pad_x,
+                       options.bounds.min_y() + cy * cell_h + pad_y,
+                       options.bounds.min_x() + (cx + 1) * cell_w - pad_x,
+                       options.bounds.min_y() + (cy + 1) * cell_h - pad_y);
+    region.AddPolygon(RandomPolygon(rng, options.kind,
+                                    options.vertices_per_polygon, cell_box));
+  }
+  return region;
+}
+
+Region MakeRingRegion(const Box& outer, const Box& hole) {
+  CARDIR_CHECK(outer.Contains(hole));
+  CARDIR_CHECK(hole.min_x() > outer.min_x() && hole.max_x() < outer.max_x() &&
+               hole.min_y() > outer.min_y() && hole.max_y() < outer.max_y())
+      << "hole must be strictly interior";
+  Region region;
+  // Four bands around the hole; neighbours share edges (Fig. 2 style).
+  // South band spans the full width; north band too; west/east bands fill
+  // the middle strip.
+  region.AddPolygon(MakeRectangle(outer.min_x(), outer.min_y(), outer.max_x(),
+                                  hole.min_y()));
+  region.AddPolygon(MakeRectangle(outer.min_x(), hole.max_y(), outer.max_x(),
+                                  outer.max_y()));
+  region.AddPolygon(
+      MakeRectangle(outer.min_x(), hole.min_y(), hole.min_x(), hole.max_y()));
+  region.AddPolygon(
+      MakeRectangle(hole.max_x(), hole.min_y(), outer.max_x(), hole.max_y()));
+  return region;
+}
+
+Region RandomRingRegion(Rng* rng, const Box& bounds) {
+  const double w = bounds.width();
+  const double h = bounds.height();
+  const double x0 = bounds.min_x() + rng->NextDouble(0.0, 0.2) * w;
+  const double x1 = bounds.max_x() - rng->NextDouble(0.0, 0.2) * w;
+  const double y0 = bounds.min_y() + rng->NextDouble(0.0, 0.2) * h;
+  const double y1 = bounds.max_y() - rng->NextDouble(0.0, 0.2) * h;
+  const Box outer(x0, y0, x1, y1);
+  const double hx0 = x0 + rng->NextDouble(0.2, 0.4) * (x1 - x0);
+  const double hx1 = x1 - rng->NextDouble(0.2, 0.4) * (x1 - x0);
+  const double hy0 = y0 + rng->NextDouble(0.2, 0.4) * (y1 - y0);
+  const double hy1 = y1 - rng->NextDouble(0.2, 0.4) * (y1 - y0);
+  return MakeRingRegion(outer, Box(hx0, hy0, hx1, hy1));
+}
+
+}  // namespace cardir

@@ -1,0 +1,42 @@
+// Random composite-region (REG*) generators.
+//
+// Regions are built from polygons placed in disjoint cells of a jittered
+// layout grid, so member polygons never overlap — the representation
+// invariant of geometry/region.h holds by construction. Regions with holes
+// are produced by the band decomposition of Fig. 2 (a ring represented as
+// simple polygons sharing edges).
+
+#ifndef CARDIR_WORKLOAD_REGION_GEN_H_
+#define CARDIR_WORKLOAD_REGION_GEN_H_
+
+#include "geometry/region.h"
+#include "workload/polygon_gen.h"
+
+namespace cardir {
+
+/// Parameters for RandomRegion.
+struct RegionGenOptions {
+  /// Number of disjoint polygons (1 = connected region in REG).
+  int num_polygons = 1;
+  /// Vertices per polygon (ignored for rectangles).
+  int vertices_per_polygon = 8;
+  PolygonKind kind = PolygonKind::kStar;
+  /// Overall placement area.
+  Box bounds = Box(0.0, 0.0, 100.0, 100.0);
+};
+
+/// A REG* region with `num_polygons` disjoint polygons inside
+/// `options.bounds`.
+Region RandomRegion(Rng* rng, const RegionGenOptions& options);
+
+/// A rectangular ring (region with a hole): outer box minus a strictly
+/// interior hole, decomposed into four simple band rectangles (N, S, W, E of
+/// the hole) that share edges — the Fig. 2 representation style.
+Region MakeRingRegion(const Box& outer, const Box& hole);
+
+/// Random ring region inside `bounds`.
+Region RandomRingRegion(Rng* rng, const Box& bounds);
+
+}  // namespace cardir
+
+#endif  // CARDIR_WORKLOAD_REGION_GEN_H_

@@ -1,0 +1,43 @@
+#include "workload/scenario_gen.h"
+
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace cardir {
+
+Result<Configuration> GenerateMapConfiguration(Rng* rng,
+                                               const ScenarioOptions& options) {
+  Configuration config("generated-map", "generated-map.png");
+  const int k = options.num_regions;
+  const int grid = static_cast<int>(std::ceil(std::sqrt(k)));
+  const double cell_w = options.canvas.width() / grid;
+  const double cell_h = options.canvas.height() / grid;
+  for (int i = 0; i < k; ++i) {
+    const int cx = i % grid;
+    const int cy = i / grid;
+    RegionGenOptions region_options;
+    region_options.num_polygons = options.polygons_per_region;
+    region_options.vertices_per_polygon = options.vertices_per_polygon;
+    region_options.bounds =
+        Box(options.canvas.min_x() + cx * cell_w + 0.05 * cell_w,
+            options.canvas.min_y() + cy * cell_h + 0.05 * cell_h,
+            options.canvas.min_x() + (cx + 1) * cell_w - 0.05 * cell_w,
+            options.canvas.min_y() + (cy + 1) * cell_h - 0.05 * cell_h);
+    AnnotatedRegion region;
+    region.id = StrFormat("region%d", i);
+    region.name = StrFormat("Region %d", i);
+    region.color = options.colors.empty()
+                       ? ""
+                       : options.colors[static_cast<size_t>(i) %
+                                        options.colors.size()];
+    region.geometry = RandomRegion(rng, region_options);
+    CARDIR_RETURN_IF_ERROR(config.AddRegion(std::move(region)));
+  }
+  if (options.compute_relations) {
+    CARDIR_RETURN_IF_ERROR(config.ComputeAllRelations());
+  }
+  return config;
+}
+
+}  // namespace cardir

@@ -1,0 +1,33 @@
+// Country-like map configurations for the CARDIRECT query benchmarks: many
+// named, coloured regions on one canvas, with all pairwise relations
+// computed — the workload of the paper's §4 usage scenario at scale.
+
+#ifndef CARDIR_WORKLOAD_SCENARIO_GEN_H_
+#define CARDIR_WORKLOAD_SCENARIO_GEN_H_
+
+#include "cardirect/model.h"
+#include "util/random.h"
+#include "workload/region_gen.h"
+
+namespace cardir {
+
+/// Parameters for GenerateMapConfiguration.
+struct ScenarioOptions {
+  int num_regions = 16;
+  int polygons_per_region = 1;
+  int vertices_per_polygon = 8;
+  /// Thematic palette cycled through the regions.
+  std::vector<std::string> colors = {"red", "blue", "green", "black"};
+  Box canvas = Box(0.0, 0.0, 1000.0, 1000.0);
+  /// Compute and store all pairwise relations (n·(n−1) records).
+  bool compute_relations = true;
+};
+
+/// A configuration with `num_regions` regions named "region<k>" placed in
+/// disjoint canvas cells.
+Result<Configuration> GenerateMapConfiguration(Rng* rng,
+                                               const ScenarioOptions& options);
+
+}  // namespace cardir
+
+#endif  // CARDIR_WORKLOAD_SCENARIO_GEN_H_

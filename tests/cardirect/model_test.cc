@@ -1,0 +1,103 @@
+#include "cardirect/model.h"
+
+#include <gtest/gtest.h>
+
+namespace cardir {
+namespace {
+
+AnnotatedRegion MakeRegion(const std::string& id, const std::string& color,
+                           double x0, double y0, double x1, double y1) {
+  AnnotatedRegion region;
+  region.id = id;
+  region.name = id + "-name";
+  region.color = color;
+  region.geometry.AddPolygon(MakeRectangle(x0, y0, x1, y1));
+  return region;
+}
+
+TEST(ConfigurationTest, AddAndFindRegions) {
+  Configuration config("test", "map.png");
+  ASSERT_TRUE(config.AddRegion(MakeRegion("a", "red", 0, 0, 10, 10)).ok());
+  ASSERT_TRUE(config.AddRegion(MakeRegion("b", "blue", 20, 0, 30, 10)).ok());
+  EXPECT_EQ(config.regions().size(), 2u);
+  ASSERT_NE(config.FindRegion("a"), nullptr);
+  EXPECT_EQ(config.FindRegion("a")->color, "red");
+  EXPECT_EQ(config.FindRegion("missing"), nullptr);
+}
+
+TEST(ConfigurationTest, RejectsDuplicateAndEmptyIds) {
+  Configuration config;
+  ASSERT_TRUE(config.AddRegion(MakeRegion("a", "red", 0, 0, 1, 1)).ok());
+  EXPECT_EQ(config.AddRegion(MakeRegion("a", "blue", 2, 2, 3, 3)).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(config.AddRegion(MakeRegion("", "red", 0, 0, 1, 1)).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ConfigurationTest, RejectsInvalidGeometry) {
+  Configuration config;
+  AnnotatedRegion bad;
+  bad.id = "bad";
+  EXPECT_FALSE(config.AddRegion(bad).ok());  // Empty region.
+}
+
+TEST(ConfigurationTest, ReorientsCounterClockwiseInput) {
+  Configuration config;
+  AnnotatedRegion region;
+  region.id = "ccw";
+  region.geometry.AddPolygon(
+      Polygon({Point(0, 0), Point(1, 0), Point(1, 1), Point(0, 1)}));
+  ASSERT_TRUE(config.AddRegion(region).ok());
+  EXPECT_TRUE(config.FindRegion("ccw")->geometry.polygons()[0].IsClockwise());
+}
+
+TEST(ConfigurationTest, RegionsByColor) {
+  Configuration config;
+  ASSERT_TRUE(config.AddRegion(MakeRegion("a", "red", 0, 0, 1, 1)).ok());
+  ASSERT_TRUE(config.AddRegion(MakeRegion("b", "blue", 2, 0, 3, 1)).ok());
+  ASSERT_TRUE(config.AddRegion(MakeRegion("c", "red", 4, 0, 5, 1)).ok());
+  EXPECT_EQ(config.RegionsByColor("red").size(), 2u);
+  EXPECT_EQ(config.RegionsByColor("blue").size(), 1u);
+  EXPECT_TRUE(config.RegionsByColor("green").empty());
+}
+
+TEST(ConfigurationTest, ComputeAllRelationsProducesAllOrderedPairs) {
+  Configuration config;
+  ASSERT_TRUE(config.AddRegion(MakeRegion("a", "red", 0, 0, 10, 10)).ok());
+  ASSERT_TRUE(config.AddRegion(MakeRegion("b", "blue", 2, -20, 8, -12)).ok());
+  ASSERT_TRUE(config.ComputeAllRelations().ok());
+  EXPECT_EQ(config.relations().size(), 2u);
+  auto ab = config.StoredRelation("a", "b");
+  ASSERT_TRUE(ab.has_value());
+  // a is north of b, spilling over b's narrower mbb into NW and NE.
+  EXPECT_EQ(ab->ToString(), "NW:N:NE");
+  auto ba = config.StoredRelation("b", "a");
+  ASSERT_TRUE(ba.has_value());
+  EXPECT_EQ(ba->ToString(), "S");
+  EXPECT_FALSE(config.StoredRelation("a", "missing").has_value());
+}
+
+TEST(ConfigurationTest, RemoveRegionDropsItsRelations) {
+  Configuration config;
+  ASSERT_TRUE(config.AddRegion(MakeRegion("a", "red", 0, 0, 10, 10)).ok());
+  ASSERT_TRUE(config.AddRegion(MakeRegion("b", "blue", 0, 20, 10, 30)).ok());
+  ASSERT_TRUE(config.ComputeAllRelations().ok());
+  ASSERT_TRUE(config.RemoveRegion("b").ok());
+  EXPECT_TRUE(config.relations().empty());
+  EXPECT_EQ(config.RemoveRegion("b").code(), StatusCode::kNotFound);
+}
+
+TEST(ConfigurationTest, ComputePercentagesOnDemand) {
+  Configuration config;
+  ASSERT_TRUE(config.AddRegion(MakeRegion("b", "blue", 0, 0, 10, 10)).ok());
+  ASSERT_TRUE(config.AddRegion(MakeRegion("c", "red", 12, 4, 18, 16)).ok());
+  auto matrix = config.ComputePercentages("c", "b");
+  ASSERT_TRUE(matrix.ok());
+  EXPECT_NEAR(matrix->at(Tile::kNE), 50.0, 1e-9);
+  EXPECT_NEAR(matrix->at(Tile::kE), 50.0, 1e-9);
+  EXPECT_EQ(config.ComputePercentages("c", "missing").status().code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace cardir

@@ -1,0 +1,150 @@
+// Tests for the §5 future-work query atoms: topological, distance and
+// numeric conditions (see extensions/topology.h, extensions/distance.h).
+
+#include <gtest/gtest.h>
+
+#include "cardirect/query.h"
+
+namespace cardir {
+namespace {
+
+void AddRect(Configuration* config, const std::string& id,
+             const std::string& color, double x0, double y0, double x1,
+             double y1) {
+  AnnotatedRegion region;
+  region.id = id;
+  region.name = id;
+  region.color = color;
+  region.geometry.AddPolygon(MakeRectangle(x0, y0, x1, y1));
+  ASSERT_TRUE(config->AddRegion(std::move(region)).ok());
+}
+
+Configuration TestConfig() {
+  Configuration config("ext", "ext.png");
+  AddRect(&config, "big", "green", 0, 0, 20, 20);       // Area 400.
+  AddRect(&config, "inner", "red", 5, 5, 8, 8);         // Inside big.
+  AddRect(&config, "edgehugger", "red", 0, 12, 4, 16);  // CoveredBy big.
+  AddRect(&config, "neighbor", "blue", 20, 0, 26, 6);   // Meets big.
+  AddRect(&config, "faraway", "blue", 200, 200, 203, 203);
+  return config;
+}
+
+TEST(QueryExtensionsTest, TopologicalInsideAtom) {
+  const Configuration config = TestConfig();
+  auto result = EvaluateQuery(config, "(x, y) | x inside y");
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->rows.size(), 1u);
+  EXPECT_EQ(result->rows[0].region_ids,
+            (std::vector<std::string>{"inner", "big"}));
+}
+
+TEST(QueryExtensionsTest, TopologicalCoveredByAndMeetAtoms) {
+  const Configuration config = TestConfig();
+  auto covered = EvaluateQuery(config, "(x, y) | x coveredBy y");
+  ASSERT_TRUE(covered.ok());
+  ASSERT_EQ(covered->rows.size(), 1u);
+  EXPECT_EQ(covered->rows[0].region_ids[0], "edgehugger");
+
+  auto meets = EvaluateQuery(config, "(x, y) | x meet y, color(x) = blue");
+  ASSERT_TRUE(meets.ok());
+  ASSERT_EQ(meets->rows.size(), 1u);
+  EXPECT_EQ(meets->rows[0].region_ids,
+            (std::vector<std::string>{"neighbor", "big"}));
+}
+
+TEST(QueryExtensionsTest, DistanceKeywordAtom) {
+  const Configuration config = TestConfig();
+  // faraway is far from big (gap ≈ 254.6 ≈ 9 × diag 28.3, bucket [4,16)).
+  auto result = EvaluateQuery(config, "(x, y) | x far y, y = big");
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->rows.size(), 1u);
+  EXPECT_EQ(result->rows[0].region_ids[0], "faraway");
+}
+
+TEST(QueryExtensionsTest, AreaComparison) {
+  const Configuration config = TestConfig();
+  auto big_ones = EvaluateQuery(config, "(x) | area(x) > 100");
+  ASSERT_TRUE(big_ones.ok()) << big_ones.status();
+  ASSERT_EQ(big_ones->rows.size(), 1u);
+  EXPECT_EQ(big_ones->rows[0].region_ids[0], "big");
+
+  auto small_ones = EvaluateQuery(config, "(x) | area(x) < 10, color(x) = red");
+  ASSERT_TRUE(small_ones.ok());
+  ASSERT_EQ(small_ones->rows.size(), 1u);
+  EXPECT_EQ(small_ones->rows[0].region_ids[0], "inner");
+}
+
+TEST(QueryExtensionsTest, DistanceComparison) {
+  const Configuration config = TestConfig();
+  auto result = EvaluateQuery(
+      config, "(x, y) | x = faraway, distance(x, y) < 300, area(y) > 100");
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->rows.size(), 1u);
+  EXPECT_EQ(result->rows[0].region_ids[1], "big");
+
+  auto none = EvaluateQuery(
+      config, "(x, y) | x = faraway, y = big, distance(x, y) < 10");
+  ASSERT_TRUE(none.ok());
+  EXPECT_TRUE(none->rows.empty());
+}
+
+TEST(QueryExtensionsTest, MixedAtomsConjunction) {
+  const Configuration config = TestConfig();
+  // Red regions inside the big one that are also B of it (cardinal atom).
+  auto result = EvaluateQuery(
+      config, "(x, y) | color(x) = red, x inside y, x B y, area(y) > 100");
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->rows.size(), 1u);
+  EXPECT_EQ(result->rows[0].region_ids[0], "inner");
+}
+
+TEST(QueryExtensionsTest, PercentAtom) {
+  Configuration config;
+  AddRect(&config, "ref", "green", 0, 0, 10, 10);
+  // Half in E, half in NE of ref.
+  AddRect(&config, "split", "red", 12, 4, 18, 16);
+  // Fully NE of ref.
+  AddRect(&config, "corner", "red", 12, 12, 16, 16);
+  auto mostly_ne = EvaluateQuery(
+      config, "(x, y) | y = ref, percent(x, NE, y) > 49");
+  ASSERT_TRUE(mostly_ne.ok()) << mostly_ne.status();
+  ASSERT_EQ(mostly_ne->rows.size(), 2u);
+
+  auto exactly_half = EvaluateQuery(
+      config, "(x, y) | y = ref, percent(x, NE, y) > 49, "
+              "percent(x, E, y) > 49");
+  ASSERT_TRUE(exactly_half.ok()) << exactly_half.status();
+  ASSERT_EQ(exactly_half->rows.size(), 1u);
+  EXPECT_EQ(exactly_half->rows[0].region_ids[0], "split");
+
+  auto none = EvaluateQuery(config,
+                            "(x, y) | y = ref, percent(x, SW, y) > 0");
+  ASSERT_TRUE(none.ok());
+  EXPECT_TRUE(none->rows.empty());
+}
+
+TEST(QueryExtensionsTest, PercentParseErrors) {
+  EXPECT_FALSE(Query::Parse("(x, y) | percent(x, QQ, y) > 50").ok());
+  EXPECT_FALSE(Query::Parse("(x, y) | percent(x, NE) > 50").ok());
+  EXPECT_FALSE(Query::Parse("(x) | percent(x, NE, x) > 50").ok());
+  EXPECT_FALSE(Query::Parse("(x, y) | percent(x, NE, y) = 50").ok());
+}
+
+TEST(QueryExtensionsTest, ParseErrors) {
+  EXPECT_FALSE(Query::Parse("(x) | area(x) = 5").ok());       // '=' invalid.
+  EXPECT_FALSE(Query::Parse("(x) | area(x) < five").ok());    // Not a number.
+  EXPECT_FALSE(Query::Parse("(x, y) | distance(x) < 5").ok());  // Arity.
+  EXPECT_FALSE(Query::Parse("(x, y) | x inside x").ok());     // Same var.
+  EXPECT_FALSE(Query::Parse("(x, y) | size(x) > 1").ok());    // Bad attr.
+}
+
+TEST(QueryExtensionsTest, TopologyKeywordsDoNotShadowTileNames) {
+  // Tile names are uppercase; keywords lowercase. "B" stays a direction.
+  auto query = Query::Parse("(x, y) | x B y");
+  ASSERT_TRUE(query.ok());
+  EXPECT_EQ(query->direction_conditions.size(), 1u);
+  EXPECT_TRUE(query->topology_conditions.empty());
+}
+
+}  // namespace
+}  // namespace cardir

@@ -1,0 +1,213 @@
+#include "cardirect/tool.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace cardir {
+namespace {
+
+struct ToolRun {
+  int exit_code;
+  std::string out;
+  std::string err;
+};
+
+ToolRun RunTool(const std::vector<std::string>& args) {
+  std::ostringstream out;
+  std::ostringstream err;
+  const int code = RunCardirectTool(args, out, err);
+  return {code, out.str(), err.str()};
+}
+
+class ToolTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/cardirect_tool_test.xml";
+    const ToolRun demo = RunTool({"demo", path_});
+    ASSERT_EQ(demo.exit_code, 0) << demo.err;
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  std::string path_;
+};
+
+TEST_F(ToolTest, NoArgsPrintsUsage) {
+  const ToolRun run = RunTool({});
+  EXPECT_EQ(run.exit_code, 2);
+  EXPECT_NE(run.err.find("usage:"), std::string::npos);
+}
+
+TEST_F(ToolTest, UnknownCommandPrintsUsage) {
+  EXPECT_EQ(RunTool({"frobnicate"}).exit_code, 2);
+  EXPECT_EQ(RunTool({"show"}).exit_code, 2);  // Missing argument.
+}
+
+TEST_F(ToolTest, ShowListsRegionsAndRelations) {
+  const ToolRun run = RunTool({"show", path_});
+  EXPECT_EQ(run.exit_code, 0) << run.err;
+  EXPECT_NE(run.out.find("lake"), std::string::npos);
+  EXPECT_NE(run.out.find("forest"), std::string::npos);
+  EXPECT_NE(run.out.find("city"), std::string::npos);
+  EXPECT_NE(run.out.find("Stored relations:"), std::string::npos);
+}
+
+TEST_F(ToolTest, RelationsComputesAllPairs) {
+  const ToolRun run = RunTool({"relations", path_});
+  EXPECT_EQ(run.exit_code, 0) << run.err;
+  // 3 regions -> 6 ordered pairs, one line each.
+  int lines = 0;
+  for (char c : run.out) lines += (c == '\n');
+  EXPECT_EQ(lines, 6);
+}
+
+TEST_F(ToolTest, RelationsCanSaveBack) {
+  const std::string out_path = ::testing::TempDir() + "/cardirect_saved.xml";
+  const ToolRun run = RunTool({"relations", path_, out_path});
+  EXPECT_EQ(run.exit_code, 0) << run.err;
+  EXPECT_EQ(RunTool({"show", out_path}).exit_code, 0);
+  std::remove(out_path.c_str());
+}
+
+TEST_F(ToolTest, PercentPrintsAMatrix) {
+  const ToolRun run = RunTool({"percent", path_, "forest", "lake"});
+  EXPECT_EQ(run.exit_code, 0) << run.err;
+  EXPECT_NE(run.out.find("%"), std::string::npos);
+  EXPECT_EQ(RunTool({"percent", path_, "forest", "ghost"}).exit_code, 1);
+}
+
+TEST_F(ToolTest, QueryReturnsRows) {
+  const ToolRun run = RunTool({"query", path_, "(x) | color(x) = blue"});
+  EXPECT_EQ(run.exit_code, 0) << run.err;
+  EXPECT_NE(run.out.find("lake"), std::string::npos);
+  EXPECT_NE(run.out.find("1 row(s)"), std::string::npos);
+  EXPECT_EQ(RunTool({"query", path_, "(x | bad"}).exit_code, 1);
+}
+
+TEST_F(ToolTest, ValidateAcceptsDemoConfiguration) {
+  const ToolRun run = RunTool({"validate", path_});
+  EXPECT_EQ(run.exit_code, 0) << run.err << run.out;
+}
+
+TEST_F(ToolTest, MissingFileFails) {
+  EXPECT_EQ(RunTool({"show", "/nonexistent/nope.xml"}).exit_code, 1);
+}
+
+TEST_F(ToolTest, CheckDecidesConsistency) {
+  const std::string path = ::testing::TempDir() + "/cardirect_check.txt";
+  {
+    std::ofstream file(path);
+    file << "athens S sparta\nsparta S thebes\nathens {S, SW:S} thebes\n";
+  }
+  const ToolRun consistent = RunTool({"check", path});
+  EXPECT_EQ(consistent.exit_code, 0) << consistent.err;
+  EXPECT_NE(consistent.out.find("CONSISTENT"), std::string::npos);
+  EXPECT_NE(consistent.out.find("athens:"), std::string::npos);
+  {
+    std::ofstream file(path);
+    file << "a S b\nb S c\na N c\n";
+  }
+  const ToolRun inconsistent = RunTool({"check", path});
+  EXPECT_EQ(inconsistent.exit_code, 1);
+  EXPECT_NE(inconsistent.out.find("INCONSISTENT"), std::string::npos);
+  {
+    std::ofstream file(path);
+    file << "not a valid line here at all\n";
+  }
+  EXPECT_EQ(RunTool({"check", path}).exit_code, 1);
+  EXPECT_EQ(RunTool({"check", "/nonexistent/x.txt"}).exit_code, 1);
+  std::remove(path.c_str());
+}
+
+TEST_F(ToolTest, WktImportExportRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/cardirect_wkt_test.xml";
+  ASSERT_EQ(RunTool({"create", path}).exit_code, 0);
+  ASSERT_EQ(RunTool({"add-wkt", path, "island", "blue",
+                     "POLYGON ((0 0, 0 4, 4 4, 4 0, 0 0))"})
+                .exit_code,
+            0);
+  const ToolRun exported = RunTool({"export-wkt", path, "island"});
+  EXPECT_EQ(exported.exit_code, 0) << exported.err;
+  EXPECT_NE(exported.out.find("MULTIPOLYGON"), std::string::npos);
+  // Bad WKT and unknown region ids fail cleanly.
+  EXPECT_EQ(RunTool({"add-wkt", path, "bad", "red", "POINT (1 2)"}).exit_code,
+            1);
+  EXPECT_EQ(RunTool({"export-wkt", path, "ghost"}).exit_code, 1);
+  std::remove(path.c_str());
+}
+
+TEST_F(ToolTest, RelatedUsesTheIndex) {
+  // demo config: forest is north-west-ish of the lake.
+  const ToolRun run = RunTool({"related", path_, "lake", "{NW, W:NW, NW:N}"});
+  EXPECT_EQ(run.exit_code, 0) << run.err;
+  EXPECT_NE(run.out.find("forest"), std::string::npos);
+  EXPECT_NE(run.out.find("region(s)"), std::string::npos);
+  EXPECT_EQ(RunTool({"related", path_, "ghost", "N"}).exit_code, 1);
+  EXPECT_EQ(RunTool({"related", path_, "lake", "QQ"}).exit_code, 1);
+}
+
+TEST_F(ToolTest, TablesPrintsReasoningTables) {
+  const ToolRun run = RunTool({"tables"});
+  EXPECT_EQ(run.exit_code, 0) << run.err;
+  EXPECT_NE(run.out.find("inv(SW) = {NE}"), std::string::npos);
+  EXPECT_NE(run.out.find("composition table"), std::string::npos);
+}
+
+TEST_F(ToolTest, CreateAddQueryRemoveRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/cardirect_edit_test.xml";
+  EXPECT_EQ(RunTool({"create", path, "editable", "map.png"}).exit_code, 0);
+  EXPECT_EQ(RunTool({"add-region", path, "base", "green", "0,0", "0,10",
+                     "10,10", "10,0"})
+                .exit_code,
+            0);
+  EXPECT_EQ(RunTool({"add-region", path, "north", "red", "2,12", "2,16",
+                     "8,16", "8,12"})
+                .exit_code,
+            0);
+  // Extend `north` with a second (disconnected) polygon.
+  EXPECT_EQ(RunTool({"add-polygon", path, "north", "12,12", "12,14",
+                     "14,14", "14,12"})
+                .exit_code,
+            0);
+  const ToolRun query =
+      RunTool({"query", path, "(x, y) | y = base, x {N, N:NE, NW:N:NE} x"});
+  EXPECT_EQ(query.exit_code, 1);  // Malformed on purpose: same variable.
+  const ToolRun good =
+      RunTool({"query", path, "(x, y) | y = base, x {N, N:NE, NW:N:NE} y"});
+  EXPECT_EQ(good.exit_code, 0) << good.err;
+  EXPECT_NE(good.out.find("north"), std::string::npos);
+  EXPECT_EQ(RunTool({"remove-region", path, "north"}).exit_code, 0);
+  const ToolRun show = RunTool({"show", path});
+  EXPECT_EQ(show.exit_code, 0);
+  EXPECT_EQ(show.out.find("north"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST_F(ToolTest, EditCommandsValidateInput) {
+  const std::string path = ::testing::TempDir() + "/cardirect_edit_bad.xml";
+  EXPECT_EQ(RunTool({"create", path}).exit_code, 0);
+  // Bad vertex syntax.
+  EXPECT_EQ(RunTool({"add-region", path, "r", "red", "0;0", "0,1", "1,0"})
+                .exit_code,
+            1);
+  // Too few vertices is rejected by the argument-count dispatch.
+  EXPECT_EQ(RunTool({"add-region", path, "r", "red", "0,0", "0,1"})
+                .exit_code,
+            2);
+  // Degenerate polygon.
+  EXPECT_EQ(RunTool({"add-region", path, "r", "red", "0,0", "1,1", "2,2"})
+                .exit_code,
+            1);
+  // add-polygon to a missing region.
+  EXPECT_EQ(RunTool({"add-polygon", path, "ghost", "0,0", "0,1", "1,0"})
+                .exit_code,
+            1);
+  // remove a missing region.
+  EXPECT_EQ(RunTool({"remove-region", path, "ghost"}).exit_code, 1);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace cardir

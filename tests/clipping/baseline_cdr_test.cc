@@ -1,0 +1,69 @@
+#include "clipping/baseline_cdr.h"
+
+#include <gtest/gtest.h>
+
+namespace cardir {
+namespace {
+
+Region ReferenceB() { return Region(MakeRectangle(0, 0, 10, 10)); }
+
+TEST(BaselineCdrTest, AgreesWithComputeCdrOnPaperExamples) {
+  const Region s_region(MakeRectangle(2, -6, 8, -2));
+  EXPECT_EQ(BaselineCdr(s_region, ReferenceB())->ToString(), "S");
+
+  const Region c(MakeRectangle(12, 4, 18, 16));
+  EXPECT_EQ(BaselineCdr(c, ReferenceB())->ToString(), "NE:E");
+
+  const Region quad(Polygon(
+      {Point(-4, 8), Point(-2, 14), Point(-1, 18), Point(20, 11)}));
+  EXPECT_EQ(BaselineCdr(quad, ReferenceB())->ToString(), "B:W:NW:N:NE:E");
+}
+
+TEST(BaselineCdrTest, SwallowingRegionCoversAllTiles) {
+  // Unlike Compute-CDR, the baseline needs no special centre test: the
+  // B-tile clip itself is non-empty.
+  const Region a(MakeRectangle(-10, -10, 20, 20));
+  EXPECT_EQ(BaselineCdr(a, ReferenceB())->ToString(),
+            "B:S:SW:W:NW:N:NE:E:SE");
+}
+
+TEST(BaselineCdrTest, TouchingRegionYieldsNoSpuriousTile) {
+  const Region a(MakeRectangle(10, 2, 16, 8));
+  EXPECT_EQ(BaselineCdr(a, ReferenceB())->ToString(), "E");
+}
+
+TEST(BaselineCdrPercentTest, MatchesHandComputedAreas) {
+  const Region a(MakeRectangle(-5, -5, 5, 5));
+  auto result = BaselineCdrPercentDetailed(a, ReferenceB());
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->matrix.at(Tile::kSW), 25.0, 1e-9);
+  EXPECT_NEAR(result->matrix.at(Tile::kS), 25.0, 1e-9);
+  EXPECT_NEAR(result->matrix.at(Tile::kW), 25.0, 1e-9);
+  EXPECT_NEAR(result->matrix.at(Tile::kB), 25.0, 1e-9);
+  EXPECT_NEAR(result->total_area, 100.0, 1e-9);
+}
+
+TEST(BaselineCdrPercentTest, AgreesWithComputeCdrPercent) {
+  const Region a(Polygon({Point(-5, -3), Point(4, 18), Point(15, 13),
+                          Point(12, -6)}));
+  const PercentageMatrix fast = *ComputeCdrPercent(a, ReferenceB());
+  const PercentageMatrix slow = *BaselineCdrPercent(a, ReferenceB());
+  EXPECT_TRUE(fast.ApproxEquals(slow, 1e-9))
+      << "fast:\n" << fast << "\nslow:\n" << slow;
+}
+
+TEST(BaselineCdrTest, InstrumentationReportsEdgeInflation) {
+  const Region a(MakeRectangle(-5, -5, 5, 5));
+  auto result = BaselineCdrDetailed(a, ReferenceB());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->input_edges, 4u);
+  EXPECT_EQ(result->output_edges, 16u);  // Fig. 3b: 4 quadrangles.
+}
+
+TEST(BaselineCdrTest, ValidationErrorsPropagate) {
+  EXPECT_FALSE(BaselineCdr(Region(), ReferenceB()).ok());
+  EXPECT_FALSE(BaselineCdrPercent(ReferenceB(), Region()).ok());
+}
+
+}  // namespace
+}  // namespace cardir

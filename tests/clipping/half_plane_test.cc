@@ -1,0 +1,66 @@
+#include "clipping/half_plane.h"
+
+#include <gtest/gtest.h>
+
+namespace cardir {
+namespace {
+
+TEST(HalfPlaneTest, FactoriesAndContainment) {
+  EXPECT_TRUE(HalfPlane::XAtMost(5).Contains(Point(4, 100)));
+  EXPECT_TRUE(HalfPlane::XAtMost(5).Contains(Point(5, 0)));  // Closed.
+  EXPECT_FALSE(HalfPlane::XAtMost(5).Contains(Point(6, 0)));
+  EXPECT_TRUE(HalfPlane::XAtLeast(5).Contains(Point(6, 0)));
+  EXPECT_TRUE(HalfPlane::YAtMost(2).Contains(Point(9, 2)));
+  EXPECT_TRUE(HalfPlane::YAtLeast(2).Contains(Point(9, 2)));
+  EXPECT_FALSE(HalfPlane::YAtLeast(2).Contains(Point(9, 1)));
+}
+
+TEST(HalfPlaneTest, EvaluateSign) {
+  const HalfPlane h = HalfPlane::XAtMost(3);
+  EXPECT_GT(h.Evaluate(Point(1, 0)), 0.0);
+  EXPECT_EQ(h.Evaluate(Point(3, 7)), 0.0);
+  EXPECT_LT(h.Evaluate(Point(4, 0)), 0.0);
+}
+
+TEST(ClipRingTest, SquareClippedByVerticalLine) {
+  const std::vector<Point> square = {Point(0, 2), Point(2, 2), Point(2, 0),
+                                     Point(0, 0)};
+  const std::vector<Point> clipped =
+      ClipRingByHalfPlane(square, HalfPlane::XAtMost(1));
+  Polygon result(clipped);
+  EXPECT_DOUBLE_EQ(result.Area(), 2.0);
+  EXPECT_EQ(result.BoundingBox(), Box(0, 0, 1, 2));
+}
+
+TEST(ClipRingTest, FullyInsideIsUnchanged) {
+  const std::vector<Point> square = {Point(0, 1), Point(1, 1), Point(1, 0),
+                                     Point(0, 0)};
+  EXPECT_EQ(ClipRingByHalfPlane(square, HalfPlane::XAtMost(5)), square);
+}
+
+TEST(ClipRingTest, FullyOutsideIsEmpty) {
+  const std::vector<Point> square = {Point(3, 1), Point(4, 1), Point(4, 0),
+                                     Point(3, 0)};
+  EXPECT_TRUE(ClipRingByHalfPlane(square, HalfPlane::XAtMost(2)).empty());
+}
+
+TEST(ClipRingTest, IntersectionPointsAreSnappedToTheLine) {
+  const std::vector<Point> triangle = {Point(0, 0), Point(9, 3), Point(9, 0)};
+  const std::vector<Point> clipped =
+      ClipRingByHalfPlane(triangle, HalfPlane::XAtMost(3));
+  for (const Point& p : clipped) EXPECT_LE(p.x, 3.0);
+  bool has_on_line = false;
+  for (const Point& p : clipped) has_on_line |= (p.x == 3.0);
+  EXPECT_TRUE(has_on_line);
+}
+
+TEST(ClipRingTest, TouchingVertexDoesNotDuplicate) {
+  // Triangle touching the clip boundary at one vertex, rest inside.
+  const std::vector<Point> triangle = {Point(0, 0), Point(2, 2), Point(4, 0)};
+  const std::vector<Point> clipped =
+      ClipRingByHalfPlane(triangle, HalfPlane::YAtMost(2));
+  EXPECT_EQ(clipped.size(), 3u);
+}
+
+}  // namespace
+}  // namespace cardir

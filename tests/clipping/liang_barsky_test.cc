@@ -1,0 +1,70 @@
+#include "clipping/liang_barsky.h"
+
+#include <gtest/gtest.h>
+
+namespace cardir {
+namespace {
+
+const Box kBox(0, 0, 10, 10);
+
+TEST(LiangBarskyTest, FullyInsideUnchanged) {
+  const Segment s(Point(2, 2), Point(8, 8));
+  auto clipped = ClipSegmentToBox(s, kBox);
+  ASSERT_TRUE(clipped.has_value());
+  EXPECT_EQ(*clipped, s);
+}
+
+TEST(LiangBarskyTest, CrossingOneEdge) {
+  auto clipped = ClipSegmentToBox(Segment(Point(-4, 5), Point(6, 5)), kBox);
+  ASSERT_TRUE(clipped.has_value());
+  EXPECT_EQ(clipped->a, Point(0, 5));
+  EXPECT_EQ(clipped->b, Point(6, 5));
+}
+
+TEST(LiangBarskyTest, CrossingTwoEdges) {
+  auto clipped = ClipSegmentToBox(Segment(Point(-5, 5), Point(15, 5)), kBox);
+  ASSERT_TRUE(clipped.has_value());
+  EXPECT_EQ(clipped->a, Point(0, 5));
+  EXPECT_EQ(clipped->b, Point(10, 5));
+}
+
+TEST(LiangBarskyTest, DiagonalThroughCorners) {
+  auto clipped = ClipSegmentToBox(Segment(Point(-5, -5), Point(15, 15)), kBox);
+  ASSERT_TRUE(clipped.has_value());
+  EXPECT_EQ(clipped->a, Point(0, 0));
+  EXPECT_EQ(clipped->b, Point(10, 10));
+}
+
+TEST(LiangBarskyTest, MissesTheBox) {
+  EXPECT_FALSE(
+      ClipSegmentToBox(Segment(Point(-5, 20), Point(15, 20)), kBox).has_value());
+  EXPECT_FALSE(
+      ClipSegmentToBox(Segment(Point(11, 0), Point(20, 9)), kBox).has_value());
+}
+
+TEST(LiangBarskyTest, ParallelOutsideRejectedEarly) {
+  EXPECT_FALSE(
+      ClipSegmentToBox(Segment(Point(-3, -1), Point(20, -1)), kBox).has_value());
+}
+
+TEST(LiangBarskyTest, TouchingCornerYieldsDegenerateSegment) {
+  auto clipped = ClipSegmentToBox(Segment(Point(-5, 5), Point(0, 10)), kBox);
+  ASSERT_TRUE(clipped.has_value());
+  EXPECT_TRUE(clipped->IsDegenerate());
+  EXPECT_EQ(clipped->a, Point(0, 10));
+}
+
+TEST(LiangBarskyTest, AgreesWithEdgeSplitterOnBPieces) {
+  // Cross-check: the B piece from the edge splitter equals the Liang–Barsky
+  // clip for a segment properly crossing the box.
+  const Segment s(Point(-3, 2), Point(13, 6));
+  auto clipped = ClipSegmentToBox(s, kBox);
+  ASSERT_TRUE(clipped.has_value());
+  EXPECT_DOUBLE_EQ(clipped->a.x, 0.0);
+  EXPECT_DOUBLE_EQ(clipped->b.x, 10.0);
+  EXPECT_NEAR(clipped->a.y, 2.75, 1e-12);
+  EXPECT_NEAR(clipped->b.y, 5.25, 1e-12);
+}
+
+}  // namespace
+}  // namespace cardir

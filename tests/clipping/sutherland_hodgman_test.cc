@@ -1,0 +1,65 @@
+#include "clipping/sutherland_hodgman.h"
+
+#include <gtest/gtest.h>
+
+namespace cardir {
+namespace {
+
+TEST(SutherlandHodgmanTest, ClipToBoxBasic) {
+  const Polygon big = MakeRectangle(-5, -5, 15, 15);
+  const Polygon clipped = ClipPolygonToBox(big, Box(0, 0, 10, 10));
+  EXPECT_DOUBLE_EQ(clipped.Area(), 100.0);
+  EXPECT_EQ(clipped.BoundingBox(), Box(0, 0, 10, 10));
+}
+
+TEST(SutherlandHodgmanTest, DisjointYieldsEmpty) {
+  const Polygon square = MakeRectangle(20, 20, 30, 30);
+  EXPECT_TRUE(ClipPolygonToBox(square, Box(0, 0, 10, 10)).empty());
+}
+
+TEST(SutherlandHodgmanTest, TriangleCornerClip) {
+  // Right triangle (0,0)-(4,0)-(0,4) clipped to [0,2]²: a square corner cut
+  // by the hypotenuse x + y = 4 — the whole [0,2]² is inside the triangle.
+  Polygon tri({Point(0, 0), Point(0, 4), Point(4, 0)});
+  tri.EnsureClockwise();
+  const Polygon clipped = ClipPolygonToBox(tri, Box(0, 0, 2, 2));
+  EXPECT_DOUBLE_EQ(clipped.Area(), 4.0);
+}
+
+TEST(SutherlandHodgmanTest, HypotenuseCutsTheBox) {
+  // Same triangle clipped to [1,3]²: pentagon-ish piece of area
+  // box ∩ {x+y ≤ 4} = 4 − ½·2·2/2 ... region inside box with x+y ≤ 4:
+  // total 4 minus triangle above the line with legs 2,2 → 4 − 2 = 2.
+  Polygon tri({Point(0, 0), Point(0, 4), Point(4, 0)});
+  tri.EnsureClockwise();
+  const Polygon clipped = ClipPolygonToBox(tri, Box(1, 1, 3, 3));
+  EXPECT_DOUBLE_EQ(clipped.Area(), 2.0);
+}
+
+TEST(SutherlandHodgmanTest, UnboundedClipRegionSingleHalfPlane) {
+  // One half-plane only — the tile-clipping use case for corner tiles.
+  const Polygon square = MakeRectangle(0, 0, 4, 4);
+  const Polygon west = ClipPolygon(square, {HalfPlane::XAtMost(1)});
+  EXPECT_DOUBLE_EQ(west.Area(), 4.0);
+  EXPECT_EQ(west.BoundingBox(), Box(0, 0, 1, 4));
+}
+
+TEST(SutherlandHodgmanTest, ConcavePolygonAreaIsPreserved) {
+  // "U" shape clipped by a half-plane through the arms: SH may emit bridge
+  // edges, but the area must be exact.
+  Polygon u({Point(0, 0), Point(0, 3), Point(1, 3), Point(1, 1), Point(2, 1),
+             Point(2, 3), Point(3, 3), Point(3, 0)});
+  u.EnsureClockwise();
+  const Polygon clipped = ClipPolygon(u, {HalfPlane::YAtLeast(2)});
+  // Above y = 2: two 1×1 arm pieces.
+  EXPECT_DOUBLE_EQ(clipped.Area(), 2.0);
+}
+
+TEST(SutherlandHodgmanTest, TouchingBoundaryGivesZeroArea) {
+  const Polygon square = MakeRectangle(0, 0, 4, 4);
+  const Polygon sliver = ClipPolygon(square, {HalfPlane::XAtLeast(4)});
+  EXPECT_DOUBLE_EQ(sliver.Area(), 0.0);
+}
+
+}  // namespace
+}  // namespace cardir

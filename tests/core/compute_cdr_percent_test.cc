@@ -1,0 +1,161 @@
+#include "core/compute_cdr_percent.h"
+
+#include <gtest/gtest.h>
+
+#include "core/compute_cdr.h"
+#include "geometry/region.h"
+
+namespace cardir {
+namespace {
+
+constexpr double kTol = 1e-9;
+
+Region ReferenceB() { return Region(MakeRectangle(0, 0, 10, 10)); }
+
+PercentageMatrix Percent(const Region& a, const Region& b) {
+  auto result = ComputeCdrPercent(a, b);
+  EXPECT_TRUE(result.ok()) << result.status();
+  return result.value_or(PercentageMatrix());
+}
+
+TEST(ComputeCdrPercentTest, PaperFigure1cFiftyFifty) {
+  // §2: "region c is 50% northeast and 50% east of region b".
+  const Region c(MakeRectangle(12, 4, 18, 16));
+  const PercentageMatrix m = Percent(c, ReferenceB());
+  EXPECT_NEAR(m.at(Tile::kNE), 50.0, kTol);
+  EXPECT_NEAR(m.at(Tile::kE), 50.0, kTol);
+  EXPECT_NEAR(m.Total(), 100.0, kTol);
+  for (Tile t : {Tile::kB, Tile::kS, Tile::kSW, Tile::kW, Tile::kNW,
+                 Tile::kN, Tile::kSE}) {
+    EXPECT_NEAR(m.at(t), 0.0, kTol) << TileName(t);
+  }
+}
+
+TEST(ComputeCdrPercentTest, FullyContainedIsHundredPercentB) {
+  const PercentageMatrix m =
+      Percent(Region(MakeRectangle(2, 2, 8, 8)), ReferenceB());
+  EXPECT_NEAR(m.at(Tile::kB), 100.0, kTol);
+}
+
+TEST(ComputeCdrPercentTest, QuadrantSquareSplitsEvenly) {
+  // [−5,5]² against [0,10]²: equal quarters in SW, S, W, B.
+  const PercentageMatrix m =
+      Percent(Region(MakeRectangle(-5, -5, 5, 5)), ReferenceB());
+  EXPECT_NEAR(m.at(Tile::kSW), 25.0, kTol);
+  EXPECT_NEAR(m.at(Tile::kS), 25.0, kTol);
+  EXPECT_NEAR(m.at(Tile::kW), 25.0, kTol);
+  EXPECT_NEAR(m.at(Tile::kB), 25.0, kTol);
+}
+
+TEST(ComputeCdrPercentTest, BViaBPlusNSubtraction) {
+  // a = [2,8]×[2,14]: area 72, B part 6×8 = 48, N part 6×4 = 24.
+  const PercentageMatrix m =
+      Percent(Region(MakeRectangle(2, 2, 8, 14)), ReferenceB());
+  EXPECT_NEAR(m.at(Tile::kB), 100.0 * 48 / 72, kTol);
+  EXPECT_NEAR(m.at(Tile::kN), 100.0 * 24 / 72, kTol);
+}
+
+TEST(ComputeCdrPercentTest, TileAreasMatchHandComputedValues) {
+  auto result =
+      ComputeCdrPercentDetailed(Region(MakeRectangle(-5, -5, 5, 5)),
+                                ReferenceB());
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->tile_areas[static_cast<int>(Tile::kSW)], 25.0, kTol);
+  EXPECT_NEAR(result->tile_areas[static_cast<int>(Tile::kB)], 25.0, kTol);
+  EXPECT_NEAR(result->total_area, 100.0, kTol);
+}
+
+TEST(ComputeCdrPercentTest, TotalAreaEqualsRegionArea) {
+  const Region a(Polygon({Point(-5, -3), Point(4, 18), Point(15, 13),
+                          Point(12, -6)}));
+  auto result = ComputeCdrPercentDetailed(a, ReferenceB());
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->total_area, a.Area(), 1e-6);
+  EXPECT_NEAR(result->matrix.Total(), 100.0, 1e-6);
+}
+
+TEST(ComputeCdrPercentTest, SwallowingRegionDistributesOverAllNineTiles) {
+  // [−10,20]² over [0,10]²: area 900; B = 100; corners 100 each; bands 100.
+  const PercentageMatrix m =
+      Percent(Region(MakeRectangle(-10, -10, 20, 20)), ReferenceB());
+  for (Tile t : kAllTiles) {
+    EXPECT_NEAR(m.at(t), 100.0 / 9.0, kTol) << TileName(t);
+  }
+}
+
+TEST(ComputeCdrPercentTest, RegionWithHoleFigure2Style) {
+  // Frame around [0,10]² with the hole exactly over the mbb: no B area.
+  Region frame;
+  frame.AddPolygon(MakeRectangle(-10, -10, 20, 0));   // South band: 300.
+  frame.AddPolygon(MakeRectangle(-10, 10, 20, 20));   // North band: 300.
+  frame.AddPolygon(MakeRectangle(-10, 0, 0, 10));     // West band: 100.
+  frame.AddPolygon(MakeRectangle(10, 0, 20, 10));     // East band: 100.
+  const PercentageMatrix m = Percent(frame, ReferenceB());
+  EXPECT_NEAR(m.at(Tile::kB), 0.0, kTol);
+  EXPECT_NEAR(m.at(Tile::kW), 100.0 / 8.0, kTol);
+  EXPECT_NEAR(m.at(Tile::kSW), 100.0 / 8.0, kTol);
+  EXPECT_NEAR(m.Total(), 100.0, kTol);
+}
+
+TEST(ComputeCdrPercentTest, NonZeroTilesMatchQualitativeRelation) {
+  const Region a(Polygon({Point(-4, 8), Point(-2, 14), Point(-1, 18),
+                          Point(20, 11)}));
+  const Region b = ReferenceB();
+  const CardinalRelation qualitative = *ComputeCdr(a, b);
+  const CardinalRelation from_percent = Percent(a, b).ToRelation(1e-9);
+  // Tiles with positive area must agree (no measure-zero tiles here).
+  EXPECT_EQ(from_percent, qualitative);
+}
+
+TEST(ComputeCdrPercentTest, TriangleAreasAreExact) {
+  // Right triangle [0,0],(20,0),(0,20) (clockwise) against [0,10]²:
+  // B: area of triangle ∩ [0,10]² = 100 − 0 ... compute: the hypotenuse is
+  // x + y = 20, entirely above the box except corner (10,10): B = 100 − 0 =
+  // ... the box corner (10,10) lies on x+y=20, so B = full box = 100.
+  // S: below y=0: none. E: x∈[10,20], y∈[0,10], x+y≤20: area = 50.
+  // N: x∈[0,10], y∈[10,20], x+y≤20: 50. Total = 200 = triangle area. ✓
+  Region tri(Polygon({Point(0, 0), Point(0, 20), Point(20, 0)}));
+  tri.EnsureClockwise();
+  auto result = ComputeCdrPercentDetailed(tri, ReferenceB());
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->tile_areas[static_cast<int>(Tile::kB)], 100.0, kTol);
+  EXPECT_NEAR(result->tile_areas[static_cast<int>(Tile::kE)], 50.0, kTol);
+  EXPECT_NEAR(result->tile_areas[static_cast<int>(Tile::kN)], 50.0, kTol);
+  EXPECT_NEAR(result->total_area, 200.0, kTol);
+}
+
+TEST(ComputeCdrPercentTest, SharedEdgeContributionsCancel) {
+  // Two rectangles sharing an edge: the shared edge is traversed twice in
+  // opposite directions and its trapezoid contributions must cancel, so the
+  // decomposed representation yields the same areas as a single polygon.
+  Region decomposed;
+  decomposed.AddPolygon(MakeRectangle(-5, -5, 0, 5));  // West half.
+  decomposed.AddPolygon(MakeRectangle(0, -5, 5, 5));   // East half.
+  const Region whole(MakeRectangle(-5, -5, 5, 5));
+  const Region reference(MakeRectangle(0, 0, 10, 10));
+  const PercentageMatrix split_matrix = Percent(decomposed, reference);
+  const PercentageMatrix whole_matrix = Percent(whole, reference);
+  EXPECT_TRUE(split_matrix.ApproxEquals(whole_matrix, 1e-9))
+      << "split:\n" << split_matrix << "\nwhole:\n" << whole_matrix;
+}
+
+TEST(ComputeCdrPercentTest, SharedEdgeAcrossTileBoundary) {
+  // The shared edge lies exactly on the reference's west mbb line: the two
+  // halves classify it into different tiles (interior-side rule), but the
+  // E'-contributions against that same line are zero, so areas stay exact.
+  Region decomposed;
+  decomposed.AddPolygon(MakeRectangle(-6, 2, 0, 8));  // Entirely in W.
+  decomposed.AddPolygon(MakeRectangle(0, 2, 6, 8));   // Entirely in B.
+  const PercentageMatrix matrix =
+      Percent(decomposed, Region(MakeRectangle(0, 0, 10, 10)));
+  EXPECT_NEAR(matrix.at(Tile::kW), 50.0, 1e-9);
+  EXPECT_NEAR(matrix.at(Tile::kB), 50.0, 1e-9);
+}
+
+TEST(ComputeCdrPercentTest, ValidationErrorsPropagate) {
+  EXPECT_FALSE(ComputeCdrPercent(Region(), ReferenceB()).ok());
+  EXPECT_FALSE(ComputeCdrPercent(ReferenceB(), Region()).ok());
+}
+
+}  // namespace
+}  // namespace cardir

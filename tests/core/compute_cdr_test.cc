@@ -1,0 +1,154 @@
+#include "core/compute_cdr.h"
+
+#include <gtest/gtest.h>
+
+#include "core/tile.h"
+#include "geometry/region.h"
+
+namespace cardir {
+namespace {
+
+// Reference region b with mbb [0,10]×[0,10] throughout.
+Region ReferenceB() { return Region(MakeRectangle(0, 0, 10, 10)); }
+
+CardinalRelation Cdr(const Region& a, const Region& b) {
+  auto result = ComputeCdr(a, b);
+  EXPECT_TRUE(result.ok()) << result.status();
+  return result.value_or(CardinalRelation());
+}
+
+TEST(ComputeCdrTest, PaperFigure1SingleTileSouth) {
+  // Fig. 1b: a lies entirely in S(b) ⇒ a S b.
+  const Region a(MakeRectangle(2, -6, 8, -2));
+  EXPECT_EQ(Cdr(a, ReferenceB()).ToString(), "S");
+}
+
+TEST(ComputeCdrTest, PaperFigure1MultiTileNortheastEast) {
+  // Fig. 1c: c is partly northeast and partly east of b ⇒ c NE:E b.
+  const Region c(MakeRectangle(12, 4, 18, 16));
+  EXPECT_EQ(Cdr(c, ReferenceB()).ToString(), "NE:E");
+}
+
+TEST(ComputeCdrTest, PaperFigure1EightTileCompositeRegion) {
+  // Fig. 1d: d = d1 ∪ ... ∪ d8 occupies B,S,SW,W,NW,N,E,SE but not NE.
+  Region d;
+  d.AddPolygon(MakeRectangle(4, 4, 6, 6));      // d1: B.
+  d.AddPolygon(MakeRectangle(4, -4, 6, -2));    // d2: S.
+  d.AddPolygon(MakeRectangle(-4, -4, -2, -2));  // d3: SW.
+  d.AddPolygon(MakeRectangle(-4, 4, -2, 6));    // d4: W.
+  d.AddPolygon(MakeRectangle(-4, 12, -2, 14));  // d5: NW.
+  d.AddPolygon(MakeRectangle(4, 12, 6, 14));    // d6: N.
+  d.AddPolygon(MakeRectangle(12, -4, 14, -2));  // d7: SE.
+  d.AddPolygon(MakeRectangle(12, 4, 14, 6));    // d8: E.
+  EXPECT_EQ(Cdr(d, ReferenceB()).ToString(), "B:S:SW:W:NW:N:E:SE");
+}
+
+// The Example 2 / Example 3 scenario: a quadrangle whose vertices lie in
+// W, NW, NW, NE, but whose true relation also includes B, N and E because
+// edges expand over several tiles.
+Region Example2Quadrangle() {
+  return Region(Polygon(
+      {Point(-4, 8), Point(-2, 14), Point(-1, 18), Point(20, 11)}));
+}
+
+TEST(ComputeCdrTest, PaperExample2VertexClassificationIsInsufficient) {
+  const Region a = Example2Quadrangle();
+  const Box mbb = ReferenceB().BoundingBox();
+  // Vertices alone suggest W:NW:NE ...
+  CardinalRelation vertex_only;
+  for (const Point& v : a.polygons().front().vertices()) {
+    vertex_only.Add(ClassifyPoint(v, mbb));
+  }
+  EXPECT_EQ(vertex_only.ToString(), "W:NW:NE");
+  // ... but the correct relation includes B, N and E as well.
+  EXPECT_EQ(Cdr(a, ReferenceB()).ToString(), "B:W:NW:N:NE:E");
+}
+
+TEST(ComputeCdrTest, PaperExample3EdgeDivisionCount) {
+  // Edge-by-edge division of the quadrangle:
+  //   N1N2 (W→NW): 2, N2N3 (NW): 1, N3N4 (NW→N→NE): 3, N4N1 (NE→E→B→W): 4.
+  auto result = ComputeCdrDetailed(Example2Quadrangle(), ReferenceB());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->input_edges, 4u);
+  EXPECT_EQ(result->output_edges, 10u);
+  EXPECT_EQ(result->relation.ToString(), "B:W:NW:N:NE:E");
+}
+
+TEST(ComputeCdrTest, RegionContainedInReferenceIsB) {
+  EXPECT_EQ(Cdr(Region(MakeRectangle(2, 2, 8, 8)), ReferenceB()).ToString(),
+            "B");
+  // Equal regions: B as well (the mbb bounds coincide, Def. 1 uses ≤).
+  EXPECT_EQ(Cdr(ReferenceB(), ReferenceB()).ToString(), "B");
+}
+
+TEST(ComputeCdrTest, RegionSwallowingTheReferenceCoversAllNineTiles) {
+  // The primary contains the whole mbb(b): its boundary never enters B, so
+  // the centre-of-mbb containment step of Fig. 5 must add the B tile.
+  const Region a(MakeRectangle(-10, -10, 20, 20));
+  EXPECT_EQ(Cdr(a, ReferenceB()).ToString(), "B:S:SW:W:NW:N:NE:E:SE");
+}
+
+TEST(ComputeCdrTest, RingAroundTheReferenceHasNoB) {
+  // A frame around b (hole containing mbb(b)): all eight peripheral tiles
+  // but not B — the centre containment test must NOT fire.
+  Region frame;
+  frame.AddPolygon(MakeRectangle(-10, -10, 20, -5));  // South band.
+  frame.AddPolygon(MakeRectangle(-10, 15, 20, 20));   // North band.
+  frame.AddPolygon(MakeRectangle(-10, -5, -5, 15));   // West band.
+  frame.AddPolygon(MakeRectangle(15, -5, 20, 15));    // East band.
+  EXPECT_EQ(Cdr(frame, ReferenceB()).ToString(), "S:SW:W:NW:N:NE:E:SE");
+}
+
+TEST(ComputeCdrTest, TouchingTheReferenceLineOnlyDoesNotAddTiles) {
+  // a touches b's east line x = 10 but has no area in B: relation is E, not
+  // B:E (Definition 1 pieces have positive area).
+  const Region a(MakeRectangle(10, 2, 16, 8));
+  EXPECT_EQ(Cdr(a, ReferenceB()).ToString(), "E");
+  // Symmetric: touching from inside stays B.
+  const Region inside(MakeRectangle(4, 0, 8, 10));
+  EXPECT_EQ(Cdr(inside, ReferenceB()).ToString(), "B");
+}
+
+TEST(ComputeCdrTest, DisconnectedPrimaryUnionsItsParts) {
+  Region a;
+  a.AddPolygon(MakeRectangle(-6, -6, -2, -2));  // SW.
+  a.AddPolygon(MakeRectangle(12, 12, 16, 16));  // NE.
+  EXPECT_EQ(Cdr(a, ReferenceB()).ToString(), "SW:NE");
+}
+
+TEST(ComputeCdrTest, ReferenceIsCompositeUsesItsOverallMbb) {
+  // The reference is disconnected; its mbb spans both parts.
+  Region b;
+  b.AddPolygon(MakeRectangle(0, 0, 2, 2));
+  b.AddPolygon(MakeRectangle(8, 8, 10, 10));
+  // mbb(b) = [0,10]^2, so a centered square is B even though it misses both
+  // polygons of b.
+  EXPECT_EQ(Cdr(Region(MakeRectangle(4, 4, 6, 6)), b).ToString(), "B");
+}
+
+TEST(ComputeCdrTest, TriangleCrossingTilesDiagonally) {
+  // Triangle with a long diagonal edge through B.
+  const Region a(Polygon({Point(-5, -5), Point(15, 15), Point(15, -5)}));
+  EXPECT_EQ(Cdr(a, ReferenceB()).ToString(), "B:S:SW:NE:E:SE");
+}
+
+TEST(ComputeCdrTest, ValidationErrorsPropagate) {
+  Region bad;  // Empty region.
+  EXPECT_FALSE(ComputeCdr(bad, ReferenceB()).ok());
+  EXPECT_FALSE(ComputeCdr(ReferenceB(), bad).ok());
+  Region degenerate(Polygon({Point(0, 0), Point(1, 1), Point(2, 2)}));
+  EXPECT_FALSE(ComputeCdr(degenerate, ReferenceB()).ok());
+}
+
+TEST(ComputeCdrTest, InstrumentationCountsInputEdges) {
+  Region a;
+  a.AddPolygon(MakeRectangle(2, 2, 4, 4));
+  a.AddPolygon(Polygon({Point(6, 6), Point(8, 6), Point(7, 8)}));
+  auto result = ComputeCdrDetailed(a, ReferenceB());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->input_edges, 7u);
+  EXPECT_EQ(result->output_edges, 7u);  // Fully inside: no division.
+}
+
+}  // namespace
+}  // namespace cardir

@@ -1,0 +1,165 @@
+#include "core/edge_splitter.h"
+
+#include <gtest/gtest.h>
+
+namespace cardir {
+namespace {
+
+const Box kMbb(0, 0, 10, 10);
+
+std::vector<ClassifiedEdge> Split(const Segment& edge, const Box& mbb = kMbb) {
+  std::vector<ClassifiedEdge> pieces;
+  SplitAndClassifyEdge(edge, mbb, &pieces);
+  return pieces;
+}
+
+TEST(EdgeSplitterTest, EdgeInsideOneTileIsNotSplit) {
+  const auto pieces = Split(Segment(Point(2, 2), Point(8, 3)));
+  ASSERT_EQ(pieces.size(), 1u);
+  EXPECT_EQ(pieces[0].tile, Tile::kB);
+  EXPECT_EQ(pieces[0].segment, Segment(Point(2, 2), Point(8, 3)));
+}
+
+TEST(EdgeSplitterTest, DegenerateEdgeProducesNothing) {
+  EXPECT_TRUE(Split(Segment(Point(3, 3), Point(3, 3))).empty());
+}
+
+TEST(EdgeSplitterTest, SingleCrossingSplitsInTwo) {
+  const auto pieces = Split(Segment(Point(-4, 5), Point(6, 5)));
+  ASSERT_EQ(pieces.size(), 2u);
+  EXPECT_EQ(pieces[0].tile, Tile::kW);
+  EXPECT_EQ(pieces[0].segment.b, Point(0, 5));
+  EXPECT_EQ(pieces[1].tile, Tile::kB);
+  EXPECT_EQ(pieces[1].segment.a, Point(0, 5));
+}
+
+TEST(EdgeSplitterTest, EdgeSpanningThreeColumns) {
+  // The Example 2 phenomenon: an edge expanding over three tiles.
+  const auto pieces = Split(Segment(Point(-5, 12), Point(15, 12)));
+  ASSERT_EQ(pieces.size(), 3u);
+  EXPECT_EQ(pieces[0].tile, Tile::kNW);
+  EXPECT_EQ(pieces[1].tile, Tile::kN);
+  EXPECT_EQ(pieces[2].tile, Tile::kNE);
+  // Split points snapped exactly onto the lines.
+  EXPECT_EQ(pieces[0].segment.b, Point(0, 12));
+  EXPECT_EQ(pieces[1].segment.b, Point(10, 12));
+}
+
+TEST(EdgeSplitterTest, MaximalSplitFourCrossings) {
+  // A diagonal crossing all four mbb lines at distinct points: 5 pieces
+  // traversing SW, W, B, E, NE.
+  const auto pieces = Split(Segment(Point(-5, -3), Point(15, 13)));
+  ASSERT_EQ(pieces.size(), 5u);
+  EXPECT_EQ(pieces[0].tile, Tile::kSW);
+  EXPECT_EQ(pieces[1].tile, Tile::kW);
+  EXPECT_EQ(pieces[2].tile, Tile::kB);
+  EXPECT_EQ(pieces[3].tile, Tile::kE);
+  EXPECT_EQ(pieces[4].tile, Tile::kNE);
+}
+
+TEST(EdgeSplitterTest, CornerCrossingDeduplicatesCoincidentPoints) {
+  // Passes exactly through the SW corner (0,0): the x and y crossings
+  // coincide, producing 2 pieces, not 3.
+  const auto pieces = Split(Segment(Point(-4, -4), Point(4, 4)));
+  ASSERT_EQ(pieces.size(), 2u);
+  EXPECT_EQ(pieces[0].tile, Tile::kSW);
+  EXPECT_EQ(pieces[1].tile, Tile::kB);
+  EXPECT_EQ(pieces[0].segment.b, Point(0, 0));
+}
+
+TEST(EdgeSplitterTest, TouchingALineDoesNotSplit) {
+  // Touches x = 0 at an endpoint only (Definition 3b).
+  const auto pieces = Split(Segment(Point(0, 5), Point(8, 5)));
+  ASSERT_EQ(pieces.size(), 1u);
+  EXPECT_EQ(pieces[0].tile, Tile::kB);
+  const auto pieces2 = Split(Segment(Point(-6, 5), Point(0, 5)));
+  ASSERT_EQ(pieces2.size(), 1u);
+  EXPECT_EQ(pieces2[0].tile, Tile::kW);
+}
+
+TEST(EdgeSplitterTest, VertexTouchWithinOneColumn) {
+  // Bends at the line without crossing: both pieces stay W.
+  const auto pieces = Split(Segment(Point(-6, 2), Point(0, 8)));
+  ASSERT_EQ(pieces.size(), 1u);
+  EXPECT_EQ(pieces[0].tile, Tile::kW);
+}
+
+TEST(EdgeSplitterTest, EdgeOnWestLineUsesInteriorSide) {
+  // A clockwise ring keeps its interior to the right of the direction.
+  // Going up on x = 0: interior east ⇒ middle column ⇒ tile B.
+  const auto up = Split(Segment(Point(0, 2), Point(0, 8)));
+  ASSERT_EQ(up.size(), 1u);
+  EXPECT_EQ(up[0].tile, Tile::kB);
+  // Going down on x = 0: interior west ⇒ tile W.
+  const auto down = Split(Segment(Point(0, 8), Point(0, 2)));
+  ASSERT_EQ(down.size(), 1u);
+  EXPECT_EQ(down[0].tile, Tile::kW);
+}
+
+TEST(EdgeSplitterTest, EdgeOnEastLineUsesInteriorSide) {
+  const auto up = Split(Segment(Point(10, 2), Point(10, 8)));
+  ASSERT_EQ(up.size(), 1u);
+  EXPECT_EQ(up[0].tile, Tile::kE);  // Interior east of x = 10.
+  const auto down = Split(Segment(Point(10, 8), Point(10, 2)));
+  ASSERT_EQ(down.size(), 1u);
+  EXPECT_EQ(down[0].tile, Tile::kB);
+}
+
+TEST(EdgeSplitterTest, EdgeOnSouthAndNorthLinesUseInteriorSide) {
+  // Going east on y = 0: interior south ⇒ tile S.
+  EXPECT_EQ(Split(Segment(Point(2, 0), Point(8, 0)))[0].tile, Tile::kS);
+  // Going west on y = 0: interior north ⇒ tile B.
+  EXPECT_EQ(Split(Segment(Point(8, 0), Point(2, 0)))[0].tile, Tile::kB);
+  // Going east on y = 10: interior south ⇒ tile B.
+  EXPECT_EQ(Split(Segment(Point(2, 10), Point(8, 10)))[0].tile, Tile::kB);
+  // Going west on y = 10: interior north ⇒ tile N.
+  EXPECT_EQ(Split(Segment(Point(8, 10), Point(2, 10)))[0].tile, Tile::kN);
+}
+
+TEST(EdgeSplitterTest, PiecesConcatenateToOriginalEdge) {
+  const Segment edge(Point(-7, 3), Point(13, 17));
+  const auto pieces = Split(edge);
+  ASSERT_GE(pieces.size(), 2u);
+  EXPECT_EQ(pieces.front().segment.a, edge.a);
+  EXPECT_EQ(pieces.back().segment.b, edge.b);
+  for (size_t i = 0; i + 1 < pieces.size(); ++i) {
+    EXPECT_EQ(pieces[i].segment.b, pieces[i + 1].segment.a);
+  }
+}
+
+TEST(EdgeSplitterTest, ClassifySubEdgeAllNineTiles) {
+  struct Case {
+    Segment segment;
+    Tile expected;
+  };
+  const Case cases[] = {
+      {Segment(Point(1, 1), Point(9, 9)), Tile::kB},
+      {Segment(Point(1, -5), Point(9, -1)), Tile::kS},
+      {Segment(Point(-5, -5), Point(-1, -1)), Tile::kSW},
+      {Segment(Point(-5, 1), Point(-1, 9)), Tile::kW},
+      {Segment(Point(-5, 11), Point(-1, 15)), Tile::kNW},
+      {Segment(Point(1, 11), Point(9, 15)), Tile::kN},
+      {Segment(Point(11, 11), Point(15, 15)), Tile::kNE},
+      {Segment(Point(11, 1), Point(15, 9)), Tile::kE},
+      {Segment(Point(11, -5), Point(15, -1)), Tile::kSE},
+  };
+  for (const Case& c : cases) {
+    EXPECT_EQ(ClassifySubEdge(c.segment, kMbb), c.expected);
+  }
+}
+
+TEST(EdgeSplitterTest, DegenerateMbbWidthZero) {
+  // A zero-width reference box still partitions the plane; edges on the
+  // single vertical line resolve by interior side.
+  const Box thin(5, 0, 5, 10);
+  const auto west = Split(Segment(Point(1, 5), Point(4, 5)), thin);
+  ASSERT_EQ(west.size(), 1u);
+  EXPECT_EQ(ColumnOf(west[0].tile), TileColumn::kWest);
+  const auto split = Split(Segment(Point(1, 5), Point(9, 5)), thin);
+  ASSERT_EQ(split.size(), 2u);
+  EXPECT_EQ(ColumnOf(split[0].tile), TileColumn::kWest);
+  EXPECT_EQ(ColumnOf(split[1].tile), TileColumn::kEast);
+}
+
+}  // namespace
+}  // namespace cardir

@@ -1,0 +1,80 @@
+#include "core/percentage_matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace cardir {
+namespace {
+
+std::array<double, kNumTiles> Areas(
+    std::initializer_list<std::pair<Tile, double>> entries) {
+  std::array<double, kNumTiles> areas{};
+  for (const auto& [tile, area] : entries) {
+    areas[static_cast<int>(tile)] = area;
+  }
+  return areas;
+}
+
+TEST(PercentageMatrixTest, FromAreasNormalises) {
+  const PercentageMatrix m =
+      PercentageMatrix::FromAreas(Areas({{Tile::kNE, 36.0}, {Tile::kE, 36.0}}));
+  EXPECT_DOUBLE_EQ(m.at(Tile::kNE), 50.0);
+  EXPECT_DOUBLE_EQ(m.at(Tile::kE), 50.0);
+  EXPECT_DOUBLE_EQ(m.at(Tile::kB), 0.0);
+  EXPECT_DOUBLE_EQ(m.Total(), 100.0);
+}
+
+TEST(PercentageMatrixTest, ZeroTotalYieldsZeroMatrix) {
+  const PercentageMatrix m = PercentageMatrix::FromAreas(Areas({}));
+  EXPECT_DOUBLE_EQ(m.Total(), 0.0);
+}
+
+TEST(PercentageMatrixTest, ToRelationThreshold) {
+  const PercentageMatrix m = PercentageMatrix::FromAreas(
+      Areas({{Tile::kB, 98.0}, {Tile::kN, 1.5}, {Tile::kNE, 0.5}}));
+  EXPECT_EQ(m.ToRelation().ToString(), "B:N:NE");
+  EXPECT_EQ(m.ToRelation(1.0).ToString(), "B:N");
+  EXPECT_EQ(m.ToRelation(50.0).ToString(), "B");
+}
+
+TEST(PercentageMatrixTest, ApproxEquals) {
+  const PercentageMatrix a =
+      PercentageMatrix::FromAreas(Areas({{Tile::kB, 1.0}}));
+  PercentageMatrix b = a;
+  b.set(Tile::kB, 99.9);
+  b.set(Tile::kS, 0.1);
+  EXPECT_TRUE(a.ApproxEquals(b, 0.2));
+  EXPECT_FALSE(a.ApproxEquals(b, 0.05));
+}
+
+TEST(PercentageMatrixTest, ToStringLayout) {
+  // Rows are printed north to south, like the §2 matrices: the NE cell sits
+  // in the first row, the SE cell in the last.
+  const PercentageMatrix m = PercentageMatrix::FromAreas(
+      Areas({{Tile::kNE, 50.0}, {Tile::kE, 50.0}}));
+  const std::string text = m.ToString(0);
+  const std::vector<std::string> lines = [&text] {
+    std::vector<std::string> out;
+    size_t start = 0;
+    for (size_t i = 0; i <= text.size(); ++i) {
+      if (i == text.size() || text[i] == '\n') {
+        out.push_back(text.substr(start, i - start));
+        start = i + 1;
+      }
+    }
+    return out;
+  }();
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_NE(lines[0].find("50%"), std::string::npos);
+  EXPECT_NE(lines[1].find("50%"), std::string::npos);
+  EXPECT_EQ(lines[2].find("50%"), std::string::npos);
+}
+
+TEST(PercentageMatrixTest, SetAndGet) {
+  PercentageMatrix m;
+  m.set(Tile::kSW, 12.5);
+  EXPECT_DOUBLE_EQ(m.at(Tile::kSW), 12.5);
+  EXPECT_DOUBLE_EQ(m.Total(), 12.5);
+}
+
+}  // namespace
+}  // namespace cardir

@@ -1,0 +1,47 @@
+#include "core/relation_pair.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace cardir {
+namespace {
+
+TEST(RelationPairTest, ComputesBothDirections) {
+  const Region a(MakeRectangle(2, -6, 8, -2));
+  const Region b(MakeRectangle(0, 0, 10, 10));
+  auto pair = ComputeRelationPair(a, b);
+  ASSERT_TRUE(pair.ok());
+  EXPECT_EQ(pair->a_to_b.ToString(), "S");
+  // b is north of a but wider than a's mbb, so it spills into NW and NE —
+  // the §2 example of an asymmetric pair.
+  EXPECT_EQ(pair->b_to_a.ToString(), "NW:N:NE");
+}
+
+TEST(RelationPairTest, AsymmetricPair) {
+  // a is a thin region inside b: a B b but b covers far more than B of a.
+  const Region a(MakeRectangle(4, 4, 6, 6));
+  const Region b(MakeRectangle(0, 0, 10, 10));
+  auto pair = ComputeRelationPair(a, b);
+  ASSERT_TRUE(pair.ok());
+  EXPECT_EQ(pair->a_to_b.ToString(), "B");
+  EXPECT_EQ(pair->b_to_a.ToString(), "B:S:SW:W:NW:N:NE:E:SE");
+}
+
+TEST(RelationPairTest, StreamOperator) {
+  const Region a(MakeRectangle(2, -6, 8, -2));
+  const Region b(MakeRectangle(0, 0, 10, 10));
+  auto pair = ComputeRelationPair(a, b);
+  ASSERT_TRUE(pair.ok());
+  std::ostringstream os;
+  os << *pair;
+  EXPECT_EQ(os.str(), "(S, NW:N:NE)");
+}
+
+TEST(RelationPairTest, PropagatesValidationErrors) {
+  EXPECT_FALSE(
+      ComputeRelationPair(Region(), Region(MakeRectangle(0, 0, 1, 1))).ok());
+}
+
+}  // namespace
+}  // namespace cardir

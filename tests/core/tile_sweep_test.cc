@@ -1,0 +1,115 @@
+// Parameterised sweep over the nine tiles: a probe region placed squarely
+// in each tile of the reference must yield exactly the single-tile relation
+// (Definition 1), a 100% percentage entry, and clipping-baseline agreement.
+
+#include <gtest/gtest.h>
+
+#include "clipping/baseline_cdr.h"
+#include "core/compute_cdr.h"
+#include "core/compute_cdr_percent.h"
+#include "geometry/region.h"
+
+namespace cardir {
+namespace {
+
+// Reference mbb [0,10]²; a 2×2 probe centred in each closed tile.
+Region ProbeInTile(Tile tile) {
+  double cx = 5.0;
+  double cy = 5.0;
+  switch (ColumnOf(tile)) {
+    case TileColumn::kWest: cx = -5.0; break;
+    case TileColumn::kMiddle: cx = 5.0; break;
+    case TileColumn::kEast: cx = 15.0; break;
+  }
+  switch (RowOf(tile)) {
+    case TileRow::kSouth: cy = -5.0; break;
+    case TileRow::kMiddle: cy = 5.0; break;
+    case TileRow::kNorth: cy = 15.0; break;
+  }
+  return Region(MakeRectangle(cx - 1, cy - 1, cx + 1, cy + 1));
+}
+
+class TileSweepTest : public ::testing::TestWithParam<Tile> {
+ protected:
+  const Region reference_{MakeRectangle(0, 0, 10, 10)};
+};
+
+TEST_P(TileSweepTest, SingleTileRelation) {
+  const Region probe = ProbeInTile(GetParam());
+  auto relation = ComputeCdr(probe, reference_);
+  ASSERT_TRUE(relation.ok());
+  EXPECT_EQ(*relation, CardinalRelation(GetParam()));
+}
+
+TEST_P(TileSweepTest, HundredPercentInTheTile) {
+  const Region probe = ProbeInTile(GetParam());
+  auto matrix = ComputeCdrPercent(probe, reference_);
+  ASSERT_TRUE(matrix.ok());
+  EXPECT_NEAR(matrix->at(GetParam()), 100.0, 1e-9);
+  EXPECT_NEAR(matrix->Total(), 100.0, 1e-9);
+}
+
+TEST_P(TileSweepTest, ClippingBaselineAgrees) {
+  const Region probe = ProbeInTile(GetParam());
+  EXPECT_EQ(*BaselineCdr(probe, reference_),
+            *ComputeCdr(probe, reference_));
+  EXPECT_TRUE(BaselineCdrPercent(probe, reference_)
+                  ->ApproxEquals(*ComputeCdrPercent(probe, reference_),
+                                 1e-9));
+}
+
+TEST_P(TileSweepTest, TouchingTheTileBoundaryStaysSingleTile) {
+  // Stretch the probe to touch (but not enter) the neighbouring tiles:
+  // the closed-tile semantics must keep the single-tile relation.
+  const Tile tile = GetParam();
+  double x0 = 0, x1 = 10, y0 = 0, y1 = 10;
+  switch (ColumnOf(tile)) {
+    case TileColumn::kWest: x0 = -8; x1 = 0; break;
+    case TileColumn::kMiddle: x0 = 0; x1 = 10; break;
+    case TileColumn::kEast: x0 = 10; x1 = 18; break;
+  }
+  switch (RowOf(tile)) {
+    case TileRow::kSouth: y0 = -8; y1 = 0; break;
+    case TileRow::kMiddle: y0 = 0; y1 = 10; break;
+    case TileRow::kNorth: y0 = 10; y1 = 18; break;
+  }
+  const Region probe(MakeRectangle(x0, y0, x1, y1));
+  auto relation = ComputeCdr(probe, reference_);
+  ASSERT_TRUE(relation.ok());
+  EXPECT_EQ(*relation, CardinalRelation(tile))
+      << "tile " << TileName(tile) << " got " << relation->ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllNineTiles, TileSweepTest,
+                         ::testing::ValuesIn(kAllTiles),
+                         [](const ::testing::TestParamInfo<Tile>& info) {
+                           return std::string(TileName(info.param));
+                         });
+
+// The Fig. 9 scenario: a region of two polygons spanning several tiles,
+// with hand-computed per-tile areas.
+TEST(FigureNineStyleTest, TwoPolygonRegionAreas) {
+  const Region reference(MakeRectangle(0, 0, 10, 10));
+  Region a;
+  // Quadrangle across W / NW / N / B.
+  a.AddPolygon(MakeRectangle(-4, 8, 6, 14));  // Area 60.
+  // Triangle in E spilling into NE: square simpler — across E and NE.
+  a.AddPolygon(MakeRectangle(12, 6, 16, 14));  // Area 32.
+  auto result = ComputeCdrPercentDetailed(a, reference);
+  ASSERT_TRUE(result.ok());
+  // First rectangle: W part x∈[−4,0], y∈[8,10] → 8; NW x∈[−4,0], y∈[10,14]
+  // → 16; N x∈[0,6], y∈[10,14] → 24; B x∈[0,6], y∈[8,10] → 12.
+  EXPECT_NEAR(result->tile_areas[static_cast<int>(Tile::kW)], 8.0, 1e-9);
+  EXPECT_NEAR(result->tile_areas[static_cast<int>(Tile::kNW)], 16.0, 1e-9);
+  EXPECT_NEAR(result->tile_areas[static_cast<int>(Tile::kN)], 24.0, 1e-9);
+  EXPECT_NEAR(result->tile_areas[static_cast<int>(Tile::kB)], 12.0, 1e-9);
+  // Second rectangle: E x∈[12,16], y∈[6,10] → 16; NE y∈[10,14] → 16.
+  EXPECT_NEAR(result->tile_areas[static_cast<int>(Tile::kE)], 16.0, 1e-9);
+  EXPECT_NEAR(result->tile_areas[static_cast<int>(Tile::kNE)], 16.0, 1e-9);
+  EXPECT_NEAR(result->total_area, 92.0, 1e-9);
+  // Qualitative relation covers exactly those six tiles.
+  EXPECT_EQ(ComputeCdr(a, reference)->ToString(), "B:W:NW:N:NE:E");
+}
+
+}  // namespace
+}  // namespace cardir

@@ -1,0 +1,68 @@
+#include "core/tile.h"
+
+#include <gtest/gtest.h>
+
+namespace cardir {
+namespace {
+
+TEST(TileTest, CanonicalNamesRoundTrip) {
+  for (Tile tile : kAllTiles) {
+    Tile parsed;
+    ASSERT_TRUE(ParseTile(TileName(tile), &parsed)) << TileName(tile);
+    EXPECT_EQ(parsed, tile);
+  }
+  Tile tile;
+  EXPECT_FALSE(ParseTile("Q", &tile));
+  EXPECT_FALSE(ParseTile("", &tile));
+  EXPECT_FALSE(ParseTile("sw", &tile));  // Case-sensitive.
+}
+
+TEST(TileTest, CanonicalOrderMatchesPaper) {
+  // §2: B, S, SW, W, NW, N, NE, E, SE.
+  EXPECT_EQ(TileName(kAllTiles[0]), "B");
+  EXPECT_EQ(TileName(kAllTiles[1]), "S");
+  EXPECT_EQ(TileName(kAllTiles[2]), "SW");
+  EXPECT_EQ(TileName(kAllTiles[3]), "W");
+  EXPECT_EQ(TileName(kAllTiles[4]), "NW");
+  EXPECT_EQ(TileName(kAllTiles[5]), "N");
+  EXPECT_EQ(TileName(kAllTiles[6]), "NE");
+  EXPECT_EQ(TileName(kAllTiles[7]), "E");
+  EXPECT_EQ(TileName(kAllTiles[8]), "SE");
+}
+
+TEST(TileTest, RowColumnDecomposition) {
+  EXPECT_EQ(ColumnOf(Tile::kNW), TileColumn::kWest);
+  EXPECT_EQ(RowOf(Tile::kNW), TileRow::kNorth);
+  EXPECT_EQ(ColumnOf(Tile::kB), TileColumn::kMiddle);
+  EXPECT_EQ(RowOf(Tile::kB), TileRow::kMiddle);
+  EXPECT_EQ(ColumnOf(Tile::kSE), TileColumn::kEast);
+  EXPECT_EQ(RowOf(Tile::kSE), TileRow::kSouth);
+  // TileAt inverts (ColumnOf, RowOf) for every tile.
+  for (Tile tile : kAllTiles) {
+    EXPECT_EQ(TileAt(ColumnOf(tile), RowOf(tile)), tile);
+  }
+}
+
+TEST(TileTest, ClassifyPointStrictInteriors) {
+  const Box mbb(0, 0, 10, 10);
+  EXPECT_EQ(ClassifyPoint(Point(5, 5), mbb), Tile::kB);
+  EXPECT_EQ(ClassifyPoint(Point(5, -1), mbb), Tile::kS);
+  EXPECT_EQ(ClassifyPoint(Point(-1, -1), mbb), Tile::kSW);
+  EXPECT_EQ(ClassifyPoint(Point(-1, 5), mbb), Tile::kW);
+  EXPECT_EQ(ClassifyPoint(Point(-1, 11), mbb), Tile::kNW);
+  EXPECT_EQ(ClassifyPoint(Point(5, 11), mbb), Tile::kN);
+  EXPECT_EQ(ClassifyPoint(Point(11, 11), mbb), Tile::kNE);
+  EXPECT_EQ(ClassifyPoint(Point(11, 5), mbb), Tile::kE);
+  EXPECT_EQ(ClassifyPoint(Point(11, -1), mbb), Tile::kSE);
+}
+
+TEST(TileTest, ClassifyPointTiesResolveTowardMiddle) {
+  const Box mbb(0, 0, 10, 10);
+  EXPECT_EQ(ClassifyPoint(Point(0, 5), mbb), Tile::kB);
+  EXPECT_EQ(ClassifyPoint(Point(10, 10), mbb), Tile::kB);
+  EXPECT_EQ(ClassifyPoint(Point(0, -3), mbb), Tile::kS);
+  EXPECT_EQ(ClassifyPoint(Point(-3, 10), mbb), Tile::kW);
+}
+
+}  // namespace
+}  // namespace cardir

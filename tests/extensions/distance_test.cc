@@ -1,0 +1,105 @@
+#include "extensions/distance.h"
+
+#include <gtest/gtest.h>
+
+namespace cardir {
+namespace {
+
+TEST(MinimumDistanceTest, IntersectingRegionsHaveZeroDistance) {
+  EXPECT_DOUBLE_EQ(*MinimumDistance(Region(MakeRectangle(0, 0, 4, 4)),
+                                    Region(MakeRectangle(2, 2, 6, 6))),
+                   0.0);
+  // Touching counts as zero too (closed sets).
+  EXPECT_DOUBLE_EQ(*MinimumDistance(Region(MakeRectangle(0, 0, 2, 2)),
+                                    Region(MakeRectangle(2, 0, 4, 2))),
+                   0.0);
+}
+
+TEST(MinimumDistanceTest, ContainmentIsZeroWithoutBoundaryContact) {
+  EXPECT_DOUBLE_EQ(*MinimumDistance(Region(MakeRectangle(2, 2, 3, 3)),
+                                    Region(MakeRectangle(0, 0, 10, 10))),
+                   0.0);
+  EXPECT_DOUBLE_EQ(*MinimumDistance(Region(MakeRectangle(0, 0, 10, 10)),
+                                    Region(MakeRectangle(2, 2, 3, 3))),
+                   0.0);
+}
+
+TEST(MinimumDistanceTest, AxisAlignedGap) {
+  EXPECT_DOUBLE_EQ(*MinimumDistance(Region(MakeRectangle(0, 0, 2, 2)),
+                                    Region(MakeRectangle(5, 0, 7, 2))),
+                   3.0);
+}
+
+TEST(MinimumDistanceTest, DiagonalGapIsEuclidean) {
+  // Closest corners (2,2) and (5,6): distance 5.
+  EXPECT_DOUBLE_EQ(*MinimumDistance(Region(MakeRectangle(0, 0, 2, 2)),
+                                    Region(MakeRectangle(5, 6, 8, 9))),
+                   5.0);
+}
+
+TEST(MinimumDistanceTest, DisconnectedRegionUsesNearestPart) {
+  Region a;
+  a.AddPolygon(MakeRectangle(0, 0, 1, 1));
+  a.AddPolygon(MakeRectangle(8, 0, 9, 1));
+  const Region b(MakeRectangle(10, 0, 12, 1));
+  EXPECT_DOUBLE_EQ(*MinimumDistance(a, b), 1.0);
+}
+
+TEST(MinimumDistanceTest, SymmetricInItsArguments) {
+  const Region a(MakeRectangle(0, 0, 2, 2));
+  const Region b(MakeRectangle(7, 3, 9, 5));
+  EXPECT_DOUBLE_EQ(*MinimumDistance(a, b), *MinimumDistance(b, a));
+}
+
+TEST(DistanceRelationTest, BucketsScaleWithReferenceDiagonal) {
+  // Reference b: 10×10 square, diagonal ≈ 14.142.
+  const Region b(MakeRectangle(0, 0, 10, 10));
+  // Touching: veryClose.
+  EXPECT_EQ(*ComputeDistanceRelation(Region(MakeRectangle(10, 0, 12, 2)), b),
+            DistanceRelation::kVeryClose);
+  // Gap 2 (< 0.25 · diag ≈ 3.54): veryClose.
+  EXPECT_EQ(*ComputeDistanceRelation(Region(MakeRectangle(12, 0, 14, 2)), b),
+            DistanceRelation::kVeryClose);
+  // Gap 10 (0.707 · diag): close.
+  EXPECT_EQ(*ComputeDistanceRelation(Region(MakeRectangle(20, 0, 22, 2)), b),
+            DistanceRelation::kClose);
+  // Gap 30 (2.12 · diag): commensurate.
+  EXPECT_EQ(*ComputeDistanceRelation(Region(MakeRectangle(40, 0, 42, 2)), b),
+            DistanceRelation::kCommensurate);
+  // Gap 100 (7.07 · diag): far.
+  EXPECT_EQ(*ComputeDistanceRelation(Region(MakeRectangle(110, 0, 112, 2)), b),
+            DistanceRelation::kFar);
+  // Gap 500 (35 · diag): veryFar.
+  EXPECT_EQ(*ComputeDistanceRelation(Region(MakeRectangle(510, 0, 512, 2)), b),
+            DistanceRelation::kVeryFar);
+}
+
+TEST(DistanceRelationTest, CustomScheme) {
+  DistanceScheme scheme;
+  scheme.thresholds = {0.1, 0.2, 0.3, 0.4};
+  const Region b(MakeRectangle(0, 0, 10, 10));
+  const Region a(MakeRectangle(20, 0, 22, 2));  // Gap 10 ≈ 0.707 diag.
+  EXPECT_EQ(*ComputeDistanceRelation(a, b, scheme),
+            DistanceRelation::kVeryFar);
+}
+
+TEST(DistanceRelationTest, NamesRoundTrip) {
+  for (DistanceRelation r :
+       {DistanceRelation::kVeryClose, DistanceRelation::kClose,
+        DistanceRelation::kCommensurate, DistanceRelation::kFar,
+        DistanceRelation::kVeryFar}) {
+    DistanceRelation parsed;
+    ASSERT_TRUE(ParseDistanceRelation(DistanceRelationName(r), &parsed));
+    EXPECT_EQ(parsed, r);
+  }
+  DistanceRelation r;
+  EXPECT_FALSE(ParseDistanceRelation("nearby", &r));
+}
+
+TEST(DistanceTest, ValidationErrors) {
+  EXPECT_FALSE(MinimumDistance(Region(), Region(MakeRectangle(0, 0, 1, 1)))
+                   .ok());
+}
+
+}  // namespace
+}  // namespace cardir

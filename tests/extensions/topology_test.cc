@@ -1,0 +1,146 @@
+#include "extensions/topology.h"
+
+#include <gtest/gtest.h>
+
+namespace cardir {
+namespace {
+
+using enum TopologicalRelation;
+
+TopologicalRelation Topo(const Region& a, const Region& b) {
+  auto result = ComputeTopology(a, b);
+  EXPECT_TRUE(result.ok()) << result.status();
+  return result.value_or(kDisjoint);
+}
+
+TEST(TopologyTest, DisjointRegions) {
+  EXPECT_EQ(Topo(Region(MakeRectangle(0, 0, 2, 2)),
+                 Region(MakeRectangle(5, 5, 7, 7))),
+            kDisjoint);
+  // Overlapping bounding boxes but disjoint shapes.
+  EXPECT_EQ(Topo(Region(Polygon({Point(0, 0), Point(0, 4), Point(4, 4)})),
+                 Region(Polygon({Point(1, 0), Point(5, 0), Point(5, 3)}))),
+            kDisjoint);
+}
+
+TEST(TopologyTest, MeetingRegions) {
+  // Shared edge.
+  EXPECT_EQ(Topo(Region(MakeRectangle(0, 0, 2, 2)),
+                 Region(MakeRectangle(2, 0, 4, 2))),
+            kMeet);
+  // Shared corner point only.
+  EXPECT_EQ(Topo(Region(MakeRectangle(0, 0, 2, 2)),
+                 Region(MakeRectangle(2, 2, 4, 4))),
+            kMeet);
+  // Partial edge contact.
+  EXPECT_EQ(Topo(Region(MakeRectangle(0, 0, 2, 2)),
+                 Region(MakeRectangle(2, 1, 4, 5))),
+            kMeet);
+}
+
+TEST(TopologyTest, OverlappingRegions) {
+  EXPECT_EQ(Topo(Region(MakeRectangle(0, 0, 4, 4)),
+                 Region(MakeRectangle(2, 2, 6, 6))),
+            kOverlap);
+  // The "poke through" case without proper edge crossings: a slides through
+  // b's boundary along collinear edges.
+  EXPECT_EQ(Topo(Region(MakeRectangle(0, -2, 10, 2)),
+                 Region(MakeRectangle(0, 0, 10, 10))),
+            kOverlap);
+}
+
+TEST(TopologyTest, EqualRegions) {
+  EXPECT_EQ(Topo(Region(MakeRectangle(1, 1, 5, 5)),
+                 Region(MakeRectangle(1, 1, 5, 5))),
+            kEqual);
+}
+
+TEST(TopologyTest, EqualUnderDifferentDecompositions) {
+  // The same square represented as one polygon vs two halves sharing an
+  // edge (Fig. 2-style decomposition).
+  Region halves;
+  halves.AddPolygon(MakeRectangle(1, 1, 3, 5));
+  halves.AddPolygon(MakeRectangle(3, 1, 5, 5));
+  EXPECT_EQ(Topo(halves, Region(MakeRectangle(1, 1, 5, 5))), kEqual);
+  EXPECT_EQ(Topo(Region(MakeRectangle(1, 1, 5, 5)), halves), kEqual);
+}
+
+TEST(TopologyTest, InsideAndContains) {
+  const Region inner(MakeRectangle(2, 2, 4, 4));
+  const Region outer(MakeRectangle(0, 0, 10, 10));
+  EXPECT_EQ(Topo(inner, outer), kInside);
+  EXPECT_EQ(Topo(outer, inner), kContains);
+}
+
+TEST(TopologyTest, CoveredByAndCovers) {
+  // Inner touches the outer boundary.
+  const Region inner(MakeRectangle(0, 2, 4, 4));
+  const Region outer(MakeRectangle(0, 0, 10, 10));
+  EXPECT_EQ(Topo(inner, outer), kCoveredBy);
+  EXPECT_EQ(Topo(outer, inner), kCovers);
+}
+
+TEST(TopologyTest, RegionInsideHoleIsDisjoint) {
+  // Ring with a hole; a region inside the hole shares no point with it.
+  Region ring;
+  ring.AddPolygon(MakeRectangle(0, 0, 10, 3));
+  ring.AddPolygon(MakeRectangle(0, 7, 10, 10));
+  ring.AddPolygon(MakeRectangle(0, 3, 3, 7));
+  ring.AddPolygon(MakeRectangle(7, 3, 10, 7));
+  EXPECT_EQ(Topo(Region(MakeRectangle(4, 4, 6, 6)), ring), kDisjoint);
+  // Touching the hole boundary: meet.
+  EXPECT_EQ(Topo(Region(MakeRectangle(3, 4, 6, 6)), ring), kMeet);
+  // Spanning the hole and the ring: overlap.
+  EXPECT_EQ(Topo(Region(MakeRectangle(2, 4, 6, 6)), ring), kOverlap);
+}
+
+TEST(TopologyTest, EnclaveExactlyFillingAHoleMeets) {
+  // The plug's boundary coincides with the ring's inner boundary, yet the
+  // interiors are disjoint: meet, not coveredBy.
+  Region ring;
+  ring.AddPolygon(MakeRectangle(0, 0, 10, 3));
+  ring.AddPolygon(MakeRectangle(0, 7, 10, 10));
+  ring.AddPolygon(MakeRectangle(0, 3, 3, 7));
+  ring.AddPolygon(MakeRectangle(7, 3, 10, 7));
+  const Region plug(MakeRectangle(3, 3, 7, 7));
+  EXPECT_EQ(Topo(plug, ring), kMeet);
+  EXPECT_EQ(Topo(ring, plug), kMeet);
+}
+
+TEST(TopologyTest, DisconnectedRegionStraddling) {
+  // One part inside b, one part outside: overlap even though no boundary
+  // crossing exists.
+  Region a;
+  a.AddPolygon(MakeRectangle(2, 2, 3, 3));
+  a.AddPolygon(MakeRectangle(20, 20, 21, 21));
+  EXPECT_EQ(Topo(a, Region(MakeRectangle(0, 0, 10, 10))), kOverlap);
+}
+
+TEST(TopologyTest, ConverseFunction) {
+  EXPECT_EQ(ConverseTopology(kInside), kContains);
+  EXPECT_EQ(ConverseTopology(kCovers), kCoveredBy);
+  EXPECT_EQ(ConverseTopology(kMeet), kMeet);
+  EXPECT_EQ(ConverseTopology(kEqual), kEqual);
+  EXPECT_EQ(ConverseTopology(kOverlap), kOverlap);
+  EXPECT_EQ(ConverseTopology(kDisjoint), kDisjoint);
+}
+
+TEST(TopologyTest, NamesRoundTrip) {
+  for (TopologicalRelation r :
+       {kDisjoint, kMeet, kOverlap, kEqual, kInside, kCoveredBy, kContains,
+        kCovers}) {
+    TopologicalRelation parsed;
+    ASSERT_TRUE(ParseTopologicalRelation(TopologicalRelationName(r), &parsed));
+    EXPECT_EQ(parsed, r);
+  }
+  TopologicalRelation r;
+  EXPECT_FALSE(ParseTopologicalRelation("touching", &r));
+}
+
+TEST(TopologyTest, ValidationErrors) {
+  EXPECT_FALSE(ComputeTopology(Region(), Region(MakeRectangle(0, 0, 1, 1)))
+                   .ok());
+}
+
+}  // namespace
+}  // namespace cardir

@@ -1,0 +1,71 @@
+#include "geometry/box.h"
+
+#include <gtest/gtest.h>
+
+namespace cardir {
+namespace {
+
+TEST(BoxTest, DefaultIsEmpty) {
+  Box box;
+  EXPECT_TRUE(box.IsEmpty());
+  EXPECT_DOUBLE_EQ(box.area(), 0.0);
+  EXPECT_FALSE(box.Contains(Point(0, 0)));
+}
+
+TEST(BoxTest, ExtendGrowsFromEmpty) {
+  Box box;
+  box.Extend(Point(2, 3));
+  EXPECT_FALSE(box.IsEmpty());
+  EXPECT_TRUE(box.IsDegenerate());
+  box.Extend(Point(-1, 5));
+  EXPECT_EQ(box, Box(-1, 3, 2, 5));
+  EXPECT_FALSE(box.IsDegenerate());
+}
+
+TEST(BoxTest, ExtendWithBox) {
+  Box a(0, 0, 1, 1);
+  a.Extend(Box(2, -1, 3, 0.5));
+  EXPECT_EQ(a, Box(0, -1, 3, 1));
+  Box b(0, 0, 1, 1);
+  b.Extend(Box::Empty());
+  EXPECT_EQ(b, Box(0, 0, 1, 1));
+}
+
+TEST(BoxTest, AccessorsAndCenter) {
+  const Box box(1, 2, 5, 10);
+  EXPECT_DOUBLE_EQ(box.width(), 4.0);
+  EXPECT_DOUBLE_EQ(box.height(), 8.0);
+  EXPECT_DOUBLE_EQ(box.area(), 32.0);
+  EXPECT_EQ(box.Center(), Point(3, 6));
+}
+
+TEST(BoxTest, ClosedContainmentOfPoints) {
+  const Box box(0, 0, 2, 2);
+  EXPECT_TRUE(box.Contains(Point(1, 1)));
+  EXPECT_TRUE(box.Contains(Point(0, 0)));   // Corner.
+  EXPECT_TRUE(box.Contains(Point(2, 1)));   // Edge.
+  EXPECT_FALSE(box.Contains(Point(2.001, 1)));
+  EXPECT_FALSE(box.Contains(Point(-0.001, 0)));
+}
+
+TEST(BoxTest, BoxContainment) {
+  const Box outer(0, 0, 10, 10);
+  EXPECT_TRUE(outer.Contains(Box(2, 2, 8, 8)));
+  EXPECT_TRUE(outer.Contains(outer));  // Closed: itself.
+  EXPECT_FALSE(outer.Contains(Box(2, 2, 11, 8)));
+}
+
+TEST(BoxTest, Intersection) {
+  const Box a(0, 0, 5, 5);
+  EXPECT_TRUE(a.Intersects(Box(4, 4, 9, 9)));
+  EXPECT_TRUE(a.Intersects(Box(5, 5, 9, 9)));  // Touching corner counts.
+  EXPECT_FALSE(a.Intersects(Box(6, 0, 9, 5)));
+  EXPECT_FALSE(a.Intersects(Box::Empty()));
+}
+
+TEST(BoxTest, FromCornersNormalises) {
+  EXPECT_EQ(Box::FromCorners(Point(5, 1), Point(2, 7)), Box(2, 1, 5, 7));
+}
+
+}  // namespace
+}  // namespace cardir

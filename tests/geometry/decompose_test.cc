@@ -1,0 +1,108 @@
+#include "geometry/decompose.h"
+
+#include <gtest/gtest.h>
+
+#include "core/compute_cdr.h"
+#include "geometry/wkt.h"
+#include "util/random.h"
+#include "workload/region_gen.h"
+
+namespace cardir {
+namespace {
+
+TEST(DecomposeTest, SingleRectangle) {
+  auto region = DecomposeEvenOdd({MakeRectangle(0, 0, 4, 2)});
+  ASSERT_TRUE(region.ok()) << region.status();
+  EXPECT_DOUBLE_EQ(region->Area(), 8.0);
+  EXPECT_TRUE(region->ValidateStrict().ok());
+}
+
+TEST(DecomposeTest, RectangleWithRectangularHole) {
+  auto region = DecomposePolygonWithHoles(
+      MakeRectangle(0, 0, 10, 10), {MakeRectangle(4, 4, 6, 6)});
+  ASSERT_TRUE(region.ok()) << region.status();
+  EXPECT_DOUBLE_EQ(region->Area(), 100.0 - 4.0);
+  EXPECT_FALSE(region->Contains(Point(5, 5)));
+  EXPECT_TRUE(region->Contains(Point(1, 5)));
+  EXPECT_TRUE(region->Contains(Point(4, 5)));  // Hole rim (closed region).
+  EXPECT_TRUE(region->ValidateStrict().ok());
+  // Same point set as the hand-made band decomposition: same relations.
+  const Region reference(MakeRectangle(3, 3, 7, 7));
+  const Region bands = MakeRingRegion(Box(0, 0, 10, 10), Box(4, 4, 6, 6));
+  EXPECT_EQ(*ComputeCdr(*region, reference), *ComputeCdr(bands, reference));
+}
+
+TEST(DecomposeTest, TriangleWithTriangularHole) {
+  Polygon outer({Point(0, 0), Point(12, 0), Point(6, 12)});
+  Polygon hole({Point(4, 2), Point(8, 2), Point(6, 6)});
+  auto region = DecomposePolygonWithHoles(outer, {hole});
+  ASSERT_TRUE(region.ok()) << region.status();
+  EXPECT_NEAR(region->Area(), outer.Area() - hole.Area(), 1e-9);
+  EXPECT_FALSE(region->Contains(Point(6, 3)));  // In the hole.
+  EXPECT_TRUE(region->Contains(Point(2, 1)));
+  EXPECT_TRUE(region->Validate().ok());
+}
+
+TEST(DecomposeTest, IslandInsideAHole) {
+  // Even-odd nesting: outer ⊃ hole ⊃ island. The island is covered again.
+  auto region = DecomposeEvenOdd({MakeRectangle(0, 0, 12, 12),
+                                  MakeRectangle(2, 2, 10, 10),
+                                  MakeRectangle(5, 5, 7, 7)});
+  ASSERT_TRUE(region.ok()) << region.status();
+  EXPECT_DOUBLE_EQ(region->Area(), 144.0 - 64.0 + 4.0);
+  EXPECT_TRUE(region->Contains(Point(1, 6)));    // Frame.
+  EXPECT_FALSE(region->Contains(Point(3.5, 6)));  // Hole.
+  EXPECT_TRUE(region->Contains(Point(6, 6)));     // Island.
+}
+
+TEST(DecomposeTest, DisjointRings) {
+  auto region = DecomposeEvenOdd(
+      {MakeRectangle(0, 0, 2, 2), MakeRectangle(5, 5, 8, 8)});
+  ASSERT_TRUE(region.ok()) << region.status();
+  EXPECT_DOUBLE_EQ(region->Area(), 4.0 + 9.0);
+}
+
+TEST(DecomposeTest, ConcaveOuterRing) {
+  // "U" shape: the decomposition must not fill the notch.
+  Polygon u({Point(0, 0), Point(0, 3), Point(1, 3), Point(1, 1), Point(2, 1),
+             Point(2, 3), Point(3, 3), Point(3, 0)});
+  auto region = DecomposeEvenOdd({u});
+  ASSERT_TRUE(region.ok()) << region.status();
+  EXPECT_NEAR(region->Area(), u.Area(), 1e-9);
+  EXPECT_FALSE(region->Contains(Point(1.5, 2)));
+  EXPECT_TRUE(region->Contains(Point(1.5, 0.5)));
+}
+
+TEST(DecomposeTest, ErrorsOnInvalidInput) {
+  EXPECT_FALSE(DecomposeEvenOdd({}).ok());
+  EXPECT_FALSE(
+      DecomposeEvenOdd({Polygon({Point(0, 0), Point(1, 1)})}).ok());
+}
+
+TEST(DecomposeTest, RandomHoleConfigurationsPreserveArea) {
+  Rng rng(17);
+  for (int trial = 0; trial < 20; ++trial) {
+    const double hx0 = rng.NextDouble(2, 4);
+    const double hy0 = rng.NextDouble(2, 4);
+    const double hx1 = hx0 + rng.NextDouble(1, 3);
+    const double hy1 = hy0 + rng.NextDouble(1, 3);
+    auto region = DecomposePolygonWithHoles(
+        MakeRectangle(0, 0, 10, 10), {MakeRectangle(hx0, hy0, hx1, hy1)});
+    ASSERT_TRUE(region.ok()) << region.status();
+    EXPECT_NEAR(region->Area(), 100.0 - (hx1 - hx0) * (hy1 - hy0), 1e-9)
+        << "trial " << trial;
+    EXPECT_TRUE(region->ValidateStrict().ok()) << "trial " << trial;
+  }
+}
+
+// The end-to-end consumer: WKT with holes now imports.
+TEST(DecomposeWktTest, WktWithHolesImports) {
+  auto region = RegionFromWkt(
+      "POLYGON ((0 0, 0 10, 10 10, 10 0, 0 0), (4 4, 4 6, 6 6, 6 4, 4 4))");
+  ASSERT_TRUE(region.ok()) << region.status();
+  EXPECT_DOUBLE_EQ(region->Area(), 96.0);
+  EXPECT_FALSE(region->Contains(Point(5, 5)));
+}
+
+}  // namespace
+}  // namespace cardir

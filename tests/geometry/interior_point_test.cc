@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "geometry/polygon.h"
+#include "geometry/region.h"
+#include "util/random.h"
+#include "workload/polygon_gen.h"
+
+namespace cardir {
+namespace {
+
+TEST(AnyInteriorPointTest, ConvexShapes) {
+  const Polygon square = MakeRectangle(0, 0, 4, 4);
+  EXPECT_EQ(square.Locate(square.AnyInteriorPoint()), PointLocation::kInside);
+  Polygon triangle({Point(0, 0), Point(0, 3), Point(5, 0)});
+  triangle.EnsureClockwise();
+  EXPECT_EQ(triangle.Locate(triangle.AnyInteriorPoint()),
+            PointLocation::kInside);
+}
+
+TEST(AnyInteriorPointTest, ConcaveShapes) {
+  // "U" shape: the naive vertex-ring centroid would land in the notch.
+  Polygon u({Point(0, 0), Point(0, 3), Point(1, 3), Point(1, 1), Point(2, 1),
+             Point(2, 3), Point(3, 3), Point(3, 0)});
+  u.EnsureClockwise();
+  EXPECT_EQ(u.Locate(u.AnyInteriorPoint()), PointLocation::kInside);
+  // Thin "Z" sliver.
+  Polygon z({Point(0, 0), Point(10, 0), Point(10, 0.5), Point(0.5, 0.5),
+             Point(0.5, 9.5), Point(10, 9.5), Point(10, 10), Point(0, 10)});
+  z.EnsureClockwise();
+  EXPECT_EQ(z.Locate(z.AnyInteriorPoint()), PointLocation::kInside);
+}
+
+TEST(AnyInteriorPointTest, RandomStarPolygons) {
+  Rng rng(31);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Polygon p = RandomStarPolygon(&rng, 24, Box(0, 0, 50, 50));
+    EXPECT_EQ(p.Locate(p.AnyInteriorPoint()), PointLocation::kInside)
+        << "trial " << trial;
+  }
+}
+
+TEST(RegionLocateTest, SimpleRegion) {
+  const Region region(MakeRectangle(0, 0, 4, 4));
+  EXPECT_EQ(region.Locate(Point(2, 2)), PointLocation::kInside);
+  EXPECT_EQ(region.Locate(Point(0, 2)), PointLocation::kBoundary);
+  EXPECT_EQ(region.Locate(Point(5, 2)), PointLocation::kOutside);
+}
+
+TEST(RegionLocateTest, SharedEdgeIsInteriorToTheUnion) {
+  Region region;
+  region.AddPolygon(MakeRectangle(0, 0, 2, 4));
+  region.AddPolygon(MakeRectangle(2, 0, 4, 4));
+  // Mid-point of the shared edge x = 2: interior of the union.
+  EXPECT_EQ(region.Locate(Point(2, 2)), PointLocation::kInside);
+  // Endpoint of the shared edge on the outer boundary.
+  EXPECT_EQ(region.Locate(Point(2, 0)), PointLocation::kBoundary);
+  // Outer edges stay boundary.
+  EXPECT_EQ(region.Locate(Point(0, 2)), PointLocation::kBoundary);
+}
+
+TEST(RegionLocateTest, RingHoleBoundary) {
+  Region ring;
+  ring.AddPolygon(MakeRectangle(0, 0, 10, 3));
+  ring.AddPolygon(MakeRectangle(0, 7, 10, 10));
+  ring.AddPolygon(MakeRectangle(0, 3, 3, 7));
+  ring.AddPolygon(MakeRectangle(7, 3, 10, 7));
+  EXPECT_EQ(ring.Locate(Point(5, 5)), PointLocation::kOutside);   // Hole.
+  EXPECT_EQ(ring.Locate(Point(3, 5)), PointLocation::kBoundary);  // Hole rim.
+  EXPECT_EQ(ring.Locate(Point(1, 5)), PointLocation::kInside);    // Band.
+  // Shared band edge (west band meets south band along y = 3, x ∈ [0,3]).
+  EXPECT_EQ(ring.Locate(Point(1.5, 3)), PointLocation::kInside);
+}
+
+TEST(RegionLocateTest, TouchingAtACornerOnly) {
+  Region region;
+  region.AddPolygon(MakeRectangle(0, 0, 2, 2));
+  region.AddPolygon(MakeRectangle(2, 2, 4, 4));
+  // The common corner joins two polygons but stays a boundary point (a
+  // pinch point of the union).
+  EXPECT_EQ(region.Locate(Point(2, 2)), PointLocation::kBoundary);
+}
+
+}  // namespace
+}  // namespace cardir

@@ -1,0 +1,50 @@
+#include "geometry/point.h"
+
+#include <gtest/gtest.h>
+
+namespace cardir {
+namespace {
+
+TEST(PointTest, ArithmeticOperators) {
+  const Point a(1.0, 2.0);
+  const Point b(3.0, -1.0);
+  EXPECT_EQ(a + b, Point(4.0, 1.0));
+  EXPECT_EQ(a - b, Point(-2.0, 3.0));
+  EXPECT_EQ(2.0 * a, Point(2.0, 4.0));
+  EXPECT_EQ(a * 2.0, Point(2.0, 4.0));
+}
+
+TEST(PointTest, DotAndCross) {
+  EXPECT_DOUBLE_EQ(Dot(Point(1, 2), Point(3, 4)), 11.0);
+  EXPECT_DOUBLE_EQ(Cross(Point(1, 0), Point(0, 1)), 1.0);
+  EXPECT_DOUBLE_EQ(Cross(Point(0, 1), Point(1, 0)), -1.0);
+  EXPECT_DOUBLE_EQ(Cross(Point(2, 2), Point(1, 1)), 0.0);
+}
+
+TEST(PointTest, Orient2DSigns) {
+  // Counter-clockwise triple is positive.
+  EXPECT_GT(Orient2D(Point(0, 0), Point(1, 0), Point(0, 1)), 0.0);
+  // Clockwise triple is negative.
+  EXPECT_LT(Orient2D(Point(0, 0), Point(0, 1), Point(1, 0)), 0.0);
+  // Collinear is zero (exactly, for representable inputs).
+  EXPECT_EQ(Orient2D(Point(0, 0), Point(1, 1), Point(2, 2)), 0.0);
+}
+
+TEST(PointTest, NormAndDistance) {
+  EXPECT_DOUBLE_EQ(Norm(Point(3, 4)), 5.0);
+  EXPECT_DOUBLE_EQ(Distance(Point(1, 1), Point(4, 5)), 5.0);
+  EXPECT_DOUBLE_EQ(Distance(Point(2, 2), Point(2, 2)), 0.0);
+}
+
+TEST(PointTest, Midpoint) {
+  EXPECT_EQ(Midpoint(Point(0, 0), Point(2, 4)), Point(1, 2));
+  EXPECT_EQ(Midpoint(Point(-1, -1), Point(1, 1)), Point(0, 0));
+}
+
+TEST(PointTest, EqualityIsExact) {
+  EXPECT_EQ(Point(0.1, 0.2), Point(0.1, 0.2));
+  EXPECT_NE(Point(0.1, 0.2), Point(0.1, 0.2000000001));
+}
+
+}  // namespace
+}  // namespace cardir

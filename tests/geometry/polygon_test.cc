@@ -1,0 +1,112 @@
+#include "geometry/polygon.h"
+
+#include <gtest/gtest.h>
+
+namespace cardir {
+namespace {
+
+Polygon UnitSquareClockwise() {
+  return Polygon({Point(0, 1), Point(1, 1), Point(1, 0), Point(0, 0)});
+}
+
+TEST(PolygonTest, SignedAreaOrientation) {
+  // Clockwise ring has negative signed area.
+  EXPECT_DOUBLE_EQ(UnitSquareClockwise().SignedArea(), -1.0);
+  Polygon ccw({Point(0, 0), Point(1, 0), Point(1, 1), Point(0, 1)});
+  EXPECT_DOUBLE_EQ(ccw.SignedArea(), 1.0);
+  EXPECT_DOUBLE_EQ(ccw.Area(), 1.0);
+  EXPECT_EQ(UnitSquareClockwise().GetOrientation(), Orientation::kClockwise);
+  EXPECT_EQ(ccw.GetOrientation(), Orientation::kCounterClockwise);
+}
+
+TEST(PolygonTest, EnsureClockwiseReverses) {
+  Polygon ccw({Point(0, 0), Point(1, 0), Point(1, 1), Point(0, 1)});
+  ccw.EnsureClockwise();
+  EXPECT_TRUE(ccw.IsClockwise());
+  EXPECT_DOUBLE_EQ(ccw.SignedArea(), -1.0);
+  // Already-clockwise rings are untouched.
+  Polygon cw = UnitSquareClockwise();
+  const Polygon copy = cw;
+  cw.EnsureClockwise();
+  EXPECT_EQ(cw, copy);
+}
+
+TEST(PolygonTest, DegenerateOrientation) {
+  Polygon line({Point(0, 0), Point(1, 1), Point(2, 2)});
+  EXPECT_EQ(line.GetOrientation(), Orientation::kDegenerate);
+}
+
+TEST(PolygonTest, EdgesWrapAround) {
+  const Polygon square = UnitSquareClockwise();
+  const std::vector<Segment> edges = square.Edges();
+  ASSERT_EQ(edges.size(), 4u);
+  EXPECT_EQ(edges[3], Segment(Point(0, 0), Point(0, 1)));
+}
+
+TEST(PolygonTest, Perimeter) {
+  EXPECT_DOUBLE_EQ(UnitSquareClockwise().Perimeter(), 4.0);
+  Polygon triangle({Point(0, 0), Point(3, 0), Point(0, 4)});
+  EXPECT_DOUBLE_EQ(triangle.Perimeter(), 12.0);
+}
+
+TEST(PolygonTest, BoundingBox) {
+  Polygon triangle({Point(-1, 0), Point(3, 5), Point(2, -2)});
+  EXPECT_EQ(triangle.BoundingBox(), Box(-1, -2, 3, 5));
+}
+
+TEST(PolygonTest, LocateInsideOutsideBoundary) {
+  const Polygon square = UnitSquareClockwise();
+  EXPECT_EQ(square.Locate(Point(0.5, 0.5)), PointLocation::kInside);
+  EXPECT_EQ(square.Locate(Point(2, 0.5)), PointLocation::kOutside);
+  EXPECT_EQ(square.Locate(Point(0, 0.5)), PointLocation::kBoundary);
+  EXPECT_EQ(square.Locate(Point(1, 1)), PointLocation::kBoundary);
+  EXPECT_TRUE(square.Contains(Point(0.5, 0.5)));
+  EXPECT_TRUE(square.Contains(Point(0, 0)));
+  EXPECT_FALSE(square.Contains(Point(1.5, 0.5)));
+}
+
+TEST(PolygonTest, LocateConcavePolygon) {
+  // A "U" shape: the notch is outside.
+  Polygon u({Point(0, 0), Point(0, 3), Point(1, 3), Point(1, 1), Point(2, 1),
+             Point(2, 3), Point(3, 3), Point(3, 0)});
+  u.EnsureClockwise();
+  EXPECT_EQ(u.Locate(Point(1.5, 2)), PointLocation::kOutside);  // In notch.
+  EXPECT_EQ(u.Locate(Point(0.5, 2)), PointLocation::kInside);   // Left arm.
+  EXPECT_EQ(u.Locate(Point(1.5, 0.5)), PointLocation::kInside); // Base.
+}
+
+TEST(PolygonTest, LocateRayThroughVertexIsCorrect) {
+  // Horizontal ray from the query point passes exactly through a vertex.
+  Polygon diamond({Point(0, 1), Point(1, 2), Point(2, 1), Point(1, 0)});
+  diamond.EnsureClockwise();
+  EXPECT_EQ(diamond.Locate(Point(0.5, 1)), PointLocation::kInside);
+  EXPECT_EQ(diamond.Locate(Point(-1, 1)), PointLocation::kOutside);
+  EXPECT_EQ(diamond.Locate(Point(3, 1)), PointLocation::kOutside);
+}
+
+TEST(PolygonTest, ValidateRejectsBadRings) {
+  EXPECT_FALSE(Polygon({Point(0, 0), Point(1, 1)}).Validate().ok());
+  EXPECT_FALSE(
+      Polygon({Point(0, 0), Point(0, 0), Point(1, 1)}).Validate().ok());
+  EXPECT_FALSE(
+      Polygon({Point(0, 0), Point(1, 1), Point(2, 2)}).Validate().ok());
+  EXPECT_TRUE(UnitSquareClockwise().Validate().ok());
+}
+
+TEST(PolygonTest, ValidateSimpleDetectsSelfIntersection) {
+  // Bow-tie: edges (0)-(1) and (2)-(3) cross.
+  Polygon bowtie({Point(0, 0), Point(2, 2), Point(2, 0), Point(0, 2)});
+  EXPECT_FALSE(bowtie.ValidateSimple().ok());
+  EXPECT_TRUE(UnitSquareClockwise().ValidateSimple().ok());
+}
+
+TEST(PolygonTest, MakeRectangleIsClockwiseAndValid) {
+  const Polygon rect = MakeRectangle(1, 2, 4, 6);
+  EXPECT_TRUE(rect.IsClockwise());
+  EXPECT_DOUBLE_EQ(rect.Area(), 12.0);
+  EXPECT_TRUE(rect.ValidateSimple().ok());
+  EXPECT_EQ(rect.BoundingBox(), Box(1, 2, 4, 6));
+}
+
+}  // namespace
+}  // namespace cardir

@@ -1,0 +1,74 @@
+#include "geometry/primitives.h"
+
+#include <gtest/gtest.h>
+
+namespace cardir {
+namespace {
+
+TEST(OnSegmentTest, CollinearWithinBox) {
+  const Segment s(Point(0, 0), Point(4, 4));
+  EXPECT_TRUE(OnSegment(Point(2, 2), s));
+  EXPECT_TRUE(OnSegment(Point(0, 0), s));
+  EXPECT_TRUE(OnSegment(Point(4, 4), s));
+  EXPECT_FALSE(OnSegment(Point(5, 5), s));   // Collinear but outside.
+  EXPECT_FALSE(OnSegment(Point(2, 3), s));   // Off the line.
+}
+
+TEST(SegmentsIntersectTest, ProperCrossing) {
+  EXPECT_TRUE(SegmentsIntersect(Segment(Point(0, 0), Point(2, 2)),
+                                Segment(Point(0, 2), Point(2, 0))));
+}
+
+TEST(SegmentsIntersectTest, TouchingEndpointCounts) {
+  EXPECT_TRUE(SegmentsIntersect(Segment(Point(0, 0), Point(1, 1)),
+                                Segment(Point(1, 1), Point(2, 0))));
+}
+
+TEST(SegmentsIntersectTest, CollinearOverlapCounts) {
+  EXPECT_TRUE(SegmentsIntersect(Segment(Point(0, 0), Point(3, 0)),
+                                Segment(Point(2, 0), Point(5, 0))));
+}
+
+TEST(SegmentsIntersectTest, DisjointSegments) {
+  EXPECT_FALSE(SegmentsIntersect(Segment(Point(0, 0), Point(1, 0)),
+                                 Segment(Point(0, 1), Point(1, 1))));
+  EXPECT_FALSE(SegmentsIntersect(Segment(Point(0, 0), Point(1, 0)),
+                                 Segment(Point(2, 0), Point(3, 0))));
+}
+
+TEST(SegmentsProperlyCrossTest, ExcludesTouchingAndOverlap) {
+  EXPECT_TRUE(SegmentsProperlyCross(Segment(Point(0, 0), Point(2, 2)),
+                                    Segment(Point(0, 2), Point(2, 0))));
+  EXPECT_FALSE(SegmentsProperlyCross(Segment(Point(0, 0), Point(1, 1)),
+                                     Segment(Point(1, 1), Point(2, 0))));
+  EXPECT_FALSE(SegmentsProperlyCross(Segment(Point(0, 0), Point(3, 0)),
+                                     Segment(Point(2, 0), Point(5, 0))));
+  // T-junction: endpoint of one in the interior of the other.
+  EXPECT_FALSE(SegmentsProperlyCross(Segment(Point(0, 0), Point(2, 0)),
+                                     Segment(Point(1, 0), Point(1, 2))));
+}
+
+TEST(ProperIntersectionTest, ComputesThePoint) {
+  auto p = ProperIntersection(Segment(Point(0, 0), Point(2, 2)),
+                              Segment(Point(0, 2), Point(2, 0)));
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(*p, Point(1, 1));
+  EXPECT_FALSE(ProperIntersection(Segment(Point(0, 0), Point(1, 0)),
+                                  Segment(Point(0, 1), Point(1, 1)))
+                   .has_value());
+}
+
+TEST(PointSegmentDistanceTest, ProjectionAndClamping) {
+  const Segment s(Point(0, 0), Point(4, 0));
+  EXPECT_DOUBLE_EQ(PointSegmentDistance(Point(2, 3), s), 3.0);   // Interior.
+  EXPECT_DOUBLE_EQ(PointSegmentDistance(Point(-3, 4), s), 5.0);  // Clamp to a.
+  EXPECT_DOUBLE_EQ(PointSegmentDistance(Point(7, 4), s), 5.0);   // Clamp to b.
+  EXPECT_DOUBLE_EQ(PointSegmentDistance(Point(2, 0), s), 0.0);   // On it.
+  // Degenerate segment behaves like a point.
+  EXPECT_DOUBLE_EQ(
+      PointSegmentDistance(Point(3, 4), Segment(Point(0, 0), Point(0, 0))),
+      5.0);
+}
+
+}  // namespace
+}  // namespace cardir

@@ -1,0 +1,102 @@
+#include "geometry/region.h"
+
+#include <gtest/gtest.h>
+
+namespace cardir {
+namespace {
+
+// The Fig. 2 style region with a hole: outer [0,10]^2, hole [4,6]^2,
+// decomposed into simple polygons that share boundary edges.
+Region RingRegion() {
+  Region region;
+  region.AddPolygon(MakeRectangle(0, 0, 10, 4));   // South band.
+  region.AddPolygon(MakeRectangle(0, 6, 10, 10));  // North band.
+  region.AddPolygon(MakeRectangle(0, 4, 4, 6));    // West band.
+  region.AddPolygon(MakeRectangle(6, 4, 10, 6));   // East band.
+  return region;
+}
+
+TEST(RegionTest, SinglePolygonConvenience) {
+  const Region region(MakeRectangle(0, 0, 2, 3));
+  EXPECT_EQ(region.polygon_count(), 1u);
+  EXPECT_EQ(region.TotalEdges(), 4u);
+  EXPECT_DOUBLE_EQ(region.Area(), 6.0);
+  EXPECT_EQ(region.BoundingBox(), Box(0, 0, 2, 3));
+}
+
+TEST(RegionTest, DisconnectedRegion) {
+  Region region;
+  region.AddPolygon(MakeRectangle(0, 0, 1, 1));
+  region.AddPolygon(MakeRectangle(5, 5, 7, 7));
+  EXPECT_EQ(region.polygon_count(), 2u);
+  EXPECT_DOUBLE_EQ(region.Area(), 1.0 + 4.0);
+  EXPECT_EQ(region.BoundingBox(), Box(0, 0, 7, 7));
+  EXPECT_TRUE(region.Contains(Point(0.5, 0.5)));
+  EXPECT_TRUE(region.Contains(Point(6, 6)));
+  EXPECT_FALSE(region.Contains(Point(3, 3)));  // Between the parts.
+}
+
+TEST(RegionTest, RegionWithHolePaperFig2) {
+  const Region ring = RingRegion();
+  EXPECT_DOUBLE_EQ(ring.Area(), 100.0 - 4.0);
+  EXPECT_EQ(ring.BoundingBox(), Box(0, 0, 10, 10));
+  EXPECT_FALSE(ring.Contains(Point(5, 5)));        // Hole interior.
+  EXPECT_TRUE(ring.Contains(Point(5, 2)));          // South band.
+  EXPECT_TRUE(ring.Contains(Point(4, 5)));          // Hole boundary (closed).
+  EXPECT_TRUE(ring.ValidateStrict().ok());
+}
+
+TEST(RegionTest, ContainsOnSharedEdge) {
+  const Region ring = RingRegion();
+  // The shared edge y = 4 between south band and west band.
+  EXPECT_TRUE(ring.Contains(Point(2, 4)));
+}
+
+TEST(RegionTest, EnsureClockwiseFixesAllPolygons) {
+  Region region;
+  region.AddPolygon(Polygon({Point(0, 0), Point(1, 0), Point(1, 1)}));  // CCW.
+  region.AddPolygon(Polygon({Point(5, 5), Point(6, 5), Point(6, 6)}));  // CCW.
+  region.EnsureClockwise();
+  for (const Polygon& p : region.polygons()) EXPECT_TRUE(p.IsClockwise());
+}
+
+TEST(RegionTest, ValidateRejectsEmptyRegion) {
+  EXPECT_FALSE(Region().Validate().ok());
+}
+
+TEST(RegionTest, ValidateReportsOffendingPolygon) {
+  Region region;
+  region.AddPolygon(MakeRectangle(0, 0, 1, 1));
+  region.AddPolygon(Polygon({Point(0, 0), Point(1, 1)}));  // 2 vertices.
+  const Status status = region.Validate();
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("polygon 1"), std::string::npos);
+}
+
+TEST(RegionTest, ValidateStrictDetectsOverlap) {
+  Region overlapping;
+  overlapping.AddPolygon(MakeRectangle(0, 0, 4, 4));
+  overlapping.AddPolygon(MakeRectangle(2, 2, 6, 6));
+  EXPECT_FALSE(overlapping.ValidateStrict().ok());
+}
+
+TEST(RegionTest, ValidateStrictDetectsContainment) {
+  Region nested;
+  nested.AddPolygon(MakeRectangle(0, 0, 10, 10));
+  nested.AddPolygon(MakeRectangle(2, 2, 3, 3));
+  EXPECT_FALSE(nested.ValidateStrict().ok());
+}
+
+TEST(RegionTest, ValidateStrictAcceptsTouchingPolygons) {
+  Region touching;
+  touching.AddPolygon(MakeRectangle(0, 0, 1, 1));
+  touching.AddPolygon(MakeRectangle(1, 0, 2, 1));  // Shares edge x = 1.
+  EXPECT_TRUE(touching.ValidateStrict().ok());
+}
+
+TEST(RegionTest, TotalEdgesSumsAllPolygons) {
+  EXPECT_EQ(RingRegion().TotalEdges(), 16u);
+}
+
+}  // namespace
+}  // namespace cardir

@@ -1,0 +1,120 @@
+#include "geometry/robust.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/random.h"
+
+namespace cardir {
+namespace {
+
+TEST(RobustOrientTest, WellConditionedCases) {
+  EXPECT_EQ(RobustOrientSign(Point(0, 0), Point(1, 0), Point(0, 1)), 1);
+  EXPECT_EQ(RobustOrientSign(Point(0, 0), Point(0, 1), Point(1, 0)), -1);
+  EXPECT_EQ(RobustOrientSign(Point(0, 0), Point(1, 1), Point(2, 2)), 0);
+  EXPECT_EQ(RobustOrientSign(Point(3, 3), Point(3, 3), Point(1, 7)), 0);
+}
+
+TEST(RobustOrientTest, AgreesWithNaiveWhenSafe) {
+  Rng rng(1);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const Point a(rng.NextDouble(-100, 100), rng.NextDouble(-100, 100));
+    const Point b(rng.NextDouble(-100, 100), rng.NextDouble(-100, 100));
+    const Point c(rng.NextDouble(-100, 100), rng.NextDouble(-100, 100));
+    const double naive = Orient2D(a, b, c);
+    if (std::abs(naive) < 1e-6) continue;  // Near-degenerate: naive unsafe.
+    EXPECT_EQ(RobustOrientSign(a, b, c), naive > 0 ? 1 : -1);
+  }
+}
+
+TEST(RobustOrientTest, ExactZeroOnCollinearUlpGrids) {
+  // Collinear points whose naive determinant underflows into noise.
+  for (int k = 1; k <= 50; ++k) {
+    const double t = k * 1e-30;
+    EXPECT_EQ(RobustOrientSign(Point(0, 0), Point(t, t), Point(2 * t, 2 * t)),
+              0)
+        << k;
+  }
+  // Collinear with large magnitudes.
+  EXPECT_EQ(RobustOrientSign(Point(1e15, 1e15), Point(2e15, 2e15),
+                             Point(3e15, 3e15)),
+            0);
+}
+
+TEST(RobustOrientTest, UlpPerturbationGridIsSignConsistent) {
+  // The classic Kettner et al. experiment: perturb a nearly-collinear
+  // configuration by ulps and require the exact predicate to satisfy the
+  // algebraic identities a naive evaluation violates in this regime.
+  const Point base_a(0.5, 0.5);
+  const Point base_b(12.0, 12.0);
+  const Point base_c(24.0, 24.0);
+  for (int i = -4; i <= 4; ++i) {
+    for (int j = -4; j <= 4; ++j) {
+      Point a = base_a;
+      Point c = base_c;
+      for (int s = 0; s < std::abs(i); ++s) {
+        a.x = std::nextafter(a.x, i > 0 ? 1.0 : 0.0);
+      }
+      for (int s = 0; s < std::abs(j); ++s) {
+        c.y = std::nextafter(c.y, j > 0 ? 100.0 : 0.0);
+      }
+      const int sign = RobustOrientSign(a, base_b, c);
+      // Antisymmetry under swapping two arguments.
+      EXPECT_EQ(RobustOrientSign(base_b, a, c), -sign);
+      EXPECT_EQ(RobustOrientSign(a, c, base_b), -sign);
+      // Invariance under cyclic rotation.
+      EXPECT_EQ(RobustOrientSign(base_b, c, a), sign);
+      EXPECT_EQ(RobustOrientSign(c, a, base_b), sign);
+    }
+  }
+}
+
+TEST(RobustOrientTest, AlgebraicIdentitiesOnRandomNearDegenerateTriples) {
+  Rng rng(7);
+  for (int trial = 0; trial < 3000; ++trial) {
+    // Points on a line y = m x + q, then perturbed by a few ulps.
+    const double m = rng.NextDouble(-2.0, 2.0);
+    const double q = rng.NextDouble(-1.0, 1.0);
+    auto on_line = [&](double x) { return Point(x, m * x + q); };
+    Point a = on_line(rng.NextDouble(0.0, 10.0));
+    Point b = on_line(rng.NextDouble(0.0, 10.0));
+    Point c = on_line(rng.NextDouble(0.0, 10.0));
+    for (int s = 0; s < 3; ++s) {
+      Point* p = rng.NextBool() ? &a : (rng.NextBool() ? &b : &c);
+      p->y = std::nextafter(p->y, rng.NextBool() ? 1e9 : -1e9);
+    }
+    const int sign = RobustOrientSign(a, b, c);
+    EXPECT_EQ(RobustOrientSign(b, c, a), sign);
+    EXPECT_EQ(RobustOrientSign(c, a, b), sign);
+    EXPECT_EQ(RobustOrientSign(b, a, c), -sign);
+    EXPECT_EQ(RobustOrientSign(a, c, b), -sign);
+    EXPECT_EQ(RobustOrientSign(c, b, a), -sign);
+  }
+}
+
+TEST(RobustOrientTest, SignMatchesExactIntegerArithmetic) {
+  // On modest integer coordinates the determinant is exactly representable
+  // with __int128: compare signs.
+  Rng rng(11);
+  for (int trial = 0; trial < 3000; ++trial) {
+    const int64_t ax = rng.NextInt(-1000000, 1000000);
+    const int64_t ay = rng.NextInt(-1000000, 1000000);
+    const int64_t bx = rng.NextInt(-1000000, 1000000);
+    const int64_t by = rng.NextInt(-1000000, 1000000);
+    const int64_t cx = rng.NextInt(-1000000, 1000000);
+    const int64_t cy = rng.NextInt(-1000000, 1000000);
+    const __int128 det = static_cast<__int128>(bx - ax) * (cy - ay) -
+                         static_cast<__int128>(by - ay) * (cx - ax);
+    const int expected = det > 0 ? 1 : (det < 0 ? -1 : 0);
+    EXPECT_EQ(RobustOrientSign(
+                  Point(static_cast<double>(ax), static_cast<double>(ay)),
+                  Point(static_cast<double>(bx), static_cast<double>(by)),
+                  Point(static_cast<double>(cx), static_cast<double>(cy))),
+              expected)
+        << trial;
+  }
+}
+
+}  // namespace
+}  // namespace cardir

@@ -1,0 +1,114 @@
+#include "geometry/segment.h"
+
+#include <gtest/gtest.h>
+
+namespace cardir {
+namespace {
+
+TEST(SegmentTest, BasicsAndDegeneracy) {
+  const Segment s(Point(0, 0), Point(4, 2));
+  EXPECT_FALSE(s.IsDegenerate());
+  EXPECT_EQ(s.Mid(), Point(2, 1));
+  EXPECT_EQ(s.Direction(), Point(4, 2));
+  EXPECT_EQ(s.At(0.25), Point(1, 0.5));
+  EXPECT_TRUE(Segment(Point(1, 1), Point(1, 1)).IsDegenerate());
+}
+
+TEST(CrossVerticalLineTest, ProperCrossingReturnsParameter) {
+  const Segment s(Point(0, 0), Point(10, 10));
+  auto t = CrossVerticalLine(s, 4.0);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_DOUBLE_EQ(*t, 0.4);
+  EXPECT_EQ(s.At(*t), Point(4, 4));
+}
+
+TEST(CrossVerticalLineTest, TouchingAtEndpointIsNotACrossing) {
+  // Definition 3(b): intersecting only at an endpoint does not cross.
+  EXPECT_FALSE(CrossVerticalLine(Segment(Point(4, 0), Point(10, 0)), 4.0)
+                   .has_value());
+  EXPECT_FALSE(CrossVerticalLine(Segment(Point(0, 0), Point(4, 0)), 4.0)
+                   .has_value());
+}
+
+TEST(CrossVerticalLineTest, SegmentOnLineIsNotACrossing) {
+  // Definition 3(c): lying on the line does not cross.
+  EXPECT_FALSE(CrossVerticalLine(Segment(Point(4, 0), Point(4, 9)), 4.0)
+                   .has_value());
+}
+
+TEST(CrossVerticalLineTest, MissingLineReturnsNullopt) {
+  EXPECT_FALSE(CrossVerticalLine(Segment(Point(0, 0), Point(3, 3)), 4.0)
+                   .has_value());
+}
+
+TEST(CrossHorizontalLineTest, SymmetricBehaviour) {
+  const Segment s(Point(0, 0), Point(10, 10));
+  auto t = CrossHorizontalLine(s, 7.0);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_DOUBLE_EQ(*t, 0.7);
+  EXPECT_FALSE(CrossHorizontalLine(Segment(Point(0, 7), Point(5, 7)), 7.0)
+                   .has_value());
+  EXPECT_FALSE(CrossHorizontalLine(Segment(Point(0, 0), Point(5, 7)), 7.0)
+                   .has_value());
+}
+
+TEST(DoesNotCrossTest, MatchesDefinitionThree) {
+  EXPECT_TRUE(VerticalLineDoesNotCross(Segment(Point(0, 0), Point(3, 0)), 5));
+  EXPECT_TRUE(VerticalLineDoesNotCross(Segment(Point(5, 0), Point(5, 3)), 5));
+  EXPECT_FALSE(VerticalLineDoesNotCross(Segment(Point(0, 0), Point(9, 0)), 5));
+  EXPECT_TRUE(HorizontalLineDoesNotCross(Segment(Point(0, 1), Point(1, 5)), 5));
+  EXPECT_FALSE(
+      HorizontalLineDoesNotCross(Segment(Point(0, 1), Point(1, 6)), 5));
+}
+
+TEST(TrapezoidTest, HorizontalExpressionMatchesDefinitionFour) {
+  // E_l(AB) = (x_B − x_A)(y_A + y_B − 2l) / 2.
+  const Segment ab(Point(0, 2), Point(4, 4));
+  EXPECT_DOUBLE_EQ(TrapezoidHorizontal(ab, 0.0), 0.5 * 4 * 6);  // = 12.
+  // Antisymmetry: E_l(AB) = −E_l(BA).
+  EXPECT_DOUBLE_EQ(TrapezoidHorizontal(Segment(ab.b, ab.a), 0.0), -12.0);
+  // Area interpretation: |E_l| is the trapezoid area between AB and y = l.
+  EXPECT_DOUBLE_EQ(std::abs(TrapezoidHorizontal(ab, 1.0)),
+                   0.5 * (1.0 + 3.0) * 4.0);
+}
+
+TEST(TrapezoidTest, VerticalExpressionMatchesDefinitionFour) {
+  const Segment ab(Point(2, 0), Point(4, 4));
+  // E'_m(AB) = (y_B − y_A)(x_A + x_B − 2m)/2 = 4·6/2 = 12 at m = 0.
+  EXPECT_DOUBLE_EQ(TrapezoidVertical(ab, 0.0), 12.0);
+  EXPECT_DOUBLE_EQ(TrapezoidVertical(Segment(ab.b, ab.a), 0.0), -12.0);
+  EXPECT_DOUBLE_EQ(std::abs(TrapezoidVertical(ab, 1.0)),
+                   0.5 * (1.0 + 3.0) * 4.0);
+}
+
+TEST(TrapezoidTest, EdgeOnReferenceLineContributesZero) {
+  EXPECT_DOUBLE_EQ(
+      TrapezoidVertical(Segment(Point(3, 0), Point(3, 9)), 3.0), 0.0);
+  EXPECT_DOUBLE_EQ(
+      TrapezoidHorizontal(Segment(Point(0, 5), Point(9, 5)), 5.0), 0.0);
+}
+
+TEST(TrapezoidTest, ClosedClockwiseRingSumsToArea) {
+  // Clockwise square at (0,0)-(2,2): |sum| = area 4, independent of the
+  // reference line. For a clockwise ring Σ E_l = +area while Σ E'_m = −area
+  // (the two expressions sweep the loop with opposite orientation) — the
+  // algorithms only use absolute values of the per-tile sums.
+  const Point nw(0, 2), ne(2, 2), se(2, 0), sw(0, 0);
+  for (double l : {-3.0, 0.0, 5.0}) {
+    const double sum = TrapezoidHorizontal(Segment(nw, ne), l) +
+                       TrapezoidHorizontal(Segment(ne, se), l) +
+                       TrapezoidHorizontal(Segment(se, sw), l) +
+                       TrapezoidHorizontal(Segment(sw, nw), l);
+    EXPECT_DOUBLE_EQ(sum, 4.0) << "l=" << l;
+  }
+  for (double m : {-1.0, 0.5, 9.0}) {
+    const double sum = TrapezoidVertical(Segment(nw, ne), m) +
+                       TrapezoidVertical(Segment(ne, se), m) +
+                       TrapezoidVertical(Segment(se, sw), m) +
+                       TrapezoidVertical(Segment(sw, nw), m);
+    EXPECT_DOUBLE_EQ(sum, -4.0) << "m=" << m;
+  }
+}
+
+}  // namespace
+}  // namespace cardir

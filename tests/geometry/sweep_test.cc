@@ -1,0 +1,146 @@
+#include "geometry/sweep.h"
+
+#include <gtest/gtest.h>
+
+#include "geometry/primitives.h"
+#include "util/random.h"
+#include "workload/polygon_gen.h"
+
+namespace cardir {
+namespace {
+
+TEST(FindIntersectingPairTest, DisjointSegments) {
+  const std::vector<Segment> segments = {
+      Segment(Point(0, 0), Point(1, 0)),
+      Segment(Point(0, 1), Point(1, 1)),
+      Segment(Point(2, 0), Point(3, 2)),
+  };
+  EXPECT_FALSE(FindIntersectingPair(segments).has_value());
+}
+
+TEST(FindIntersectingPairTest, ProperCrossingDetected) {
+  const std::vector<Segment> segments = {
+      Segment(Point(0, 0), Point(4, 4)),
+      Segment(Point(0, 4), Point(4, 0)),
+  };
+  const auto pair = FindIntersectingPair(segments);
+  ASSERT_TRUE(pair.has_value());
+  EXPECT_EQ(*pair, (std::pair<size_t, size_t>{0, 1}));
+}
+
+TEST(FindIntersectingPairTest, EndpointTouchDetected) {
+  const std::vector<Segment> segments = {
+      Segment(Point(0, 0), Point(2, 2)),
+      Segment(Point(2, 2), Point(4, 0)),
+  };
+  EXPECT_TRUE(FindIntersectingPair(segments).has_value());
+  // The same pair with an exemption passes (no proper crossing).
+  auto adjacent = [](size_t, size_t) { return true; };
+  EXPECT_FALSE(FindIntersectingPair(segments, adjacent).has_value());
+}
+
+TEST(FindIntersectingPairTest, CollinearOverlapDetected) {
+  const std::vector<Segment> segments = {
+      Segment(Point(0, 0), Point(3, 0)),
+      Segment(Point(2, 0), Point(5, 0)),
+  };
+  EXPECT_TRUE(FindIntersectingPair(segments).has_value());
+}
+
+TEST(FindIntersectingPairTest, VerticalSegments) {
+  const std::vector<Segment> segments = {
+      Segment(Point(1, 0), Point(1, 4)),
+      Segment(Point(0, 2), Point(3, 2)),
+  };
+  EXPECT_TRUE(FindIntersectingPair(segments).has_value());
+  const std::vector<Segment> apart = {
+      Segment(Point(1, 0), Point(1, 4)),
+      Segment(Point(2, 0), Point(2, 4)),
+  };
+  EXPECT_FALSE(FindIntersectingPair(apart).has_value());
+}
+
+TEST(FindIntersectingPairTest, DegenerateSegmentsIgnored) {
+  const std::vector<Segment> segments = {
+      Segment(Point(1, 1), Point(1, 1)),
+      Segment(Point(0, 0), Point(2, 0)),
+  };
+  EXPECT_FALSE(FindIntersectingPair(segments).has_value());
+}
+
+TEST(FindIntersectingPairTest, MatchesBruteForceOnRandomSets) {
+  Rng rng(271);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int n = static_cast<int>(rng.NextInt(2, 40));
+    std::vector<Segment> segments;
+    for (int i = 0; i < n; ++i) {
+      // Integer endpoints on a small grid: touching and collinear cases
+      // occur often.
+      segments.push_back(Segment(
+          Point(static_cast<double>(rng.NextInt(0, 20)),
+                static_cast<double>(rng.NextInt(0, 20))),
+          Point(static_cast<double>(rng.NextInt(0, 20)),
+                static_cast<double>(rng.NextInt(0, 20)))));
+    }
+    bool brute = false;
+    for (int i = 0; i < n && !brute; ++i) {
+      if (segments[static_cast<size_t>(i)].IsDegenerate()) continue;
+      for (int j = i + 1; j < n && !brute; ++j) {
+        if (segments[static_cast<size_t>(j)].IsDegenerate()) continue;
+        brute = SegmentsIntersect(segments[static_cast<size_t>(i)],
+                                  segments[static_cast<size_t>(j)]);
+      }
+    }
+    EXPECT_EQ(FindIntersectingPair(segments).has_value(), brute)
+        << "trial " << trial;
+  }
+}
+
+TEST(ValidateSimpleSweepTest, AgreesWithQuadraticCheckOnFixtures) {
+  EXPECT_TRUE(ValidatePolygonSimpleSweep(MakeRectangle(0, 0, 4, 4)).ok());
+  Polygon bowtie({Point(0, 0), Point(2, 2), Point(2, 0), Point(0, 2)});
+  EXPECT_FALSE(ValidatePolygonSimpleSweep(bowtie).ok());
+  Polygon u({Point(0, 0), Point(0, 3), Point(1, 3), Point(1, 1), Point(2, 1),
+             Point(2, 3), Point(3, 3), Point(3, 0)});
+  u.EnsureClockwise();
+  EXPECT_TRUE(ValidatePolygonSimpleSweep(u).ok());
+  // Non-adjacent edges touching at a point: not simple.
+  Polygon pinched({Point(0, 0), Point(2, 2), Point(4, 0), Point(4, 4),
+                   Point(2, 2), Point(0, 4)});
+  EXPECT_FALSE(ValidatePolygonSimpleSweep(pinched).ok());
+}
+
+TEST(ValidateSimpleSweepTest, AgreesWithQuadraticOnRandomPolygons) {
+  Rng rng(314);
+  for (int trial = 0; trial < 60; ++trial) {
+    const Polygon star =
+        RandomStarPolygon(&rng, static_cast<int>(rng.NextInt(3, 64)),
+                          Box(0, 0, 100, 100));
+    EXPECT_EQ(ValidatePolygonSimpleSweep(star).ok(),
+              star.ValidateSimple().ok())
+        << "trial " << trial;
+    EXPECT_TRUE(ValidatePolygonSimpleSweep(star).ok());
+  }
+  // Random (usually self-intersecting) closed chains.
+  for (int trial = 0; trial < 60; ++trial) {
+    Polygon chain;
+    const int n = static_cast<int>(rng.NextInt(4, 16));
+    for (int i = 0; i < n; ++i) {
+      chain.AddVertex(Point(static_cast<double>(rng.NextInt(0, 12)),
+                            static_cast<double>(rng.NextInt(0, 12))));
+    }
+    if (!chain.Validate().ok()) continue;  // Skip degenerate chains.
+    EXPECT_EQ(ValidatePolygonSimpleSweep(chain).ok(),
+              chain.ValidateSimple().ok())
+        << "trial " << trial;
+  }
+}
+
+TEST(ValidateSimpleSweepTest, LargePolygonIsFast) {
+  Rng rng(999);
+  const Polygon big = RandomStarPolygon(&rng, 20000, Box(0, 0, 1000, 1000));
+  EXPECT_TRUE(ValidatePolygonSimpleSweep(big).ok());
+}
+
+}  // namespace
+}  // namespace cardir

@@ -1,0 +1,154 @@
+#include "index/directional_query.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/compute_cdr.h"
+#include "util/random.h"
+#include "workload/scenario_gen.h"
+
+namespace cardir {
+namespace {
+
+void AddRect(Configuration* config, const std::string& id, double x0,
+             double y0, double x1, double y1) {
+  AnnotatedRegion region;
+  region.id = id;
+  region.name = id;
+  region.geometry.AddPolygon(MakeRectangle(x0, y0, x1, y1));
+  ASSERT_TRUE(config->AddRegion(std::move(region)).ok());
+}
+
+Configuration SmallConfig() {
+  Configuration config;
+  AddRect(&config, "ref", 0, 0, 10, 10);
+  AddRect(&config, "north1", 2, 12, 8, 16);
+  AddRect(&config, "north2", 3, 20, 7, 24);
+  AddRect(&config, "northwide", -4, 12, 14, 16);  // NW:N:NE.
+  AddRect(&config, "east", 12, 2, 16, 8);
+  AddRect(&config, "inside", 4, 4, 6, 6);
+  AddRect(&config, "southwest", -8, -8, -2, -2);
+  return config;
+}
+
+TEST(TileBoxTest, GeometryOfTheNineTiles) {
+  const Box mbb(0, 0, 10, 10);
+  EXPECT_EQ(DirectionalIndex::TileBox(Tile::kB, mbb), mbb);
+  const Box north = DirectionalIndex::TileBox(Tile::kN, mbb);
+  EXPECT_DOUBLE_EQ(north.min_y(), 10.0);
+  EXPECT_DOUBLE_EQ(north.min_x(), 0.0);
+  EXPECT_DOUBLE_EQ(north.max_x(), 10.0);
+  EXPECT_GT(north.max_y(), 1e29);
+  const Box sw = DirectionalIndex::TileBox(Tile::kSW, mbb);
+  EXPECT_DOUBLE_EQ(sw.max_x(), 0.0);
+  EXPECT_DOUBLE_EQ(sw.max_y(), 0.0);
+  EXPECT_LT(sw.min_x(), -1e29);
+}
+
+TEST(TileHullTest, HullCoversMemberTiles) {
+  const Box mbb(0, 0, 10, 10);
+  const Box hull = DirectionalIndex::TileHull(
+      *CardinalRelation::Parse("N:NE"), mbb);
+  EXPECT_DOUBLE_EQ(hull.min_x(), 0.0);
+  EXPECT_DOUBLE_EQ(hull.min_y(), 10.0);
+  EXPECT_GT(hull.max_x(), 1e29);
+}
+
+TEST(DirectionalQueryTest, FindExactSingleTile) {
+  const Configuration config = SmallConfig();
+  auto index = DirectionalIndex::Build(config);
+  ASSERT_TRUE(index.ok()) << index.status();
+  auto north = index->FindExact("ref", *CardinalRelation::Parse("N"));
+  ASSERT_TRUE(north.ok());
+  EXPECT_EQ(*north, (std::vector<std::string>{"north1", "north2"}));
+  auto east = index->FindExact("ref", *CardinalRelation::Parse("E"));
+  ASSERT_TRUE(east.ok());
+  EXPECT_EQ(*east, (std::vector<std::string>{"east"}));
+  auto b = index->FindExact("ref", *CardinalRelation::Parse("B"));
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*b, (std::vector<std::string>{"inside"}));
+}
+
+TEST(DirectionalQueryTest, FindExactMultiTile) {
+  const Configuration config = SmallConfig();
+  auto index = DirectionalIndex::Build(config);
+  ASSERT_TRUE(index.ok());
+  auto wide = index->FindExact("ref", *CardinalRelation::Parse("NW:N:NE"));
+  ASSERT_TRUE(wide.ok());
+  EXPECT_EQ(*wide, (std::vector<std::string>{"northwide"}));
+}
+
+TEST(DirectionalQueryTest, FindMatchingDisjunction) {
+  const Configuration config = SmallConfig();
+  auto index = DirectionalIndex::Build(config);
+  ASSERT_TRUE(index.ok());
+  auto result = index->FindMatching(
+      "ref", *DisjunctiveRelation::Parse("{N, NW:N:NE, SW}"));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, (std::vector<std::string>{"north1", "north2",
+                                               "northwide", "southwest"}));
+}
+
+TEST(DirectionalQueryTest, FilterPrunesBeforeRefinement) {
+  const Configuration config = SmallConfig();
+  auto index = DirectionalIndex::Build(config);
+  ASSERT_TRUE(index.ok());
+  DirectionalQueryStats stats;
+  auto result =
+      index->FindExact("ref", *CardinalRelation::Parse("SW"), &stats);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(stats.results, 1u);
+  // The filter must have excluded most regions from exact refinement.
+  EXPECT_LT(stats.refined, config.regions().size() - 1);
+}
+
+TEST(DirectionalQueryTest, ErrorsOnUnknownReference) {
+  const Configuration config = SmallConfig();
+  auto index = DirectionalIndex::Build(config);
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index->FindExact("ghost", *CardinalRelation::Parse("N"))
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+  EXPECT_FALSE(index->FindExact("ref", CardinalRelation()).ok());
+}
+
+// Property: the indexed query equals the brute-force nested loop on a
+// generated configuration, for a spread of relations.
+TEST(DirectionalQueryTest, MatchesBruteForceOnGeneratedMaps) {
+  Rng rng(321);
+  ScenarioOptions options;
+  options.num_regions = 36;
+  options.compute_relations = false;
+  const Configuration config = *GenerateMapConfiguration(&rng, options);
+  auto index = DirectionalIndex::Build(config);
+  ASSERT_TRUE(index.ok());
+
+  const std::string& reference_id = config.regions()[10].id;
+  const Region& reference = config.regions()[10].geometry;
+  // Collect every relation that actually occurs plus a few that do not.
+  std::vector<CardinalRelation> probes;
+  for (const AnnotatedRegion& region : config.regions()) {
+    if (region.id == reference_id) continue;
+    probes.push_back(*ComputeCdr(region.geometry, reference));
+  }
+  probes.push_back(*CardinalRelation::Parse("B"));
+  probes.push_back(*CardinalRelation::Parse("B:S:SW:W:NW:N:NE:E:SE"));
+  for (const CardinalRelation& probe : probes) {
+    auto indexed = index->FindExact(reference_id, probe);
+    ASSERT_TRUE(indexed.ok());
+    std::vector<std::string> brute;
+    for (const AnnotatedRegion& region : config.regions()) {
+      if (region.id == reference_id) continue;
+      if (*ComputeCdr(region.geometry, reference) == probe) {
+        brute.push_back(region.id);
+      }
+    }
+    std::sort(brute.begin(), brute.end());
+    EXPECT_EQ(*indexed, brute) << "relation " << probe.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace cardir

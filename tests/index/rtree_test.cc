@@ -1,0 +1,186 @@
+#include "index/rtree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "util/random.h"
+
+namespace cardir {
+namespace {
+
+Box RandomBox(Rng* rng, double canvas = 1000.0, double max_extent = 50.0) {
+  const double w = rng->NextDouble(1.0, max_extent);
+  const double h = rng->NextDouble(1.0, max_extent);
+  const double x = rng->NextDouble(0.0, canvas - w);
+  const double y = rng->NextDouble(0.0, canvas - h);
+  return Box(x, y, x + w, y + h);
+}
+
+TEST(RTreeTest, EmptyTree) {
+  RTree tree;
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.height(), 0);
+  EXPECT_TRUE(tree.SearchIds(Box(0, 0, 100, 100)).empty());
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(RTreeTest, RejectsEmptyBox) {
+  RTree tree;
+  EXPECT_FALSE(tree.Insert(Box::Empty(), 1).ok());
+}
+
+TEST(RTreeTest, SingleEntry) {
+  RTree tree;
+  ASSERT_TRUE(tree.Insert(Box(0, 0, 2, 2), 42).ok());
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_EQ(tree.height(), 1);
+  EXPECT_EQ(tree.SearchIds(Box(1, 1, 3, 3)), std::vector<int64_t>{42});
+  EXPECT_TRUE(tree.SearchIds(Box(5, 5, 6, 6)).empty());
+}
+
+TEST(RTreeTest, SplitGrowsHeight) {
+  RTree tree(/*max_entries=*/4);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(tree.Insert(Box(i * 10.0, 0, i * 10.0 + 5, 5), i).ok());
+  }
+  EXPECT_EQ(tree.size(), 5u);
+  EXPECT_GE(tree.height(), 2);
+  EXPECT_TRUE(tree.CheckInvariants().ok()) << tree.CheckInvariants();
+}
+
+class RTreeRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RTreeRandomTest, MatchesBruteForceOnRandomWorkloads) {
+  const int n = GetParam();
+  Rng rng(static_cast<uint64_t>(n) * 7 + 3);
+  RTree tree;
+  std::vector<Box> boxes;
+  for (int i = 0; i < n; ++i) {
+    const Box box = RandomBox(&rng);
+    boxes.push_back(box);
+    ASSERT_TRUE(tree.Insert(box, i).ok());
+  }
+  ASSERT_TRUE(tree.CheckInvariants().ok()) << tree.CheckInvariants();
+  EXPECT_EQ(tree.size(), static_cast<size_t>(n));
+  for (int q = 0; q < 30; ++q) {
+    const Box query = RandomBox(&rng, 1000.0, 200.0);
+    std::vector<int64_t> got = tree.SearchIds(query);
+    std::sort(got.begin(), got.end());
+    std::vector<int64_t> expected;
+    for (int i = 0; i < n; ++i) {
+      if (boxes[static_cast<size_t>(i)].Intersects(query)) {
+        expected.push_back(i);
+      }
+    }
+    EXPECT_EQ(got, expected) << "query " << q << " over " << n << " boxes";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RTreeRandomTest,
+                         ::testing::Values(1, 7, 32, 100, 500, 2000));
+
+TEST(RTreeTest, DuplicateBoxesAllowed) {
+  RTree tree;
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(tree.Insert(Box(0, 0, 1, 1), i).ok());
+  }
+  EXPECT_EQ(tree.SearchIds(Box(0, 0, 1, 1)).size(), 20u);
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(RTreeTest, BoundsCoverEverything) {
+  Rng rng(5);
+  RTree tree;
+  Box expected;
+  for (int i = 0; i < 200; ++i) {
+    const Box box = RandomBox(&rng);
+    expected.Extend(box);
+    ASSERT_TRUE(tree.Insert(box, i).ok());
+  }
+  EXPECT_TRUE(tree.bounds().Contains(expected));
+  EXPECT_TRUE(expected.Contains(tree.bounds()));
+}
+
+TEST(RTreeTest, SearchWithEmptyQueryReturnsNothing) {
+  RTree tree;
+  ASSERT_TRUE(tree.Insert(Box(0, 0, 1, 1), 1).ok());
+  EXPECT_TRUE(tree.SearchIds(Box::Empty()).empty());
+}
+
+TEST(RTreeTest, PointQueries) {
+  RTree tree;
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(
+        tree.Insert(Box(i * 10.0, 0, i * 10.0 + 8, 8), i).ok());
+  }
+  // Degenerate (point) query box.
+  const std::vector<int64_t> hit = tree.SearchIds(Box(34, 4, 34, 4));
+  ASSERT_EQ(hit.size(), 1u);
+  EXPECT_EQ(hit[0], 3);
+}
+
+class RTreeBulkLoadTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RTreeBulkLoadTest, MatchesBruteForceAndKeepsInvariants) {
+  const int n = GetParam();
+  Rng rng(static_cast<uint64_t>(n) * 13 + 1);
+  std::vector<std::pair<Box, int64_t>> entries;
+  for (int i = 0; i < n; ++i) entries.emplace_back(RandomBox(&rng), i);
+  RTree tree;
+  ASSERT_TRUE(tree.BulkLoad(entries).ok());
+  EXPECT_EQ(tree.size(), static_cast<size_t>(n));
+  ASSERT_TRUE(tree.CheckInvariants().ok()) << tree.CheckInvariants();
+  for (int q = 0; q < 20; ++q) {
+    const Box query = RandomBox(&rng, 1000.0, 150.0);
+    std::vector<int64_t> got = tree.SearchIds(query);
+    std::sort(got.begin(), got.end());
+    std::vector<int64_t> expected;
+    for (const auto& [box, id] : entries) {
+      if (box.Intersects(query)) expected.push_back(id);
+    }
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(got, expected) << "query " << q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RTreeBulkLoadTest,
+                         ::testing::Values(1, 5, 8, 9, 64, 65, 1000, 5000));
+
+TEST(RTreeBulkLoadTest, RequiresEmptyTreeAndValidBoxes) {
+  RTree tree;
+  ASSERT_TRUE(tree.Insert(Box(0, 0, 1, 1), 0).ok());
+  EXPECT_EQ(tree.BulkLoad({{Box(2, 2, 3, 3), 1}}).code(),
+            StatusCode::kFailedPrecondition);
+  RTree fresh;
+  EXPECT_EQ(fresh.BulkLoad({{Box::Empty(), 1}}).code(),
+            StatusCode::kInvalidArgument);
+  RTree empty_ok;
+  EXPECT_TRUE(empty_ok.BulkLoad({}).ok());
+  EXPECT_TRUE(empty_ok.empty());
+}
+
+TEST(RTreeBulkLoadTest, InsertAfterBulkLoadStillWorks) {
+  Rng rng(77);
+  std::vector<std::pair<Box, int64_t>> entries;
+  for (int i = 0; i < 100; ++i) entries.emplace_back(RandomBox(&rng), i);
+  RTree tree;
+  ASSERT_TRUE(tree.BulkLoad(entries).ok());
+  for (int i = 100; i < 150; ++i) {
+    ASSERT_TRUE(tree.Insert(RandomBox(&rng), i).ok());
+  }
+  EXPECT_EQ(tree.size(), 150u);
+  ASSERT_TRUE(tree.CheckInvariants().ok()) << tree.CheckInvariants();
+}
+
+TEST(RTreeTest, MoveSemantics) {
+  RTree tree;
+  ASSERT_TRUE(tree.Insert(Box(0, 0, 1, 1), 7).ok());
+  RTree moved = std::move(tree);
+  EXPECT_EQ(moved.size(), 1u);
+  EXPECT_EQ(moved.SearchIds(Box(0, 0, 2, 2)), std::vector<int64_t>{7});
+}
+
+}  // namespace
+}  // namespace cardir

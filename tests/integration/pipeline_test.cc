@@ -1,0 +1,111 @@
+// End-to-end integration: generate a map configuration, persist it through
+// the paper's XML format, reload it, and answer queries — the full
+// CARDIRECT usage scenario of §4 driven programmatically.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "cardirect/query.h"
+#include "cardirect/tool.h"
+#include "cardirect/xml.h"
+#include "core/compute_cdr.h"
+#include "util/random.h"
+#include "workload/scenario_gen.h"
+
+namespace cardir {
+namespace {
+
+TEST(PipelineTest, GenerateSaveLoadQuery) {
+  Rng rng(2024);
+  ScenarioOptions options;
+  options.num_regions = 12;
+  options.polygons_per_region = 2;
+  options.colors = {"red", "blue", "green"};
+  auto config = GenerateMapConfiguration(&rng, options);
+  ASSERT_TRUE(config.ok()) << config.status();
+
+  // Persist and reload through the DTD XML format.
+  const std::string path = ::testing::TempDir() + "/pipeline_config.xml";
+  ASSERT_TRUE(SaveConfiguration(*config, path).ok());
+  auto loaded = LoadConfiguration(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  std::remove(path.c_str());
+
+  // The reloaded configuration has identical regions and relations.
+  ASSERT_EQ(loaded->regions().size(), config->regions().size());
+  ASSERT_EQ(loaded->relations().size(), config->relations().size());
+  for (const RelationRecord& record : config->relations()) {
+    auto stored = loaded->StoredRelation(record.primary_id,
+                                         record.reference_id);
+    ASSERT_TRUE(stored.has_value());
+    EXPECT_EQ(*stored, record.relation);
+  }
+
+  // Stored relations agree with recomputation from the reloaded geometry.
+  for (const RelationRecord& record : loaded->relations()) {
+    auto recomputed =
+        ComputeCdr(loaded->FindRegion(record.primary_id)->geometry,
+                   loaded->FindRegion(record.reference_id)->geometry);
+    ASSERT_TRUE(recomputed.ok());
+    EXPECT_EQ(*recomputed, record.relation)
+        << record.primary_id << " vs " << record.reference_id;
+  }
+
+  // Queries over the loaded configuration behave as over the original.
+  auto rows_original = EvaluateQuery(*config, "(x) | color(x) = red");
+  auto rows_loaded = EvaluateQuery(*loaded, "(x) | color(x) = red");
+  ASSERT_TRUE(rows_original.ok() && rows_loaded.ok());
+  EXPECT_EQ(rows_original->rows.size(), rows_loaded->rows.size());
+  EXPECT_FALSE(rows_loaded->rows.empty());
+
+  // A direction query returns only pairs whose stored relation matches.
+  auto pairs = EvaluateQuery(
+      *loaded, "(x, y) | color(x) = red, color(y) = blue, x {SW, W:SW, "
+               "SW:S, SW:W, S:SW} y");
+  ASSERT_TRUE(pairs.ok()) << pairs.status();
+  for (const QueryRow& row : pairs->rows) {
+    auto stored = loaded->StoredRelation(row.region_ids[0], row.region_ids[1]);
+    ASSERT_TRUE(stored.has_value());
+    for (Tile t : stored->Tiles()) {
+      EXPECT_TRUE(t == Tile::kSW || t == Tile::kW || t == Tile::kS);
+    }
+  }
+}
+
+TEST(PipelineTest, CliToolDrivesTheSameFlow) {
+  const std::string path = ::testing::TempDir() + "/pipeline_cli.xml";
+  std::ostringstream out;
+  std::ostringstream err;
+  ASSERT_EQ(RunCardirectTool({"demo", path}, out, err), 0) << err.str();
+  ASSERT_EQ(RunCardirectTool({"relations", path, path}, out, err), 0)
+      << err.str();
+  ASSERT_EQ(RunCardirectTool({"validate", path}, out, err), 0) << err.str();
+  ASSERT_EQ(
+      RunCardirectTool({"query", path, "(a, b) | a {NW, NW:N, W:NW} b"}, out,
+                       err),
+      0)
+      << err.str();
+  std::remove(path.c_str());
+}
+
+TEST(PipelineTest, LargeConfigurationRoundTripsExactly) {
+  Rng rng(7);
+  ScenarioOptions options;
+  options.num_regions = 25;
+  options.vertices_per_polygon = 16;
+  options.compute_relations = false;
+  auto config = GenerateMapConfiguration(&rng, options);
+  ASSERT_TRUE(config.ok());
+  const std::string xml = ConfigurationToXml(*config);
+  auto loaded = ConfigurationFromXml(xml);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  for (size_t i = 0; i < config->regions().size(); ++i) {
+    EXPECT_EQ(config->regions()[i].geometry, loaded->regions()[i].geometry)
+        << "region " << i << " coordinates must round-trip bit-exactly";
+  }
+}
+
+}  // namespace
+}  // namespace cardir

@@ -1,0 +1,98 @@
+#include "pointmodels/cone_direction.h"
+
+#include <gtest/gtest.h>
+
+#include "core/compute_cdr.h"
+
+namespace cardir {
+namespace {
+
+TEST(ConeBetweenPointsTest, CardinalAxes) {
+  const Point origin(0, 0);
+  EXPECT_EQ(ConeBetweenPoints(origin, Point(0, 5)), ConeDirection::kNorth);
+  EXPECT_EQ(ConeBetweenPoints(origin, Point(5, 0)), ConeDirection::kEast);
+  EXPECT_EQ(ConeBetweenPoints(origin, Point(0, -5)), ConeDirection::kSouth);
+  EXPECT_EQ(ConeBetweenPoints(origin, Point(-5, 0)), ConeDirection::kWest);
+}
+
+TEST(ConeBetweenPointsTest, Diagonals) {
+  const Point origin(0, 0);
+  EXPECT_EQ(ConeBetweenPoints(origin, Point(5, 5)),
+            ConeDirection::kNortheast);
+  EXPECT_EQ(ConeBetweenPoints(origin, Point(-5, 5)),
+            ConeDirection::kNorthwest);
+  EXPECT_EQ(ConeBetweenPoints(origin, Point(5, -5)),
+            ConeDirection::kSoutheast);
+  EXPECT_EQ(ConeBetweenPoints(origin, Point(-5, -5)),
+            ConeDirection::kSouthwest);
+}
+
+TEST(ConeBetweenPointsTest, SectorBoundariesAndCoincidence) {
+  const Point origin(0, 0);
+  EXPECT_EQ(ConeBetweenPoints(origin, origin), ConeDirection::kSame);
+  // Just inside the North cone (67.6°) vs just inside Northeast (67.4°).
+  EXPECT_EQ(ConeBetweenPoints(origin, Point(0.41, 1.0)),
+            ConeDirection::kNorth);
+  EXPECT_EQ(ConeBetweenPoints(origin, Point(0.43, 1.0)),
+            ConeDirection::kNortheast);
+}
+
+TEST(ConeBetweenRegionsTest, UsesAreaCentroids) {
+  const Region a(MakeRectangle(10, 10, 12, 12));  // Centroid (11, 11).
+  const Region b(MakeRectangle(0, 0, 2, 2));      // Centroid (1, 1).
+  EXPECT_EQ(*ConeBetweenRegions(a, b), ConeDirection::kNortheast);
+  EXPECT_EQ(*ConeBetweenRegions(b, a), ConeDirection::kSouthwest);
+}
+
+TEST(ConeBetweenRegionsTest, AgreesOnCleanSingleTileCases) {
+  const Region b(MakeRectangle(0, 0, 10, 10));
+  const Region a(MakeRectangle(2, -6, 8, -2));  // a S b in the tile model.
+  EXPECT_EQ(*ConeBetweenRegions(a, b), ConeDirection::kSouth);
+  EXPECT_TRUE(
+      ConeAgreesWithRelation(*ConeBetweenRegions(a, b), *ComputeCdr(a, b)));
+}
+
+TEST(ConeBetweenRegionsTest, CannotExpressMultiTileRelations) {
+  // Fig. 1c: c NE:E b in the tile model; the cone model collapses it to a
+  // single sector — the expressiveness gap the paper's intro points out.
+  const Region b(MakeRectangle(0, 0, 10, 10));
+  const Region c(MakeRectangle(12, 4, 18, 16));
+  const CardinalRelation tile_relation = *ComputeCdr(c, b);
+  EXPECT_EQ(tile_relation.ToString(), "NE:E");
+  EXPECT_FALSE(
+      ConeAgreesWithRelation(*ConeBetweenRegions(c, b), tile_relation));
+}
+
+TEST(ConeBetweenRegionsTest, SurroundCollapsesArbitrarily) {
+  // A frame around b: the tile model reports all eight peripheral tiles;
+  // the cone model reports "same" (coincident centroids) — useless here.
+  Region frame;
+  frame.AddPolygon(MakeRectangle(-10, -10, 20, -5));
+  frame.AddPolygon(MakeRectangle(-10, 15, 20, 20));
+  frame.AddPolygon(MakeRectangle(-10, -5, -5, 15));
+  frame.AddPolygon(MakeRectangle(15, -5, 20, 15));
+  const Region b(MakeRectangle(0, 0, 10, 10));
+  EXPECT_EQ(*ConeBetweenRegions(frame, b), ConeDirection::kSame);
+}
+
+TEST(ConeToTileTest, MapsAllSectors) {
+  EXPECT_EQ(ConeToTile(ConeDirection::kNorth), Tile::kN);
+  EXPECT_EQ(ConeToTile(ConeDirection::kSouthwest), Tile::kSW);
+  EXPECT_EQ(ConeToTile(ConeDirection::kSame), Tile::kB);
+}
+
+TEST(CentroidTest, PolygonAndRegionCentroids) {
+  EXPECT_EQ(MakeRectangle(0, 0, 4, 2).Centroid(), Point(2, 1));
+  Polygon triangle({Point(0, 0), Point(0, 3), Point(3, 0)});
+  triangle.EnsureClockwise();
+  EXPECT_EQ(triangle.Centroid(), Point(1, 1));
+  // Region centroid is area-weighted: a 4-area square at (1,1) and a
+  // 1-area square at (5.5, 0.5) → ((4·1 + 1·5.5)/5, (4·1 + 1·0.5)/5).
+  Region region;
+  region.AddPolygon(MakeRectangle(0, 0, 2, 2));
+  region.AddPolygon(MakeRectangle(5, 0, 6, 1));
+  EXPECT_EQ(region.Centroid(), Point(9.5 / 5.0, 4.5 / 5.0));
+}
+
+}  // namespace
+}  // namespace cardir

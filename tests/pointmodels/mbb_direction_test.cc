@@ -1,0 +1,89 @@
+#include "pointmodels/mbb_direction.h"
+
+#include <gtest/gtest.h>
+
+#include "core/compute_cdr.h"
+#include "properties/random_instances.h"
+
+namespace cardir {
+namespace {
+
+TEST(OrderOnAxisTest, ThreeOutcomes) {
+  EXPECT_EQ(OrderOnAxis(0, 2, 5, 9), AxisOrder::kBefore);
+  EXPECT_EQ(OrderOnAxis(0, 5, 5, 9), AxisOrder::kBefore);  // Touch = before.
+  EXPECT_EQ(OrderOnAxis(6, 8, 5, 9), AxisOrder::kOverlap);
+  EXPECT_EQ(OrderOnAxis(4, 6, 5, 9), AxisOrder::kOverlap);
+  EXPECT_EQ(OrderOnAxis(9, 12, 5, 9), AxisOrder::kAfter);
+  EXPECT_EQ(OrderOnAxis(10, 12, 5, 9), AxisOrder::kAfter);
+}
+
+TEST(MbbBetweenBoxesTest, NineOutcomes) {
+  const Box b(0, 0, 10, 10);
+  EXPECT_EQ(MbbBetweenBoxes(Box(2, 12, 8, 14), b), MbbDirection::kNorth);
+  EXPECT_EQ(MbbBetweenBoxes(Box(12, 12, 14, 14), b), MbbDirection::kNortheast);
+  EXPECT_EQ(MbbBetweenBoxes(Box(12, 2, 14, 8), b), MbbDirection::kEast);
+  EXPECT_EQ(MbbBetweenBoxes(Box(12, -4, 14, -2), b), MbbDirection::kSoutheast);
+  EXPECT_EQ(MbbBetweenBoxes(Box(2, -4, 8, -2), b), MbbDirection::kSouth);
+  EXPECT_EQ(MbbBetweenBoxes(Box(-4, -4, -2, -2), b), MbbDirection::kSouthwest);
+  EXPECT_EQ(MbbBetweenBoxes(Box(-4, 2, -2, 8), b), MbbDirection::kWest);
+  EXPECT_EQ(MbbBetweenBoxes(Box(-4, 12, -2, 14), b), MbbDirection::kNorthwest);
+  EXPECT_EQ(MbbBetweenBoxes(Box(2, 2, 8, 8), b), MbbDirection::kMixed);
+  // Diagonal overlap is also mixed — the model cannot see inside the boxes.
+  EXPECT_EQ(MbbBetweenBoxes(Box(5, 5, 15, 15), b), MbbDirection::kMixed);
+}
+
+TEST(MbbBetweenRegionsTest, CleanCasesMatchTheTileModel) {
+  const Region b(MakeRectangle(0, 0, 10, 10));
+  const Region a(MakeRectangle(2, -6, 8, -2));
+  EXPECT_EQ(*MbbBetweenRegions(a, b), MbbDirection::kSouth);
+  EXPECT_TRUE(MbbConsistentWithRelation(*MbbBetweenRegions(a, b),
+                                        *ComputeCdr(a, b)));
+}
+
+TEST(MbbBetweenRegionsTest, MixedLosesTheSurroundStructure) {
+  // Fig. 1d-style composite: the tile model gives an 8-tile relation; the
+  // MBB model collapses everything to "mixed".
+  Region frame;
+  frame.AddPolygon(MakeRectangle(-10, -10, 20, -5));
+  frame.AddPolygon(MakeRectangle(-10, 15, 20, 20));
+  frame.AddPolygon(MakeRectangle(-10, -5, -5, 15));
+  frame.AddPolygon(MakeRectangle(15, -5, 20, 15));
+  const Region b(MakeRectangle(0, 0, 10, 10));
+  EXPECT_EQ(*MbbBetweenRegions(frame, b), MbbDirection::kMixed);
+  EXPECT_EQ(ComputeCdr(frame, b)->TileCount(), 8);
+}
+
+TEST(MbbConsistencyTest, DirectionalVerdictsRestrictTiles) {
+  EXPECT_TRUE(MbbConsistentWithRelation(MbbDirection::kNorth,
+                                        *CardinalRelation::Parse("N")));
+  EXPECT_TRUE(MbbConsistentWithRelation(MbbDirection::kNorth,
+                                        *CardinalRelation::Parse("NW:N:NE")));
+  EXPECT_FALSE(MbbConsistentWithRelation(MbbDirection::kNorth,
+                                         *CardinalRelation::Parse("B:N")));
+  EXPECT_TRUE(MbbConsistentWithRelation(MbbDirection::kEast,
+                                        *CardinalRelation::Parse("NE:E:SE")));
+  EXPECT_FALSE(MbbConsistentWithRelation(MbbDirection::kSouthwest,
+                                         *CardinalRelation::Parse("SW:S")));
+  // Mixed is consistent with anything.
+  EXPECT_TRUE(MbbConsistentWithRelation(
+      MbbDirection::kMixed, *CardinalRelation::Parse("B:S:SW:W:NW")));
+}
+
+// Property: the MBB direction is always *consistent* with the tile model —
+// it is a sound coarsening (never asserts a separation the tile relation
+// violates).
+TEST(MbbDirectionPropertyTest, SoundCoarseningOfTheTileModel) {
+  Rng rng(99);
+  for (int trial = 0; trial < 100; ++trial) {
+    const Region a = RandomTestRegion(&rng);
+    const Region b = RandomTestRegion(&rng);
+    const MbbDirection coarse = *MbbBetweenRegions(a, b);
+    const CardinalRelation fine = *ComputeCdr(a, b);
+    EXPECT_TRUE(MbbConsistentWithRelation(coarse, fine))
+        << "trial " << trial << ": " << MbbDirectionName(coarse) << " vs "
+        << fine.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace cardir

@@ -1,0 +1,92 @@
+// Geometric invariance properties of the paper's relations: cardinal
+// direction relations (with and without percentages) are invariant under
+// translation and uniform positive scaling of the plane, and the relation
+// of a region to itself is always B with a 100% B matrix.
+
+#include <gtest/gtest.h>
+
+#include "core/compute_cdr.h"
+#include "core/compute_cdr_percent.h"
+#include "properties/random_instances.h"
+
+namespace cardir {
+namespace {
+
+Region Transform(const Region& region, double scale, const Point& shift) {
+  Region out;
+  for (const Polygon& polygon : region.polygons()) {
+    Polygon moved;
+    for (const Point& v : polygon.vertices()) {
+      moved.AddVertex(Point(v.x * scale + shift.x, v.y * scale + shift.y));
+    }
+    out.AddPolygon(std::move(moved));
+  }
+  return out;
+}
+
+class InvarianceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(InvarianceTest, TranslationInvariance) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 25; ++trial) {
+    const Region a = RandomTestRegion(&rng);
+    const Region b = RandomTestRegion(&rng);
+    const Point shift(rng.NextDouble(-500.0, 500.0),
+                      rng.NextDouble(-500.0, 500.0));
+    const Region a2 = Transform(a, 1.0, shift);
+    const Region b2 = Transform(b, 1.0, shift);
+    EXPECT_EQ(*ComputeCdr(a, b), *ComputeCdr(a2, b2)) << "trial " << trial;
+    EXPECT_TRUE(ComputeCdrPercent(a, b)->ApproxEquals(
+        *ComputeCdrPercent(a2, b2), 1e-6))
+        << "trial " << trial;
+  }
+}
+
+TEST_P(InvarianceTest, UniformScalingInvariance) {
+  Rng rng(GetParam() * 31 + 7);
+  for (int trial = 0; trial < 25; ++trial) {
+    const Region a = RandomTestRegion(&rng);
+    const Region b = RandomTestRegion(&rng);
+    const double scale = rng.NextDouble(0.25, 8.0);
+    const Region a2 = Transform(a, scale, Point(0, 0));
+    const Region b2 = Transform(b, scale, Point(0, 0));
+    EXPECT_EQ(*ComputeCdr(a, b), *ComputeCdr(a2, b2)) << "trial " << trial;
+    EXPECT_TRUE(ComputeCdrPercent(a, b)->ApproxEquals(
+        *ComputeCdrPercent(a2, b2), 1e-6))
+        << "trial " << trial;
+  }
+}
+
+TEST_P(InvarianceTest, SelfRelationIsAlwaysB) {
+  Rng rng(GetParam() * 97 + 11);
+  for (int trial = 0; trial < 25; ++trial) {
+    const Region a = RandomTestRegion(&rng);
+    EXPECT_EQ(ComputeCdr(a, a)->ToString(), "B") << "trial " << trial;
+    EXPECT_NEAR(ComputeCdrPercent(a, a)->at(Tile::kB), 100.0, 1e-9);
+  }
+}
+
+TEST_P(InvarianceTest, PolygonOrderIsIrrelevant) {
+  // A region is a *set* of polygons: permuting the representation must not
+  // change any relation.
+  Rng rng(GetParam() * 211 + 5);
+  for (int trial = 0; trial < 15; ++trial) {
+    RegionGenOptions options;
+    options.num_polygons = 4;
+    options.vertices_per_polygon = 6;
+    const Region a = RandomRegion(&rng, options);
+    const Region b = RandomTestRegion(&rng);
+    std::vector<Polygon> shuffled = a.polygons();
+    rng.Shuffle(&shuffled);
+    const Region permuted(std::move(shuffled));
+    EXPECT_EQ(*ComputeCdr(a, b), *ComputeCdr(permuted, b));
+    EXPECT_EQ(*ComputeCdr(b, a), *ComputeCdr(b, permuted));
+    EXPECT_TRUE(ComputeCdrPercent(a, b)->ApproxEquals(
+        *ComputeCdrPercent(permuted, b), 1e-9));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InvarianceTest, ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace cardir

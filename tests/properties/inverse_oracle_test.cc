@@ -1,0 +1,69 @@
+// Property test E8 (DESIGN.md): the geometric relation pair (R1, R2) of two
+// random regions always satisfies the §2 mutual-inverse characterisation:
+// R2 ∈ Inverse(R1) and R1 ∈ Inverse(R2).
+
+#include <gtest/gtest.h>
+
+#include "core/relation_pair.h"
+#include "properties/random_instances.h"
+#include "reasoning/constraint_network.h"
+#include "reasoning/inverse.h"
+
+namespace cardir {
+namespace {
+
+class InverseOracleTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(InverseOracleTest, GeometricPairsSatisfyTheInverse) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 60; ++trial) {
+    const Region a = RandomTestRegion(&rng);
+    const Region b = RandomTestRegion(&rng);
+    auto pair = ComputeRelationPair(a, b);
+    ASSERT_TRUE(pair.ok());
+    EXPECT_TRUE(Inverse(pair->a_to_b).Contains(pair->b_to_a))
+        << "trial " << trial << ": " << *pair;
+    EXPECT_TRUE(Inverse(pair->b_to_a).Contains(pair->a_to_b))
+        << "trial " << trial << ": " << *pair;
+    EXPECT_TRUE(IsValidRelationPair(pair->a_to_b, pair->b_to_a));
+  }
+}
+
+TEST_P(InverseOracleTest, InverseMembersAreRealizableByConstruction) {
+  // For random basic relations R, every S ∈ Inverse(R) must itself have R
+  // in its inverse — the model-search table is internally consistent.
+  Rng rng(GetParam() * 97 + 13);
+  for (int trial = 0; trial < 50; ++trial) {
+    const uint16_t mask = static_cast<uint16_t>(rng.NextInt(1, 511));
+    const CardinalRelation r = CardinalRelation::FromMask(mask);
+    for (const CardinalRelation& s : Inverse(r).Relations()) {
+      ASSERT_TRUE(Inverse(s).Contains(r))
+          << r.ToString() << " / " << s.ToString();
+    }
+  }
+}
+
+TEST_P(InverseOracleTest, InverseTableAgreesWithTheConstraintSolver) {
+  // Independent engines: S ∈ inv(R) ⟺ the two-variable network
+  // {a R b, b S a} admits a model.
+  Rng rng(GetParam() * 555 + 3);
+  for (int trial = 0; trial < 20; ++trial) {
+    const CardinalRelation r =
+        CardinalRelation::FromMask(static_cast<uint16_t>(rng.NextInt(1, 511)));
+    const CardinalRelation s =
+        CardinalRelation::FromMask(static_cast<uint16_t>(rng.NextInt(1, 511)));
+    ConstraintNetwork network;
+    const int a = network.AddVariable("a");
+    const int b = network.AddVariable("b");
+    ASSERT_TRUE(network.AddConstraint(a, b, r).ok());
+    ASSERT_TRUE(network.AddConstraint(b, a, s).ok());
+    EXPECT_EQ(network.Solve().ok(), Inverse(r).Contains(s))
+        << r.ToString() << " / " << s.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InverseOracleTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace cardir

@@ -1,0 +1,71 @@
+// Property test E9 (DESIGN.md): constraint networks extracted from real
+// region configurations are consistent — algebraic closure never empties a
+// constraint, the canonical model realises them, and the realised model
+// reproduces the original relations exactly.
+
+#include <gtest/gtest.h>
+
+#include "core/compute_cdr.h"
+#include "properties/random_instances.h"
+#include "reasoning/constraint_network.h"
+
+namespace cardir {
+namespace {
+
+class NetworkOracleTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(NetworkOracleTest, NetworksFromRegionsRealize) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 6; ++trial) {
+    std::vector<Region> regions;
+    const int n = static_cast<int>(rng.NextInt(2, 4));
+    for (int i = 0; i < n; ++i) regions.push_back(RandomTestRegion(&rng));
+
+    auto network = ConstraintNetwork::FromRegions(regions);
+    ASSERT_TRUE(network.ok()) << network.status();
+    auto model = network->RealizeBasic();
+    ASSERT_TRUE(model.ok()) << "trial " << trial << ": " << model.status();
+    // The realised regions satisfy every constraint exactly.
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) {
+        if (i == j) continue;
+        const auto& constraint = network->constraint(i, j);
+        ASSERT_TRUE(constraint.has_value());
+        auto realised = ComputeCdr(model->regions[static_cast<size_t>(i)],
+                                   model->regions[static_cast<size_t>(j)]);
+        ASSERT_TRUE(realised.ok());
+        EXPECT_TRUE(constraint->Contains(*realised))
+            << "trial " << trial << " (" << i << "," << j << "): realised "
+            << realised->ToString() << " constraint "
+            << constraint->ToString();
+      }
+    }
+  }
+}
+
+TEST_P(NetworkOracleTest, ClosureKeepsGeometricNetworksAlive) {
+  Rng rng(GetParam() * 53 + 29);
+  for (int trial = 0; trial < 3; ++trial) {
+    std::vector<Region> regions;
+    for (int i = 0; i < 3; ++i) regions.push_back(RandomTestRegion(&rng));
+    auto network = ConstraintNetwork::FromRegions(regions);
+    ASSERT_TRUE(network.ok());
+    EXPECT_TRUE(network->AlgebraicClosure()) << "trial " << trial;
+    // After closure the original relations must still be present.
+    for (int i = 0; i < 3; ++i) {
+      for (int j = 0; j < 3; ++j) {
+        if (i == j) continue;
+        auto original = ComputeCdr(regions[static_cast<size_t>(i)],
+                                   regions[static_cast<size_t>(j)]);
+        ASSERT_TRUE(original.ok());
+        EXPECT_TRUE(network->constraint(i, j)->Contains(*original));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NetworkOracleTest,
+                         ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace cardir

@@ -1,0 +1,77 @@
+// Property test E7 (DESIGN.md): Compute-CDR% agrees with the clipping-based
+// area oracle, percentages sum to 100, and the per-tile areas reconstruct
+// the region's total area.
+
+#include <gtest/gtest.h>
+
+#include "clipping/baseline_cdr.h"
+#include "core/compute_cdr.h"
+#include "core/compute_cdr_percent.h"
+#include "properties/random_instances.h"
+
+namespace cardir {
+namespace {
+
+class PercentOracleTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PercentOracleTest, MatchesClippingOracle) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 30; ++trial) {
+    const Region a = RandomTestRegion(&rng);
+    const Region b = RandomTestRegion(&rng);
+    auto fast = ComputeCdrPercent(a, b);
+    auto slow = BaselineCdrPercent(a, b);
+    ASSERT_TRUE(fast.ok() && slow.ok());
+    EXPECT_TRUE(fast->ApproxEquals(*slow, 1e-6))
+        << "trial " << trial << "\nfast:\n" << *fast << "\nslow:\n" << *slow;
+  }
+}
+
+TEST_P(PercentOracleTest, PercentagesSumToOneHundred) {
+  Rng rng(GetParam() * 13 + 5);
+  for (int trial = 0; trial < 30; ++trial) {
+    const Region a = RandomTestRegion(&rng);
+    const Region b = RandomTestRegion(&rng);
+    auto result = ComputeCdrPercent(a, b);
+    ASSERT_TRUE(result.ok());
+    EXPECT_NEAR(result->Total(), 100.0, 1e-6);
+    for (Tile t : kAllTiles) EXPECT_GE(result->at(t), 0.0) << TileName(t);
+  }
+}
+
+TEST_P(PercentOracleTest, TileAreasReconstructRegionArea) {
+  // Theorem-2 level sanity: the nine tile areas partition area(a).
+  Rng rng(GetParam() * 101 + 7);
+  for (int trial = 0; trial < 30; ++trial) {
+    const Region a = RandomTestRegion(&rng);
+    const Region b = RandomTestRegion(&rng);
+    auto result = ComputeCdrPercentDetailed(a, b);
+    ASSERT_TRUE(result.ok());
+    EXPECT_NEAR(result->total_area, a.Area(),
+                1e-9 * std::max(1.0, a.Area()))
+        << "trial " << trial;
+  }
+}
+
+TEST_P(PercentOracleTest, PositiveTilesAgreeWithQualitativeRelation) {
+  // Every tile with positive percentage must be in the Compute-CDR
+  // relation; the relation may additionally contain measure-zero tiles.
+  Rng rng(GetParam() * 211 + 11);
+  for (int trial = 0; trial < 30; ++trial) {
+    const Region a = RandomTestRegion(&rng);
+    const Region b = RandomTestRegion(&rng);
+    const CardinalRelation qualitative = *ComputeCdr(a, b);
+    const PercentageMatrix matrix = *ComputeCdrPercent(a, b);
+    // Use a relative threshold against accumulated floating-point error.
+    const CardinalRelation positive = matrix.ToRelation(1e-9);
+    EXPECT_TRUE(positive.IsSubsetOf(qualitative))
+        << "trial " << trial << ": " << positive.ToString() << " vs "
+        << qualitative.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PercentOracleTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+}  // namespace
+}  // namespace cardir

@@ -1,0 +1,64 @@
+// Shared random-instance generation for the oracle property tests: pairs
+// and triples of REG* regions of varied shape classes (convex, star,
+// rectangle, composite, ring) placed so that relations of every flavour
+// (overlapping, nested, disjoint, surrounding) occur.
+
+#ifndef CARDIR_TESTS_PROPERTIES_RANDOM_INSTANCES_H_
+#define CARDIR_TESTS_PROPERTIES_RANDOM_INSTANCES_H_
+
+#include <vector>
+
+#include "geometry/region.h"
+#include "util/random.h"
+#include "workload/region_gen.h"
+
+namespace cardir {
+
+// A random region whose bounding area is itself randomly placed on a
+// 200×200 canvas, so pairs overlap, nest or stand apart by chance.
+inline Region RandomTestRegion(Rng* rng) {
+  const double size = rng->NextDouble(20.0, 120.0);
+  const double x = rng->NextDouble(0.0, 200.0 - size);
+  const double y = rng->NextDouble(0.0, 200.0 - size);
+  const Box bounds(x, y, x + size, y + size);
+  switch (rng->NextBelow(5)) {
+    case 0: {
+      RegionGenOptions options;
+      options.num_polygons = 1;
+      options.vertices_per_polygon = static_cast<int>(rng->NextInt(3, 12));
+      options.kind = PolygonKind::kConvex;
+      options.bounds = bounds;
+      return RandomRegion(rng, options);
+    }
+    case 1: {
+      RegionGenOptions options;
+      options.num_polygons = 1;
+      options.vertices_per_polygon = static_cast<int>(rng->NextInt(4, 24));
+      options.kind = PolygonKind::kStar;
+      options.bounds = bounds;
+      return RandomRegion(rng, options);
+    }
+    case 2: {
+      RegionGenOptions options;
+      options.num_polygons = static_cast<int>(rng->NextInt(2, 5));
+      options.vertices_per_polygon = static_cast<int>(rng->NextInt(3, 10));
+      options.kind = rng->NextBool() ? PolygonKind::kStar
+                                     : PolygonKind::kConvex;
+      options.bounds = bounds;
+      return RandomRegion(rng, options);
+    }
+    case 3:
+      return RandomRingRegion(rng, bounds);
+    default: {
+      RegionGenOptions options;
+      options.num_polygons = 1;
+      options.kind = PolygonKind::kRectangle;
+      options.bounds = bounds;
+      return RandomRegion(rng, options);
+    }
+  }
+}
+
+}  // namespace cardir
+
+#endif  // CARDIR_TESTS_PROPERTIES_RANDOM_INSTANCES_H_

@@ -1,0 +1,78 @@
+// Cross-validation of the two independent reasoning engines: the
+// model-search composition (reasoning/composition.h) and the constraint
+// solver (reasoning/constraint_network.h, algebraic closure + canonical
+// model realisation). For random basic triples (R, S, T):
+//
+//   T ∈ Compose(R, S)  ⟺  the network {a R b, b S c, a T c} is consistent.
+//
+// Agreement in both directions simultaneously checks the soundness of the
+// composition table and the completeness of the canonical-order solver on
+// three-variable networks.
+
+#include <gtest/gtest.h>
+
+#include "reasoning/composition.h"
+#include "reasoning/constraint_network.h"
+#include "util/random.h"
+
+namespace cardir {
+namespace {
+
+class SolverCompositionTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SolverCompositionTest, SolveAgreesWithComposition) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 25; ++trial) {
+    const CardinalRelation r =
+        CardinalRelation::FromMask(static_cast<uint16_t>(rng.NextInt(1, 511)));
+    const CardinalRelation s =
+        CardinalRelation::FromMask(static_cast<uint16_t>(rng.NextInt(1, 511)));
+    const CardinalRelation t =
+        CardinalRelation::FromMask(static_cast<uint16_t>(rng.NextInt(1, 511)));
+    const bool expected = Compose(r, s).Contains(t);
+
+    ConstraintNetwork network;
+    const int a = network.AddVariable("a");
+    const int b = network.AddVariable("b");
+    const int c = network.AddVariable("c");
+    ASSERT_TRUE(network.AddConstraint(a, b, r).ok());
+    ASSERT_TRUE(network.AddConstraint(b, c, s).ok());
+    ASSERT_TRUE(network.AddConstraint(a, c, t).ok());
+    auto model = network.Solve();
+    EXPECT_EQ(model.ok(), expected)
+        << "trial " << trial << ": " << r.ToString() << " o " << s.ToString()
+        << (expected ? " contains " : " does not contain ") << t.ToString()
+        << "; solver says " << model.status();
+  }
+}
+
+TEST_P(SolverCompositionTest, CompositionMembersAlwaysRealize) {
+  // Every member of a composition must be realizable as a full network —
+  // the constructive direction only, over the members themselves.
+  Rng rng(GetParam() * 7 + 1);
+  const CardinalRelation r =
+      CardinalRelation::FromMask(static_cast<uint16_t>(rng.NextInt(1, 511)));
+  const CardinalRelation s =
+      CardinalRelation::FromMask(static_cast<uint16_t>(rng.NextInt(1, 511)));
+  const DisjunctiveRelation composed = Compose(r, s);
+  int checked = 0;
+  for (const CardinalRelation& t : composed.Relations()) {
+    if (++checked > 8) break;  // Sample; full sets can have 511 members.
+    ConstraintNetwork network;
+    const int a = network.AddVariable("a");
+    const int b = network.AddVariable("b");
+    const int c = network.AddVariable("c");
+    ASSERT_TRUE(network.AddConstraint(a, b, r).ok());
+    ASSERT_TRUE(network.AddConstraint(b, c, s).ok());
+    ASSERT_TRUE(network.AddConstraint(a, c, t).ok());
+    EXPECT_TRUE(network.Solve().ok())
+        << r.ToString() << " o " << s.ToString() << " member "
+        << t.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolverCompositionTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace cardir

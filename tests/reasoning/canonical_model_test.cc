@@ -1,0 +1,92 @@
+#include "reasoning/canonical_model.h"
+
+#include <gtest/gtest.h>
+
+namespace cardir {
+namespace {
+
+using internal_model::EnumerateAxisConfigs;
+using internal_model::SlotBand;
+
+TEST(AxisConfigTest, OneRegionHasOneConfig) {
+  EXPECT_EQ(EnumerateAxisConfigs(1).size(), 1u);
+}
+
+TEST(AxisConfigTest, TwoRegionsYieldThirteenAllenRelations) {
+  // The weak orders of two intervals' endpoints on a line are exactly the 13
+  // Allen interval relations.
+  EXPECT_EQ(EnumerateAxisConfigs(2).size(), 13u);
+}
+
+TEST(AxisConfigTest, ConfigsAreCanonicalAndOrdered) {
+  for (const auto& cfg : EnumerateAxisConfigs(2)) {
+    EXPECT_LT(cfg[0], cfg[1]);  // a_lo < a_hi.
+    EXPECT_LT(cfg[2], cfg[3]);  // b_lo < b_hi.
+    // Levels form a gapless prefix from 0.
+    int max_level = 0;
+    for (int8_t level : cfg) max_level = std::max<int>(max_level, level);
+    std::vector<bool> used(static_cast<size_t>(max_level) + 1, false);
+    for (int8_t level : cfg) used[static_cast<size_t>(level)] = true;
+    for (bool u : used) EXPECT_TRUE(u);
+  }
+}
+
+TEST(SlotBandTest, BandsRelativeToSpan) {
+  // Span [2, 4]: slots 0,1 are low; 2,3 are mid; 4+ are high.
+  EXPECT_EQ(SlotBand(0, 2, 4), 0);
+  EXPECT_EQ(SlotBand(1, 2, 4), 0);
+  EXPECT_EQ(SlotBand(2, 2, 4), 1);
+  EXPECT_EQ(SlotBand(3, 2, 4), 1);
+  EXPECT_EQ(SlotBand(4, 2, 4), 2);
+  EXPECT_EQ(SlotBand(7, 2, 4), 2);
+}
+
+TEST(PairSignatureTest, DeduplicatedSignatureCount) {
+  // 13 Allen configurations collapse to 11 distinct band signatures (e.g.
+  // "equals" duplicates the bands of tight containment).
+  EXPECT_EQ(AllPairAxisSignatures().size(), 11u);
+}
+
+TEST(TripleSignatureTest, SignaturesAreDeduplicated) {
+  const auto& sigs = AllTripleAxisSignatures();
+  EXPECT_GT(sigs.size(), 50u);
+  for (size_t i = 1; i < sigs.size(); ++i) {
+    EXPECT_TRUE(sigs[i - 1] < sigs[i]);  // Strictly sorted = unique.
+  }
+}
+
+TEST(PairFeasibleTest, SingleTileRelations) {
+  // a strictly SW of b on both axes: one slot, band low on each axis.
+  const PairTileSets sw = MakePairTileSets({0}, {0});
+  EXPECT_TRUE(PairFeasible(
+      CardinalRelation(Tile::kSW).mask(), sw));
+  EXPECT_FALSE(PairFeasible(CardinalRelation(Tile::kB).mask(), sw));
+  EXPECT_FALSE(PairFeasible(
+      CardinalRelation({Tile::kSW, Tile::kW}).mask(), sw));
+}
+
+TEST(PairFeasibleTest, SideTouchingConstraint) {
+  // x slots: [low, mid], y slots: [mid]: cells are W and B. Relation "B"
+  // alone is infeasible (the west side of the span would not be touched).
+  const PairTileSets sets = MakePairTileSets({0, 1}, {1});
+  EXPECT_FALSE(PairFeasible(CardinalRelation(Tile::kB).mask(), sets));
+  EXPECT_FALSE(PairFeasible(CardinalRelation(Tile::kW).mask(), sets));
+  EXPECT_TRUE(PairFeasible(
+      CardinalRelation({Tile::kW, Tile::kB}).mask(), sets));
+}
+
+TEST(PairFeasibleTest, EmptyRelationNeverFeasible) {
+  EXPECT_FALSE(PairFeasible(0, MakePairTileSets({1}, {1})));
+}
+
+TEST(RelationRealizableTest, All511BasicRelationsAreRealizable) {
+  // D* is jointly exhaustive over REG* (paper §2): every non-empty tile set
+  // is the relation of some pair of regions.
+  for (uint16_t mask = 1; mask <= 511; ++mask) {
+    EXPECT_TRUE(RelationRealizable(mask))
+        << CardinalRelation::FromMask(mask).ToString();
+  }
+}
+
+}  // namespace
+}  // namespace cardir

@@ -1,0 +1,116 @@
+#include "reasoning/composition.h"
+
+#include <gtest/gtest.h>
+
+#include "reasoning/inverse.h"
+
+namespace cardir {
+namespace {
+
+CardinalRelation R(const char* spec) { return *CardinalRelation::Parse(spec); }
+
+TEST(CompositionTest, NorthComposedWithNorthIsNorth) {
+  // a N b, b N c forces a entirely north of c with a's x-span inside c's.
+  EXPECT_EQ(Compose(R("N"), R("N")).ToString(), "{N}");
+}
+
+TEST(CompositionTest, CornerRelationsComposeToThemselves) {
+  EXPECT_EQ(Compose(R("SW"), R("SW")).ToString(), "{SW}");
+  EXPECT_EQ(Compose(R("NE"), R("NE")).ToString(), "{NE}");
+}
+
+TEST(CompositionTest, BComposedWithBIsB) {
+  // mbb(a) ⊆ mbb(b) ⊆ mbb(c) ⇒ a B c.
+  EXPECT_EQ(Compose(R("B"), R("B")).ToString(), "{B}");
+}
+
+TEST(CompositionTest, SouthThenNorthKeepsOnlyTheMiddleColumn) {
+  // a S b, b N c: a's x-span nests inside b's, which nests inside c's, so a
+  // stays in c's middle column; vertically a is unconstrained. Expect all 7
+  // non-empty subsets of {B, S, N}.
+  const DisjunctiveRelation composed = Compose(R("S"), R("N"));
+  EXPECT_EQ(composed.Count(), 7u);
+  EXPECT_TRUE(composed.Contains(R("S")));
+  EXPECT_TRUE(composed.Contains(R("N")));
+  EXPECT_TRUE(composed.Contains(R("B")));
+  EXPECT_TRUE(composed.Contains(R("B:S:N")));
+  EXPECT_TRUE(composed.Contains(R("S:N")));  // Disconnected a.
+  EXPECT_FALSE(composed.Contains(R("W")));
+  EXPECT_FALSE(composed.Contains(R("B:W")));
+}
+
+TEST(CompositionTest, SouthwestThenNortheastIsUniversal) {
+  // a SW b places a far southwest of b; b NE c places b northeast of c —
+  // together they leave a completely unconstrained relative to c.
+  EXPECT_EQ(Compose(R("SW"), R("NE")).Count(), 511u);
+}
+
+TEST(CompositionTest, SouthComposedWithSouthStaysSouth) {
+  EXPECT_EQ(Compose(R("S"), R("S")).ToString(), "{S}");
+}
+
+TEST(CompositionTest, WestThenSouth) {
+  // a W b, b S c: a is west of b which is south of c. a must be strictly
+  // ... y: sup_y(a) ≤ sup_y(b) ≤ inf_y(c) ⇒ a in the south row of c.
+  const DisjunctiveRelation composed = Compose(R("W"), R("S"));
+  for (const CardinalRelation& t : composed.Relations()) {
+    for (Tile tile : t.Tiles()) {
+      EXPECT_EQ(RowOf(tile), TileRow::kSouth) << t.ToString();
+    }
+  }
+  EXPECT_TRUE(composed.Contains(R("SW")));
+  EXPECT_FALSE(composed.Contains(R("SE")));  // a cannot reach east of c.
+}
+
+TEST(CompositionTest, ComposedRelationsAreNeverEmpty) {
+  // Every (R, S) pair admits at least one model: composition is total.
+  const char* const samples[] = {"B",  "S",    "SW",     "N:NE",
+                                 "B:S", "W:NW", "B:S:SW:W", "NE:E:SE"};
+  for (const char* r : samples) {
+    for (const char* s : samples) {
+      EXPECT_FALSE(Compose(R(r), R(s)).IsEmpty()) << r << " o " << s;
+    }
+  }
+}
+
+TEST(CompositionTest, MemoisationReturnsIdenticalResults) {
+  const DisjunctiveRelation first = Compose(R("B:S"), R("W:NW"));
+  const DisjunctiveRelation second = Compose(R("B:S"), R("W:NW"));
+  EXPECT_EQ(first, second);
+}
+
+TEST(CompositionTest, DisjunctiveCompositionIsUnionOverMembers) {
+  DisjunctiveRelation lhs;
+  lhs.Add(R("SW"));
+  lhs.Add(R("NE"));
+  DisjunctiveRelation rhs{R("SW")};
+  const DisjunctiveRelation composed = Compose(lhs, rhs);
+  // SW∘SW = {SW}; NE∘SW covers everything NE of far-southwest, a big set —
+  // at minimum the union contains SW and every member of NE∘SW.
+  EXPECT_TRUE(composed.Contains(R("SW")));
+  EXPECT_TRUE(Compose(R("NE"), R("SW")).IsSubsetOf(composed));
+}
+
+TEST(CompositionTest, ConsistentWithInverseViaSwap) {
+  // T ∈ comp(R, S) ⟺ ∃ model (a R b, b S c, a T c). Swapping the roles of a
+  // and c gives: inv-image symmetry comp(inv(S)∘inv(R)) ∋ inv-members of T.
+  // Spot-check: for every T in comp(N, NE), some U ∈ inv(T) must lie in
+  // comp over the reversed chain (c inv(NE)-ish b, b inv(N)-ish a).
+  const DisjunctiveRelation forward = Compose(R("N"), R("NE"));
+  DisjunctiveRelation reversed;
+  for (const CardinalRelation& s_inv : Inverse(R("NE")).Relations()) {
+    for (const CardinalRelation& r_inv : Inverse(R("N")).Relations()) {
+      reversed.mutable_bits() |= Compose(s_inv, r_inv).bits();
+    }
+  }
+  for (const CardinalRelation& t : forward.Relations()) {
+    bool found = false;
+    for (const CardinalRelation& u : Inverse(t).Relations()) {
+      found |= reversed.Contains(u);
+    }
+    EXPECT_TRUE(found) << t.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace cardir

@@ -1,0 +1,208 @@
+#include "reasoning/constraint_network.h"
+
+#include <gtest/gtest.h>
+
+#include "core/compute_cdr.h"
+#include "reasoning/inverse.h"
+
+namespace cardir {
+namespace {
+
+CardinalRelation R(const char* spec) { return *CardinalRelation::Parse(spec); }
+
+// Checks that `model` satisfies every constraint of `network` exactly,
+// using Compute-CDR as the ground truth.
+void ExpectModelSatisfies(const ConstraintNetwork& network,
+                          const NetworkModel& model) {
+  const int n = network.variable_count();
+  ASSERT_EQ(static_cast<int>(model.regions.size()), n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const auto& constraint = network.constraint(i, j);
+      if (!constraint.has_value()) continue;
+      auto actual = ComputeCdr(model.regions[i], model.regions[j]);
+      ASSERT_TRUE(actual.ok()) << actual.status();
+      EXPECT_TRUE(constraint->Contains(*actual))
+          << network.variable_name(i) << " " << actual->ToString() << " "
+          << network.variable_name(j) << " not in " << constraint->ToString();
+    }
+  }
+}
+
+TEST(ConstraintNetworkTest, AddConstraintValidation) {
+  ConstraintNetwork network;
+  const int a = network.AddVariable("a");
+  const int b = network.AddVariable("b");
+  EXPECT_TRUE(network.AddConstraint(a, b, R("S")).ok());
+  EXPECT_FALSE(network.AddConstraint(a, a, R("S")).ok());
+  EXPECT_FALSE(network.AddConstraint(a, 7, R("S")).ok());
+  EXPECT_FALSE(network.AddConstraint(a, b, DisjunctiveRelation()).ok());
+}
+
+TEST(ConstraintNetworkTest, AddConstraintIntersects) {
+  ConstraintNetwork network;
+  const int a = network.AddVariable();
+  const int b = network.AddVariable();
+  DisjunctiveRelation d1;
+  d1.Add(R("S"));
+  d1.Add(R("N"));
+  ASSERT_TRUE(network.AddConstraint(a, b, d1).ok());
+  ASSERT_TRUE(network.AddConstraint(a, b, R("S")).ok());
+  EXPECT_EQ(network.constraint(a, b)->Count(), 1u);
+  EXPECT_TRUE(network.constraint(a, b)->Contains(R("S")));
+}
+
+TEST(ConstraintNetworkTest, SimpleBasicNetworkRealizes) {
+  ConstraintNetwork network;
+  const int a = network.AddVariable("a");
+  const int b = network.AddVariable("b");
+  ASSERT_TRUE(network.AddConstraint(a, b, R("S")).ok());
+  auto model = network.RealizeBasic();
+  ASSERT_TRUE(model.ok()) << model.status();
+  ExpectModelSatisfies(network, *model);
+}
+
+TEST(ConstraintNetworkTest, MultiTileConstraintRealizes) {
+  ConstraintNetwork network;
+  const int a = network.AddVariable("a");
+  const int b = network.AddVariable("b");
+  ASSERT_TRUE(network.AddConstraint(a, b, R("B:W:NW:N:NE:E")).ok());
+  auto model = network.RealizeBasic();
+  ASSERT_TRUE(model.ok()) << model.status();
+  ExpectModelSatisfies(network, *model);
+}
+
+TEST(ConstraintNetworkTest, MutualSouthIsInconsistent) {
+  ConstraintNetwork network;
+  const int a = network.AddVariable("a");
+  const int b = network.AddVariable("b");
+  ASSERT_TRUE(network.AddConstraint(a, b, R("S")).ok());
+  ASSERT_TRUE(network.AddConstraint(b, a, R("S")).ok());
+  EXPECT_FALSE(network.AlgebraicClosure());
+  auto model = network.Solve();
+  EXPECT_FALSE(model.ok());
+  EXPECT_EQ(model.status().code(), StatusCode::kInconsistent);
+}
+
+TEST(ConstraintNetworkTest, CyclicSouthwestTriangleIsInconsistent) {
+  ConstraintNetwork network;
+  const int a = network.AddVariable("a");
+  const int b = network.AddVariable("b");
+  const int c = network.AddVariable("c");
+  ASSERT_TRUE(network.AddConstraint(a, b, R("SW")).ok());
+  ASSERT_TRUE(network.AddConstraint(b, c, R("SW")).ok());
+  ASSERT_TRUE(network.AddConstraint(c, a, R("SW")).ok());
+  auto model = network.Solve();
+  EXPECT_FALSE(model.ok());
+  EXPECT_EQ(model.status().code(), StatusCode::kInconsistent);
+}
+
+TEST(ConstraintNetworkTest, TransitiveSouthChainRealizes) {
+  ConstraintNetwork network;
+  const int a = network.AddVariable("a");
+  const int b = network.AddVariable("b");
+  const int c = network.AddVariable("c");
+  ASSERT_TRUE(network.AddConstraint(a, b, R("S")).ok());
+  ASSERT_TRUE(network.AddConstraint(b, c, R("S")).ok());
+  ASSERT_TRUE(network.AddConstraint(a, c, R("S")).ok());
+  auto model = network.RealizeBasic();
+  ASSERT_TRUE(model.ok()) << model.status();
+  ExpectModelSatisfies(network, *model);
+}
+
+TEST(ConstraintNetworkTest, CompositionRefutesInconsistentChain) {
+  // a S b, b S c but a N c: comp(S, S) = {S} refutes {N}.
+  ConstraintNetwork network;
+  const int a = network.AddVariable("a");
+  const int b = network.AddVariable("b");
+  const int c = network.AddVariable("c");
+  ASSERT_TRUE(network.AddConstraint(a, b, R("S")).ok());
+  ASSERT_TRUE(network.AddConstraint(b, c, R("S")).ok());
+  ASSERT_TRUE(network.AddConstraint(a, c, R("N")).ok());
+  EXPECT_FALSE(network.AlgebraicClosure());
+}
+
+TEST(ConstraintNetworkTest, InverseCouplingPrunes) {
+  ConstraintNetwork network;
+  const int a = network.AddVariable("a");
+  const int b = network.AddVariable("b");
+  DisjunctiveRelation d;
+  d.Add(R("S"));
+  d.Add(R("N"));
+  ASSERT_TRUE(network.AddConstraint(a, b, d).ok());
+  ASSERT_TRUE(network.AddConstraint(b, a, R("S")).ok());
+  ASSERT_TRUE(network.AlgebraicClosure());
+  // b S a forces a ∈ inv(S): the S branch of the disjunction dies.
+  EXPECT_FALSE(network.constraint(a, b)->Contains(R("S")));
+  EXPECT_TRUE(network.constraint(a, b)->Contains(R("N")));
+}
+
+TEST(ConstraintNetworkTest, SolveDisjunctivePicksTheConsistentBranch) {
+  ConstraintNetwork network;
+  const int a = network.AddVariable("a");
+  const int b = network.AddVariable("b");
+  DisjunctiveRelation d;
+  d.Add(R("S"));
+  d.Add(R("N"));
+  ASSERT_TRUE(network.AddConstraint(a, b, d).ok());
+  ASSERT_TRUE(network.AddConstraint(b, a, R("S")).ok());
+  auto model = network.Solve();
+  ASSERT_TRUE(model.ok()) << model.status();
+  auto actual = ComputeCdr(model->regions[0], model->regions[1]);
+  ASSERT_TRUE(actual.ok());
+  EXPECT_EQ(actual->ToString(), "N");
+}
+
+TEST(ConstraintNetworkTest, RealizeBasicRejectsDisjunctiveConstraints) {
+  ConstraintNetwork network;
+  const int a = network.AddVariable();
+  const int b = network.AddVariable();
+  DisjunctiveRelation d;
+  d.Add(R("S"));
+  d.Add(R("N"));
+  ASSERT_TRUE(network.AddConstraint(a, b, d).ok());
+  EXPECT_EQ(network.RealizeBasic().status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(ConstraintNetworkTest, UnconstrainedVariablesRealize) {
+  ConstraintNetwork network;
+  network.AddVariable("a");
+  network.AddVariable("b");
+  auto model = network.RealizeBasic();
+  ASSERT_TRUE(model.ok()) << model.status();
+  for (const Region& region : model->regions) {
+    EXPECT_TRUE(region.Validate().ok());
+  }
+}
+
+TEST(ConstraintNetworkTest, FromRegionsIsConsistentAndRealizes) {
+  std::vector<Region> regions;
+  regions.push_back(Region(MakeRectangle(0, 0, 10, 10)));
+  regions.push_back(Region(MakeRectangle(20, 0, 30, 10)));
+  regions.push_back(Region(MakeRectangle(5, 20, 25, 30)));
+  auto network = ConstraintNetwork::FromRegions(regions);
+  ASSERT_TRUE(network.ok()) << network.status();
+  EXPECT_TRUE(network->AlgebraicClosure());
+  auto model = network->RealizeBasic();
+  ASSERT_TRUE(model.ok()) << model.status();
+  ExpectModelSatisfies(*network, *model);
+}
+
+TEST(ConstraintNetworkTest, DisconnectedRelationNetworkRealizes) {
+  // The NW:NE inverse case: b spills into two corners of a.
+  ConstraintNetwork network;
+  const int a = network.AddVariable("a");
+  const int b = network.AddVariable("b");
+  ASSERT_TRUE(network.AddConstraint(a, b, R("S")).ok());
+  ASSERT_TRUE(network.AddConstraint(b, a, R("NW:NE")).ok());
+  auto model = network.Solve();
+  ASSERT_TRUE(model.ok()) << model.status();
+  ExpectModelSatisfies(network, *model);
+  // The realised b must be disconnected (two parts, no middle).
+  EXPECT_GE(model->regions[1].polygon_count(), 2u);
+}
+
+}  // namespace
+}  // namespace cardir

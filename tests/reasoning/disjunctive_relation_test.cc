@@ -1,0 +1,92 @@
+#include "reasoning/disjunctive_relation.h"
+
+#include <gtest/gtest.h>
+
+namespace cardir {
+namespace {
+
+CardinalRelation R(const char* spec) { return *CardinalRelation::Parse(spec); }
+
+TEST(DisjunctiveRelationTest, EmptyAndSingleton) {
+  DisjunctiveRelation empty;
+  EXPECT_TRUE(empty.IsEmpty());
+  EXPECT_EQ(empty.Count(), 0u);
+  EXPECT_EQ(empty.ToString(), "{}");
+
+  const DisjunctiveRelation single{R("N")};
+  EXPECT_EQ(single.Count(), 1u);
+  EXPECT_TRUE(single.Contains(R("N")));
+  EXPECT_FALSE(single.Contains(R("S")));
+  EXPECT_EQ(single.ToString(), "{N}");
+}
+
+TEST(DisjunctiveRelationTest, UniversalHas511Members) {
+  EXPECT_EQ(DisjunctiveRelation::Universal().Count(), 511u);
+}
+
+TEST(DisjunctiveRelationTest, AddRemove) {
+  DisjunctiveRelation d;
+  d.Add(R("N"));
+  d.Add(R("N:NE"));
+  EXPECT_EQ(d.Count(), 2u);
+  d.Remove(R("N"));
+  EXPECT_EQ(d.Count(), 1u);
+  EXPECT_TRUE(d.Contains(R("N:NE")));
+}
+
+TEST(DisjunctiveRelationTest, SetAlgebra) {
+  DisjunctiveRelation a;
+  a.Add(R("N"));
+  a.Add(R("S"));
+  DisjunctiveRelation b;
+  b.Add(R("S"));
+  b.Add(R("W"));
+  EXPECT_EQ(a.Union(b).Count(), 3u);
+  EXPECT_EQ(a.Intersection(b).Count(), 1u);
+  EXPECT_TRUE(a.Intersection(b).Contains(R("S")));
+  EXPECT_TRUE(a.Intersection(b).IsSubsetOf(a));
+  EXPECT_FALSE(a.IsSubsetOf(b));
+}
+
+TEST(DisjunctiveRelationTest, ParseBraceSyntax) {
+  auto d = DisjunctiveRelation::Parse("{N, W}");
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->Count(), 2u);
+  EXPECT_TRUE(d->Contains(R("N")));
+  EXPECT_TRUE(d->Contains(R("W")));
+}
+
+TEST(DisjunctiveRelationTest, ParseBareBasicRelation) {
+  auto d = DisjunctiveRelation::Parse("NE:E");
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->Count(), 1u);
+  EXPECT_TRUE(d->Contains(R("NE:E")));
+}
+
+TEST(DisjunctiveRelationTest, ParseEmptyBracesAndErrors) {
+  EXPECT_TRUE(DisjunctiveRelation::Parse("{}")->IsEmpty());
+  EXPECT_FALSE(DisjunctiveRelation::Parse("{N").ok());
+  EXPECT_FALSE(DisjunctiveRelation::Parse("{N, X}").ok());
+  EXPECT_FALSE(DisjunctiveRelation::Parse("").ok());
+}
+
+TEST(DisjunctiveRelationTest, ToStringListsMembersInMaskOrder) {
+  DisjunctiveRelation d;
+  d.Add(R("N"));
+  d.Add(R("B"));
+  EXPECT_EQ(d.ToString(), "{B, N}");  // B has the smaller mask.
+}
+
+TEST(DisjunctiveRelationTest, RelationsRoundTrip) {
+  DisjunctiveRelation d;
+  d.Add(R("B:S"));
+  d.Add(R("NE:E"));
+  const auto members = d.Relations();
+  ASSERT_EQ(members.size(), 2u);
+  DisjunctiveRelation rebuilt;
+  for (const CardinalRelation& m : members) rebuilt.Add(m);
+  EXPECT_EQ(rebuilt, d);
+}
+
+}  // namespace
+}  // namespace cardir

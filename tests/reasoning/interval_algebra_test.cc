@@ -1,0 +1,143 @@
+#include "reasoning/interval_algebra.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace cardir {
+namespace {
+
+using enum AllenRelation;
+
+TEST(ClassifyIntervalsTest, AllThirteenRelations) {
+  EXPECT_EQ(ClassifyIntervals(0, 1, 2, 3), kBefore);
+  EXPECT_EQ(ClassifyIntervals(0, 2, 2, 3), kMeets);
+  EXPECT_EQ(ClassifyIntervals(0, 2, 1, 3), kOverlaps);
+  EXPECT_EQ(ClassifyIntervals(0, 3, 1, 3), kFinishedBy);
+  EXPECT_EQ(ClassifyIntervals(0, 4, 1, 3), kContains);
+  EXPECT_EQ(ClassifyIntervals(1, 2, 1, 3), kStarts);
+  EXPECT_EQ(ClassifyIntervals(1, 3, 1, 3), kEquals);
+  EXPECT_EQ(ClassifyIntervals(1, 4, 1, 3), kStartedBy);
+  EXPECT_EQ(ClassifyIntervals(1.5, 2, 1, 3), kDuring);
+  EXPECT_EQ(ClassifyIntervals(2, 3, 1, 3), kFinishes);
+  EXPECT_EQ(ClassifyIntervals(2, 4, 1, 3), kOverlappedBy);
+  EXPECT_EQ(ClassifyIntervals(3, 4, 1, 3), kMetBy);
+  EXPECT_EQ(ClassifyIntervals(4, 5, 1, 3), kAfter);
+}
+
+TEST(AllenConverseTest, InvolutionAndKnownPairs) {
+  EXPECT_EQ(AllenConverse(kBefore), kAfter);
+  EXPECT_EQ(AllenConverse(kMeets), kMetBy);
+  EXPECT_EQ(AllenConverse(kOverlaps), kOverlappedBy);
+  EXPECT_EQ(AllenConverse(kStarts), kStartedBy);
+  EXPECT_EQ(AllenConverse(kDuring), kContains);
+  EXPECT_EQ(AllenConverse(kFinishes), kFinishedBy);
+  EXPECT_EQ(AllenConverse(kEquals), kEquals);
+  for (int i = 0; i < kNumAllenRelations; ++i) {
+    const auto r = static_cast<AllenRelation>(i);
+    EXPECT_EQ(AllenConverse(AllenConverse(r)), r);
+  }
+}
+
+TEST(AllenConverseTest, ClassificationConverseConsistency) {
+  Rng rng(7);
+  for (int trial = 0; trial < 200; ++trial) {
+    const double a_lo = rng.NextInt(0, 6);
+    const double a_hi = a_lo + rng.NextInt(1, 4);
+    const double b_lo = rng.NextInt(0, 6);
+    const double b_hi = b_lo + rng.NextInt(1, 4);
+    EXPECT_EQ(AllenConverse(ClassifyIntervals(a_lo, a_hi, b_lo, b_hi)),
+              ClassifyIntervals(b_lo, b_hi, a_lo, a_hi));
+  }
+}
+
+TEST(AllenComposeTest, KnownTableEntries) {
+  // Entries from Allen (1983).
+  EXPECT_EQ(AllenCompose(kBefore, kBefore), AllenSet(kBefore));
+  EXPECT_EQ(AllenCompose(kMeets, kMeets), AllenSet(kBefore));
+  EXPECT_EQ(AllenCompose(kDuring, kDuring), AllenSet(kDuring));
+  EXPECT_EQ(AllenCompose(kEquals, kOverlaps), AllenSet(kOverlaps));
+  EXPECT_EQ(AllenCompose(kOverlaps, kEquals), AllenSet(kOverlaps));
+  // o ∘ o = {before, meets, overlaps}.
+  AllenSet o_o;
+  o_o.Add(kBefore);
+  o_o.Add(kMeets);
+  o_o.Add(kOverlaps);
+  EXPECT_EQ(AllenCompose(kOverlaps, kOverlaps), o_o);
+  // before ∘ after is the full algebra.
+  EXPECT_EQ(AllenCompose(kBefore, kAfter), AllenSet::All());
+  // during ∘ before = before.
+  EXPECT_EQ(AllenCompose(kDuring, kBefore), AllenSet(kBefore));
+  // before ∘ during = {before, overlaps, meets, during, starts}.
+  AllenSet b_d;
+  b_d.Add(kBefore);
+  b_d.Add(kOverlaps);
+  b_d.Add(kMeets);
+  b_d.Add(kDuring);
+  b_d.Add(kStarts);
+  EXPECT_EQ(AllenCompose(kBefore, kDuring), b_d);
+}
+
+TEST(AllenComposeTest, EqualsIsIdentity) {
+  for (int i = 0; i < kNumAllenRelations; ++i) {
+    const auto r = static_cast<AllenRelation>(i);
+    EXPECT_EQ(AllenCompose(kEquals, r), AllenSet(r));
+    EXPECT_EQ(AllenCompose(r, kEquals), AllenSet(r));
+  }
+}
+
+TEST(AllenComposeTest, ConverseDistributesOverComposition) {
+  // conv(r ∘ s) = conv(s) ∘ conv(r).
+  for (int i = 0; i < kNumAllenRelations; ++i) {
+    for (int j = 0; j < kNumAllenRelations; ++j) {
+      const auto r = static_cast<AllenRelation>(i);
+      const auto s = static_cast<AllenRelation>(j);
+      EXPECT_EQ(AllenConverse(AllenCompose(r, s)),
+                AllenCompose(AllenConverse(s), AllenConverse(r)))
+          << AllenRelationName(r) << " / " << AllenRelationName(s);
+    }
+  }
+}
+
+TEST(AllenComposeTest, SoundOnRandomIntervalTriples) {
+  Rng rng(13);
+  for (int trial = 0; trial < 500; ++trial) {
+    const double a_lo = rng.NextInt(0, 8), a_hi = a_lo + rng.NextInt(1, 4);
+    const double b_lo = rng.NextInt(0, 8), b_hi = b_lo + rng.NextInt(1, 4);
+    const double c_lo = rng.NextInt(0, 8), c_hi = c_lo + rng.NextInt(1, 4);
+    const AllenRelation ab = ClassifyIntervals(a_lo, a_hi, b_lo, b_hi);
+    const AllenRelation bc = ClassifyIntervals(b_lo, b_hi, c_lo, c_hi);
+    const AllenRelation ac = ClassifyIntervals(a_lo, a_hi, c_lo, c_hi);
+    EXPECT_TRUE(AllenCompose(ab, bc).Contains(ac))
+        << AllenRelationName(ab) << " o " << AllenRelationName(bc)
+        << " should contain " << AllenRelationName(ac);
+  }
+}
+
+TEST(AllenSetTest, SetOperations) {
+  AllenSet a(kBefore);
+  a.Add(kMeets);
+  AllenSet b(kMeets);
+  b.Add(kAfter);
+  EXPECT_EQ(a.Union(b).Count(), 3);
+  EXPECT_EQ(a.Intersection(b), AllenSet(kMeets));
+  EXPECT_TRUE(AllenSet(kMeets).IsSubsetOf(a));
+  EXPECT_FALSE(a.IsSubsetOf(b));
+  EXPECT_EQ(a.ToString(), "{before, meets}");
+  EXPECT_TRUE(AllenSet().IsEmpty());
+  EXPECT_EQ(AllenSet::All().Count(), 13);
+}
+
+TEST(AllenNamesTest, RoundTrip) {
+  for (int i = 0; i < kNumAllenRelations; ++i) {
+    const auto r = static_cast<AllenRelation>(i);
+    AllenRelation parsed;
+    ASSERT_TRUE(ParseAllenRelation(AllenRelationName(r), &parsed));
+    EXPECT_EQ(parsed, r);
+  }
+  AllenRelation r;
+  EXPECT_FALSE(ParseAllenRelation("sometime", &r));
+}
+
+}  // namespace
+}  // namespace cardir

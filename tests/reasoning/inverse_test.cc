@@ -1,0 +1,87 @@
+#include "reasoning/inverse.h"
+
+#include <gtest/gtest.h>
+
+namespace cardir {
+namespace {
+
+CardinalRelation R(const char* spec) { return *CardinalRelation::Parse(spec); }
+
+TEST(InverseTest, PaperExampleInverseOfSouth) {
+  // §2: if a S b then b is north of a, possibly spilling into NW/NE —
+  // including the disconnected NW:NE case allowed by REG*.
+  const DisjunctiveRelation inv = Inverse(R("S"));
+  EXPECT_EQ(inv.Count(), 5u);
+  EXPECT_TRUE(inv.Contains(R("N")));
+  EXPECT_TRUE(inv.Contains(R("NW:N")));
+  EXPECT_TRUE(inv.Contains(R("N:NE")));
+  EXPECT_TRUE(inv.Contains(R("NW:NE")));
+  EXPECT_TRUE(inv.Contains(R("NW:N:NE")));
+  // b NE a alone is impossible: inf_x(b) ≤ inf_x(a) contradicts b east of a.
+  EXPECT_FALSE(inv.Contains(R("NE")));
+  EXPECT_FALSE(inv.Contains(R("S")));
+}
+
+TEST(InverseTest, CornerRelationsHaveSingletonInverses) {
+  // a SW b pins b strictly northeast of a: inv(SW) = {NE}, etc.
+  EXPECT_EQ(Inverse(R("SW")).ToString(), "{NE}");
+  EXPECT_EQ(Inverse(R("NE")).ToString(), "{SW}");
+  EXPECT_EQ(Inverse(R("NW")).ToString(), "{SE}");
+  EXPECT_EQ(Inverse(R("SE")).ToString(), "{NW}");
+}
+
+TEST(InverseTest, InverseOfBContainsBAndTheFullSurround) {
+  const DisjunctiveRelation inv = Inverse(R("B"));
+  EXPECT_TRUE(inv.Contains(R("B")));  // Equal regions.
+  EXPECT_TRUE(inv.Contains(R("B:S:SW:W:NW:N:NE:E:SE")));  // b swallows a.
+  // b cannot be strictly north of a when mbb(a) ⊆ mbb(b).
+  EXPECT_FALSE(inv.Contains(R("N")));
+}
+
+TEST(InverseTest, SymmetryOverAllPairs) {
+  // S ∈ inv(R) ⟺ R ∈ inv(S): both state ∃ a,b with a R b ∧ b S a.
+  for (uint16_t r = 1; r <= 511; ++r) {
+    const DisjunctiveRelation& inv_r = Inverse(CardinalRelation::FromMask(r));
+    for (uint16_t s = 1; s <= 511; ++s) {
+      const bool forward = inv_r.Contains(CardinalRelation::FromMask(s));
+      const bool backward = Inverse(CardinalRelation::FromMask(s))
+                                .Contains(CardinalRelation::FromMask(r));
+      ASSERT_EQ(forward, backward) << "r=" << r << " s=" << s;
+    }
+  }
+}
+
+TEST(InverseTest, EveryRelationHasNonEmptyInverse) {
+  for (uint16_t r = 1; r <= 511; ++r) {
+    EXPECT_FALSE(Inverse(CardinalRelation::FromMask(r)).IsEmpty())
+        << CardinalRelation::FromMask(r).ToString();
+  }
+}
+
+TEST(InverseTest, DisjunctiveInverseIsUnionOfMemberInverses) {
+  DisjunctiveRelation d;
+  d.Add(R("SW"));
+  d.Add(R("SE"));
+  const DisjunctiveRelation inv = Inverse(d);
+  EXPECT_EQ(inv.Count(), 2u);
+  EXPECT_TRUE(inv.Contains(R("NE")));
+  EXPECT_TRUE(inv.Contains(R("NW")));
+}
+
+TEST(IsValidRelationPairTest, KnownPairs) {
+  EXPECT_TRUE(IsValidRelationPair(R("S"), R("N")));
+  EXPECT_TRUE(IsValidRelationPair(R("SW"), R("NE")));
+  EXPECT_TRUE(IsValidRelationPair(R("B"), R("B")));
+  EXPECT_FALSE(IsValidRelationPair(R("S"), R("S")));
+  EXPECT_FALSE(IsValidRelationPair(R("SW"), R("SE")));
+  EXPECT_FALSE(IsValidRelationPair(R("N"), R("N:NW:NE")));  // Wrong columns?
+}
+
+TEST(IsValidRelationPairTest, NorthInverseMembersAreValidPairs) {
+  for (const CardinalRelation& s : Inverse(R("N")).Relations()) {
+    EXPECT_TRUE(IsValidRelationPair(R("N"), s)) << s.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace cardir

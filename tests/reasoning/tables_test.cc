@@ -1,0 +1,41 @@
+#include "reasoning/tables.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace cardir {
+namespace {
+
+TEST(TablesTest, InverseTableContainsKnownEntries) {
+  const std::string table = SingleTileInverseTable();
+  EXPECT_NE(table.find("inv(SW) = {NE}"), std::string::npos) << table;
+  EXPECT_NE(table.find("inv(NE) = {SW}"), std::string::npos);
+  EXPECT_NE(table.find("inv(NW) = {SE}"), std::string::npos);
+  EXPECT_NE(table.find("inv(SE) = {NW}"), std::string::npos);
+  // inv(S) includes the disconnected NW:NE case (REG* semantics).
+  EXPECT_NE(table.find("NW:NE"), std::string::npos);
+  // Nine lines, one per tile.
+  EXPECT_EQ(std::count(table.begin(), table.end(), '\n'), 9);
+}
+
+TEST(TablesTest, CompositionTableContainsKnownEntries) {
+  const std::string table = SingleTileCompositionTable();
+  EXPECT_NE(table.find("N  o N  = {N}"), std::string::npos) << table;
+  EXPECT_NE(table.find("SW o SW = {SW}"), std::string::npos);
+  EXPECT_NE(table.find("B  o B  = {B}"), std::string::npos);
+  // SW o NE is totally unconstrained.
+  EXPECT_NE(table.find("SW o NE = D* (all 511 relations)"),
+            std::string::npos);
+  // 81 lines.
+  EXPECT_EQ(std::count(table.begin(), table.end(), '\n'), 81);
+}
+
+TEST(TablesTest, StatisticsAreWellFormed) {
+  const std::string stats = InverseTableStatistics();
+  EXPECT_NE(stats.find("511 basic relations"), std::string::npos);
+  EXPECT_NE(stats.find("min |inv| = 1"), std::string::npos) << stats;
+}
+
+}  // namespace
+}  // namespace cardir

@@ -1,0 +1,105 @@
+#include "segmentation/extract.h"
+
+#include <gtest/gtest.h>
+
+#include "core/compute_cdr.h"
+
+namespace cardir {
+namespace {
+
+TEST(ExtractRegionTest, SingleRectangleBecomesOnePolygon) {
+  Raster raster(10, 10);
+  raster.FillRect(2, 3, 6, 8, 1);
+  auto region = ExtractRegion(raster, 1);
+  ASSERT_TRUE(region.ok()) << region.status();
+  ASSERT_EQ(region->polygon_count(), 1u);  // Rows merge into one rectangle.
+  EXPECT_EQ(region->BoundingBox(), Box(2, 3, 6, 8));
+  EXPECT_DOUBLE_EQ(region->Area(), 20.0);
+  EXPECT_TRUE(region->ValidateStrict().ok());
+}
+
+TEST(ExtractRegionTest, AreaEqualsCellCountTimesCellSize) {
+  Raster raster(50, 50);
+  raster.FillDisk(25, 25, 12, 1);
+  auto region = ExtractRegion(raster, 1, /*cell_size=*/2.0);
+  ASSERT_TRUE(region.ok());
+  EXPECT_DOUBLE_EQ(region->Area(),
+                   static_cast<double>(raster.CountLabel(1)) * 4.0);
+  EXPECT_TRUE(region->Validate().ok());
+}
+
+TEST(ExtractRegionTest, DisconnectedLabel) {
+  Raster raster(10, 10);
+  raster.FillRect(0, 0, 2, 2, 1);
+  raster.FillRect(7, 7, 9, 9, 1);
+  auto region = ExtractRegion(raster, 1);
+  ASSERT_TRUE(region.ok());
+  EXPECT_EQ(region->polygon_count(), 2u);
+  EXPECT_TRUE(region->Contains(Point(1, 1)));
+  EXPECT_TRUE(region->Contains(Point(8, 8)));
+  EXPECT_FALSE(region->Contains(Point(5, 5)));
+}
+
+TEST(ExtractRegionTest, LabelWithHole) {
+  Raster raster(12, 12);
+  raster.FillRect(1, 1, 11, 11, 1);
+  raster.FillRect(4, 4, 8, 8, 0);  // Punch a hole.
+  auto region = ExtractRegion(raster, 1);
+  ASSERT_TRUE(region.ok());
+  EXPECT_DOUBLE_EQ(region->Area(), 100.0 - 16.0);
+  EXPECT_FALSE(region->Contains(Point(6, 6)));
+  EXPECT_TRUE(region->Contains(Point(2, 6)));
+  EXPECT_TRUE(region->ValidateStrict().ok());
+}
+
+TEST(ExtractRegionTest, ErrorsOnMissingOrBackgroundLabel) {
+  Raster raster(4, 4);
+  EXPECT_EQ(ExtractRegion(raster, 1).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(ExtractRegion(raster, 0).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_FALSE(ExtractRegion(raster, 1, 0.0).ok());
+}
+
+TEST(ExtractConfigurationTest, BuildsAnnotatedConfigurationWithRelations) {
+  Raster raster(40, 40);
+  raster.FillDisk(10, 10, 6, 1);
+  raster.FillDisk(30, 30, 5, 2);
+  raster.FillRect(25, 3, 38, 9, 3);
+  auto config = ExtractConfiguration(
+      raster, {{1, "lake", "Lake", "blue"},
+               {2, "forest", "Forest", "green"},
+               {3, "city", "City", "red"}});
+  ASSERT_TRUE(config.ok()) << config.status();
+  EXPECT_EQ(config->regions().size(), 3u);
+  EXPECT_EQ(config->relations().size(), 6u);
+  // The forest (around (30,30)) is northeast-ish of the lake (around
+  // (10,10)): the stored relation must only use N/NE/E tiles.
+  auto relation = config->StoredRelation("forest", "lake");
+  ASSERT_TRUE(relation.has_value());
+  for (Tile t : relation->Tiles()) {
+    EXPECT_TRUE(t == Tile::kNE || t == Tile::kN || t == Tile::kE)
+        << TileName(t);
+  }
+}
+
+TEST(ExtractConfigurationTest, FailsOnUnknownLabel) {
+  Raster raster(8, 8);
+  raster.FillRect(0, 0, 2, 2, 1);
+  EXPECT_FALSE(
+      ExtractConfiguration(raster, {{9, "ghost", "Ghost", "grey"}}).ok());
+}
+
+TEST(ExtractRegionTest, ExtractedRelationsMatchPaintedLayout) {
+  // Paint two blobs with a known relative position and check Compute-CDR on
+  // the vectorised output.
+  Raster raster(30, 30);
+  raster.FillRect(2, 2, 8, 8, 1);    // Southwest blob.
+  raster.FillRect(20, 20, 28, 28, 2);  // Northeast blob.
+  const Region a = *ExtractRegion(raster, 1);
+  const Region b = *ExtractRegion(raster, 2);
+  EXPECT_EQ(ComputeCdr(a, b)->ToString(), "SW");
+  EXPECT_EQ(ComputeCdr(b, a)->ToString(), "NE");
+}
+
+}  // namespace
+}  // namespace cardir

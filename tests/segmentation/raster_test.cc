@@ -1,0 +1,66 @@
+#include "segmentation/raster.h"
+
+#include <gtest/gtest.h>
+
+namespace cardir {
+namespace {
+
+TEST(RasterTest, ConstructionAndAccess) {
+  Raster raster(8, 6);
+  EXPECT_EQ(raster.width(), 8);
+  EXPECT_EQ(raster.height(), 6);
+  EXPECT_EQ(raster.at(0, 0), 0);
+  raster.set(3, 2, 7);
+  EXPECT_EQ(raster.at(3, 2), 7);
+  EXPECT_TRUE(raster.InBounds(7, 5));
+  EXPECT_FALSE(raster.InBounds(8, 0));
+  EXPECT_FALSE(raster.InBounds(0, -1));
+}
+
+TEST(RasterTest, FillRectClipsToBounds) {
+  Raster raster(10, 10);
+  raster.FillRect(-5, -5, 3, 3, 1);
+  EXPECT_EQ(raster.CountLabel(1), 9u);
+  raster.FillRect(8, 8, 20, 20, 2);
+  EXPECT_EQ(raster.CountLabel(2), 4u);
+}
+
+TEST(RasterTest, FillRectOverwrites) {
+  Raster raster(10, 10);
+  raster.FillRect(0, 0, 10, 10, 1);
+  raster.FillRect(2, 2, 4, 4, 2);
+  EXPECT_EQ(raster.CountLabel(2), 4u);
+  EXPECT_EQ(raster.CountLabel(1), 96u);
+}
+
+TEST(RasterTest, FillDiskAreaIsRoughlyPiR2) {
+  Raster raster(100, 100);
+  raster.FillDisk(50, 50, 20, 3);
+  const double area = static_cast<double>(raster.CountLabel(3));
+  const double expected = 3.14159265 * 20 * 20;
+  EXPECT_NEAR(area, expected, 0.05 * expected);
+}
+
+TEST(RasterTest, FillPolygonMatchesContainment) {
+  Raster raster(20, 20);
+  Polygon triangle({Point(2, 2), Point(2, 18), Point(18, 2)});
+  triangle.EnsureClockwise();
+  raster.FillPolygon(triangle, 4);
+  // Spot checks at cell centres.
+  EXPECT_EQ(raster.at(3, 3), 4);
+  EXPECT_EQ(raster.at(16, 16), 0);
+  // Painted area approximates the polygon area (128).
+  EXPECT_NEAR(static_cast<double>(raster.CountLabel(4)), triangle.Area(),
+              0.15 * triangle.Area());
+}
+
+TEST(RasterTest, LabelsEnumerationSkipsBackground) {
+  Raster raster(5, 5);
+  raster.set(0, 0, 3);
+  raster.set(1, 1, 1);
+  raster.set(2, 2, 3);
+  EXPECT_EQ(raster.Labels(), (std::vector<int>{1, 3}));
+}
+
+}  // namespace
+}  // namespace cardir

@@ -1,0 +1,58 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+#include "util/status.h"
+
+namespace cardir {
+namespace {
+
+TEST(LoggingTest, SetAndGetLevel) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(original);
+}
+
+TEST(LoggingTest, SuppressedLevelsDoNotEvaluateEagerly) {
+  // The macro must short-circuit: streaming below the threshold is free.
+  SetLogLevel(LogLevel::kError);
+  int evaluations = 0;
+  auto count = [&evaluations]() {
+    ++evaluations;
+    return 42;
+  };
+  CARDIR_LOG(kDebug) << "value " << count();
+  EXPECT_EQ(evaluations, 0);
+  SetLogLevel(LogLevel::kWarning);
+}
+
+TEST(LoggingTest, EmittedLevelsEvaluate) {
+  SetLogLevel(LogLevel::kDebug);
+  int evaluations = 0;
+  auto count = [&evaluations]() {
+    ++evaluations;
+    return 42;
+  };
+  CARDIR_LOG(kDebug) << "value " << count();
+  EXPECT_EQ(evaluations, 1);
+  SetLogLevel(LogLevel::kWarning);
+}
+
+TEST(LoggingDeathTest, CheckFailureAborts) {
+  EXPECT_DEATH(CARDIR_CHECK(1 == 2) << "math broke", "CHECK failed: 1 == 2");
+}
+
+TEST(LoggingDeathTest, CheckOkAbortsOnError) {
+  EXPECT_DEATH(CARDIR_CHECK_OK(Status::Internal("boom")), "boom");
+}
+
+TEST(LoggingTest, CheckPassesSilently) {
+  CARDIR_CHECK(true) << "never rendered";
+  CARDIR_CHECK_OK(Status::Ok());
+}
+
+}  // namespace
+}  // namespace cardir

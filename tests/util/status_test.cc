@@ -1,0 +1,92 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+namespace cardir {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.ToString(), "ok");
+}
+
+TEST(StatusTest, FactoryHelpersSetCodeAndMessage) {
+  const Status status = Status::InvalidArgument("bad polygon");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(status.message(), "bad polygon");
+  EXPECT_EQ(status.ToString(), "invalid_argument: bad polygon");
+}
+
+TEST(StatusTest, EveryCodeHasAName) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "ok");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kNotFound), "not_found");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kParseError), "parse_error");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInconsistent), "inconsistent");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kIoError), "io_error");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kUnimplemented), "unimplemented");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::Internal("x"));
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result = 42;
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 42);
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(result.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> result = Status::NotFound("nope");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(result.value_or(7), 7);
+}
+
+TEST(ResultTest, MoveOnlyValues) {
+  Result<std::unique_ptr<int>> result = std::make_unique<int>(5);
+  ASSERT_TRUE(result.ok());
+  std::unique_ptr<int> owned = std::move(result).value();
+  EXPECT_EQ(*owned, 5);
+}
+
+Status FailIfNegative(int x) {
+  if (x < 0) return Status::OutOfRange("negative");
+  return Status::Ok();
+}
+
+Result<int> DoubleIfPositive(int x) {
+  CARDIR_RETURN_IF_ERROR(FailIfNegative(x));
+  return 2 * x;
+}
+
+Result<int> ChainWithAssign(int x) {
+  CARDIR_ASSIGN_OR_RETURN(int doubled, DoubleIfPositive(x));
+  return doubled + 1;
+}
+
+TEST(ResultTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(DoubleIfPositive(3).ok());
+  EXPECT_EQ(*DoubleIfPositive(3), 6);
+  EXPECT_EQ(DoubleIfPositive(-1).status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(*ChainWithAssign(3), 7);
+  EXPECT_EQ(ChainWithAssign(-1).status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(ResultDeathTest, AccessingErrorAborts) {
+  Result<int> result = Status::Internal("boom");
+  EXPECT_DEATH(result.value(), "errored Result");
+}
+
+}  // namespace
+}  // namespace cardir

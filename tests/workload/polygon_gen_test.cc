@@ -1,0 +1,93 @@
+#include "workload/polygon_gen.h"
+
+#include <gtest/gtest.h>
+
+#include "geometry/sweep.h"
+
+namespace cardir {
+namespace {
+
+const Box kBounds(0, 0, 100, 100);
+
+TEST(RandomRectangleTest, WithinBoundsAndValid) {
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    const Polygon rect = RandomRectangle(&rng, kBounds);
+    EXPECT_EQ(rect.size(), 4u);
+    EXPECT_TRUE(rect.IsClockwise());
+    EXPECT_TRUE(kBounds.Contains(rect.BoundingBox()));
+    EXPECT_TRUE(rect.ValidateSimple().ok());
+  }
+}
+
+class RandomConvexPolygonTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomConvexPolygonTest, ExactVertexCountSimpleAndClockwise) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  for (int i = 0; i < 10; ++i) {
+    const Polygon p = RandomConvexPolygon(&rng, GetParam(), kBounds);
+    EXPECT_EQ(p.size(), static_cast<size_t>(GetParam()));
+    EXPECT_TRUE(p.IsClockwise());
+    EXPECT_TRUE(p.ValidateSimple().ok());
+    EXPECT_TRUE(kBounds.Contains(p.BoundingBox()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(VertexCounts, RandomConvexPolygonTest,
+                         ::testing::Values(3, 4, 5, 8, 16, 32, 64));
+
+TEST(RandomConvexPolygonTest, ResultIsConvex) {
+  Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Polygon p = RandomConvexPolygon(&rng, 12, kBounds);
+    // Every turn of a clockwise convex ring is non-left.
+    const size_t n = p.size();
+    for (size_t i = 0; i < n; ++i) {
+      const double turn = Orient2D(p.vertex(i), p.vertex((i + 1) % n),
+                                   p.vertex((i + 2) % n));
+      EXPECT_LE(turn, 1e-9) << "trial " << trial << " corner " << i;
+    }
+  }
+}
+
+class RandomStarPolygonTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomStarPolygonTest, ExactVertexCountSimpleAndClockwise) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 31 + 1);
+  const Polygon p = RandomStarPolygon(&rng, GetParam(), kBounds);
+  EXPECT_EQ(p.size(), static_cast<size_t>(GetParam()));
+  EXPECT_TRUE(p.IsClockwise());
+  EXPECT_TRUE(kBounds.Contains(p.BoundingBox()));
+  if (GetParam() <= 128) {  // Quadratic reference on modest sizes.
+    EXPECT_TRUE(p.ValidateSimple().ok());
+  } else {  // Sweep-line check scales to the large instances.
+    EXPECT_TRUE(ValidatePolygonSimpleSweep(p).ok());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(VertexCounts, RandomStarPolygonTest,
+                         ::testing::Values(3, 4, 7, 16, 64, 128, 1024));
+
+TEST(RandomStarPolygonTest, ContainsItsCenter) {
+  Rng rng(9);
+  const Polygon p = RandomStarPolygon(&rng, 16, kBounds);
+  EXPECT_TRUE(p.Contains(kBounds.Center()));
+}
+
+TEST(RandomPolygonTest, DispatchesOnKind) {
+  Rng rng(11);
+  EXPECT_EQ(RandomPolygon(&rng, PolygonKind::kRectangle, 99, kBounds).size(),
+            4u);
+  EXPECT_EQ(RandomPolygon(&rng, PolygonKind::kConvex, 7, kBounds).size(), 7u);
+  EXPECT_EQ(RandomPolygon(&rng, PolygonKind::kStar, 9, kBounds).size(), 9u);
+}
+
+TEST(PolygonGenTest, DeterministicAcrossRuns) {
+  Rng rng1(42);
+  Rng rng2(42);
+  EXPECT_EQ(RandomStarPolygon(&rng1, 10, kBounds),
+            RandomStarPolygon(&rng2, 10, kBounds));
+}
+
+}  // namespace
+}  // namespace cardir

@@ -1,0 +1,66 @@
+#include "workload/region_gen.h"
+
+#include <gtest/gtest.h>
+
+namespace cardir {
+namespace {
+
+TEST(RandomRegionTest, SinglePolygonRegion) {
+  Rng rng(1);
+  RegionGenOptions options;
+  options.num_polygons = 1;
+  options.vertices_per_polygon = 10;
+  const Region region = RandomRegion(&rng, options);
+  EXPECT_EQ(region.polygon_count(), 1u);
+  EXPECT_EQ(region.TotalEdges(), 10u);
+  EXPECT_TRUE(region.ValidateStrict().ok());
+}
+
+class RandomRegionTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomRegionTest, CompositeRegionsAreStrictlyValid) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  RegionGenOptions options;
+  options.num_polygons = GetParam();
+  options.vertices_per_polygon = 8;
+  const Region region = RandomRegion(&rng, options);
+  EXPECT_EQ(region.polygon_count(), static_cast<size_t>(GetParam()));
+  EXPECT_TRUE(region.ValidateStrict().ok());
+  EXPECT_TRUE(Box(0, 0, 100, 100).Contains(region.BoundingBox()));
+}
+
+INSTANTIATE_TEST_SUITE_P(PolygonCounts, RandomRegionTest,
+                         ::testing::Values(1, 2, 3, 5, 9, 16));
+
+TEST(RandomRegionTest, RespectsPolygonKind) {
+  Rng rng(5);
+  RegionGenOptions options;
+  options.num_polygons = 4;
+  options.kind = PolygonKind::kRectangle;
+  const Region region = RandomRegion(&rng, options);
+  for (const Polygon& p : region.polygons()) EXPECT_EQ(p.size(), 4u);
+}
+
+TEST(MakeRingRegionTest, GeometryOfTheFigure2Decomposition) {
+  const Region ring = MakeRingRegion(Box(0, 0, 10, 10), Box(4, 4, 6, 6));
+  EXPECT_EQ(ring.polygon_count(), 4u);
+  EXPECT_DOUBLE_EQ(ring.Area(), 100.0 - 4.0);
+  EXPECT_FALSE(ring.Contains(Point(5, 5)));
+  EXPECT_TRUE(ring.Contains(Point(5, 1)));
+  EXPECT_TRUE(ring.ValidateStrict().ok());
+}
+
+TEST(RandomRingRegionTest, ProducesValidRingsWithHoles) {
+  Rng rng(13);
+  for (int i = 0; i < 20; ++i) {
+    const Region ring = RandomRingRegion(&rng, Box(0, 0, 100, 100));
+    EXPECT_EQ(ring.polygon_count(), 4u);
+    EXPECT_TRUE(ring.ValidateStrict().ok());
+    // The mbb centre lies in the hole for a roughly centred ring.
+    const Box mbb = ring.BoundingBox();
+    EXPECT_LT(ring.Area(), mbb.area());
+  }
+}
+
+}  // namespace
+}  // namespace cardir

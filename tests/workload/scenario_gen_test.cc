@@ -1,0 +1,82 @@
+#include "workload/scenario_gen.h"
+
+#include <gtest/gtest.h>
+
+namespace cardir {
+namespace {
+
+TEST(ScenarioGenTest, GeneratesRequestedRegions) {
+  Rng rng(1);
+  ScenarioOptions options;
+  options.num_regions = 9;
+  auto config = GenerateMapConfiguration(&rng, options);
+  ASSERT_TRUE(config.ok()) << config.status();
+  EXPECT_EQ(config->regions().size(), 9u);
+  for (const AnnotatedRegion& region : config->regions()) {
+    EXPECT_TRUE(region.geometry.ValidateStrict().ok()) << region.id;
+  }
+}
+
+TEST(ScenarioGenTest, ComputesAllPairwiseRelations) {
+  Rng rng(2);
+  ScenarioOptions options;
+  options.num_regions = 6;
+  auto config = GenerateMapConfiguration(&rng, options);
+  ASSERT_TRUE(config.ok());
+  EXPECT_EQ(config->relations().size(), 6u * 5u);
+}
+
+TEST(ScenarioGenTest, CanSkipRelationComputation) {
+  Rng rng(3);
+  ScenarioOptions options;
+  options.num_regions = 4;
+  options.compute_relations = false;
+  auto config = GenerateMapConfiguration(&rng, options);
+  ASSERT_TRUE(config.ok());
+  EXPECT_TRUE(config->relations().empty());
+}
+
+TEST(ScenarioGenTest, CyclesColorPalette) {
+  Rng rng(4);
+  ScenarioOptions options;
+  options.num_regions = 5;
+  options.colors = {"red", "blue"};
+  auto config = GenerateMapConfiguration(&rng, options);
+  ASSERT_TRUE(config.ok());
+  EXPECT_EQ(config->regions()[0].color, "red");
+  EXPECT_EQ(config->regions()[1].color, "blue");
+  EXPECT_EQ(config->regions()[2].color, "red");
+  EXPECT_EQ(config->RegionsByColor("red").size(), 3u);
+}
+
+TEST(ScenarioGenTest, CompositeRegions) {
+  Rng rng(5);
+  ScenarioOptions options;
+  options.num_regions = 4;
+  options.polygons_per_region = 3;
+  auto config = GenerateMapConfiguration(&rng, options);
+  ASSERT_TRUE(config.ok());
+  for (const AnnotatedRegion& region : config->regions()) {
+    EXPECT_EQ(region.geometry.polygon_count(), 3u);
+  }
+}
+
+TEST(ScenarioGenTest, RegionsDoNotOverlapAcrossCells) {
+  Rng rng(6);
+  ScenarioOptions options;
+  options.num_regions = 9;
+  auto config = GenerateMapConfiguration(&rng, options);
+  ASSERT_TRUE(config.ok());
+  // Bounding boxes of distinct regions are disjoint by the grid layout.
+  const auto& regions = config->regions();
+  for (size_t i = 0; i < regions.size(); ++i) {
+    for (size_t j = i + 1; j < regions.size(); ++j) {
+      EXPECT_FALSE(regions[i].geometry.BoundingBox().Intersects(
+          regions[j].geometry.BoundingBox()))
+          << regions[i].id << " vs " << regions[j].id;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cardir
