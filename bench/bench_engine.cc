@@ -1,0 +1,286 @@
+// E20: batch relation engine throughput — serial all-pairs loop vs MBB
+// prefiltering vs the work-stealing thread pool, on 1k–10k-region
+// configurations. Plain main (not google-benchmark) because each data point
+// is one long wall-clock measurement and the binary also emits
+// BENCH_engine.json for the perf-trajectory ledger.
+//
+//   bench_engine [--sizes 1000,2000] [--serial-cap 2000] [--overlap 600]
+//                [--threads 2,8] [--out BENCH_engine.json]
+//
+// Sizes above --serial-cap skip the serial baseline (quadratic, validated
+// per pair — minutes at 10k); sizes above 5000 use the engine's digest
+// mode so that 10^8-pair matrices do not have to be materialised.
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/compute_cdr.h"
+#include "engine/batch_engine.h"
+#include "geometry/region.h"
+#include "util/random.h"
+#include "util/string_util.h"
+#include "workload/region_gen.h"
+
+namespace cardir {
+namespace {
+
+double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+// The disjoint-cell "country map" layout of workload/scenario_gen: mostly
+// tile-separated pairs, the engine's sweet spot.
+std::vector<Region> MapRegions(Rng* rng, int count) {
+  const int grid = static_cast<int>(std::ceil(std::sqrt(count)));
+  const double cell = 1000.0 / grid;
+  std::vector<Region> regions;
+  regions.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const int cx = i % grid;
+    const int cy = i / grid;
+    RegionGenOptions options;
+    options.num_polygons = 1;
+    options.vertices_per_polygon = 8;
+    options.bounds = Box(cx * cell + 0.05 * cell, cy * cell + 0.05 * cell,
+                         (cx + 1) * cell - 0.05 * cell,
+                         (cy + 1) * cell - 0.05 * cell);
+    regions.push_back(RandomRegion(rng, options));
+  }
+  return regions;
+}
+
+// Heavily overlapping regions: most pairs cross mbb lines, so the full
+// Compute-CDR dominates and the pool, not the prefilter, carries the run.
+std::vector<Region> OverlapRegions(Rng* rng, int count) {
+  std::vector<Region> regions;
+  regions.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const double size = rng->NextDouble(40.0, 160.0);
+    const double x = rng->NextDouble(0.0, 400.0 - size);
+    const double y = rng->NextDouble(0.0, 400.0 - size);
+    RegionGenOptions options;
+    options.num_polygons = 1;
+    options.vertices_per_polygon = 10;
+    options.bounds = Box(x, y, x + size, y + size);
+    regions.push_back(RandomRegion(rng, options));
+  }
+  return regions;
+}
+
+struct RunRecord {
+  std::string workload;
+  int regions = 0;
+  std::string mode;
+  int threads = 1;
+  bool prefilter = false;
+  double ms = 0;
+  size_t pairs = 0;
+  size_t prefiltered_pairs = 0;
+  size_t crossing_pairs = 0;
+  double speedup_vs_serial = 0;
+};
+
+// The loop Configuration::ComputeAllRelations ran before the engine:
+// validated Compute-CDR per ordered pair, results materialised in order.
+double TimeSerialLoop(const std::vector<Region>& regions) {
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<CardinalRelation> matrix;
+  matrix.reserve(regions.size() * (regions.size() - 1));
+  for (size_t i = 0; i < regions.size(); ++i) {
+    for (size_t j = 0; j < regions.size(); ++j) {
+      if (i == j) continue;
+      auto relation = ComputeCdr(regions[i], regions[j]);
+      if (!relation.ok()) {
+        std::cerr << "serial loop failed: " << relation.status() << "\n";
+        std::exit(1);
+      }
+      matrix.push_back(*relation);
+    }
+  }
+  return MsSince(start);
+}
+
+double TimeEngine(const std::vector<Region>& regions,
+                  const EngineOptions& options, bool digest_mode,
+                  EngineStats* stats) {
+  const auto start = std::chrono::steady_clock::now();
+  if (digest_mode) {
+    auto digest = ComputeAllPairsDigest(regions, options, stats);
+    if (!digest.ok()) {
+      std::cerr << "engine failed: " << digest.status() << "\n";
+      std::exit(1);
+    }
+  } else {
+    auto pairs = ComputeAllPairs(regions, options, stats);
+    if (!pairs.ok()) {
+      std::cerr << "engine failed: " << pairs.status() << "\n";
+      std::exit(1);
+    }
+  }
+  return MsSince(start);
+}
+
+std::vector<int> ParseIntList(const std::string& text) {
+  std::vector<int> values;
+  for (const std::string& piece : StrSplit(text, ',')) {
+    values.push_back(std::stoi(piece));
+  }
+  return values;
+}
+
+void PrintRecord(const RunRecord& r) {
+  const double mpairs_s =
+      r.ms > 0 ? static_cast<double>(r.pairs) / r.ms / 1000.0 : 0.0;
+  std::printf(
+      "%-8s n=%-6d %-18s threads=%-2d %10.1f ms  %8.2f Mpairs/s"
+      "  prefiltered=%zu crossing=%zu%s\n",
+      r.workload.c_str(), r.regions, r.mode.c_str(), r.threads, r.ms,
+      mpairs_s, r.prefiltered_pairs, r.crossing_pairs,
+      r.speedup_vs_serial > 0
+          ? StrFormat("  speedup=%.1fx", r.speedup_vs_serial).c_str()
+          : "");
+}
+
+void WriteJson(const std::vector<RunRecord>& records,
+               const std::string& path) {
+  std::ostringstream out;
+  out << "{\n  \"bench\": \"engine\",\n  \"unit\": \"ms\",\n  \"runs\": [\n";
+  for (size_t i = 0; i < records.size(); ++i) {
+    const RunRecord& r = records[i];
+    out << StrFormat(
+        "    {\"workload\": \"%s\", \"regions\": %d, \"mode\": \"%s\", "
+        "\"threads\": %d, \"prefilter\": %s, \"ms\": %.2f, \"pairs\": %zu, "
+        "\"prefiltered_pairs\": %zu, \"crossing_pairs\": %zu, "
+        "\"speedup_vs_serial\": %.2f}%s\n",
+        r.workload.c_str(), r.regions, r.mode.c_str(), r.threads,
+        r.prefilter ? "true" : "false", r.ms, r.pairs, r.prefiltered_pairs,
+        r.crossing_pairs, r.speedup_vs_serial,
+        i + 1 < records.size() ? "," : "");
+  }
+  out << "  ]\n}\n";
+  std::ofstream file(path);
+  file << out.str();
+  std::cout << "wrote " << path << "\n";
+}
+
+int Main(int argc, char** argv) {
+  std::vector<int> sizes = {1000, 2000};
+  std::vector<int> thread_counts = {2, 8};
+  int serial_cap = 2000;
+  int overlap_size = 600;
+  std::string out_path = "BENCH_engine.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << arg << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--sizes") {
+      sizes = ParseIntList(next());
+    } else if (arg == "--threads") {
+      thread_counts = ParseIntList(next());
+    } else if (arg == "--serial-cap") {
+      serial_cap = std::stoi(next());
+    } else if (arg == "--overlap") {
+      overlap_size = std::stoi(next());
+    } else if (arg == "--out") {
+      out_path = next();
+    } else {
+      std::cerr << "unknown argument: " << arg << "\n";
+      return 2;
+    }
+  }
+
+  Rng rng(7);
+  std::vector<RunRecord> records;
+
+  auto run_workload = [&](const std::string& name,
+                          const std::vector<Region>& regions) {
+    const int n = static_cast<int>(regions.size());
+    const size_t pairs = static_cast<size_t>(n) * (n - 1);
+    const bool digest_mode = n > 5000;
+    double serial_ms = 0;
+
+    if (n <= serial_cap) {
+      RunRecord serial;
+      serial.workload = name;
+      serial.regions = n;
+      serial.mode = "serial_loop";
+      serial.threads = 1;
+      serial.pairs = pairs;
+      serial.ms = TimeSerialLoop(regions);
+      serial_ms = serial.ms;
+      records.push_back(serial);
+      PrintRecord(serial);
+    }
+
+    // Engine, no prefilter, 1 thread: isolates the once-per-region
+    // validation win over the serial loop.
+    if (n <= serial_cap) {
+      EngineOptions options;
+      options.threads = 1;
+      options.use_prefilter = false;
+      RunRecord r;
+      r.workload = name;
+      r.regions = n;
+      r.mode = "engine_nofilter";
+      r.threads = 1;
+      r.pairs = pairs;
+      EngineStats stats;
+      r.ms = TimeEngine(regions, options, digest_mode, &stats);
+      if (serial_ms > 0) r.speedup_vs_serial = serial_ms / r.ms;
+      records.push_back(r);
+      PrintRecord(r);
+    }
+
+    // Engine with prefilter, 1 thread and the parallel counts.
+    std::vector<int> engine_threads = {1};
+    engine_threads.insert(engine_threads.end(), thread_counts.begin(),
+                          thread_counts.end());
+    for (int threads : engine_threads) {
+      EngineOptions options;
+      options.threads = threads;
+      options.use_prefilter = true;
+      RunRecord r;
+      r.workload = name;
+      r.regions = n;
+      r.mode = threads == 1 ? "engine_prefilter" : "engine_parallel";
+      r.threads = threads;
+      r.prefilter = true;
+      r.pairs = pairs;
+      EngineStats stats;
+      r.ms = TimeEngine(regions, options, digest_mode, &stats);
+      r.prefiltered_pairs = stats.prefiltered_pairs;
+      r.crossing_pairs = stats.crossing_pairs;
+      if (serial_ms > 0) r.speedup_vs_serial = serial_ms / r.ms;
+      records.push_back(r);
+      PrintRecord(r);
+    }
+  };
+
+  for (int n : sizes) {
+    run_workload("map", MapRegions(&rng, n));
+  }
+  if (overlap_size > 0) {
+    run_workload("overlap", OverlapRegions(&rng, overlap_size));
+  }
+
+  WriteJson(records, out_path);
+  return 0;
+}
+
+}  // namespace
+}  // namespace cardir
+
+int main(int argc, char** argv) { return cardir::Main(argc, argv); }

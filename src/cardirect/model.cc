@@ -2,7 +2,6 @@
 
 #include <algorithm>
 
-#include "core/compute_cdr.h"
 #include "core/compute_cdr_percent.h"
 #include "util/string_util.h"
 
@@ -77,17 +76,21 @@ std::vector<const AnnotatedRegion*> Configuration::RegionsByColor(
   return out;
 }
 
-Status Configuration::ComputeAllRelations() {
+Status Configuration::ComputeAllRelations(const EngineOptions& options,
+                                          EngineStats* stats) {
+  std::vector<const Region*> geometries;
+  geometries.reserve(regions_.size());
+  for (const AnnotatedRegion& region : regions_) {
+    geometries.push_back(&region.geometry);
+  }
+  Result<std::vector<PairRelation>> pairs =
+      ComputeAllPairs(geometries, options, stats);
+  if (!pairs.ok()) return pairs.status();
   std::vector<RelationRecord> records;
-  records.reserve(regions_.size() * (regions_.size() - 1));
-  for (const AnnotatedRegion& primary : regions_) {
-    for (const AnnotatedRegion& reference : regions_) {
-      if (&primary == &reference) continue;
-      CARDIR_ASSIGN_OR_RETURN(
-          CardinalRelation relation,
-          ComputeCdr(primary.geometry, reference.geometry));
-      records.push_back({primary.id, reference.id, relation});
-    }
+  records.reserve(pairs->size());
+  for (const PairRelation& pair : *pairs) {
+    records.push_back({regions_[pair.primary].id,
+                       regions_[pair.reference].id, pair.relation});
   }
   relations_ = std::move(records);
   return Status::Ok();

@@ -14,6 +14,7 @@
 
 #include "core/cardinal_relation.h"
 #include "core/percentage_matrix.h"
+#include "engine/batch_engine.h"
 #include "geometry/region.h"
 #include "util/status.h"
 
@@ -68,10 +69,15 @@ class Configuration {
   std::vector<const AnnotatedRegion*> RegionsByColor(
       const std::string& color) const;
 
-  /// Recomputes all pairwise cardinal direction relations with Compute-CDR
-  /// and stores them (the paper's "compute their relationships" action —
-  /// Fig. 12). n regions yield n·(n−1) records.
-  Status ComputeAllRelations();
+  /// Recomputes all pairwise cardinal direction relations and stores them
+  /// (the paper's "compute their relationships" action — Fig. 12). n
+  /// regions yield n·(n−1) records in canonical (primary, reference)
+  /// order. Runs on the batch relation engine (src/engine): MBB
+  /// prefiltering plus an optional thread pool; the stored records are
+  /// identical for every `options.threads` value. `stats`, when non-null,
+  /// receives the engine instrumentation.
+  Status ComputeAllRelations(const EngineOptions& options = EngineOptions(),
+                             EngineStats* stats = nullptr);
 
   /// The stored relation `primary R reference`, or nullopt when relations
   /// have not been computed (or a region is missing).

@@ -25,7 +25,10 @@ constexpr const char* kUsage =
     "  export-wkt <xml> <id>                print a region as WKT\n"
     "  remove-region <xml> <id>             delete a region\n"
     "  show <config.xml>                    list regions and stored relations\n"
-    "  relations <config.xml> [out.xml]     compute all pairwise relations\n"
+    "  relations <config.xml> [out.xml] [--threads N]\n"
+    "                                       compute all pairwise relations\n"
+    "                                       on the batch engine (N=0 uses\n"
+    "                                       all hardware threads)\n"
     "  percent <config.xml> <primary> <ref> percentage matrix\n"
     "  related <config.xml> <ref-id> <rel>  regions related to <ref-id> by\n"
     "                                       the (disjunctive) relation,\n"
@@ -173,14 +176,21 @@ int CmdShow(const std::string& path, std::ostream& out, std::ostream& err) {
 }
 
 int CmdRelations(const std::string& path, const std::string& save_path,
-                 std::ostream& out, std::ostream& err) {
+                 const EngineOptions& options, std::ostream& out,
+                 std::ostream& err) {
   Result<Configuration> config = LoadConfiguration(path);
   if (!config.ok()) return Fail(err, config.status());
-  Status status = config->ComputeAllRelations();
+  EngineStats stats;
+  Status status = config->ComputeAllRelations(options, &stats);
   if (!status.ok()) return Fail(err, status);
   for (const RelationRecord& record : config->relations()) {
     out << record.primary_id << " " << record.relation.ToString() << " "
         << record.reference_id << "\n";
+  }
+  if (stats.threads_used > 1) {
+    out << StrFormat(
+        "computed %zu relations on %d threads (%zu from mbbs alone)\n",
+        stats.total_pairs, stats.threads_used, stats.prefiltered_pairs);
   }
   if (!save_path.empty()) {
     status = SaveConfiguration(*config, save_path);
@@ -288,8 +298,33 @@ int RunCardirectTool(const std::vector<std::string>& args, std::ostream& out,
   if (command == "show" && args.size() == 2) {
     return CmdShow(args[1], out, err);
   }
-  if (command == "relations" && (args.size() == 2 || args.size() == 3)) {
-    return CmdRelations(args[1], args.size() == 3 ? args[2] : "", out, err);
+  if (command == "relations" && args.size() >= 2) {
+    // Positional args (path, optional out.xml) with a --threads N flag
+    // accepted anywhere after the command.
+    std::vector<std::string> positional;
+    EngineOptions options;
+    for (size_t i = 1; i < args.size(); ++i) {
+      if (args[i] == "--threads") {
+        if (i + 1 >= args.size()) {
+          return Fail(err, Status::InvalidArgument("--threads needs a value"));
+        }
+        Result<int64_t> threads = ParseInt(args[++i]);
+        if (!threads.ok() || *threads < 0) {
+          return Fail(err, Status::InvalidArgument(
+                               "--threads needs a non-negative integer"));
+        }
+        options.threads = static_cast<int>(*threads);
+      } else {
+        positional.push_back(args[i]);
+      }
+    }
+    if (positional.size() < 1 || positional.size() > 2) {
+      err << kUsage;
+      return 2;
+    }
+    return CmdRelations(positional[0],
+                        positional.size() == 2 ? positional[1] : "", options,
+                        out, err);
   }
   if (command == "percent" && args.size() == 4) {
     return CmdPercent(args[1], args[2], args[3], out, err);

@@ -1,0 +1,182 @@
+#include "engine/batch_engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <utility>
+
+#include "core/compute_cdr.h"
+#include "engine/prefilter.h"
+#include "engine/thread_pool.h"
+#include "index/rtree.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace cardir {
+namespace {
+
+// Mixes one matrix entry into a 64-bit value. Pair digests are *summed*, so
+// the total is independent of the order in which threads emit entries.
+uint64_t MixPair(size_t primary, size_t reference, uint16_t mask) {
+  uint64_t z = (static_cast<uint64_t>(primary) << 40) ^
+               (static_cast<uint64_t>(reference) << 16) ^ mask;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// Runs the planner + pool + sink pipeline. `sink(primary, reference,
+// relation)` is invoked exactly once per ordered pair, concurrently from
+// several threads, in no particular order; sinks must be write-disjoint or
+// commutative.
+template <typename Sink>
+Status RunEngine(const std::vector<const Region*>& regions,
+                 const EngineOptions& options, EngineStats* stats,
+                 const Sink& sink) {
+  const size_t n = regions.size();
+  if (stats != nullptr) *stats = EngineStats();
+  if (n < 2) return Status::Ok();
+
+  // Validate every region once up front (the serial loop re-validated both
+  // sides of every pair — n·(n−1) validations for n regions).
+  std::vector<Box> boxes(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (regions[i] == nullptr) {
+      return Status::InvalidArgument(
+          StrFormat("region #%zu: null region", i));
+    }
+    const Status status = regions[i]->Validate();
+    if (!status.ok()) {
+      return Status::InvalidArgument(
+          StrFormat("region #%zu: %s", i, status.message().c_str()));
+    }
+    boxes[i] = regions[i]->BoundingBox();
+  }
+
+  // Plan: an R-tree over the mbbs answers "whose mbb properly crosses this
+  // reference line?" with four degenerate-box queries per reference.
+  RTree rtree;
+  Box everything;
+  if (options.use_prefilter) {
+    std::vector<std::pair<Box, int64_t>> entries;
+    entries.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      entries.emplace_back(boxes[i], static_cast<int64_t>(i));
+      everything.Extend(boxes[i]);
+    }
+    CARDIR_RETURN_IF_ERROR(rtree.BulkLoad(std::move(entries)));
+  }
+
+  const int threads = ThreadPool::ResolveThreadCount(options.threads);
+  std::atomic<size_t> prefiltered_total{0};
+  std::atomic<size_t> computed_total{0};
+  std::atomic<size_t> crossing_total{0};
+
+  ThreadPool pool(threads);
+  pool.ParallelFor(
+      n, options.chunk_size,
+      [&](size_t begin, size_t end) {
+        std::vector<char> crosses(n, 0);
+        size_t prefiltered = 0, computed = 0, crossing = 0;
+        for (size_t j = begin; j < end; ++j) {
+          const Box& ref_box = boxes[j];
+          const Region& reference = *regions[j];
+          if (options.use_prefilter) {
+            std::fill(crosses.begin(), crosses.end(), 0);
+            const double x_lo = everything.min_x() - 1.0;
+            const double x_hi = everything.max_x() + 1.0;
+            const double y_lo = everything.min_y() - 1.0;
+            const double y_hi = everything.max_y() + 1.0;
+            const Box lines[4] = {
+                Box(ref_box.min_x(), y_lo, ref_box.min_x(), y_hi),
+                Box(ref_box.max_x(), y_lo, ref_box.max_x(), y_hi),
+                Box(x_lo, ref_box.min_y(), x_hi, ref_box.min_y()),
+                Box(x_lo, ref_box.max_y(), x_hi, ref_box.max_y())};
+            for (const Box& line : lines) {
+              rtree.Search(line, [&](const Box&, int64_t id) {
+                const size_t i = static_cast<size_t>(id);
+                if (i != j && crosses[i] == 0 &&
+                    MbbProperlyCrossesReferenceLines(boxes[i], ref_box)) {
+                  crosses[i] = 1;
+                  ++crossing;
+                }
+              });
+            }
+          }
+          for (size_t i = 0; i < n; ++i) {
+            if (i == j) continue;
+            if (options.use_prefilter && crosses[i] == 0) {
+              const std::optional<CardinalRelation> bounded =
+                  MbbPrefilterRelation(boxes[i], ref_box);
+              if (bounded.has_value()) {
+                sink(i, j, *bounded);
+                ++prefiltered;
+                continue;
+              }
+              // Degenerate boxes fall through to the full algorithm.
+            }
+            sink(i, j, ComputeCdrUnchecked(*regions[i], reference).relation);
+            ++computed;
+          }
+        }
+        prefiltered_total.fetch_add(prefiltered, std::memory_order_relaxed);
+        computed_total.fetch_add(computed, std::memory_order_relaxed);
+        crossing_total.fetch_add(crossing, std::memory_order_relaxed);
+      });
+
+  if (stats != nullptr) {
+    stats->total_pairs = n * (n - 1);
+    stats->prefiltered_pairs = prefiltered_total.load();
+    stats->computed_pairs = computed_total.load();
+    stats->crossing_pairs = crossing_total.load();
+    stats->threads_used = threads;
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<std::vector<PairRelation>> ComputeAllPairs(
+    const std::vector<const Region*>& regions, const EngineOptions& options,
+    EngineStats* stats) {
+  const size_t n = regions.size();
+  std::vector<PairRelation> records(n < 2 ? 0 : n * (n - 1));
+  // Merge: pair (primary i, reference j) owns slot i·(n−1) + rank of j
+  // among i's references — the canonical row-major order. Slots are
+  // write-disjoint, so thread interleaving cannot reorder the output.
+  CARDIR_RETURN_IF_ERROR(RunEngine(
+      regions, options, stats,
+      [&records, n](size_t i, size_t j, CardinalRelation relation) {
+        PairRelation& slot = records[i * (n - 1) + (j < i ? j : j - 1)];
+        slot.primary = static_cast<uint32_t>(i);
+        slot.reference = static_cast<uint32_t>(j);
+        slot.relation = relation;
+      }));
+  return records;
+}
+
+Result<std::vector<PairRelation>> ComputeAllPairs(
+    const std::vector<Region>& regions, const EngineOptions& options,
+    EngineStats* stats) {
+  std::vector<const Region*> pointers;
+  pointers.reserve(regions.size());
+  for (const Region& region : regions) pointers.push_back(&region);
+  return ComputeAllPairs(pointers, options, stats);
+}
+
+Result<uint64_t> ComputeAllPairsDigest(const std::vector<Region>& regions,
+                                       const EngineOptions& options,
+                                       EngineStats* stats) {
+  std::vector<const Region*> pointers;
+  pointers.reserve(regions.size());
+  for (const Region& region : regions) pointers.push_back(&region);
+  std::atomic<uint64_t> digest{0};
+  CARDIR_RETURN_IF_ERROR(RunEngine(
+      pointers, options, stats,
+      [&digest](size_t i, size_t j, CardinalRelation relation) {
+        digest.fetch_add(MixPair(i, j, relation.mask()),
+                         std::memory_order_relaxed);
+      }));
+  return digest.load();
+}
+
+}  // namespace cardir

@@ -1,0 +1,68 @@
+#include "engine/prefilter.h"
+
+#include "core/tile.h"
+
+namespace cardir {
+namespace {
+
+// Band of the primary extent [lo, hi] relative to the reference lines
+// [m1, m2], with the inclusive boundary semantics documented in the header.
+// Returns false when the extent straddles a line.
+bool ClassifyBand(double lo, double hi, double m1, double m2, int* band) {
+  if (hi <= m1) {
+    *band = 0;  // Low side (West / South).
+    return true;
+  }
+  if (lo >= m2) {
+    *band = 2;  // High side (East / North).
+    return true;
+  }
+  if (lo >= m1 && hi <= m2) {
+    *band = 1;  // Middle.
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::optional<CardinalRelation> MbbPrefilterRelation(const Box& primary_mbb,
+                                                     const Box& reference_mbb) {
+  // Degenerate boxes break the interior-side argument (a zero-width primary
+  // has no interior; a zero-width reference merges two mbb lines), and the
+  // reference mbb of a valid REG* region is never degenerate anyway. Bail
+  // out to the exact algorithm.
+  if (primary_mbb.IsEmpty() || reference_mbb.IsEmpty() ||
+      primary_mbb.IsDegenerate() || reference_mbb.IsDegenerate()) {
+    return std::nullopt;
+  }
+  int column;
+  if (!ClassifyBand(primary_mbb.min_x(), primary_mbb.max_x(),
+                    reference_mbb.min_x(), reference_mbb.max_x(), &column)) {
+    return std::nullopt;
+  }
+  int row;
+  if (!ClassifyBand(primary_mbb.min_y(), primary_mbb.max_y(),
+                    reference_mbb.min_y(), reference_mbb.max_y(), &row)) {
+    return std::nullopt;
+  }
+  return CardinalRelation(TileAt(static_cast<TileColumn>(column),
+                                 static_cast<TileRow>(row)));
+}
+
+bool MbbProperlyCrossesReferenceLines(const Box& primary_mbb,
+                                      const Box& reference_mbb) {
+  auto crosses = [](double lo, double hi, double line) {
+    return lo < line && line < hi;
+  };
+  return crosses(primary_mbb.min_x(), primary_mbb.max_x(),
+                 reference_mbb.min_x()) ||
+         crosses(primary_mbb.min_x(), primary_mbb.max_x(),
+                 reference_mbb.max_x()) ||
+         crosses(primary_mbb.min_y(), primary_mbb.max_y(),
+                 reference_mbb.min_y()) ||
+         crosses(primary_mbb.min_y(), primary_mbb.max_y(),
+                 reference_mbb.max_y());
+}
+
+}  // namespace cardir

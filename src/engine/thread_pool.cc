@@ -1,0 +1,106 @@
+#include "engine/thread_pool.h"
+
+#include <algorithm>
+
+namespace cardir {
+
+ThreadPool::ThreadPool(int threads) {
+  const int total = std::max(1, threads);
+  workers_.reserve(static_cast<size_t>(total - 1));
+  for (int i = 1; i < total; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(static_cast<size_t>(i)); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  job_ready_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+int ThreadPool::ResolveThreadCount(int requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+void ThreadPool::ParallelFor(size_t count, size_t chunk_size,
+                             const std::function<void(size_t, size_t)>& body) {
+  if (count == 0) return;
+  const size_t participants = static_cast<size_t>(thread_count());
+  if (participants == 1) {
+    body(0, count);
+    return;
+  }
+  if (chunk_size == 0) {
+    // Several chunks per participant so that stealing can even things out.
+    chunk_size = std::max<size_t>(1, count / (participants * 8));
+  }
+
+  std::vector<Shard> shards(participants);
+  const size_t per_shard = count / participants;
+  size_t remainder = count % participants;
+  size_t cursor = 0;
+  for (Shard& shard : shards) {
+    const size_t extent = per_shard + (remainder > 0 ? 1 : 0);
+    if (remainder > 0) --remainder;
+    shard.next.store(cursor, std::memory_order_relaxed);
+    shard.end = cursor + extent;
+    cursor += extent;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shards_ = std::move(shards);
+    chunk_size_ = chunk_size;
+    body_ = &body;
+    ++generation_;
+    workers_running_ = static_cast<int>(workers_.size());
+  }
+  job_ready_.notify_all();
+
+  RunParticipant(0);  // The caller is participant 0.
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  job_done_.wait(lock, [this] { return workers_running_ == 0; });
+  body_ = nullptr;
+}
+
+void ThreadPool::WorkerLoop(size_t participant) {
+  uint64_t seen_generation = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      job_ready_.wait(lock, [this, seen_generation] {
+        return stopping_ || generation_ != seen_generation;
+      });
+      if (stopping_) return;
+      seen_generation = generation_;
+    }
+    RunParticipant(participant);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --workers_running_;
+    }
+    job_done_.notify_all();
+  }
+}
+
+void ThreadPool::RunParticipant(size_t first_shard) {
+  const size_t num_shards = shards_.size();
+  // Drain the home shard, then steal chunks from the others round-robin.
+  for (size_t k = 0; k < num_shards; ++k) {
+    Shard& shard = shards_[(first_shard + k) % num_shards];
+    for (;;) {
+      const size_t begin =
+          shard.next.fetch_add(chunk_size_, std::memory_order_relaxed);
+      if (begin >= shard.end) break;
+      (*body_)(begin, std::min(begin + chunk_size_, shard.end));
+    }
+  }
+}
+
+}  // namespace cardir

@@ -1,0 +1,80 @@
+// A fixed-size thread pool with chunked work stealing, sized for the batch
+// relation engine's all-pairs workloads (many uniform tasks, a few of which
+// are much heavier than the rest).
+//
+// ParallelFor partitions the index space [0, count) into one contiguous
+// shard per participant (the calling thread works too). Each shard is
+// drained front-to-back in chunks claimed with an atomic fetch-add; a
+// participant that exhausts its own shard steals chunks from the other
+// shards the same way. Chunk claiming is the only synchronisation on the
+// hot path, so the schedule is nondeterministic — callers must make the
+// *results* order-independent (the engine writes each pair's record into a
+// precomputed slot).
+
+#ifndef CARDIR_ENGINE_THREAD_POOL_H_
+#define CARDIR_ENGINE_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cardir {
+
+class ThreadPool {
+ public:
+  /// A pool with `threads` participants in total (the caller counts as one,
+  /// so `threads - 1` worker threads are spawned). Values < 1 are clamped
+  /// to 1; a 1-thread pool runs everything inline on the caller.
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int thread_count() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Invokes `body(begin, end)` over disjoint chunks that exactly cover
+  /// [0, count), from this thread and the workers, and blocks until all
+  /// chunks have run. `chunk_size` 0 picks a size that gives every
+  /// participant several chunks to steal. `body` must be safe to call
+  /// concurrently from multiple threads. Not reentrant.
+  void ParallelFor(size_t count, size_t chunk_size,
+                   const std::function<void(size_t, size_t)>& body);
+
+  /// Threads to use for `requested` (0 means "all hardware threads").
+  static int ResolveThreadCount(int requested);
+
+ private:
+  // One shard of the current job's index space. Padded so that concurrent
+  // fetch-adds on neighbouring shards do not false-share a cache line.
+  struct alignas(64) Shard {
+    std::atomic<size_t> next{0};
+    size_t end = 0;
+  };
+
+  void WorkerLoop(size_t participant);
+  void RunParticipant(size_t first_shard);
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable job_ready_;
+  std::condition_variable job_done_;
+  uint64_t generation_ = 0;
+  int workers_running_ = 0;
+  bool stopping_ = false;
+
+  // Current job (valid while workers_running_ > 0 or the caller is inside
+  // ParallelFor).
+  std::vector<Shard> shards_;
+  size_t chunk_size_ = 1;
+  const std::function<void(size_t, size_t)>* body_ = nullptr;
+};
+
+}  // namespace cardir
+
+#endif  // CARDIR_ENGINE_THREAD_POOL_H_

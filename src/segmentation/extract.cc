@@ -75,7 +75,8 @@ Result<Region> ExtractRegion(const Raster& raster, int label,
 
 Result<Configuration> ExtractConfiguration(const Raster& raster,
                                            const std::vector<LabelSpec>& specs,
-                                           double cell_size) {
+                                           double cell_size,
+                                           const EngineOptions& engine) {
   Configuration config("segmented-image", "raster");
   for (const LabelSpec& spec : specs) {
     CARDIR_ASSIGN_OR_RETURN(Region geometry,
@@ -87,7 +88,7 @@ Result<Configuration> ExtractConfiguration(const Raster& raster,
     region.geometry = std::move(geometry);
     CARDIR_RETURN_IF_ERROR(config.AddRegion(std::move(region)));
   }
-  CARDIR_RETURN_IF_ERROR(config.ComputeAllRelations());
+  CARDIR_RETURN_IF_ERROR(config.ComputeAllRelations(engine));
   return config;
 }
 

@@ -35,11 +35,14 @@ struct LabelSpec {
 };
 
 /// Vectorises every listed label into an annotated CARDIRECT configuration
-/// and computes all pairwise relations. Labels missing from the raster are
-/// an error; label 0 (background) is not extractable.
+/// and computes all pairwise relations on the batch engine (`engine`
+/// selects threads/prefiltering; the default is single-threaded). Labels
+/// missing from the raster are an error; label 0 (background) is not
+/// extractable.
 Result<Configuration> ExtractConfiguration(const Raster& raster,
                                            const std::vector<LabelSpec>& specs,
-                                           double cell_size = 1.0);
+                                           double cell_size = 1.0,
+                                           const EngineOptions& engine = {});
 
 }  // namespace cardir
 

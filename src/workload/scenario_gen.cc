@@ -35,7 +35,7 @@ Result<Configuration> GenerateMapConfiguration(Rng* rng,
     CARDIR_RETURN_IF_ERROR(config.AddRegion(std::move(region)));
   }
   if (options.compute_relations) {
-    CARDIR_RETURN_IF_ERROR(config.ComputeAllRelations());
+    CARDIR_RETURN_IF_ERROR(config.ComputeAllRelations(options.engine));
   }
   return config;
 }

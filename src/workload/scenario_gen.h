@@ -21,6 +21,8 @@ struct ScenarioOptions {
   Box canvas = Box(0.0, 0.0, 1000.0, 1000.0);
   /// Compute and store all pairwise relations (n·(n−1) records).
   bool compute_relations = true;
+  /// Engine options (threads, prefilter) for the relation computation.
+  EngineOptions engine;
 };
 
 /// A configuration with `num_regions` regions named "region<k>" placed in

@@ -1,0 +1,172 @@
+// Differential oracle for the batch relation engine: on randomized REG*
+// configurations, the engine's full relation matrix must be bit-identical
+// to (a) the serial Compute-CDR loop it replaced and (b) the independent
+// clipping-based baseline — for 1, 2, and 8 threads, with and without the
+// MBB prefilter.
+
+#include <vector>
+
+#include "clipping/baseline_cdr.h"
+#include "core/compute_cdr.h"
+#include "engine/batch_engine.h"
+#include "geometry/region.h"
+#include "gtest/gtest.h"
+#include "properties/random_instances.h"
+#include "util/random.h"
+
+namespace cardir {
+namespace {
+
+// The serial all-pairs loop exactly as Configuration::ComputeAllRelations
+// ran it before the engine existed.
+std::vector<CardinalRelation> SerialMatrix(const std::vector<Region>& regions) {
+  std::vector<CardinalRelation> matrix;
+  for (size_t i = 0; i < regions.size(); ++i) {
+    for (size_t j = 0; j < regions.size(); ++j) {
+      if (i == j) continue;
+      auto relation = ComputeCdr(regions[i], regions[j]);
+      EXPECT_TRUE(relation.ok()) << relation.status();
+      matrix.push_back(*relation);
+    }
+  }
+  return matrix;
+}
+
+std::vector<CardinalRelation> BaselineMatrix(
+    const std::vector<Region>& regions) {
+  std::vector<CardinalRelation> matrix;
+  for (size_t i = 0; i < regions.size(); ++i) {
+    for (size_t j = 0; j < regions.size(); ++j) {
+      if (i == j) continue;
+      auto relation = BaselineCdr(regions[i], regions[j]);
+      EXPECT_TRUE(relation.ok()) << relation.status();
+      matrix.push_back(*relation);
+    }
+  }
+  return matrix;
+}
+
+class EngineOracleTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EngineOracleTest, MatrixMatchesSerialLoopAndClippingBaseline) {
+  Rng rng(GetParam());
+  const size_t num_regions = 12 + rng.NextBelow(14);
+  std::vector<Region> regions;
+  regions.reserve(num_regions);
+  for (size_t i = 0; i < num_regions; ++i) {
+    regions.push_back(RandomTestRegion(&rng));
+  }
+
+  const std::vector<CardinalRelation> serial = SerialMatrix(regions);
+  const std::vector<CardinalRelation> baseline = BaselineMatrix(regions);
+  ASSERT_EQ(serial.size(), num_regions * (num_regions - 1));
+  ASSERT_EQ(serial, baseline)
+      << "the two serial oracles disagree; the fixture itself is broken";
+
+  for (int threads : {1, 2, 8}) {
+    for (bool prefilter : {true, false}) {
+      EngineOptions options;
+      options.threads = threads;
+      options.use_prefilter = prefilter;
+      EngineStats stats;
+      auto pairs = ComputeAllPairs(regions, options, &stats);
+      ASSERT_TRUE(pairs.ok()) << pairs.status();
+      ASSERT_EQ(pairs->size(), serial.size());
+      EXPECT_EQ(stats.total_pairs, serial.size());
+      EXPECT_EQ(stats.prefiltered_pairs + stats.computed_pairs,
+                stats.total_pairs);
+      if (!prefilter) EXPECT_EQ(stats.prefiltered_pairs, 0u);
+
+      size_t flat = 0;
+      for (size_t i = 0; i < num_regions; ++i) {
+        for (size_t j = 0; j < num_regions; ++j) {
+          if (i == j) continue;
+          const PairRelation& pair = (*pairs)[flat];
+          // Canonical (primary, reference) order, independent of threads.
+          ASSERT_EQ(pair.primary, i);
+          ASSERT_EQ(pair.reference, j);
+          // Bit-identical relation masks vs both oracles.
+          ASSERT_EQ(pair.relation.mask(), serial[flat].mask())
+              << "pair (" << i << ", " << j << "), " << threads
+              << " threads, prefilter=" << prefilter << ": engine "
+              << pair.relation.ToString() << " vs serial "
+              << serial[flat].ToString();
+          ++flat;
+        }
+      }
+    }
+  }
+}
+
+TEST_P(EngineOracleTest, DigestIsThreadCountInvariant) {
+  Rng rng(GetParam() ^ 0x9e3779b97f4a7c15ULL);
+  std::vector<Region> regions;
+  for (size_t i = 0; i < 16; ++i) regions.push_back(RandomTestRegion(&rng));
+
+  std::optional<uint64_t> expected;
+  for (int threads : {1, 2, 8}) {
+    for (bool prefilter : {true, false}) {
+      EngineOptions options;
+      options.threads = threads;
+      options.use_prefilter = prefilter;
+      auto digest = ComputeAllPairsDigest(regions, options);
+      ASSERT_TRUE(digest.ok()) << digest.status();
+      if (!expected.has_value()) {
+        expected = *digest;
+      } else {
+        EXPECT_EQ(*digest, *expected)
+            << threads << " threads, prefilter=" << prefilter;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineOracleTest,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u,
+                                           34u));
+
+TEST(EngineEdgeCaseTest, EmptyAndSingletonInputs) {
+  std::vector<Region> none;
+  auto empty = ComputeAllPairs(none);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+
+  std::vector<Region> one;
+  one.push_back(Region(MakeRectangle(0, 0, 10, 10)));
+  auto single = ComputeAllPairs(one);
+  ASSERT_TRUE(single.ok());
+  EXPECT_TRUE(single->empty());
+}
+
+TEST(EngineEdgeCaseTest, InvalidRegionIsReported) {
+  std::vector<Region> regions;
+  regions.push_back(Region(MakeRectangle(0, 0, 10, 10)));
+  regions.push_back(Region());  // Empty region: fails Validate().
+  auto pairs = ComputeAllPairs(regions);
+  ASSERT_FALSE(pairs.ok());
+  EXPECT_EQ(pairs.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(pairs.status().message().find("#1"), std::string::npos);
+}
+
+TEST(EngineEdgeCaseTest, PrefilterStatsOnSeparatedGrid) {
+  // A 4×4 grid of well-separated rectangles: every pair is tile-separated,
+  // so the planner should find no crossing pairs and the prefilter should
+  // resolve everything without a single Compute-CDR call.
+  std::vector<Region> regions;
+  for (int y = 0; y < 4; ++y) {
+    for (int x = 0; x < 4; ++x) {
+      regions.push_back(Region(
+          MakeRectangle(x * 100.0, y * 100.0, x * 100.0 + 40, y * 100.0 + 40)));
+    }
+  }
+  EngineStats stats;
+  auto pairs = ComputeAllPairs(regions, EngineOptions(), &stats);
+  ASSERT_TRUE(pairs.ok()) << pairs.status();
+  EXPECT_EQ(stats.total_pairs, 16u * 15u);
+  EXPECT_EQ(stats.prefiltered_pairs, stats.total_pairs);
+  EXPECT_EQ(stats.computed_pairs, 0u);
+  EXPECT_EQ(stats.crossing_pairs, 0u);
+}
+
+}  // namespace
+}  // namespace cardir

@@ -1,0 +1,196 @@
+// Unit + regression tests for the engine's MBB prefilter, with particular
+// attention to degenerate tile contact: bounding boxes that share only a
+// boundary line or a corner. Closed tiles make those cases ambiguous for a
+// naive corner-classification prefilter (ClassifyPoint resolves line ties
+// toward the middle band), while Compute-CDR resolves boundary sub-edges to
+// the polygon's interior side. The prefilter must match Compute-CDR.
+
+#include "engine/prefilter.h"
+
+#include "core/compute_cdr.h"
+#include "geometry/polygon.h"
+#include "geometry/region.h"
+#include "gtest/gtest.h"
+
+namespace cardir {
+namespace {
+
+Region BoxRegion(double min_x, double min_y, double max_x, double max_y) {
+  return Region(MakeRectangle(min_x, min_y, max_x, max_y));
+}
+
+// The prefilter answer for two box-shaped regions must equal Compute-CDR.
+void ExpectMatchesComputeCdr(const Region& primary, const Region& reference) {
+  const std::optional<CardinalRelation> bounded = MbbPrefilterRelation(
+      primary.BoundingBox(), reference.BoundingBox());
+  ASSERT_TRUE(bounded.has_value());
+  const auto exact = ComputeCdr(primary, reference);
+  ASSERT_TRUE(exact.ok()) << exact.status();
+  EXPECT_EQ(*bounded, *exact)
+      << "prefilter " << bounded->ToString() << " vs Compute-CDR "
+      << exact->ToString();
+}
+
+TEST(MbbPrefilterTest, FullySeparatedSingleTiles) {
+  const Box reference(10, 10, 20, 20);
+  struct Case {
+    Box primary;
+    const char* tile;
+  };
+  const Case cases[] = {
+      {Box(0, 0, 5, 5), "SW"},    {Box(12, 0, 18, 5), "S"},
+      {Box(25, 0, 30, 5), "SE"},  {Box(0, 12, 5, 18), "W"},
+      {Box(25, 12, 30, 18), "E"}, {Box(0, 25, 5, 30), "NW"},
+      {Box(12, 25, 18, 30), "N"}, {Box(25, 25, 30, 30), "NE"},
+      {Box(12, 12, 18, 18), "B"},
+  };
+  for (const Case& c : cases) {
+    const auto relation = MbbPrefilterRelation(c.primary, reference);
+    ASSERT_TRUE(relation.has_value()) << c.tile;
+    EXPECT_EQ(relation->ToString(), c.tile);
+  }
+}
+
+TEST(MbbPrefilterTest, StraddlingPairsAreNotBoxResolvable) {
+  const Box reference(10, 10, 20, 20);
+  const Box straddlers[] = {
+      Box(5, 12, 15, 18),   // Crosses the west line.
+      Box(15, 12, 25, 18),  // Crosses the east line.
+      Box(12, 5, 18, 15),   // Crosses the south line.
+      Box(12, 15, 18, 25),  // Crosses the north line.
+      Box(5, 5, 25, 25),    // Contains the reference mbb: crosses all four.
+      Box(0, 0, 12, 30),    // Western column but spans all three rows.
+      Box(0, 25, 30, 30),   // Northern row but spans all three columns.
+  };
+  for (const Box& primary : straddlers) {
+    EXPECT_FALSE(MbbPrefilterRelation(primary, reference).has_value())
+        << primary;
+    EXPECT_TRUE(MbbProperlyCrossesReferenceLines(primary, reference))
+        << primary;
+  }
+}
+
+TEST(MbbPrefilterTest, CrossingPredicateComplementsPrefilter) {
+  // For non-degenerate boxes the two predicates partition all pairs.
+  const Box reference(10, 10, 20, 20);
+  int resolvable = 0;
+  for (double x0 = 0; x0 <= 22; x0 += 2) {
+    for (double y0 = 0; y0 <= 22; y0 += 2) {
+      for (double w = 2; w <= 14; w += 4) {
+        for (double h = 2; h <= 14; h += 4) {
+          const Box primary(x0, y0, x0 + w, y0 + h);
+          const bool bounded =
+              MbbPrefilterRelation(primary, reference).has_value();
+          const bool crossing =
+              MbbProperlyCrossesReferenceLines(primary, reference);
+          EXPECT_NE(bounded, crossing) << primary;
+          resolvable += bounded ? 1 : 0;
+        }
+      }
+    }
+  }
+  EXPECT_GT(resolvable, 0);
+}
+
+// --- Degenerate tile contact regressions -------------------------------
+
+TEST(MbbPrefilterTest, TouchingBoxesStayOnTheirSide) {
+  // Primary's east edge lies exactly on the reference's west mbb line. The
+  // shared line belongs to both closed tile columns; the region only
+  // *touches* it, so the relation is pure W — not B:W or W:B.
+  const Region reference = BoxRegion(10, 10, 20, 20);
+  const Region primary = BoxRegion(0, 12, 10, 18);
+  const auto relation =
+      MbbPrefilterRelation(primary.BoundingBox(), reference.BoundingBox());
+  ASSERT_TRUE(relation.has_value());
+  EXPECT_EQ(relation->ToString(), "W");
+  ExpectMatchesComputeCdr(primary, reference);
+}
+
+TEST(MbbPrefilterTest, TouchingFromEveryDirection) {
+  const Region reference = BoxRegion(10, 10, 20, 20);
+  struct Case {
+    Region primary;
+    const char* tile;
+  };
+  const Case cases[] = {
+      {BoxRegion(0, 12, 10, 18), "W"},    // Shares the west line.
+      {BoxRegion(20, 12, 30, 18), "E"},   // Shares the east line.
+      {BoxRegion(12, 0, 18, 10), "S"},    // Shares the south line.
+      {BoxRegion(12, 20, 18, 30), "N"},   // Shares the north line.
+      {BoxRegion(0, 0, 10, 10), "SW"},    // Shares only the SW corner.
+      {BoxRegion(20, 20, 30, 30), "NE"},  // Shares only the NE corner.
+      {BoxRegion(20, 0, 30, 10), "SE"},   // Shares only the SE corner.
+      {BoxRegion(0, 20, 10, 30), "NW"},   // Shares only the NW corner.
+  };
+  for (const Case& c : cases) {
+    const auto relation = MbbPrefilterRelation(c.primary.BoundingBox(),
+                                               reference.BoundingBox());
+    ASSERT_TRUE(relation.has_value()) << c.tile;
+    EXPECT_EQ(relation->ToString(), c.tile);
+    ExpectMatchesComputeCdr(c.primary, reference);
+  }
+}
+
+TEST(MbbPrefilterTest, CollinearExtentsResolveToSingleTile) {
+  // Primary west of the reference with *exactly* the same y-extent: the
+  // horizontal mbb lines are collinear, so the primary's top/bottom edges
+  // lie on the reference's row boundaries. Still pure W.
+  const Region reference = BoxRegion(10, 10, 20, 20);
+  const Region primary = BoxRegion(0, 10, 5, 20);
+  const auto relation =
+      MbbPrefilterRelation(primary.BoundingBox(), reference.BoundingBox());
+  ASSERT_TRUE(relation.has_value());
+  EXPECT_EQ(relation->ToString(), "W");
+  ExpectMatchesComputeCdr(primary, reference);
+}
+
+TEST(MbbPrefilterTest, TouchingAndCollinear) {
+  // The worst case: boxes share a full boundary edge (touching in x,
+  // identical extent in y). Both mbb lines of the contact are degenerate
+  // tile boundaries.
+  const Region reference = BoxRegion(10, 10, 20, 20);
+  const Region primary = BoxRegion(0, 10, 10, 20);
+  const auto relation =
+      MbbPrefilterRelation(primary.BoundingBox(), reference.BoundingBox());
+  ASSERT_TRUE(relation.has_value());
+  EXPECT_EQ(relation->ToString(), "W");
+  ExpectMatchesComputeCdr(primary, reference);
+}
+
+TEST(MbbPrefilterTest, InscribedBoxTouchingAllFourLines) {
+  // Primary mbb identical to the reference mbb: every boundary edge lies on
+  // an mbb line; interior-side resolution keeps everything in B.
+  const Region reference = BoxRegion(10, 10, 20, 20);
+  const Region primary = BoxRegion(10, 10, 20, 20);
+  const auto relation =
+      MbbPrefilterRelation(primary.BoundingBox(), reference.BoundingBox());
+  ASSERT_TRUE(relation.has_value());
+  EXPECT_EQ(relation->ToString(), "B");
+  ExpectMatchesComputeCdr(primary, reference);
+}
+
+TEST(MbbPrefilterTest, DegenerateBoxesAreRejected) {
+  const Box reference(10, 10, 20, 20);
+  EXPECT_FALSE(
+      MbbPrefilterRelation(Box(0, 0, 0, 5), reference).has_value());
+  EXPECT_FALSE(
+      MbbPrefilterRelation(Box(0, 0, 5, 0), reference).has_value());
+  EXPECT_FALSE(
+      MbbPrefilterRelation(Box(0, 0, 5, 5), Box(10, 10, 10, 20)).has_value());
+  EXPECT_FALSE(MbbPrefilterRelation(Box(), reference).has_value());
+  EXPECT_FALSE(MbbPrefilterRelation(Box(0, 0, 5, 5), Box()).has_value());
+}
+
+TEST(MbbPrefilterTest, NonRectangularTouchingRegionsAgree) {
+  // A triangle whose apex touches the reference's west line; the primary
+  // mbb touches but does not cross. Prefilter says W, and so must the full
+  // algorithm despite the vertex-on-line contact.
+  const Region reference = BoxRegion(10, 10, 20, 20);
+  const Region primary(  // Clockwise ring.
+      Polygon({Point(0, 12), Point(0, 18), Point(10, 15)}));
+  ExpectMatchesComputeCdr(primary, reference);
+}
+
+}  // namespace
+}  // namespace cardir
