@@ -21,10 +21,10 @@ std::string XmlNode::AttributeOr(std::string_view name,
   return value != nullptr ? *value : std::move(fallback);
 }
 
-std::vector<const XmlNode*> XmlNode::ChildrenNamed(std::string_view tag) const {
+std::vector<const XmlNode*> XmlNode::ChildrenNamed(std::string_view tag_name) const {
   std::vector<const XmlNode*> out;
   for (const XmlNode& child : children) {
-    if (child.tag == tag) out.push_back(&child);
+    if (child.tag == tag_name) out.push_back(&child);
   }
   return out;
 }

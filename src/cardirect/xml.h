@@ -48,7 +48,7 @@ struct XmlNode {
   std::string AttributeOr(std::string_view name, std::string fallback) const;
 
   /// Child elements with the given tag, in document order.
-  std::vector<const XmlNode*> ChildrenNamed(std::string_view tag) const;
+  std::vector<const XmlNode*> ChildrenNamed(std::string_view tag_name) const;
 };
 
 /// Parses a document; returns its root element. Prologue (XML declaration,

@@ -102,8 +102,17 @@ int SplitAndClassifyEdge(const Segment& edge, const Box& mbb,
   if (mbb.max_y() != mbb.min_y()) {
     add(CrossHorizontalLine(edge, mbb.max_y()), CrossedLine::kNorth);
   }
-  std::sort(crossings.begin(), crossings.begin() + crossing_count,
-            [](const Crossing& a, const Crossing& b) { return a.t < b.t; });
+  // Insertion sort: at most 4 elements, and gcc 12's std::sort trips a
+  // -Warray-bounds false positive on partial std::array ranges.
+  for (int i = 1; i < crossing_count; ++i) {
+    const Crossing key = crossings[static_cast<size_t>(i)];
+    int j = i - 1;
+    while (j >= 0 && crossings[static_cast<size_t>(j)].t > key.t) {
+      crossings[static_cast<size_t>(j + 1)] = crossings[static_cast<size_t>(j)];
+      --j;
+    }
+    crossings[static_cast<size_t>(j + 1)] = key;
+  }
 
   // Snap each split point's coordinate exactly onto the line(s) it crosses,
   // so sub-edge extents compare exactly against the mbb bounds.

@@ -90,9 +90,9 @@ std::optional<std::pair<size_t, size_t>> FindIntersectingPair(
     if (sa != sb) return sa < sb;
     return sweep[a].index < sweep[b].index;
   };
-  using Status = std::set<size_t, decltype(less)>;
-  Status status(less);
-  std::vector<Status::iterator> where(sweep.size());
+  using SweepStatus = std::set<size_t, decltype(less)>;
+  SweepStatus status(less);
+  std::vector<SweepStatus::iterator> where(sweep.size());
 
   // Tests a candidate pair; returns true when a genuine intersection was
   // found (filling *result).
@@ -113,7 +113,7 @@ std::optional<std::pair<size_t, size_t>> FindIntersectingPair(
   // contiguous run of segments tying with it at the current sweep position
   // (segments with equal y here share a point — every such pair is an
   // intersection candidate).
-  auto probe_around = [&](Status::iterator center,
+  auto probe_around = [&](SweepStatus::iterator center,
                           std::pair<size_t, size_t>* result) {
     const double y = sweep[*center].YAt(sweep_x);
     // Downward: immediate neighbour, then the tying run.
