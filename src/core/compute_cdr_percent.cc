@@ -65,10 +65,17 @@ CdrPercentComputation ComputeCdrPercentUnchecked(const Region& primary,
     result.tile_areas[static_cast<int>(t)] =
         std::abs(signed_sum[static_cast<int>(t)]);
   }
-  // a_B = |a_{B+N}| − |a_N|; clamp tiny negative floating-point residue.
-  const double area_b = std::abs(signed_b_plus_n) -
-                        result.tile_areas[static_cast<int>(Tile::kN)];
-  result.tile_areas[static_cast<int>(Tile::kB)] = std::max(0.0, area_b);
+  // a_B = |a_{B+N}| − |a_N|. When a barely (or never) enters B the two
+  // accumulators are large and near-equal, leaving an O(ulp) cancellation
+  // residue of either sign; treating anything within floating-point noise
+  // of the accumulators as exact zero keeps measure-zero B contacts from
+  // surfacing as a spurious positive percentage.
+  const double area_n = result.tile_areas[static_cast<int>(Tile::kN)];
+  const double area_b = std::abs(signed_b_plus_n) - area_n;
+  const double noise =
+      1e-12 * std::max(std::abs(signed_b_plus_n), area_n);
+  result.tile_areas[static_cast<int>(Tile::kB)] =
+      area_b <= noise ? 0.0 : area_b;
 
   for (double area : result.tile_areas) result.total_area += area;
   result.matrix = PercentageMatrix::FromAreas(result.tile_areas);
