@@ -1,0 +1,45 @@
+#include "audit/audit.h"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "util/logging.h"
+
+namespace cardir {
+namespace {
+
+std::atomic<AuditFailureHandler> g_handler{nullptr};
+std::atomic<uint64_t> g_failure_count{0};
+
+}  // namespace
+
+AuditFailureHandler SetAuditFailureHandler(AuditFailureHandler handler) {
+  return g_handler.exchange(handler);
+}
+
+uint64_t AuditFailureCount() {
+  return g_failure_count.load(std::memory_order_relaxed);
+}
+
+void ResetAuditFailureCount() {
+  g_failure_count.store(0, std::memory_order_relaxed);
+}
+
+namespace internal_audit {
+
+void Fail(const char* file, int line, const std::string& message) {
+  g_failure_count.fetch_add(1, std::memory_order_relaxed);
+  const AuditFailureHandler handler = g_handler.load();
+  if (handler != nullptr) {
+    handler(file, line, message);
+    return;
+  }
+  {
+    internal_logging::LogMessage log(LogLevel::kError, file, line);
+    log.stream() << "audit failure: " << message;
+  }
+  std::abort();
+}
+
+}  // namespace internal_audit
+}  // namespace cardir

@@ -1,0 +1,77 @@
+// CARDIR_AUDIT-gated runtime invariant auditing.
+//
+// Debug/sanitizer builds compile paper-level invariant checks into the
+// algorithm and engine seams (configure with -DCARDIR_AUDIT=ON; the
+// asan-ubsan and tsan presets do). Release builds compile them out
+// entirely — CARDIR_AUDIT(...) expands to nothing, so validator arguments
+// are never evaluated.
+//
+// A validator (audit/invariants.h) returns std::nullopt when its invariant
+// holds and a diagnostic message when it does not. CARDIR_AUDIT(call)
+// routes failures to the installed handler; the default handler logs the
+// message and aborts, so a violated invariant fails whichever test or
+// sanitizer run exposed it. Tests install a counting handler to exercise
+// deliberate violations without dying.
+
+#ifndef CARDIR_AUDIT_AUDIT_H_
+#define CARDIR_AUDIT_AUDIT_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace cardir {
+
+#ifdef CARDIR_AUDIT_ENABLED
+inline constexpr bool kAuditEnabled = true;
+#else
+inline constexpr bool kAuditEnabled = false;
+#endif
+
+/// Outcome of one validator: nullopt when the invariant holds, otherwise a
+/// human-readable description of the violation.
+using AuditResult = std::optional<std::string>;
+
+/// Invoked on every audit failure (possibly concurrently — the engine
+/// audits from worker threads). Must not return for failures the caller
+/// cannot continue past; the default handler aborts.
+using AuditFailureHandler = void (*)(const char* file, int line,
+                                     const std::string& message);
+
+/// Installs `handler`; nullptr restores the default log-and-abort handler.
+/// Returns the previously installed handler (nullptr = default).
+AuditFailureHandler SetAuditFailureHandler(AuditFailureHandler handler);
+
+/// Process-wide count of audit failures, including those a custom handler
+/// chose to swallow.
+uint64_t AuditFailureCount();
+void ResetAuditFailureCount();
+
+namespace internal_audit {
+void Fail(const char* file, int line, const std::string& message);
+}  // namespace internal_audit
+
+// Evaluates a validator call and reports a failure through the handler.
+// Compiled out (arguments unevaluated) unless CARDIR_AUDIT_ENABLED. Guard
+// expensive setup for an audit with `if constexpr (kAuditEnabled)`.
+#ifdef CARDIR_AUDIT_ENABLED
+#define CARDIR_AUDIT(validator_call)                                      \
+  do {                                                                    \
+    const ::cardir::AuditResult cardir_audit_result__ = (validator_call); \
+    if (cardir_audit_result__.has_value()) {                              \
+      ::cardir::internal_audit::Fail(__FILE__, __LINE__,                  \
+                                     *cardir_audit_result__);             \
+    }                                                                     \
+  } while (false)
+#else
+// sizeof keeps the expression parsed (so audit-only variables count as
+// used and bit-rot is caught at compile time) without ever evaluating it.
+#define CARDIR_AUDIT(validator_call)          \
+  do {                                        \
+    (void)sizeof((validator_call));           \
+  } while (false)
+#endif
+
+}  // namespace cardir
+
+#endif  // CARDIR_AUDIT_AUDIT_H_

@@ -1,0 +1,186 @@
+// Paper-level invariant validators for the CARDIR_AUDIT layer.
+//
+// Each validator is a pure function returning AuditResult (nullopt = the
+// invariant holds); the algorithm and engine seams feed them through the
+// CARDIR_AUDIT(...) macro of audit/audit.h. Everything here is inline so
+// that cardir_core and cardir_engine can audit themselves without a link
+// cycle through the audit library (which only holds the failure handler).
+//
+// Invariants covered (paper references in §2–§3):
+//  * percentage matrices: entries in [0, 100], total = 100 ± ε
+//    (Definition of the matrix with percentages, §2);
+//  * qualitative/quantitative agreement: every tile holding a positive
+//    share of the primary's area is a tile of Compute-CDR's relation
+//    (Compute-CDR% refines Compute-CDR, §3.2 — the converse need not hold:
+//    Compute-CDR also reports tiles touched only on a measure-zero
+//    boundary);
+//  * trapezoid totals: summed over a closed ring, the signed trapezoid
+//    expressions of Definition 4 telescope to the shoelace signed area,
+//    for every reference line — Σ E_l(AB) = −SignedArea and
+//    Σ E'_m(AB) = +SignedArea;
+//  * prefilter agreement: a pair the MBB prefilter resolves from the boxes
+//    must get the same relation as the full Compute-CDR run;
+//  * exact cover: parallel loops and the engine's sink must touch every
+//    index/pair exactly once.
+
+#ifndef CARDIR_AUDIT_INVARIANTS_H_
+#define CARDIR_AUDIT_INVARIANTS_H_
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdint>
+
+#include "audit/audit.h"
+#include "core/cardinal_relation.h"
+#include "core/compute_cdr.h"
+#include "core/percentage_matrix.h"
+#include "core/tile.h"
+#include "geometry/polygon.h"
+#include "geometry/region.h"
+#include "geometry/segment.h"
+#include "util/string_util.h"
+
+namespace cardir {
+
+/// Entries non-negative, none above 100, total within `tolerance`
+/// percentage points of 100.
+inline AuditResult AuditPercentMatrix(const PercentageMatrix& matrix,
+                                      double tolerance = 1e-6) {
+  for (Tile t : kAllTiles) {
+    const double v = matrix.at(t);
+    if (!(v >= 0.0)) {
+      return StrFormat("percentage matrix: tile %s is negative (%.17g)",
+                       std::string(TileName(t)).c_str(), v);
+    }
+    if (v > 100.0 + tolerance) {
+      return StrFormat("percentage matrix: tile %s exceeds 100%% (%.17g)",
+                       std::string(TileName(t)).c_str(), v);
+    }
+  }
+  const double total = matrix.Total();
+  if (std::abs(total - 100.0) > tolerance) {
+    return StrFormat("percentage matrix: total %.17g differs from 100 "
+                     "by more than %.3g",
+                     total, tolerance);
+  }
+  return std::nullopt;
+}
+
+/// Per-tile areas non-negative and summing (within `rel_tol`, relative to
+/// the larger of 1 and the region's area) to the primary's shoelace area —
+/// the Σ area(tile ∩ a) = area(a) identity behind Theorem 2.
+inline AuditResult AuditTileAreasMatchRegion(
+    const std::array<double, kNumTiles>& tile_areas, double total_area,
+    const Region& primary, double rel_tol = 1e-7) {
+  double sum = 0.0;
+  for (Tile t : kAllTiles) {
+    const double a = tile_areas[static_cast<int>(t)];
+    if (!(a >= 0.0)) {
+      return StrFormat("tile areas: tile %s is negative (%.17g)",
+                       std::string(TileName(t)).c_str(), a);
+    }
+    sum += a;
+  }
+  const double region_area = primary.Area();
+  const double scale = std::max({1.0, region_area, sum});
+  if (std::abs(sum - total_area) > rel_tol * scale) {
+    return StrFormat("tile areas: sum %.17g disagrees with total_area %.17g",
+                     sum, total_area);
+  }
+  if (std::abs(sum - region_area) > rel_tol * scale) {
+    return StrFormat("tile areas: sum %.17g disagrees with shoelace "
+                     "region area %.17g",
+                     sum, region_area);
+  }
+  return std::nullopt;
+}
+
+/// Every tile with more than `eps_percent` of the primary's area is a tile
+/// of the qualitative relation (Compute-CDR% refines Compute-CDR). The
+/// qualitative relation may hold extra tiles that the region only touches
+/// on a measure-zero boundary.
+inline AuditResult AuditQualQuantAgreement(const CardinalRelation& qualitative,
+                                           const PercentageMatrix& matrix,
+                                           double eps_percent = 1e-9) {
+  for (Tile t : kAllTiles) {
+    if (matrix.at(t) > eps_percent && !qualitative.Includes(t)) {
+      return StrFormat(
+          "qual/quant disagreement: tile %s carries %.17g%% of the area "
+          "but is missing from Compute-CDR relation %s",
+          std::string(TileName(t)).c_str(), matrix.at(t),
+          qualitative.ToString().c_str());
+    }
+  }
+  return std::nullopt;
+}
+
+/// Σ E_l(AB) over a closed ring equals −SignedArea and Σ E'_m(AB) equals
+/// +SignedArea, for any reference line (Definition 4 telescopes; the l/m
+/// terms cancel around the ring). Checked against the ring's own bounding
+/// extremes, the reference lines the algorithms actually use.
+inline AuditResult AuditTrapezoidTotals(const Polygon& polygon,
+                                        double rel_tol = 1e-9) {
+  const size_t n = polygon.size();
+  if (n < 3) return std::nullopt;
+  double min_x = polygon.vertex(0).x, min_y = polygon.vertex(0).y;
+  for (size_t i = 1; i < n; ++i) {
+    min_x = std::min(min_x, polygon.vertex(i).x);
+    min_y = std::min(min_y, polygon.vertex(i).y);
+  }
+  double sum_horizontal = 0.0;  // Σ E_l against y = min_y.
+  double sum_vertical = 0.0;    // Σ E'_m against x = min_x.
+  double magnitude = 0.0;       // Cancellation scale for the tolerance.
+  for (size_t i = 0; i < n; ++i) {
+    const Segment edge = polygon.edge(i);
+    const double h = TrapezoidHorizontal(edge, min_y);
+    const double v = TrapezoidVertical(edge, min_x);
+    sum_horizontal += h;
+    sum_vertical += v;
+    magnitude += std::abs(h) + std::abs(v);
+  }
+  const double signed_area = polygon.SignedArea();
+  const double tolerance = rel_tol * std::max(1.0, magnitude);
+  if (std::abs(sum_horizontal + signed_area) > tolerance) {
+    return StrFormat("trapezoid totals: Sigma E_l = %.17g but -SignedArea "
+                     "= %.17g",
+                     sum_horizontal, -signed_area);
+  }
+  if (std::abs(sum_vertical - signed_area) > tolerance) {
+    return StrFormat("trapezoid totals: Sigma E'_m = %.17g but SignedArea "
+                     "= %.17g",
+                     sum_vertical, signed_area);
+  }
+  return std::nullopt;
+}
+
+/// A pair the MBB prefilter resolved from the boxes must agree with the
+/// full Compute-CDR on the real geometry.
+inline AuditResult AuditPrefilterAgreement(const CardinalRelation& from_boxes,
+                                           const Region& primary,
+                                           const Region& reference) {
+  const CardinalRelation full =
+      ComputeCdrUnchecked(primary, reference).relation;
+  if (from_boxes != full) {
+    return StrFormat(
+        "prefilter disagreement: boxes resolved %s but Compute-CDR gives %s",
+        from_boxes.ToString().c_str(), full.ToString().c_str());
+  }
+  return std::nullopt;
+}
+
+/// Exact-cover check for parallel loops/sinks: `actual` items processed,
+/// `expected` items in the index space.
+inline AuditResult AuditExactCover(uint64_t actual, uint64_t expected,
+                                   const char* what) {
+  if (actual != expected) {
+    return StrFormat("%s: covered %llu of %llu items", what,
+                     static_cast<unsigned long long>(actual),
+                     static_cast<unsigned long long>(expected));
+  }
+  return std::nullopt;
+}
+
+}  // namespace cardir
+
+#endif  // CARDIR_AUDIT_INVARIANTS_H_

@@ -2,6 +2,9 @@
 
 #include <cmath>
 
+#include "audit/audit.h"
+#include "audit/invariants.h"
+#include "core/compute_cdr.h"
 #include "core/edge_splitter.h"
 #include "util/logging.h"
 
@@ -79,6 +82,18 @@ CdrPercentComputation ComputeCdrPercentUnchecked(const Region& primary,
 
   for (double area : result.tile_areas) result.total_area += area;
   result.matrix = PercentageMatrix::FromAreas(result.tile_areas);
+
+  // Audit seam: the accumulated tile areas must reproduce the region's
+  // shoelace area, the matrix must be a valid percentage distribution, and
+  // Definition 4's trapezoid totals must telescope per ring.
+  if constexpr (kAuditEnabled) {
+    CARDIR_AUDIT(AuditTileAreasMatchRegion(result.tile_areas,
+                                           result.total_area, primary));
+    CARDIR_AUDIT(AuditPercentMatrix(result.matrix));
+    for (const Polygon& polygon : primary.polygons()) {
+      CARDIR_AUDIT(AuditTrapezoidTotals(polygon));
+    }
+  }
   return result;
 }
 
@@ -86,7 +101,15 @@ Result<CdrPercentComputation> ComputeCdrPercentDetailed(
     const Region& primary, const Region& reference) {
   CARDIR_RETURN_IF_ERROR(primary.Validate());
   CARDIR_RETURN_IF_ERROR(reference.Validate());
-  return ComputeCdrPercentUnchecked(primary, reference);
+  CdrPercentComputation computation =
+      ComputeCdrPercentUnchecked(primary, reference);
+  // Audit seam: tiles holding a positive share of a's area must be tiles
+  // of the qualitative Compute-CDR relation (§3.2 refines §3.1).
+  if constexpr (kAuditEnabled) {
+    CARDIR_AUDIT(AuditQualQuantAgreement(
+        ComputeCdrUnchecked(primary, reference).relation, computation.matrix));
+  }
+  return computation;
 }
 
 Result<PercentageMatrix> ComputeCdrPercent(const Region& primary,

@@ -4,6 +4,8 @@
 #include <atomic>
 #include <utility>
 
+#include "audit/audit.h"
+#include "audit/invariants.h"
 #include "core/compute_cdr.h"
 #include "engine/prefilter.h"
 #include "engine/thread_pool.h"
@@ -108,6 +110,12 @@ Status RunEngine(const std::vector<const Region*>& regions,
               const std::optional<CardinalRelation> bounded =
                   MbbPrefilterRelation(boxes[i], ref_box);
               if (bounded.has_value()) {
+                // Audit seam: a box-resolved pair must agree with the full
+                // algorithm on the real geometry.
+                if constexpr (kAuditEnabled) {
+                  CARDIR_AUDIT(AuditPrefilterAgreement(*bounded, *regions[i],
+                                                       reference));
+                }
                 sink(i, j, *bounded);
                 ++prefiltered;
                 continue;
@@ -122,6 +130,12 @@ Status RunEngine(const std::vector<const Region*>& regions,
         computed_total.fetch_add(computed, std::memory_order_relaxed);
         crossing_total.fetch_add(crossing, std::memory_order_relaxed);
       });
+
+  // Audit seam: every ordered pair went through the sink exactly once
+  // (prefiltered + computed partitions the n·(n−1) pairs).
+  CARDIR_AUDIT(AuditExactCover(
+      prefiltered_total.load() + computed_total.load(), n * (n - 1),
+      "batch engine pair sink"));
 
   if (stats != nullptr) {
     stats->total_pairs = n * (n - 1);

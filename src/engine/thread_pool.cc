@@ -1,6 +1,10 @@
 #include "engine/thread_pool.h"
 
 #include <algorithm>
+#include <atomic>
+
+#include "audit/audit.h"
+#include "audit/invariants.h"
 
 namespace cardir {
 
@@ -35,6 +39,20 @@ void ThreadPool::ParallelFor(size_t count, size_t chunk_size,
     body(0, count);
     return;
   }
+
+  // Audit seam: the chunks claimed by the participants must cover
+  // [0, count) exactly — no index skipped, none run twice. The counting
+  // wrapper only exists in audit builds; release builds run `body` direct.
+  std::atomic<uint64_t> audit_covered{0};
+  std::function<void(size_t, size_t)> audit_body;
+  const std::function<void(size_t, size_t)>* job = &body;
+  if constexpr (kAuditEnabled) {
+    audit_body = [&body, &audit_covered](size_t begin, size_t end) {
+      audit_covered.fetch_add(end - begin, std::memory_order_relaxed);
+      body(begin, end);
+    };
+    job = &audit_body;
+  }
   if (chunk_size == 0) {
     // Several chunks per participant so that stealing can even things out.
     chunk_size = std::max<size_t>(1, count / (participants * 8));
@@ -56,7 +74,7 @@ void ThreadPool::ParallelFor(size_t count, size_t chunk_size,
     std::lock_guard<std::mutex> lock(mutex_);
     shards_ = std::move(shards);
     chunk_size_ = chunk_size;
-    body_ = &body;
+    body_ = job;
     ++generation_;
     workers_running_ = static_cast<int>(workers_.size());
   }
@@ -64,9 +82,16 @@ void ThreadPool::ParallelFor(size_t count, size_t chunk_size,
 
   RunParticipant(0);  // The caller is participant 0.
 
-  std::unique_lock<std::mutex> lock(mutex_);
-  job_done_.wait(lock, [this] { return workers_running_ == 0; });
-  body_ = nullptr;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    job_done_.wait(lock, [this] { return workers_running_ == 0; });
+    body_ = nullptr;
+  }
+
+  if constexpr (kAuditEnabled) {
+    CARDIR_AUDIT(AuditExactCover(audit_covered.load(), count,
+                                 "ThreadPool::ParallelFor chunk cover"));
+  }
 }
 
 void ThreadPool::WorkerLoop(size_t participant) {

@@ -1,0 +1,148 @@
+#include "audit/audit.h"
+
+#include <array>
+
+#include "audit/invariants.h"
+#include "core/compute_cdr.h"
+#include "core/compute_cdr_percent.h"
+#include "geometry/polygon.h"
+#include "gtest/gtest.h"
+
+namespace cardir {
+namespace {
+
+// Deliberate-violation tests install this counting handler so the default
+// log-and-abort handler does not kill the test binary.
+int g_handled = 0;
+void CountingHandler(const char*, int, const std::string&) { ++g_handled; }
+
+class AuditTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    g_handled = 0;
+    previous_ = SetAuditFailureHandler(&CountingHandler);
+    ResetAuditFailureCount();
+  }
+  void TearDown() override {
+    SetAuditFailureHandler(previous_);
+    ResetAuditFailureCount();
+  }
+
+  AuditFailureHandler previous_ = nullptr;
+};
+
+PercentageMatrix ValidMatrix() {
+  std::array<double, kNumTiles> areas{};
+  areas[static_cast<int>(Tile::kB)] = 30.0;
+  areas[static_cast<int>(Tile::kN)] = 50.0;
+  areas[static_cast<int>(Tile::kNE)] = 20.0;
+  return PercentageMatrix::FromAreas(areas);
+}
+
+TEST_F(AuditTest, PercentMatrixAcceptsValidMatrix) {
+  EXPECT_EQ(AuditPercentMatrix(ValidMatrix()), std::nullopt);
+}
+
+TEST_F(AuditTest, PercentMatrixRejectsBadTotal) {
+  PercentageMatrix matrix = ValidMatrix();
+  matrix.set(Tile::kS, 25.0);  // Total now 125.
+  const AuditResult failure = AuditPercentMatrix(matrix);
+  ASSERT_TRUE(failure.has_value());
+  EXPECT_NE(failure->find("total"), std::string::npos);
+}
+
+TEST_F(AuditTest, PercentMatrixRejectsNegativeEntry) {
+  PercentageMatrix matrix = ValidMatrix();
+  matrix.set(Tile::kN, matrix.at(Tile::kN) - 0.5);
+  matrix.set(Tile::kS, -0.5);  // Keeps the total at 100 but goes negative.
+  matrix.set(Tile::kB, matrix.at(Tile::kB) + 1.0);
+  const AuditResult failure = AuditPercentMatrix(matrix);
+  ASSERT_TRUE(failure.has_value());
+  EXPECT_NE(failure->find("negative"), std::string::npos);
+}
+
+TEST_F(AuditTest, QualQuantAgreementPassesOnSubset) {
+  const CardinalRelation qualitative({Tile::kB, Tile::kN, Tile::kNE,
+                                      Tile::kE});
+  // Qualitative ⊇ nonzero tiles is fine (boundary-touch tiles).
+  EXPECT_EQ(AuditQualQuantAgreement(qualitative, ValidMatrix()), std::nullopt);
+}
+
+TEST_F(AuditTest, QualQuantAgreementCatchesMissingTile) {
+  const CardinalRelation qualitative({Tile::kB, Tile::kN});  // Missing NE.
+  const AuditResult failure =
+      AuditQualQuantAgreement(qualitative, ValidMatrix());
+  ASSERT_TRUE(failure.has_value());
+  EXPECT_NE(failure->find("NE"), std::string::npos);
+}
+
+TEST_F(AuditTest, TrapezoidTotalsHoldForBothOrientations) {
+  Polygon clockwise({{0, 0}, {0, 4}, {6, 4}, {6, 0}});
+  EXPECT_EQ(AuditTrapezoidTotals(clockwise), std::nullopt);
+  Polygon counter = clockwise;
+  counter.Reverse();
+  EXPECT_EQ(AuditTrapezoidTotals(counter), std::nullopt);
+}
+
+TEST_F(AuditTest, TileAreasMustSumToRegionArea) {
+  const Region region(MakeRectangle(0, 0, 10, 10));
+  std::array<double, kNumTiles> areas{};
+  areas[static_cast<int>(Tile::kB)] = 100.0;
+  EXPECT_EQ(AuditTileAreasMatchRegion(areas, 100.0, region), std::nullopt);
+  areas[static_cast<int>(Tile::kB)] = 90.0;  // Lost area.
+  EXPECT_TRUE(AuditTileAreasMatchRegion(areas, 90.0, region).has_value());
+}
+
+TEST_F(AuditTest, PrefilterAgreementChecksFullAlgorithm) {
+  const Region primary(MakeRectangle(20, 20, 30, 30));
+  const Region reference(MakeRectangle(0, 0, 10, 10));
+  const CardinalRelation ne(Tile::kNE);
+  EXPECT_EQ(AuditPrefilterAgreement(ne, primary, reference), std::nullopt);
+  const CardinalRelation wrong(Tile::kSW);
+  EXPECT_TRUE(AuditPrefilterAgreement(wrong, primary, reference).has_value());
+}
+
+TEST_F(AuditTest, ExactCover) {
+  EXPECT_EQ(AuditExactCover(42, 42, "cover"), std::nullopt);
+  const AuditResult failure = AuditExactCover(41, 42, "cover");
+  ASSERT_TRUE(failure.has_value());
+  EXPECT_NE(failure->find("41"), std::string::npos);
+}
+
+TEST_F(AuditTest, MacroRoutesFailuresToInstalledHandler) {
+  CARDIR_AUDIT(AuditExactCover(1, 2, "deliberate"));
+  if (kAuditEnabled) {
+    EXPECT_EQ(g_handled, 1);
+    EXPECT_EQ(AuditFailureCount(), 1u);
+  } else {
+    // Compiled out: the macro must not evaluate its argument.
+    EXPECT_EQ(g_handled, 0);
+    EXPECT_EQ(AuditFailureCount(), 0u);
+  }
+}
+
+TEST_F(AuditTest, MacroPassesCleanValidatorSilently) {
+  CARDIR_AUDIT(AuditExactCover(7, 7, "clean"));
+  EXPECT_EQ(g_handled, 0);
+  EXPECT_EQ(AuditFailureCount(), 0u);
+}
+
+TEST_F(AuditTest, HandlerRestoreReturnsPrevious) {
+  // SetUp installed CountingHandler; a nested swap must hand it back.
+  const AuditFailureHandler inner = SetAuditFailureHandler(nullptr);
+  EXPECT_EQ(inner, &CountingHandler);
+  SetAuditFailureHandler(inner);
+}
+
+TEST_F(AuditTest, SeamsStaySilentOnValidInput) {
+  // End-to-end: the audit seams inside Compute-CDR%/Compute-CDR see only
+  // holding invariants on a well-formed pair.
+  const Region primary(MakeRectangle(12, 4, 18, 16));
+  const Region reference(MakeRectangle(0, 0, 10, 10));
+  ASSERT_TRUE(ComputeCdrPercentDetailed(primary, reference).ok());
+  ASSERT_TRUE(ComputeCdr(primary, reference).ok());
+  EXPECT_EQ(AuditFailureCount(), 0u);
+}
+
+}  // namespace
+}  // namespace cardir

@@ -1,0 +1,120 @@
+// Contention stress for the work-stealing thread pool and the batch
+// engine, written for the ThreadSanitizer tier (ctest --preset tsan) but
+// fast enough to ride in every engine run. Chunk size 1 maximises steal
+// traffic: every claim is a fetch-add race window, and with more
+// participants than cores each shard is drained mostly by thieves.
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "engine/batch_engine.h"
+#include "engine/thread_pool.h"
+#include "geometry/region.h"
+#include "gtest/gtest.h"
+#include "properties/random_instances.h"
+#include "util/random.h"
+
+namespace cardir {
+namespace {
+
+TEST(TsanStressTest, StealHeavyParallelForRounds) {
+  // Many short jobs on one pool: worker wake-up, chunk claiming, and the
+  // job-done rendezvous all cycle once per round.
+  ThreadPool pool(8);
+  const size_t count = 512;
+  std::vector<std::atomic<uint32_t>> hits(count);
+  for (int round = 0; round < 50; ++round) {
+    for (auto& h : hits) h.store(0, std::memory_order_relaxed);
+    pool.ParallelFor(count, 1, [&hits](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+    for (size_t i = 0; i < count; ++i) {
+      ASSERT_EQ(hits[i].load(), 1u) << "round " << round << " index " << i;
+    }
+  }
+}
+
+TEST(TsanStressTest, UnsynchronisedSlotWritesArePublished) {
+  // The engine's merge writes each pair's record into a precomputed slot
+  // with no per-slot synchronisation; the pool's join must publish those
+  // plain writes to the caller. Model exactly that access pattern.
+  ThreadPool pool(8);
+  const size_t count = 4'096;
+  std::vector<uint64_t> slots(count, 0);
+  pool.ParallelFor(count, 1, [&slots](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) slots[i] = i * 2 + 1;
+  });
+  for (size_t i = 0; i < count; ++i) {
+    ASSERT_EQ(slots[i], i * 2 + 1) << i;
+  }
+}
+
+TEST(TsanStressTest, ConcurrentEnginesShareInputRegions) {
+  // Several engines, each with its own parallel pool, hammer the same
+  // (read-only) region vector concurrently — the CARDIRECT server-side
+  // usage pattern. Every run must reproduce the serial matrix.
+  Rng rng(0x57E55);
+  std::vector<Region> regions;
+  for (int i = 0; i < 16; ++i) regions.push_back(RandomTestRegion(&rng));
+
+  EngineOptions serial_options;
+  serial_options.threads = 1;
+  const auto expected = ComputeAllPairs(regions, serial_options);
+  ASSERT_TRUE(expected.ok()) << expected.status();
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> drivers;
+  for (int d = 0; d < 4; ++d) {
+    drivers.emplace_back([&regions, &expected, &mismatches] {
+      for (int run = 0; run < 3; ++run) {
+        EngineOptions options;
+        options.threads = 4;
+        options.chunk_size = 1;  // Force maximal steal contention.
+        const auto pairs = ComputeAllPairs(regions, options);
+        if (!pairs.ok() || pairs->size() != expected->size()) {
+          mismatches.fetch_add(1);
+          continue;
+        }
+        for (size_t k = 0; k < pairs->size(); ++k) {
+          const PairRelation& got = (*pairs)[k];
+          const PairRelation& want = (*expected)[k];
+          if (got.primary != want.primary ||
+              got.reference != want.reference ||
+              got.relation != want.relation) {
+            mismatches.fetch_add(1);
+            break;
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& driver : drivers) driver.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(TsanStressTest, DigestIdenticalAcrossThreadCountsUnderContention) {
+  Rng rng(0xD16E57);
+  std::vector<Region> regions;
+  for (int i = 0; i < 24; ++i) regions.push_back(RandomTestRegion(&rng));
+
+  EngineOptions serial_options;
+  serial_options.threads = 1;
+  const auto serial = ComputeAllPairsDigest(regions, serial_options);
+  ASSERT_TRUE(serial.ok()) << serial.status();
+
+  for (int threads : {2, 4, 8}) {
+    EngineOptions options;
+    options.threads = threads;
+    options.chunk_size = 1;
+    const auto digest = ComputeAllPairsDigest(regions, options);
+    ASSERT_TRUE(digest.ok()) << digest.status();
+    EXPECT_EQ(*digest, *serial) << threads << " threads";
+  }
+}
+
+}  // namespace
+}  // namespace cardir

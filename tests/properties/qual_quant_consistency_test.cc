@@ -1,0 +1,60 @@
+// Property: Compute-CDR% refines Compute-CDR. Across ≥1000 random REG*
+// pairs, the set of tiles carrying a strictly positive percentage must be
+// exactly the Compute-CDR tile set whenever the primary meets every tile
+// with positive area, and in general a subset of it — the qualitative
+// relation may add tiles the primary only touches on a measure-zero
+// boundary (closed tiles share their mbb lines, §2), which is why the
+// subset direction is the invariant the audit layer enforces.
+//
+// Runs in the `property` tier of every build and in the `audit` tier of
+// the sanitizer presets, so the trapezoid accumulation behind the
+// percentages gets UBSan/ASan (and, via the engine tier, TSan) coverage.
+
+#include "core/compute_cdr.h"
+#include "core/compute_cdr_percent.h"
+#include "core/percentage_matrix.h"
+#include "geometry/region.h"
+#include "gtest/gtest.h"
+#include "properties/random_instances.h"
+#include "util/random.h"
+
+namespace cardir {
+namespace {
+
+TEST(QualQuantConsistencyTest, NonzeroPercentTilesMatchComputeCdr) {
+  Rng rng(20260806);
+  int exact_matches = 0;
+  const int kPairs = 1000;
+  for (int iteration = 0; iteration < kPairs; ++iteration) {
+    const Region primary = RandomTestRegion(&rng);
+    const Region reference = RandomTestRegion(&rng);
+
+    const auto qualitative = ComputeCdr(primary, reference);
+    ASSERT_TRUE(qualitative.ok()) << qualitative.status();
+    const auto percent = ComputeCdrPercent(primary, reference);
+    ASSERT_TRUE(percent.ok()) << percent.status();
+
+    const CardinalRelation nonzero = percent->ToRelation(0.0);
+    ASSERT_TRUE(nonzero.IsSubsetOf(*qualitative))
+        << "iteration " << iteration << ": tiles with positive area "
+        << nonzero.ToString() << " not all in Compute-CDR relation "
+        << qualitative->ToString() << "\n"
+        << percent->ToString();
+    // Tiles Compute-CDR reports beyond the nonzero set may only be
+    // boundary contacts: their percentage must be (numerically) zero.
+    for (Tile t : qualitative->Tiles()) {
+      if (nonzero.Includes(t)) continue;
+      ASSERT_EQ(percent->at(t), 0.0)
+          << "iteration " << iteration << ": tile " << TileName(t)
+          << " is in the qualitative relation with a percentage that is "
+             "neither zero nor counted as positive";
+    }
+    if (nonzero == *qualitative) ++exact_matches;
+  }
+  // Random continuous placement makes boundary-only contact rare: almost
+  // every pair must agree exactly, not merely by inclusion.
+  EXPECT_GE(exact_matches, kPairs * 95 / 100);
+}
+
+}  // namespace
+}  // namespace cardir

@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# Lint gate for first-party code (src/).
+#
+# Three stages, each fatal when its tool reports a finding:
+#   1. strict-warning compile — CARDIR_WERROR=ON turns the src/ warning bar
+#      (-Wall -Wextra -Wshadow -Wconversion -Wdouble-promotion) into errors;
+#      always available, runs with whatever compiler CMake picks;
+#   2. clang-tidy over every src/ translation unit with the checked-in
+#      .clang-tidy (skipped with a notice when clang-tidy is absent);
+#   3. cppcheck over the same compilation database (skipped likewise).
+#
+# Exit code 0 means: every stage whose tool exists came back clean.
+#
+#   tools/lint.sh [--build-dir DIR] [--jobs N]
+
+set -euo pipefail
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="$root/build-lint"
+jobs="$(nproc 2>/dev/null || echo 2)"
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --build-dir) build_dir="$2"; shift 2 ;;
+    --jobs) jobs="$2"; shift 2 ;;
+    *) echo "usage: tools/lint.sh [--build-dir DIR] [--jobs N]" >&2; exit 2 ;;
+  esac
+done
+
+status=0
+
+echo "[lint] stage 1/3: strict-warning compile (CARDIR_WERROR=ON)"
+generator_args=()
+if command -v ninja >/dev/null 2>&1; then
+  generator_args=(-G Ninja)
+fi
+cmake -S "$root" -B "$build_dir" "${generator_args[@]}" \
+      -DCMAKE_BUILD_TYPE=Release \
+      -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+      -DCARDIR_WERROR=ON \
+      -DCARDIR_BUILD_TESTS=OFF \
+      -DCARDIR_BUILD_BENCHMARKS=OFF \
+      -DCARDIR_BUILD_EXAMPLES=OFF >/dev/null
+if ! cmake --build "$build_dir" -j "$jobs"; then
+  echo "[lint] FAIL: strict-warning compile reported errors" >&2
+  status=1
+fi
+
+echo "[lint] stage 2/3: clang-tidy"
+if command -v clang-tidy >/dev/null 2>&1; then
+  mapfile -t sources < <(find "$root/src" -name '*.cc' | sort)
+  if ! clang-tidy -p "$build_dir" --quiet "${sources[@]}"; then
+    echo "[lint] FAIL: clang-tidy reported findings" >&2
+    status=1
+  fi
+else
+  echo "[lint] clang-tidy not found on PATH — stage skipped"
+fi
+
+echo "[lint] stage 3/3: cppcheck"
+if command -v cppcheck >/dev/null 2>&1; then
+  if ! cppcheck --project="$build_dir/compile_commands.json" \
+                --enable=warning,performance,portability \
+                --inline-suppr \
+                --suppress=missingIncludeSystem \
+                --error-exitcode=1 \
+                --quiet; then
+    echo "[lint] FAIL: cppcheck reported findings" >&2
+    status=1
+  fi
+else
+  echo "[lint] cppcheck not found on PATH — stage skipped"
+fi
+
+if [[ $status -eq 0 ]]; then
+  echo "[lint] clean"
+else
+  echo "[lint] findings above must be fixed (suppressions need a comment "\
+"justifying them)" >&2
+fi
+exit $status
