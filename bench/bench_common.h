@@ -8,13 +8,32 @@
 #define CARDIR_BENCH_BENCH_COMMON_H_
 
 #include <cstdint>
+#include <string>
 
 #include "geometry/region.h"
+#include "obs/metrics.h"
 #include "util/random.h"
 #include "workload/region_gen.h"
 
 namespace cardir {
 namespace bench {
+
+/// Counter deltas of one measured run: snapshot before, run, then
+/// `ObsWindow::Delta()`. Counters are process-cumulative, so every record
+/// written into a BENCH_*.json ledger must be windowed this way.
+class ObsWindow {
+ public:
+  ObsWindow() : before_(obs::CaptureMetrics()) {}
+
+  /// Counter increments since construction (by full metric name; 0 when the
+  /// counter does not exist, e.g. in a -DCARDIR_OBS=OFF build).
+  obs::MetricsSnapshot Delta() const {
+    return obs::CaptureMetrics().Diff(before_);
+  }
+
+ private:
+  obs::MetricsSnapshot before_;
+};
 
 /// The fixed reference region: a square centred on the canvas.
 inline Region BenchReference() {

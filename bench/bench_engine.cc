@@ -2,10 +2,16 @@
 // prefiltering vs the work-stealing thread pool, on 1k–10k-region
 // configurations. Plain main (not google-benchmark) because each data point
 // is one long wall-clock measurement and the binary also emits
-// BENCH_engine.json for the perf-trajectory ledger.
+// BENCH_engine.json for the perf-trajectory ledger. Engine runs also record
+// the observability counters (prefilter hit rate, chunks stolen, pairs/sec)
+// so the bench trajectory captures more than wall-clock, and each run's
+// counters are checked against the engine's accounting invariants
+// (prefiltered + computed = total pairs; edges split ≥ edges in) — the
+// binary exits non-zero on a violation, which the nightly CI job relies on.
 //
 //   bench_engine [--sizes 1000,2000] [--serial-cap 2000] [--overlap 600]
 //                [--threads 2,8] [--out BENCH_engine.json]
+//                [--trace-out trace.json]
 //
 // Sizes above --serial-cap skip the serial baseline (quadratic, validated
 // per pair — minutes at 10k); sizes above 5000 use the engine's digest
@@ -20,9 +26,11 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.h"
 #include "core/compute_cdr.h"
 #include "engine/batch_engine.h"
 #include "geometry/region.h"
+#include "obs/trace.h"
 #include "util/random.h"
 #include "util/string_util.h"
 #include "workload/region_gen.h"
@@ -86,25 +94,73 @@ struct RunRecord {
   size_t prefiltered_pairs = 0;
   size_t crossing_pairs = 0;
   double speedup_vs_serial = 0;
+  // Observability counters over this run's window (zero when the binary was
+  // built with -DCARDIR_OBS=OFF).
+  double pairs_per_sec = 0;
+  double prefilter_hit_rate = 0;
+  uint64_t chunks_executed = 0;
+  uint64_t chunks_stolen = 0;
+  uint64_t edges_input = 0;
+  uint64_t edges_split = 0;
 };
+
+// Fails the process on a counter-accounting violation; the nightly CI job
+// surfaces this as a red run.
+void CheckCounterInvariants(const RunRecord& r,
+                            const obs::MetricsSnapshot& delta) {
+  const uint64_t total = delta.counter("engine.pairs.total");
+  const uint64_t prefiltered = delta.counter("engine.pairs.prefiltered");
+  const uint64_t computed = delta.counter("engine.pairs.computed");
+  if (prefiltered + computed != total) {
+    std::cerr << "counter invariant violated (" << r.workload << " n="
+              << r.regions << " " << r.mode
+              << "): prefiltered + computed != total (" << prefiltered
+              << " + " << computed << " != " << total << ")\n";
+    std::exit(1);
+  }
+  if (delta.counter("engine.runs") != 0 &&
+      total != static_cast<uint64_t>(r.pairs)) {
+    std::cerr << "counter invariant violated (" << r.workload << " n="
+              << r.regions << " " << r.mode << "): engine.pairs.total "
+              << total << " != n*(n-1) = " << r.pairs << "\n";
+    std::exit(1);
+  }
+  if (delta.counter("core.edges.split") < delta.counter("core.edges.input")) {
+    std::cerr << "counter invariant violated (" << r.workload << " n="
+              << r.regions << " " << r.mode
+              << "): edges split < edges in ("
+              << delta.counter("core.edges.split") << " < "
+              << delta.counter("core.edges.input") << ")\n";
+    std::exit(1);
+  }
+}
 
 // The loop Configuration::ComputeAllRelations ran before the engine:
 // validated Compute-CDR per ordered pair, results materialised in order.
+// Validation stays per pair (that is the cost the nofilter row isolates);
+// only the counter flush is batched, so the timed region carries the same
+// instrumentation overhead as the engine's chunked path.
 double TimeSerialLoop(const std::vector<Region>& regions) {
   const auto start = std::chrono::steady_clock::now();
   std::vector<CardinalRelation> matrix;
   matrix.reserve(regions.size() * (regions.size() - 1));
+  CdrMetricsDelta cdr_metrics;
   for (size_t i = 0; i < regions.size(); ++i) {
     for (size_t j = 0; j < regions.size(); ++j) {
       if (i == j) continue;
-      auto relation = ComputeCdr(regions[i], regions[j]);
-      if (!relation.ok()) {
-        std::cerr << "serial loop failed: " << relation.status() << "\n";
+      const Status primary_ok = regions[i].Validate();
+      const Status reference_ok = regions[j].Validate();
+      if (!primary_ok.ok() || !reference_ok.ok()) {
+        std::cerr << "serial loop failed: "
+                  << (primary_ok.ok() ? reference_ok : primary_ok).ToString()
+                  << "\n";
         std::exit(1);
       }
-      matrix.push_back(*relation);
+      matrix.push_back(
+          ComputeCdrUnchecked(regions[i], regions[j], &cdr_metrics).relation);
     }
   }
+  cdr_metrics.FlushToRegistry();
   return MsSince(start);
 }
 
@@ -136,14 +192,33 @@ std::vector<int> ParseIntList(const std::string& text) {
   return values;
 }
 
+// Fills the counter-derived fields from this run's metric window and
+// enforces the accounting invariants.
+void RecordCounters(RunRecord* r, const bench::ObsWindow& window) {
+  const obs::MetricsSnapshot delta = window.Delta();
+  r->pairs_per_sec =
+      r->ms > 0 ? static_cast<double>(r->pairs) / (r->ms / 1000.0) : 0.0;
+  const uint64_t total = delta.counter("engine.pairs.total");
+  r->prefilter_hit_rate =
+      total > 0 ? static_cast<double>(delta.counter("engine.pairs.prefiltered")) /
+                      static_cast<double>(total)
+                : 0.0;
+  r->chunks_executed = delta.counter("engine.pool.chunks_executed");
+  r->chunks_stolen = delta.counter("engine.pool.chunks_stolen");
+  r->edges_input = delta.counter("core.edges.input");
+  r->edges_split = delta.counter("core.edges.split");
+  CheckCounterInvariants(*r, delta);
+}
+
 void PrintRecord(const RunRecord& r) {
   const double mpairs_s =
       r.ms > 0 ? static_cast<double>(r.pairs) / r.ms / 1000.0 : 0.0;
   std::printf(
       "%-8s n=%-6d %-18s threads=%-2d %10.1f ms  %8.2f Mpairs/s"
-      "  prefiltered=%zu crossing=%zu%s\n",
+      "  prefiltered=%zu crossing=%zu stolen=%llu%s\n",
       r.workload.c_str(), r.regions, r.mode.c_str(), r.threads, r.ms,
       mpairs_s, r.prefiltered_pairs, r.crossing_pairs,
+      static_cast<unsigned long long>(r.chunks_stolen),
       r.speedup_vs_serial > 0
           ? StrFormat("  speedup=%.1fx", r.speedup_vs_serial).c_str()
           : "");
@@ -159,10 +234,18 @@ void WriteJson(const std::vector<RunRecord>& records,
         "    {\"workload\": \"%s\", \"regions\": %d, \"mode\": \"%s\", "
         "\"threads\": %d, \"prefilter\": %s, \"ms\": %.2f, \"pairs\": %zu, "
         "\"prefiltered_pairs\": %zu, \"crossing_pairs\": %zu, "
-        "\"speedup_vs_serial\": %.2f}%s\n",
+        "\"speedup_vs_serial\": %.2f, \"pairs_per_sec\": %.0f, "
+        "\"prefilter_hit_rate\": %.4f, \"chunks_executed\": %llu, "
+        "\"chunks_stolen\": %llu, \"edges_input\": %llu, "
+        "\"edges_split\": %llu}%s\n",
         r.workload.c_str(), r.regions, r.mode.c_str(), r.threads,
         r.prefilter ? "true" : "false", r.ms, r.pairs, r.prefiltered_pairs,
-        r.crossing_pairs, r.speedup_vs_serial,
+        r.crossing_pairs, r.speedup_vs_serial, r.pairs_per_sec,
+        r.prefilter_hit_rate,
+        static_cast<unsigned long long>(r.chunks_executed),
+        static_cast<unsigned long long>(r.chunks_stolen),
+        static_cast<unsigned long long>(r.edges_input),
+        static_cast<unsigned long long>(r.edges_split),
         i + 1 < records.size() ? "," : "");
   }
   out << "  ]\n}\n";
@@ -177,6 +260,7 @@ int Main(int argc, char** argv) {
   int serial_cap = 2000;
   int overlap_size = 600;
   std::string out_path = "BENCH_engine.json";
+  std::string trace_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> std::string {
@@ -196,6 +280,8 @@ int Main(int argc, char** argv) {
       overlap_size = std::stoi(next());
     } else if (arg == "--out") {
       out_path = next();
+    } else if (arg == "--trace-out") {
+      trace_path = next();
     } else {
       std::cerr << "unknown argument: " << arg << "\n";
       return 2;
@@ -204,6 +290,7 @@ int Main(int argc, char** argv) {
 
   Rng rng(7);
   std::vector<RunRecord> records;
+  if (!trace_path.empty()) obs::StartTracing();
 
   auto run_workload = [&](const std::string& name,
                           const std::vector<Region>& regions) {
@@ -219,7 +306,9 @@ int Main(int argc, char** argv) {
       serial.mode = "serial_loop";
       serial.threads = 1;
       serial.pairs = pairs;
+      const bench::ObsWindow window;
       serial.ms = TimeSerialLoop(regions);
+      RecordCounters(&serial, window);
       serial_ms = serial.ms;
       records.push_back(serial);
       PrintRecord(serial);
@@ -238,7 +327,9 @@ int Main(int argc, char** argv) {
       r.threads = 1;
       r.pairs = pairs;
       EngineStats stats;
+      const bench::ObsWindow window;
       r.ms = TimeEngine(regions, options, digest_mode, &stats);
+      RecordCounters(&r, window);
       if (serial_ms > 0) r.speedup_vs_serial = serial_ms / r.ms;
       records.push_back(r);
       PrintRecord(r);
@@ -260,7 +351,9 @@ int Main(int argc, char** argv) {
       r.prefilter = true;
       r.pairs = pairs;
       EngineStats stats;
+      const bench::ObsWindow window;
       r.ms = TimeEngine(regions, options, digest_mode, &stats);
+      RecordCounters(&r, window);
       r.prefiltered_pairs = stats.prefiltered_pairs;
       r.crossing_pairs = stats.crossing_pairs;
       if (serial_ms > 0) r.speedup_vs_serial = serial_ms / r.ms;
@@ -276,6 +369,16 @@ int Main(int argc, char** argv) {
     run_workload("overlap", OverlapRegions(&rng, overlap_size));
   }
 
+  if (!trace_path.empty()) {
+    obs::StopTracing();
+    std::ofstream trace_file(trace_path);
+    if (!trace_file) {
+      std::cerr << "cannot open " << trace_path << " for writing\n";
+      return 1;
+    }
+    obs::WriteChromeTrace(trace_file);
+    std::cout << "wrote " << trace_path << "\n";
+  }
   WriteJson(records, out_path);
   return 0;
 }

@@ -8,6 +8,9 @@
 #include "cardirect/xml.h"
 #include "geometry/wkt.h"
 #include "index/directional_query.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "reasoning/tables.h"
 #include "util/logging.h"
 #include "util/string_util.h"
@@ -16,7 +19,12 @@ namespace cardir {
 namespace {
 
 constexpr const char* kUsage =
-    "usage: cardirect <command> [args]\n"
+    "usage: cardirect [--stats[=json|prom]] [--trace-out=FILE] "
+    "<command> [args]\n"
+    "  --stats[=FORMAT]   after the command, print the metric counters the\n"
+    "                     run incremented (table, json, or prom[etheus])\n"
+    "  --trace-out=FILE   record trace spans and write Chrome trace_event\n"
+    "                     JSON to FILE (open in chrome://tracing/Perfetto)\n"
     "  create <out.xml> [name] [image]      start an empty configuration\n"
     "  add-region <xml> <id> <color> <x,y> <x,y> <x,y>...\n"
     "                                       annotate a polygon region\n"
@@ -268,10 +276,8 @@ int CmdDemo(const std::string& path, std::ostream& out, std::ostream& err) {
   return 0;
 }
 
-}  // namespace
-
-int RunCardirectTool(const std::vector<std::string>& args, std::ostream& out,
-                     std::ostream& err) {
+int DispatchCommand(const std::vector<std::string>& args, std::ostream& out,
+                    std::ostream& err) {
   if (args.empty()) {
     err << kUsage;
     return 2;
@@ -304,11 +310,20 @@ int RunCardirectTool(const std::vector<std::string>& args, std::ostream& out,
     std::vector<std::string> positional;
     EngineOptions options;
     for (size_t i = 1; i < args.size(); ++i) {
+      std::string value;
+      bool has_value = false;
       if (args[i] == "--threads") {
         if (i + 1 >= args.size()) {
           return Fail(err, Status::InvalidArgument("--threads needs a value"));
         }
-        Result<int64_t> threads = ParseInt(args[++i]);
+        value = args[++i];
+        has_value = true;
+      } else if (args[i].rfind("--threads=", 0) == 0) {
+        value = args[i].substr(std::string("--threads=").size());
+        has_value = true;
+      }
+      if (has_value) {
+        Result<int64_t> threads = ParseInt(value);
         if (!threads.ok() || *threads < 0) {
           return Fail(err, Status::InvalidArgument(
                                "--threads needs a non-negative integer"));
@@ -385,6 +400,76 @@ int RunCardirectTool(const std::vector<std::string>& args, std::ostream& out,
   }
   err << kUsage;
   return 2;
+}
+
+enum class StatsFormat { kNone, kTable, kJson, kPrometheus };
+
+}  // namespace
+
+int RunCardirectTool(const std::vector<std::string>& args, std::ostream& out,
+                     std::ostream& err) {
+  // Observability flags are global: accepted anywhere on the command line,
+  // for every subcommand.
+  StatsFormat stats_format = StatsFormat::kNone;
+  std::string trace_path;
+  std::vector<std::string> command_args;
+  command_args.reserve(args.size());
+  for (const std::string& arg : args) {
+    if (arg == "--stats" || arg == "--stats=table") {
+      stats_format = StatsFormat::kTable;
+    } else if (arg == "--stats=json") {
+      stats_format = StatsFormat::kJson;
+    } else if (arg == "--stats=prom" || arg == "--stats=prometheus") {
+      stats_format = StatsFormat::kPrometheus;
+    } else if (arg.rfind("--stats=", 0) == 0) {
+      return Fail(err, Status::InvalidArgument(
+                           "--stats accepts table, json, or prom, got '" +
+                           arg.substr(std::string("--stats=").size()) + "'"));
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      trace_path = arg.substr(std::string("--trace-out=").size());
+      if (trace_path.empty()) {
+        return Fail(err,
+                    Status::InvalidArgument("--trace-out needs a file name"));
+      }
+    } else {
+      command_args.push_back(arg);
+    }
+  }
+
+  if (!trace_path.empty()) obs::StartTracing();
+  const obs::MetricsSnapshot before = stats_format != StatsFormat::kNone
+                                          ? obs::CaptureMetrics()
+                                          : obs::MetricsSnapshot();
+
+  const int code = DispatchCommand(command_args, out, err);
+
+  if (!trace_path.empty()) {
+    obs::StopTracing();
+    std::ofstream trace_file(trace_path);
+    if (!trace_file) {
+      return Fail(err, Status::IoError("cannot open '" + trace_path +
+                                       "' for writing"));
+    }
+    obs::WriteChromeTrace(trace_file);
+    out << "wrote trace: " << trace_path << "\n";
+  }
+  if (stats_format != StatsFormat::kNone) {
+    const obs::MetricsSnapshot delta = obs::CaptureMetrics().Diff(before);
+    switch (stats_format) {
+      case StatsFormat::kTable:
+        out << "=== metrics (this run) ===\n" << obs::FormatMetricsTable(delta);
+        break;
+      case StatsFormat::kJson:
+        out << obs::FormatMetricsJson(delta);
+        break;
+      case StatsFormat::kPrometheus:
+        out << obs::FormatMetricsPrometheus(delta);
+        break;
+      case StatsFormat::kNone:
+        break;
+    }
+  }
+  return code;
 }
 
 }  // namespace cardir

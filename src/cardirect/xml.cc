@@ -4,6 +4,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/string_util.h"
 
 namespace cardir {
@@ -287,12 +289,23 @@ std::string FormatCoordinate(double value) {
 }  // namespace
 
 Result<XmlNode> ParseXml(std::string_view input) {
-  return XmlParser(input).ParseDocument();
+  CARDIR_TRACE_SPAN("xml.parse");
+  const uint64_t start_us = obs::TraceNowMicros();
+  Result<XmlNode> root = XmlParser(input).ParseDocument();
+  CARDIR_METRIC_COUNT("xml.parse.calls", 1);
+  CARDIR_METRIC_COUNT("xml.parse.bytes", input.size());
+  CARDIR_METRIC_OBSERVE("xml.parse_us", obs::TraceNowMicros() - start_us);
+  return root;
 }
 
 std::string WriteXml(const XmlNode& root, bool pretty) {
+  CARDIR_TRACE_SPAN("xml.serialize");
+  const uint64_t start_us = obs::TraceNowMicros();
   std::string out;
   WriteNode(root, pretty, 0, &out);
+  CARDIR_METRIC_COUNT("xml.serialize.calls", 1);
+  CARDIR_METRIC_COUNT("xml.serialize.bytes", out.size());
+  CARDIR_METRIC_OBSERVE("xml.serialize_us", obs::TraceNowMicros() - start_us);
   return out;
 }
 

@@ -1,12 +1,22 @@
 #include "core/compute_cdr.h"
 
 #include "core/edge_splitter.h"
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace cardir {
 
+void CdrMetricsDelta::FlushToRegistry() {
+  CARDIR_METRIC_COUNT("core.cdr.runs", runs);
+  CARDIR_METRIC_COUNT("core.edges.input", edges_input);
+  CARDIR_METRIC_COUNT("core.edges.split", edges_split);
+  CARDIR_METRIC_COUNT("core.pip_tests", pip_tests);
+  *this = CdrMetricsDelta{};
+}
+
 CdrComputation ComputeCdrUnchecked(const Region& primary,
-                                   const Region& reference) {
+                                   const Region& reference,
+                                   CdrMetricsDelta* metrics) {
   const Box mbb = reference.BoundingBox();
   CARDIR_DCHECK(!mbb.IsEmpty());
   const Point center = mbb.Center();
@@ -27,10 +37,22 @@ CdrComputation ComputeCdrUnchecked(const Region& primary,
     // Fig. 5: "If the center of mbb(b) is in p Then R = tile-union(R, B)".
     // Catches polygons that contain the whole bounding box, whose boundary
     // never enters the B tile.
-    if (!result.relation.Includes(Tile::kB) && polygon.Contains(center)) {
-      result.relation.Add(Tile::kB);
+    if (!result.relation.Includes(Tile::kB)) {
+      ++metrics->pip_tests;
+      if (polygon.Contains(center)) result.relation.Add(Tile::kB);
     }
   }
+  ++metrics->runs;
+  metrics->edges_input += result.input_edges;
+  metrics->edges_split += result.output_edges;
+  return result;
+}
+
+CdrComputation ComputeCdrUnchecked(const Region& primary,
+                                   const Region& reference) {
+  CdrMetricsDelta metrics;
+  CdrComputation result = ComputeCdrUnchecked(primary, reference, &metrics);
+  metrics.FlushToRegistry();
   return result;
 }
 

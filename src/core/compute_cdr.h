@@ -41,10 +41,33 @@ Result<CdrComputation> ComputeCdrDetailed(const Region& primary,
 Result<CardinalRelation> ComputeCdr(const Region& primary,
                                     const Region& reference);
 
+/// Locally aggregated Compute-CDR instrumentation for tight loops. A caller
+/// invoking Compute-CDR once per pair (the batch engine's chunk loop, the
+/// benchmark all-pairs loops) accumulates into one of these — plain integer
+/// adds — and flushes to the metrics registry once per chunk, keeping
+/// per-call atomics off the hot path (~22 ns per 4-counter flush on a
+/// ~400 ns call otherwise; see DESIGN.md §3.14).
+struct CdrMetricsDelta {
+  uint64_t runs = 0;
+  uint64_t edges_input = 0;
+  uint64_t edges_split = 0;
+  uint64_t pip_tests = 0;
+
+  /// Adds the accumulated deltas to the core.* counters and zeroes this.
+  void FlushToRegistry();
+};
+
 /// Unchecked fast path used by benchmarks: skips validation. Preconditions:
 /// both regions valid, clockwise, reference mbb non-empty.
+///
+/// The two-argument form flushes its core.* counter deltas per call; the
+/// three-argument form accumulates them into `metrics` (never null) for the
+/// caller to flush.
 CdrComputation ComputeCdrUnchecked(const Region& primary,
                                    const Region& reference);
+CdrComputation ComputeCdrUnchecked(const Region& primary,
+                                   const Region& reference,
+                                   CdrMetricsDelta* metrics);
 
 }  // namespace cardir
 

@@ -6,6 +6,7 @@
 #include "audit/invariants.h"
 #include "core/compute_cdr.h"
 #include "core/edge_splitter.h"
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace cardir {
@@ -23,13 +24,19 @@ CdrPercentComputation ComputeCdrPercentUnchecked(const Region& primary,
   std::array<double, kNumTiles> signed_sum{};
   double signed_b_plus_n = 0.0;
 
+  size_t input_edges = 0;
+  size_t split_edges = 0;
+  size_t trapezoid_terms = 0;  // Aggregated locally, flushed once per call.
   std::vector<ClassifiedEdge> pieces;
   for (const Polygon& polygon : primary.polygons()) {
+    input_edges += polygon.size();
     for (size_t i = 0; i < polygon.size(); ++i) {
       pieces.clear();
-      SplitAndClassifyEdge(polygon.edge(i), mbb, &pieces);
+      split_edges += static_cast<size_t>(
+          SplitAndClassifyEdge(polygon.edge(i), mbb, &pieces));
       for (const ClassifiedEdge& piece : pieces) {
         const Segment& s = piece.segment;
+        if (piece.tile != Tile::kB) ++trapezoid_terms;
         switch (piece.tile) {
           case Tile::kNW:
           case Tile::kW:
@@ -58,10 +65,15 @@ CdrPercentComputation ComputeCdrPercentUnchecked(const Region& primary,
         }
         if (piece.tile == Tile::kN || piece.tile == Tile::kB) {
           signed_b_plus_n += TrapezoidHorizontal(s, l1);
+          ++trapezoid_terms;
         }
       }
     }
   }
+  CARDIR_METRIC_COUNT("core.percent.runs", 1);
+  CARDIR_METRIC_COUNT("core.edges.input", input_edges);
+  CARDIR_METRIC_COUNT("core.edges.split", split_edges);
+  CARDIR_METRIC_COUNT("core.percent.trapezoid_terms", trapezoid_terms);
 
   CdrPercentComputation result;
   for (Tile t : kAllTiles) {

@@ -10,6 +10,8 @@
 #include "engine/prefilter.h"
 #include "engine/thread_pool.h"
 #include "index/rtree.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 
@@ -37,21 +39,28 @@ Status RunEngine(const std::vector<const Region*>& regions,
   const size_t n = regions.size();
   if (stats != nullptr) *stats = EngineStats();
   if (n < 2) return Status::Ok();
+  CARDIR_TRACE_SPAN("engine.run");
+  const uint64_t run_start_us = obs::TraceNowMicros();
+  CARDIR_METRIC_COUNT("engine.runs", 1);
+  CARDIR_METRIC_COUNT("engine.regions", n);
 
   // Validate every region once up front (the serial loop re-validated both
   // sides of every pair — n·(n−1) validations for n regions).
   std::vector<Box> boxes(n);
-  for (size_t i = 0; i < n; ++i) {
-    if (regions[i] == nullptr) {
-      return Status::InvalidArgument(
-          StrFormat("region #%zu: null region", i));
+  {
+    CARDIR_TRACE_SPAN("engine.validate");
+    for (size_t i = 0; i < n; ++i) {
+      if (regions[i] == nullptr) {
+        return Status::InvalidArgument(
+            StrFormat("region #%zu: null region", i));
+      }
+      const Status status = regions[i]->Validate();
+      if (!status.ok()) {
+        return Status::InvalidArgument(
+            StrFormat("region #%zu: %s", i, status.message().c_str()));
+      }
+      boxes[i] = regions[i]->BoundingBox();
     }
-    const Status status = regions[i]->Validate();
-    if (!status.ok()) {
-      return Status::InvalidArgument(
-          StrFormat("region #%zu: %s", i, status.message().c_str()));
-    }
-    boxes[i] = regions[i]->BoundingBox();
   }
 
   // Plan: an R-tree over the mbbs answers "whose mbb properly crosses this
@@ -59,6 +68,7 @@ Status RunEngine(const std::vector<const Region*>& regions,
   RTree rtree;
   Box everything;
   if (options.use_prefilter) {
+    CARDIR_TRACE_SPAN("engine.plan");
     std::vector<std::pair<Box, int64_t>> entries;
     entries.reserve(n);
     for (size_t i = 0; i < n; ++i) {
@@ -74,11 +84,16 @@ Status RunEngine(const std::vector<const Region*>& regions,
   std::atomic<size_t> crossing_total{0};
 
   ThreadPool pool(threads);
+  CARDIR_METRIC_GAUGE_SET("engine.pool.threads", threads);
+  {
+  CARDIR_TRACE_SPAN("engine.execute");
   pool.ParallelFor(
       n, options.chunk_size,
       [&](size_t begin, size_t end) {
+        CARDIR_TRACE_SPAN("engine.chunk");
         std::vector<char> crosses(n, 0);
         size_t prefiltered = 0, computed = 0, crossing = 0;
+        CdrMetricsDelta cdr_metrics;  // Flushed once per chunk, not per pair.
         for (size_t j = begin; j < end; ++j) {
           const Box& ref_box = boxes[j];
           const Region& reference = *regions[j];
@@ -122,14 +137,21 @@ Status RunEngine(const std::vector<const Region*>& regions,
               }
               // Degenerate boxes fall through to the full algorithm.
             }
-            sink(i, j, ComputeCdrUnchecked(*regions[i], reference).relation);
+            sink(i, j,
+                 ComputeCdrUnchecked(*regions[i], reference, &cdr_metrics)
+                     .relation);
             ++computed;
           }
         }
+        cdr_metrics.FlushToRegistry();
         prefiltered_total.fetch_add(prefiltered, std::memory_order_relaxed);
         computed_total.fetch_add(computed, std::memory_order_relaxed);
         crossing_total.fetch_add(crossing, std::memory_order_relaxed);
+        CARDIR_METRIC_COUNT("engine.pairs.prefiltered", prefiltered);
+        CARDIR_METRIC_COUNT("engine.pairs.computed", computed);
+        CARDIR_METRIC_COUNT("engine.pairs.crossing", crossing);
       });
+  }
 
   // Audit seam: every ordered pair went through the sink exactly once
   // (prefiltered + computed partitions the n·(n−1) pairs).
@@ -137,6 +159,9 @@ Status RunEngine(const std::vector<const Region*>& regions,
       prefiltered_total.load() + computed_total.load(), n * (n - 1),
       "batch engine pair sink"));
 
+  CARDIR_METRIC_COUNT("engine.pairs.total", n * (n - 1));
+  CARDIR_METRIC_OBSERVE("engine.run_us",
+                        obs::TraceNowMicros() - run_start_us);
   if (stats != nullptr) {
     stats->total_pairs = n * (n - 1);
     stats->prefiltered_pairs = prefiltered_total.load();

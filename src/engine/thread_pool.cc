@@ -5,6 +5,8 @@
 
 #include "audit/audit.h"
 #include "audit/invariants.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace cardir {
 
@@ -34,8 +36,11 @@ int ThreadPool::ResolveThreadCount(int requested) {
 void ThreadPool::ParallelFor(size_t count, size_t chunk_size,
                              const std::function<void(size_t, size_t)>& body) {
   if (count == 0) return;
+  CARDIR_METRIC_COUNT("engine.pool.parallel_for_calls", 1);
+  CARDIR_METRIC_OBSERVE("engine.pool.items", count);
   const size_t participants = static_cast<size_t>(thread_count());
   if (participants == 1) {
+    CARDIR_METRIC_COUNT("engine.pool.chunks_executed", 1);
     body(0, count);
     return;
   }
@@ -115,7 +120,9 @@ void ThreadPool::WorkerLoop(size_t participant) {
 }
 
 void ThreadPool::RunParticipant(size_t first_shard) {
+  CARDIR_TRACE_SPAN("pool.participant");
   const size_t num_shards = shards_.size();
+  size_t executed = 0, stolen = 0;  // Flushed once per participant.
   // Drain the home shard, then steal chunks from the others round-robin.
   for (size_t k = 0; k < num_shards; ++k) {
     Shard& shard = shards_[(first_shard + k) % num_shards];
@@ -123,9 +130,18 @@ void ThreadPool::RunParticipant(size_t first_shard) {
       const size_t begin =
           shard.next.fetch_add(chunk_size_, std::memory_order_relaxed);
       if (begin >= shard.end) break;
+      ++executed;
+      if (k != 0) {
+        ++stolen;
+        // Depth of the victim's queue at steal time (items left behind).
+        CARDIR_METRIC_OBSERVE("engine.pool.steal_queue_depth",
+                              shard.end - begin);
+      }
       (*body_)(begin, std::min(begin + chunk_size_, shard.end));
     }
   }
+  CARDIR_METRIC_COUNT("engine.pool.chunks_executed", executed);
+  CARDIR_METRIC_COUNT("engine.pool.chunks_stolen", stolen);
 }
 
 }  // namespace cardir

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "core/compute_cdr.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace cardir {
@@ -48,6 +50,7 @@ Result<DirectionalIndex> DirectionalIndex::Build(
 Result<std::vector<std::string>> DirectionalIndex::FindMatching(
     const std::string& reference_id, const DisjunctiveRelation& relation,
     DirectionalQueryStats* stats) const {
+  CARDIR_TRACE_SPAN("index.query");
   const AnnotatedRegion* reference = configuration_->FindRegion(reference_id);
   if (reference == nullptr) {
     return Status::NotFound("no region with id '" + reference_id + "'");
@@ -97,6 +100,10 @@ Result<std::vector<std::string>> DirectionalIndex::FindMatching(
   }
   std::sort(results.begin(), results.end());
   local_stats.results = results.size();
+  CARDIR_METRIC_COUNT("index.queries", 1);
+  CARDIR_METRIC_COUNT("index.query.candidates", local_stats.index_candidates);
+  CARDIR_METRIC_COUNT("index.query.refined", local_stats.refined);
+  CARDIR_METRIC_COUNT("index.query.results", local_stats.results);
   if (stats != nullptr) *stats = local_stats;
   return results;
 }

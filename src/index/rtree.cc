@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/metrics.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 
@@ -262,6 +263,8 @@ Status RTree::BulkLoad(std::vector<std::pair<Box, int64_t>> entries) {
   }
   size_ = n;
   bulk_loaded_ = true;
+  CARDIR_METRIC_COUNT("index.rtree.bulk_loads", 1);
+  CARDIR_METRIC_COUNT("index.rtree.bulk_loaded_entries", n);
 
   // --- Pack upper levels the same way (nodes are already spatially
   // coherent, so packing in order suffices) --------------------------------
@@ -288,10 +291,13 @@ void RTree::Search(
     const Box& query,
     const std::function<void(const Box&, int64_t)>& visit) const {
   if (query.IsEmpty() || size_ == 0) return;
+  CARDIR_METRIC_COUNT("index.rtree.searches", 1);
+  size_t nodes_visited = 0;  // Aggregated locally, flushed once per search.
   std::vector<const Node*> stack = {root_.get()};
   while (!stack.empty()) {
     const Node* node = stack.back();
     stack.pop_back();
+    ++nodes_visited;
     for (size_t i = 0; i < node->boxes.size(); ++i) {
       if (!node->boxes[i].Intersects(query)) continue;
       if (node->leaf) {
@@ -301,6 +307,7 @@ void RTree::Search(
       }
     }
   }
+  CARDIR_METRIC_COUNT("index.rtree.nodes_visited", nodes_visited);
 }
 
 std::vector<int64_t> RTree::SearchIds(const Box& query) const {

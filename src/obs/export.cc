@@ -1,0 +1,136 @@
+#include "obs/export.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace cardir {
+namespace obs {
+namespace {
+
+std::string PrometheusName(const std::string& name) {
+  std::string out = "cardir_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+// Largest non-empty bucket's upper bound — a cheap "max is at most" figure
+// for the table view.
+std::string HistogramMaxBound(const HistogramData& data) {
+  for (size_t k = data.buckets.size(); k-- > 0;) {
+    if (data.buckets[k] != 0) {
+      return StrFormat("%llu", static_cast<unsigned long long>(
+                                   Histogram::BucketUpperBound(k)));
+    }
+  }
+  return "0";
+}
+
+}  // namespace
+
+std::string FormatMetricsTable(const MetricsSnapshot& snapshot,
+                               const MetricsTableOptions& options) {
+  size_t width = 0;
+  for (const auto& [name, value] : snapshot.counters) {
+    if (!(options.skip_zero && value == 0)) width = std::max(width, name.size());
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    (void)value;
+    width = std::max(width, name.size());
+  }
+  for (const auto& [name, data] : snapshot.histograms) {
+    if (!(options.skip_zero && data.count == 0)) {
+      width = std::max(width, name.size());
+    }
+  }
+
+  std::ostringstream out;
+  for (const auto& [name, value] : snapshot.counters) {
+    if (options.skip_zero && value == 0) continue;
+    out << StrFormat("counter    %-*s %12llu\n", static_cast<int>(width),
+                     name.c_str(), static_cast<unsigned long long>(value));
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    out << StrFormat("gauge      %-*s %12lld\n", static_cast<int>(width),
+                     name.c_str(), static_cast<long long>(value));
+  }
+  for (const auto& [name, data] : snapshot.histograms) {
+    if (options.skip_zero && data.count == 0) continue;
+    out << StrFormat("histogram  %-*s count=%llu sum=%llu max<=%s\n",
+                     static_cast<int>(width), name.c_str(),
+                     static_cast<unsigned long long>(data.count),
+                     static_cast<unsigned long long>(data.sum),
+                     HistogramMaxBound(data).c_str());
+  }
+  return out.str();
+}
+
+std::string FormatMetricsJson(const MetricsSnapshot& snapshot) {
+  std::ostringstream out;
+  out << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : snapshot.counters) {
+    out << (first ? "\n" : ",\n") << "    \"" << name << "\": " << value;
+    first = false;
+  }
+  out << (first ? "}" : "\n  }") << ",\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : snapshot.gauges) {
+    out << (first ? "\n" : ",\n") << "    \"" << name << "\": " << value;
+    first = false;
+  }
+  out << (first ? "}" : "\n  }") << ",\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, data] : snapshot.histograms) {
+    out << (first ? "\n" : ",\n") << "    \"" << name
+        << "\": {\"count\": " << data.count << ", \"sum\": " << data.sum
+        << ", \"buckets\": {";
+    bool first_bucket = true;
+    for (size_t k = 0; k < data.buckets.size(); ++k) {
+      if (data.buckets[k] == 0) continue;
+      if (!first_bucket) out << ", ";
+      first_bucket = false;
+      out << "\"<=" << Histogram::BucketUpperBound(k)
+          << "\": " << data.buckets[k];
+    }
+    out << "}}";
+    first = false;
+  }
+  out << (first ? "}" : "\n  }") << "\n}\n";
+  return out.str();
+}
+
+std::string FormatMetricsPrometheus(const MetricsSnapshot& snapshot) {
+  std::ostringstream out;
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string prom = PrometheusName(name);
+    out << "# TYPE " << prom << " counter\n" << prom << " " << value << "\n";
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string prom = PrometheusName(name);
+    out << "# TYPE " << prom << " gauge\n" << prom << " " << value << "\n";
+  }
+  for (const auto& [name, data] : snapshot.histograms) {
+    const std::string prom = PrometheusName(name);
+    out << "# TYPE " << prom << " histogram\n";
+    uint64_t cumulative = 0;
+    for (size_t k = 0; k < data.buckets.size(); ++k) {
+      if (data.buckets[k] == 0) continue;  // Sparse: skip empty buckets.
+      cumulative += data.buckets[k];
+      out << prom << "_bucket{le=\"" << Histogram::BucketUpperBound(k)
+          << "\"} " << cumulative << "\n";
+    }
+    out << prom << "_bucket{le=\"+Inf\"} " << data.count << "\n"
+        << prom << "_sum " << data.sum << "\n"
+        << prom << "_count " << data.count << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace obs
+}  // namespace cardir

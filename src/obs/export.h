@@ -1,0 +1,44 @@
+// Exporters for metrics snapshots: a human-readable table for the CLI, a
+// JSON object for bench ledgers and machine consumption, and the
+// Prometheus text exposition format for scraping.
+//
+// All three take a MetricsSnapshot (usually a Diff over a workload) so the
+// caller controls the observation window; none of them touch the live
+// registry.
+
+#ifndef CARDIR_OBS_EXPORT_H_
+#define CARDIR_OBS_EXPORT_H_
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace cardir {
+namespace obs {
+
+/// Aligned two-column table:
+///   counter   engine.pairs.total            3998000
+///   gauge     engine.pool.threads                 8
+///   histogram xml.parse_us    count=12 sum=3456 p~max<=512
+struct MetricsTableOptions {
+  /// Omit metrics whose value (counter/histogram count) is zero.
+  bool skip_zero = true;
+};
+std::string FormatMetricsTable(const MetricsSnapshot& snapshot,
+                               const MetricsTableOptions& options = {});
+
+/// One JSON object: {"counters": {...}, "gauges": {...}, "histograms":
+/// {"name": {"count": c, "sum": s, "buckets": {"<=1": n, ...}}}}. Histogram
+/// buckets with zero count are omitted; key order is the snapshot's
+/// (lexicographic), so output is deterministic.
+std::string FormatMetricsJson(const MetricsSnapshot& snapshot);
+
+/// Prometheus text format. Metric names are sanitised ('.' and '-' become
+/// '_', prefixed "cardir_"); histograms emit cumulative _bucket series with
+/// le labels, plus _count and _sum.
+std::string FormatMetricsPrometheus(const MetricsSnapshot& snapshot);
+
+}  // namespace obs
+}  // namespace cardir
+
+#endif  // CARDIR_OBS_EXPORT_H_

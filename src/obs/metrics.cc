@@ -1,0 +1,125 @@
+#include "obs/metrics.h"
+
+namespace cardir {
+namespace obs {
+
+size_t ThisThreadIndex() {
+  static std::atomic<size_t> next{0};
+  thread_local const size_t index =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return index;
+}
+
+uint64_t Counter::Value() const {
+  uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+uint64_t Histogram::Count() const {
+  uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.count.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+uint64_t Histogram::Sum() const {
+  uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.sum.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::vector<uint64_t> Histogram::Buckets() const {
+  std::vector<uint64_t> totals(kBuckets, 0);
+  for (const Shard& shard : shards_) {
+    for (size_t k = 0; k < kBuckets; ++k) {
+      totals[k] += shard.buckets[k].load(std::memory_order_relaxed);
+    }
+  }
+  return totals;
+}
+
+uint64_t MetricsSnapshot::counter(const std::string& name) const {
+  const auto it = counters.find(name);
+  return it == counters.end() ? 0 : it->second;
+}
+
+MetricsSnapshot MetricsSnapshot::Diff(const MetricsSnapshot& earlier) const {
+  MetricsSnapshot diff;
+  for (const auto& [name, value] : counters) {
+    const auto it = earlier.counters.find(name);
+    const uint64_t before = it == earlier.counters.end() ? 0 : it->second;
+    diff.counters[name] = value - before;
+  }
+  diff.gauges = gauges;  // Levels, not flows.
+  for (const auto& [name, data] : histograms) {
+    const auto it = earlier.histograms.find(name);
+    HistogramData d = data;
+    if (it != earlier.histograms.end()) {
+      const HistogramData& before = it->second;
+      d.count -= before.count;
+      d.sum -= before.sum;
+      for (size_t k = 0; k < d.buckets.size() && k < before.buckets.size();
+           ++k) {
+        d.buckets[k] -= before.buckets[k];
+      }
+    }
+    diff.histograms[name] = std::move(d);
+  }
+  return diff;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Counter*& slot = counters_[name];
+  if (slot == nullptr) slot = new Counter();  // Immortal, like the registry.
+  return *slot;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Gauge*& slot = gauges_[name];
+  if (slot == nullptr) slot = new Gauge();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Histogram*& slot = histograms_[name];
+  if (slot == nullptr) slot = new Histogram();
+  return *slot;
+}
+
+MetricsSnapshot MetricsRegistry::Capture() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snapshot;
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters[name] = counter->Value();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges[name] = gauge->Value();
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    HistogramData data;
+    data.count = histogram->Count();
+    data.sum = histogram->Sum();
+    data.buckets = histogram->Buckets();
+    snapshot.histograms[name] = std::move(data);
+  }
+  return snapshot;
+}
+
+MetricsSnapshot CaptureMetrics() { return MetricsRegistry::Global().Capture(); }
+
+}  // namespace obs
+}  // namespace cardir

@@ -1,0 +1,155 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <ostream>
+
+#include "obs/metrics.h"
+
+namespace cardir {
+namespace obs {
+
+#ifdef CARDIR_OBS_ENABLED
+
+namespace {
+
+// Per-thread event sink. Buffers are leaked on thread exit so the collector
+// can still read events recorded by threads that have since joined; each
+// buffer carries its own mutex, which is uncontended on the recording path
+// (only the owning thread appends) and taken by the collector on dumps.
+struct ThreadBuffer {
+  std::mutex mutex;
+  std::vector<TraceEvent> events;
+  uint32_t tid = 0;
+};
+
+struct Collector {
+  std::mutex mutex;
+  std::vector<ThreadBuffer*> buffers;
+};
+
+Collector& GlobalCollector() {
+  static Collector* collector = new Collector();
+  return *collector;
+}
+
+std::atomic<bool> g_tracing{false};
+
+std::chrono::steady_clock::time_point ClockEpoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+ThreadBuffer& LocalBuffer() {
+  thread_local ThreadBuffer* buffer = [] {
+    auto* fresh = new ThreadBuffer();
+    fresh->tid = static_cast<uint32_t>(ThisThreadIndex());
+    Collector& collector = GlobalCollector();
+    std::lock_guard<std::mutex> lock(collector.mutex);
+    collector.buffers.push_back(fresh);
+    return fresh;
+  }();
+  return *buffer;
+}
+
+// Nesting depth of open spans on this thread; owner-thread-only.
+thread_local uint32_t t_span_depth = 0;
+
+void EscapeJson(const char* text, std::ostream& out) {
+  for (const char* p = text; *p != '\0'; ++p) {
+    switch (*p) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      default: out << *p;
+    }
+  }
+}
+
+}  // namespace
+
+uint64_t TraceNowMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - ClockEpoch())
+          .count());
+}
+
+void StartTracing() {
+  Collector& collector = GlobalCollector();
+  std::lock_guard<std::mutex> lock(collector.mutex);
+  for (ThreadBuffer* buffer : collector.buffers) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    buffer->events.clear();
+  }
+  g_tracing.store(true, std::memory_order_release);
+}
+
+void StopTracing() { g_tracing.store(false, std::memory_order_release); }
+
+bool TracingEnabled() { return g_tracing.load(std::memory_order_acquire); }
+
+std::vector<TraceEvent> CollectTraceEvents() {
+  Collector& collector = GlobalCollector();
+  std::lock_guard<std::mutex> lock(collector.mutex);
+  std::vector<TraceEvent> all;
+  for (ThreadBuffer* buffer : collector.buffers) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    all.insert(all.end(), buffer->events.begin(), buffer->events.end());
+  }
+  return all;
+}
+
+void WriteChromeTrace(std::ostream& out) {
+  const std::vector<TraceEvent> events = CollectTraceEvents();
+  out << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  bool first = true;
+  for (const TraceEvent& event : events) {
+    if (!first) out << ",";
+    first = false;
+    out << "\n  {\"name\": \"";
+    EscapeJson(event.name, out);
+    out << "\", \"cat\": \"cardir\", \"ph\": \"X\", \"ts\": " << event.start_us
+        << ", \"dur\": " << event.duration_us
+        << ", \"pid\": 1, \"tid\": " << event.tid
+        << ", \"args\": {\"depth\": " << event.depth << "}}";
+  }
+  out << "\n]}\n";
+}
+
+TraceSpan::TraceSpan(const char* name) : name_(name) {
+  if (!TracingEnabled()) return;
+  active_ = true;
+  ++t_span_depth;
+  start_us_ = TraceNowMicros();
+}
+
+TraceSpan::~TraceSpan() {
+  if (!active_) return;
+  const uint32_t depth = --t_span_depth;
+  if (!TracingEnabled()) return;  // Stopped mid-span: drop the event.
+  const uint64_t end_us = TraceNowMicros();
+  TraceEvent event;
+  event.name = name_;
+  event.start_us = start_us_;
+  event.duration_us = end_us - start_us_;
+  event.depth = depth;
+  ThreadBuffer& buffer = LocalBuffer();
+  event.tid = buffer.tid;
+  std::lock_guard<std::mutex> lock(buffer.mutex);
+  buffer.events.push_back(event);
+}
+
+#else  // !CARDIR_OBS_ENABLED
+
+void WriteChromeTrace(std::ostream& out) {
+  out << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n]}\n";
+}
+
+#endif  // CARDIR_OBS_ENABLED
+
+}  // namespace obs
+}  // namespace cardir

@@ -1,14 +1,18 @@
 #include "util/logging.h"
 
+#include <unistd.h>
+
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
 
 namespace cardir {
 namespace {
 
-std::atomic<int> g_log_level{-1};  // -1: not yet initialised.
+std::atomic<int> g_log_level{-1};    // -1: not yet initialised.
+std::atomic<int> g_timestamps{-1};   // -1: not yet initialised.
 
 LogLevel InitialLevelFromEnv() {
   const char* env = std::getenv("CARDIR_LOG_LEVEL");
@@ -18,6 +22,34 @@ LogLevel InitialLevelFromEnv() {
   if (std::strcmp(env, "warning") == 0) return LogLevel::kWarning;
   if (std::strcmp(env, "error") == 0) return LogLevel::kError;
   return LogLevel::kWarning;
+}
+
+bool InitialTimestampsFromEnv() {
+  const char* env = std::getenv("CARDIR_LOG_TIMESTAMPS");
+  return env != nullptr && std::strcmp(env, "1") == 0;
+}
+
+// "2026-08-06T12:34:56Z" (UTC, second resolution).
+std::string Iso8601Now() {
+  const std::time_t now = std::time(nullptr);
+  std::tm utc{};
+  gmtime_r(&now, &utc);
+  char buffer[32];
+  std::strftime(buffer, sizeof(buffer), "%Y-%m-%dT%H:%M:%SZ", &utc);
+  return buffer;
+}
+
+// One write(2) per line: the kernel serialises concurrent writes to the
+// same descriptor, so lines from different threads cannot interleave
+// mid-line the way multiple buffered fprintf segments can.
+void WriteLine(const std::string& line) {
+  size_t written = 0;
+  while (written < line.size()) {
+    const ssize_t n =
+        ::write(STDERR_FILENO, line.data() + written, line.size() - written);
+    if (n <= 0) return;  // Logging must never loop on a broken stderr.
+    written += static_cast<size_t>(n);
+  }
 }
 
 const char* LevelName(LogLevel level) {
@@ -51,21 +83,58 @@ LogLevel GetLogLevel() {
   return static_cast<LogLevel>(level);
 }
 
+void SetLogTimestamps(bool enabled) {
+  g_timestamps.store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+bool GetLogTimestamps() {
+  int enabled = g_timestamps.load(std::memory_order_relaxed);
+  if (enabled < 0) {
+    enabled = InitialTimestampsFromEnv() ? 1 : 0;
+    g_timestamps.store(enabled, std::memory_order_relaxed);
+  }
+  return enabled == 1;
+}
+
 namespace internal_logging {
+
+std::string FormatLogLine(LogLevel level, const char* file, int line,
+                          const std::string& message) {
+  std::string out;
+  out.reserve(message.size() + 64);
+  out += '[';
+  if (GetLogTimestamps()) {
+    out += Iso8601Now();
+    out += ' ';
+  }
+  out += LevelName(level);
+  out += ' ';
+  out += Basename(file);
+  out += ':';
+  out += std::to_string(line);
+  out += "] ";
+  out += message;
+  out += '\n';
+  return out;
+}
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
     : level_(level), file_(file), line_(line) {}
 
 LogMessage::~LogMessage() {
-  std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level_), Basename(file_),
-               line_, stream_.str().c_str());
+  WriteLine(FormatLogLine(level_, file_, line_, stream_.str()));
   if (level_ == LogLevel::kFatal) std::abort();
 }
 
 void DieCheckFailure(const char* file, int line, const char* expression,
                      const std::string& extra) {
-  std::fprintf(stderr, "[FATAL %s:%d] CHECK failed: %s%s%s\n", Basename(file),
-               line, expression, extra.empty() ? "" : " — ", extra.c_str());
+  std::string message = "CHECK failed: ";
+  message += expression;
+  if (!extra.empty()) {
+    message += " — ";
+    message += extra;
+  }
+  WriteLine(FormatLogLine(LogLevel::kFatal, file, line, message));
   std::abort();
 }
 

@@ -6,6 +6,12 @@
 // CARDIR_LOG(level) << ... emits a line to stderr when `level` is at or above
 // the global threshold (default kWarning; configurable via SetLogLevel or the
 // CARDIR_LOG_LEVEL environment variable: debug|info|warning|error).
+//
+// Each log line is assembled in full — prefix, message, newline — and
+// emitted with a single write(2), so concurrent CARDIR_LOG calls from
+// engine worker threads never interleave mid-line. Set
+// CARDIR_LOG_TIMESTAMPS=1 (or SetLogTimestamps(true)) to prefix lines with
+// an ISO-8601 UTC timestamp.
 
 #ifndef CARDIR_UTIL_LOGGING_H_
 #define CARDIR_UTIL_LOGGING_H_
@@ -29,7 +35,19 @@ void SetLogLevel(LogLevel level);
 /// Returns the current global minimum level.
 LogLevel GetLogLevel();
 
+/// Enables/disables the ISO-8601 UTC timestamp prefix (overrides the
+/// CARDIR_LOG_TIMESTAMPS environment variable).
+void SetLogTimestamps(bool enabled);
+
+/// True when log lines carry a timestamp prefix.
+bool GetLogTimestamps();
+
 namespace internal_logging {
+
+/// The full log line for `message` (prefix, message, trailing newline) —
+/// exactly what LogMessage writes. Exposed for tests.
+std::string FormatLogLine(LogLevel level, const char* file, int line,
+                          const std::string& message);
 
 class LogMessage {
  public:

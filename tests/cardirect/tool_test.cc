@@ -2,9 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+
+#include "obs/metrics.h"
 
 namespace cardir {
 namespace {
@@ -207,6 +210,105 @@ TEST_F(ToolTest, EditCommandsValidateInput) {
   // remove a missing region.
   EXPECT_EQ(RunTool({"remove-region", path, "ghost"}).exit_code, 1);
   std::remove(path.c_str());
+}
+
+// --- observability flags (--stats, --trace-out) ---
+
+// Value of `counter <name> <value>` in a --stats table (0 when absent).
+uint64_t CounterFromTable(const std::string& table, const std::string& name) {
+  std::istringstream lines(table);
+  std::string line;
+  while (std::getline(lines, line)) {
+    std::istringstream fields(line);
+    std::string kind, metric;
+    uint64_t value = 0;
+    if ((fields >> kind >> metric >> value) && kind == "counter" &&
+        metric == name) {
+      return value;
+    }
+  }
+  return 0;
+}
+
+TEST_F(ToolTest, StatsPrintsCountersSatisfyingEngineInvariants) {
+  if (!kObsEnabled) GTEST_SKIP() << "counters compiled out";
+  const ToolRun run = RunTool({"--stats", "relations", path_, "--threads=2"});
+  ASSERT_EQ(run.exit_code, 0) << run.err;
+  ASSERT_NE(run.out.find("=== metrics (this run) ==="), std::string::npos);
+  const std::string table =
+      run.out.substr(run.out.find("=== metrics (this run) ==="));
+  // Every ordered pair is either resolved by the MBB prefilter or fully
+  // computed — the engine's accounting identity.
+  const uint64_t total = CounterFromTable(table, "engine.pairs.total");
+  const uint64_t prefiltered =
+      CounterFromTable(table, "engine.pairs.prefiltered");
+  const uint64_t computed = CounterFromTable(table, "engine.pairs.computed");
+  EXPECT_EQ(total, 6u) << table;  // 3 demo regions -> 6 ordered pairs.
+  EXPECT_EQ(prefiltered + computed, total) << table;
+  // Splitting only ever adds edges. (The demo's three regions may all be
+  // resolved from MBBs alone, in which case both counters are zero.)
+  EXPECT_GE(CounterFromTable(table, "core.edges.split"),
+            CounterFromTable(table, "core.edges.input"));
+}
+
+TEST_F(ToolTest, StatsCountsEdgeWorkOnThePercentCommand) {
+  if (!kObsEnabled) GTEST_SKIP() << "counters compiled out";
+  // percent always runs the trapezoid pipeline, so edge counters move.
+  const ToolRun run = RunTool({"--stats", "percent", path_, "forest", "lake"});
+  ASSERT_EQ(run.exit_code, 0) << run.err;
+  const std::string table =
+      run.out.substr(run.out.find("=== metrics (this run) ==="));
+  EXPECT_GE(CounterFromTable(table, "core.edges.input"), 1u) << table;
+  EXPECT_GE(CounterFromTable(table, "core.edges.split"),
+            CounterFromTable(table, "core.edges.input"))
+      << table;
+  EXPECT_GE(CounterFromTable(table, "core.percent.trapezoid_terms"), 1u)
+      << table;
+}
+
+TEST_F(ToolTest, StatsJsonAndPrometheusFormats) {
+  if (!kObsEnabled) GTEST_SKIP() << "counters compiled out";
+  const ToolRun json = RunTool({"--stats=json", "relations", path_});
+  ASSERT_EQ(json.exit_code, 0) << json.err;
+  EXPECT_NE(json.out.find("\"counters\": {"), std::string::npos);
+  EXPECT_NE(json.out.find("\"engine.pairs.total\": 6"), std::string::npos);
+
+  const ToolRun prom = RunTool({"--stats=prom", "relations", path_});
+  ASSERT_EQ(prom.exit_code, 0) << prom.err;
+  EXPECT_NE(prom.out.find("# TYPE cardir_engine_pairs_total counter"),
+            std::string::npos);
+  EXPECT_NE(prom.out.find("cardir_engine_pairs_total 6"), std::string::npos);
+}
+
+TEST_F(ToolTest, InvalidStatsFormatIsRejected) {
+  const ToolRun run = RunTool({"--stats=xml", "relations", path_});
+  EXPECT_EQ(run.exit_code, 1);
+  EXPECT_NE(run.err.find("--stats accepts table, json, or prom"),
+            std::string::npos);
+}
+
+TEST_F(ToolTest, TraceOutWritesChromeTraceJson) {
+  const std::string trace_path = ::testing::TempDir() + "/cardirect_trace.json";
+  const ToolRun run =
+      RunTool({"--trace-out=" + trace_path, "relations", path_, "--threads=2"});
+  ASSERT_EQ(run.exit_code, 0) << run.err;
+  std::ifstream trace_file(trace_path);
+  ASSERT_TRUE(trace_file.is_open());
+  std::stringstream buffer;
+  buffer << trace_file.rdbuf();
+  const std::string trace = buffer.str();
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+  if (kObsEnabled) {
+    EXPECT_NE(trace.find("\"name\": \"engine.run\""), std::string::npos);
+    EXPECT_NE(trace.find("\"ph\": \"X\""), std::string::npos);
+  }
+  std::remove(trace_path.c_str());
+}
+
+TEST_F(ToolTest, ThreadsEqualsFormIsAccepted) {
+  const ToolRun run = RunTool({"relations", path_, "--threads=2"});
+  EXPECT_EQ(run.exit_code, 0) << run.err;
+  EXPECT_EQ(RunTool({"relations", path_, "--threads=bogus"}).exit_code, 1);
 }
 
 }  // namespace

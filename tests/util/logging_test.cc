@@ -41,6 +41,45 @@ TEST(LoggingTest, EmittedLevelsEvaluate) {
   SetLogLevel(LogLevel::kWarning);
 }
 
+TEST(LoggingTest, FormatLogLineIsOneCompleteLine) {
+  SetLogTimestamps(false);
+  const std::string line = internal_logging::FormatLogLine(
+      LogLevel::kWarning, "dir/engine.cc", 42, "queue drained");
+  // Prefix carries the level and file basename:line; one trailing newline
+  // and none embedded, so the single-write(2) emission stays one line.
+  EXPECT_EQ(line, "[WARNING engine.cc:42] queue drained\n");
+  EXPECT_EQ(line.find('\n'), line.size() - 1);
+}
+
+TEST(LoggingTest, TimestampPrefixIsIso8601) {
+  SetLogTimestamps(true);
+  const std::string line = internal_logging::FormatLogLine(
+      LogLevel::kInfo, "a.cc", 1, "msg");
+  SetLogTimestamps(false);
+  // "[2026-08-06T12:34:56Z INFO a.cc:1] msg\n"
+  ASSERT_GE(line.size(), 22u);
+  EXPECT_EQ(line[0], '[');
+  const std::string stamp = line.substr(1, 20);
+  EXPECT_EQ(stamp[4], '-');
+  EXPECT_EQ(stamp[7], '-');
+  EXPECT_EQ(stamp[10], 'T');
+  EXPECT_EQ(stamp[13], ':');
+  EXPECT_EQ(stamp[16], ':');
+  EXPECT_EQ(stamp[19], 'Z');
+  for (size_t i : {0u, 1u, 2u, 3u, 5u, 6u, 8u, 9u, 11u, 12u, 14u, 15u, 17u,
+                   18u}) {
+    EXPECT_TRUE(stamp[i] >= '0' && stamp[i] <= '9') << stamp;
+  }
+  EXPECT_NE(line.find(" INFO a.cc:1] msg\n"), std::string::npos) << line;
+}
+
+TEST(LoggingTest, TimestampToggleRoundTrips) {
+  SetLogTimestamps(true);
+  EXPECT_TRUE(GetLogTimestamps());
+  SetLogTimestamps(false);
+  EXPECT_FALSE(GetLogTimestamps());
+}
+
 TEST(LoggingDeathTest, CheckFailureAborts) {
   EXPECT_DEATH(CARDIR_CHECK(1 == 2) << "math broke", "CHECK failed: 1 == 2");
 }
