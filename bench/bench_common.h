@@ -18,6 +18,12 @@
 namespace cardir {
 namespace bench {
 
+// BENCH_*.json ledger schema note: numeric ratio fields that depend on an
+// optional baseline (bench_engine's "speedup_vs_serial": the serial loop
+// only runs for sizes within --serial-cap) are emitted as JSON null when
+// the baseline did not run. Consumers must treat null as "not measured";
+// a 0.00 in such a field is a writer bug, not a measurement.
+
 /// Counter deltas of one measured run: snapshot before, run, then
 /// `ObsWindow::Delta()`. Counters are process-cumulative, so every record
 /// written into a BENCH_*.json ledger must be windowed this way.

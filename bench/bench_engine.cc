@@ -10,13 +10,18 @@
 // binary exits non-zero on a violation, which the nightly CI job relies on.
 //
 //   bench_engine [--sizes 1000,2000] [--serial-cap 2000] [--overlap 600]
-//                [--threads 2,8] [--out BENCH_engine.json]
+//                [--threads 2,8] [--repeat 1] [--out BENCH_engine.json]
 //                [--trace-out trace.json]
 //
 // Sizes above --serial-cap skip the serial baseline (quadratic, validated
 // per pair — minutes at 10k); sizes above 5000 use the engine's digest
 // mode so that 10^8-pair matrices do not have to be materialised.
+// --repeat N times each *engine* row N times and records the best wall
+// time (the serial baseline always runs once — it is quadratic and only a
+// reference point): single engine measurements on a loaded host can swing
+// ±50%, which would flake the perf-smoke gate that diffs ledgers.
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -29,6 +34,7 @@
 #include "bench_common.h"
 #include "core/compute_cdr.h"
 #include "engine/batch_engine.h"
+#include "engine/thread_pool.h"
 #include "geometry/region.h"
 #include "obs/trace.h"
 #include "util/random.h"
@@ -93,6 +99,10 @@ struct RunRecord {
   size_t pairs = 0;
   size_t prefiltered_pairs = 0;
   size_t crossing_pairs = 0;
+  // Serial-loop wall time over this run's; 0 means "no serial baseline ran
+  // for this (workload, n)" and is emitted as JSON null, never as 0.00 —
+  // a literal zero would read as "infinitely slower than serial" to ledger
+  // consumers (see the schema note in bench_common.h).
   double speedup_vs_serial = 0;
   // Observability counters over this run's window (zero when the binary was
   // built with -DCARDIR_OBS=OFF).
@@ -224,23 +234,29 @@ void PrintRecord(const RunRecord& r) {
           : "");
 }
 
-void WriteJson(const std::vector<RunRecord>& records,
+void WriteJson(const std::vector<RunRecord>& records, int repeat,
                const std::string& path) {
   std::ostringstream out;
-  out << "{\n  \"bench\": \"engine\",\n  \"unit\": \"ms\",\n  \"runs\": [\n";
+  out << "{\n  \"bench\": \"engine\",\n  \"unit\": \"ms\",\n  \"repeat\": "
+      << repeat << ",\n  \"runs\": [\n";
   for (size_t i = 0; i < records.size(); ++i) {
     const RunRecord& r = records[i];
+    // Sizes above --serial-cap have no serial baseline: emit null, not
+    // 0.00, so ledger consumers can tell "not measured" from a ratio.
+    const std::string speedup =
+        r.speedup_vs_serial > 0 ? StrFormat("%.2f", r.speedup_vs_serial)
+                                : std::string("null");
     out << StrFormat(
         "    {\"workload\": \"%s\", \"regions\": %d, \"mode\": \"%s\", "
         "\"threads\": %d, \"prefilter\": %s, \"ms\": %.2f, \"pairs\": %zu, "
         "\"prefiltered_pairs\": %zu, \"crossing_pairs\": %zu, "
-        "\"speedup_vs_serial\": %.2f, \"pairs_per_sec\": %.0f, "
+        "\"speedup_vs_serial\": %s, \"pairs_per_sec\": %.0f, "
         "\"prefilter_hit_rate\": %.4f, \"chunks_executed\": %llu, "
         "\"chunks_stolen\": %llu, \"edges_input\": %llu, "
         "\"edges_split\": %llu}%s\n",
         r.workload.c_str(), r.regions, r.mode.c_str(), r.threads,
         r.prefilter ? "true" : "false", r.ms, r.pairs, r.prefiltered_pairs,
-        r.crossing_pairs, r.speedup_vs_serial, r.pairs_per_sec,
+        r.crossing_pairs, speedup.c_str(), r.pairs_per_sec,
         r.prefilter_hit_rate,
         static_cast<unsigned long long>(r.chunks_executed),
         static_cast<unsigned long long>(r.chunks_stolen),
@@ -259,6 +275,7 @@ int Main(int argc, char** argv) {
   std::vector<int> thread_counts = {2, 8};
   int serial_cap = 2000;
   int overlap_size = 600;
+  int repeat = 1;
   std::string out_path = "BENCH_engine.json";
   std::string trace_path;
   for (int i = 1; i < argc; ++i) {
@@ -278,6 +295,8 @@ int Main(int argc, char** argv) {
       serial_cap = std::stoi(next());
     } else if (arg == "--overlap") {
       overlap_size = std::stoi(next());
+    } else if (arg == "--repeat") {
+      repeat = std::max(1, std::stoi(next()));
     } else if (arg == "--out") {
       out_path = next();
     } else if (arg == "--trace-out") {
@@ -314,6 +333,23 @@ int Main(int argc, char** argv) {
       PrintRecord(serial);
     }
 
+    // Best-of-`repeat` engine timing. Counters are recorded over the last
+    // repetition only (each repetition is deterministic, so the windows are
+    // identical — summing them would break the accounting invariants).
+    auto time_engine_best = [&](const EngineOptions& options,
+                                RunRecord* r, EngineStats* stats) {
+      double best = 0;
+      for (int rep = 0; rep < repeat; ++rep) {
+        const bench::ObsWindow window;
+        const double ms = TimeEngine(regions, options, digest_mode, stats);
+        if (rep == 0 || ms < best) best = ms;
+        if (rep + 1 == repeat) {
+          r->ms = best;
+          RecordCounters(r, window);
+        }
+      }
+    };
+
     // Engine, no prefilter, 1 thread: isolates the once-per-region
     // validation win over the serial loop.
     if (n <= serial_cap) {
@@ -327,18 +363,20 @@ int Main(int argc, char** argv) {
       r.threads = 1;
       r.pairs = pairs;
       EngineStats stats;
-      const bench::ObsWindow window;
-      r.ms = TimeEngine(regions, options, digest_mode, &stats);
-      RecordCounters(&r, window);
+      time_engine_best(options, &r, &stats);
       if (serial_ms > 0) r.speedup_vs_serial = serial_ms / r.ms;
       records.push_back(r);
       PrintRecord(r);
     }
 
-    // Engine with prefilter, 1 thread and the parallel counts.
+    // Engine with prefilter: 1 thread, the requested parallel counts, and
+    // one row at full hardware concurrency (threads = 0 lets the engine
+    // resolve it) so the ledger records the host's best-case scaling even
+    // when the fixed counts over- or under-subscribe the machine.
     std::vector<int> engine_threads = {1};
     engine_threads.insert(engine_threads.end(), thread_counts.begin(),
                           thread_counts.end());
+    engine_threads.push_back(0);
     for (int threads : engine_threads) {
       EngineOptions options;
       options.threads = threads;
@@ -346,14 +384,14 @@ int Main(int argc, char** argv) {
       RunRecord r;
       r.workload = name;
       r.regions = n;
-      r.mode = threads == 1 ? "engine_prefilter" : "engine_parallel";
-      r.threads = threads;
+      r.mode = threads == 1 ? "engine_prefilter"
+               : threads == 0 ? "engine_parallel_hw"
+                              : "engine_parallel";
+      r.threads = threads == 0 ? ThreadPool::ResolveThreadCount(0) : threads;
       r.prefilter = true;
       r.pairs = pairs;
       EngineStats stats;
-      const bench::ObsWindow window;
-      r.ms = TimeEngine(regions, options, digest_mode, &stats);
-      RecordCounters(&r, window);
+      time_engine_best(options, &r, &stats);
       r.prefiltered_pairs = stats.prefiltered_pairs;
       r.crossing_pairs = stats.crossing_pairs;
       if (serial_ms > 0) r.speedup_vs_serial = serial_ms / r.ms;
@@ -379,7 +417,7 @@ int Main(int argc, char** argv) {
     obs::WriteChromeTrace(trace_file);
     std::cout << "wrote " << trace_path << "\n";
   }
-  WriteJson(records, out_path);
+  WriteJson(records, repeat, out_path);
   return 0;
 }
 

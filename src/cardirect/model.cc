@@ -83,8 +83,7 @@ Status Configuration::ComputeAllRelations(const EngineOptions& options,
   for (const AnnotatedRegion& region : regions_) {
     geometries.push_back(&region.geometry);
   }
-  Result<std::vector<PairRelation>> pairs =
-      ComputeAllPairs(geometries, options, stats);
+  Result<PairMatrix> pairs = ComputeAllPairs(geometries, options, stats);
   if (!pairs.ok()) return pairs.status();
   std::vector<RelationRecord> records;
   records.reserve(pairs->size());

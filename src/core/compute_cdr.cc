@@ -16,13 +16,23 @@ void CdrMetricsDelta::FlushToRegistry() {
 
 CdrComputation ComputeCdrUnchecked(const Region& primary,
                                    const Region& reference,
-                                   CdrMetricsDelta* metrics) {
-  const Box mbb = reference.BoundingBox();
+                                   CdrMetricsDelta* metrics,
+                                   CdrScratch* scratch) {
+  return ComputeCdrUnchecked(primary, reference.BoundingBox(), metrics,
+                             scratch);
+}
+
+CdrComputation ComputeCdrUnchecked(const Region& primary,
+                                   const Box& reference_mbb,
+                                   CdrMetricsDelta* metrics,
+                                   CdrScratch* scratch) {
+  const Box& mbb = reference_mbb;
   CARDIR_DCHECK(!mbb.IsEmpty());
   const Point center = mbb.Center();
 
   CdrComputation result;
-  std::vector<ClassifiedEdge> pieces;  // Reused across edges.
+  std::vector<ClassifiedEdge>& pieces = scratch->pieces;  // Reused across
+                                                          // edges and calls.
   for (const Polygon& polygon : primary.polygons()) {
     const size_t n = polygon.size();
     result.input_edges += n;
@@ -46,6 +56,13 @@ CdrComputation ComputeCdrUnchecked(const Region& primary,
   metrics->edges_input += result.input_edges;
   metrics->edges_split += result.output_edges;
   return result;
+}
+
+CdrComputation ComputeCdrUnchecked(const Region& primary,
+                                   const Region& reference,
+                                   CdrMetricsDelta* metrics) {
+  CdrScratch scratch;
+  return ComputeCdrUnchecked(primary, reference, metrics, &scratch);
 }
 
 CdrComputation ComputeCdrUnchecked(const Region& primary,

@@ -14,6 +14,7 @@
 #define CARDIR_CORE_COMPUTE_CDR_H_
 
 #include "core/cardinal_relation.h"
+#include "core/edge_splitter.h"
 #include "geometry/region.h"
 #include "util/status.h"
 
@@ -57,17 +58,41 @@ struct CdrMetricsDelta {
   void FlushToRegistry();
 };
 
+/// Reusable working memory for Compute-CDR. A fresh run's only heap
+/// allocation is the sub-edge buffer the edge splitter appends into; a
+/// caller computing many pairs (the batch engine's crossing-pair queue, the
+/// benchmark loops) keeps one CdrScratch per thread and hands it to every
+/// call, so the buffer's capacity is paid once instead of per pair.
+struct CdrScratch {
+  std::vector<ClassifiedEdge> pieces;
+};
+
 /// Unchecked fast path used by benchmarks: skips validation. Preconditions:
 /// both regions valid, clockwise, reference mbb non-empty.
 ///
 /// The two-argument form flushes its core.* counter deltas per call; the
 /// three-argument form accumulates them into `metrics` (never null) for the
-/// caller to flush.
+/// caller to flush; the four-argument form additionally reuses `scratch`
+/// (never null) instead of allocating per call.
 CdrComputation ComputeCdrUnchecked(const Region& primary,
                                    const Region& reference);
 CdrComputation ComputeCdrUnchecked(const Region& primary,
                                    const Region& reference,
                                    CdrMetricsDelta* metrics);
+CdrComputation ComputeCdrUnchecked(const Region& primary,
+                                   const Region& reference,
+                                   CdrMetricsDelta* metrics,
+                                   CdrScratch* scratch);
+
+/// Like the four-argument form, but takes the reference's bounding box
+/// directly — the algorithm never looks at the reference's geometry beyond
+/// its mbb, and a caller computing many pairs against profiled boxes (the
+/// batch engine) already holds every mbb, so re-deriving it from the
+/// polygon vertices on each call would be the dominant per-pair overhead.
+CdrComputation ComputeCdrUnchecked(const Region& primary,
+                                   const Box& reference_mbb,
+                                   CdrMetricsDelta* metrics,
+                                   CdrScratch* scratch);
 
 }  // namespace cardir
 

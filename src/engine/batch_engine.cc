@@ -2,14 +2,15 @@
 
 #include <algorithm>
 #include <atomic>
+#include <mutex>
 #include <utility>
 
 #include "audit/audit.h"
 #include "audit/invariants.h"
 #include "core/compute_cdr.h"
+#include "engine/interval_kernel.h"
 #include "engine/prefilter.h"
 #include "engine/thread_pool.h"
-#include "index/rtree.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/logging.h"
@@ -28,10 +29,38 @@ uint64_t MixPair(size_t primary, size_t reference, uint16_t mask) {
   return z ^ (z >> 31);
 }
 
-// Runs the planner + pool + sink pipeline. `sink(primary, reference,
-// relation)` is invoked exactly once per ordered pair, concurrently from
-// several threads, in no particular order; sinks must be write-disjoint or
-// commutative.
+// One pair deferred from the classification phase to the fine-grained
+// crossing queue (full Compute-CDR required).
+struct DeferredPair {
+  uint32_t primary;
+  uint32_t reference;
+};
+
+// Per-participant working memory, reused across every chunk a participant
+// runs in both phases of an engine run: the class-code array of the
+// classification kernel, the spill buffer for deferred pairs, and the
+// Compute-CDR scratch arena (edge-split buffers). Indexed by the pool's
+// participant id; a participant never runs two chunks concurrently, so no
+// synchronisation is needed.
+struct WorkerScratch {
+  std::vector<uint8_t> codes;
+  std::vector<DeferredPair> deferred;
+  CdrScratch cdr;
+};
+
+// Adapts value-typed region storage to the pointer-based engine entry.
+std::vector<const Region*> RegionPointers(const std::vector<Region>& regions) {
+  std::vector<const Region*> pointers;
+  pointers.reserve(regions.size());
+  for (const Region& region : regions) pointers.push_back(&region);
+  return pointers;
+}
+
+// Runs the two-phase classify + compute pipeline. `sink(primary, reference,
+// relation, participant)` is invoked exactly once per ordered pair,
+// concurrently from several threads, in no particular order (`participant`
+// is the pool participant index running the call, for per-thread
+// accumulation); sinks must be write-disjoint or commutative.
 template <typename Sink>
 Status RunEngine(const std::vector<const Region*>& regions,
                  const EngineOptions& options, EngineStats* stats,
@@ -63,19 +92,16 @@ Status RunEngine(const std::vector<const Region*>& regions,
     }
   }
 
-  // Plan: an R-tree over the mbbs answers "whose mbb properly crosses this
-  // reference line?" with four degenerate-box queries per reference.
-  RTree rtree;
-  Box everything;
+  // Plan: the SoA box profile feeds the per-reference classification
+  // passes; the class table is self-checked against MbbPrefilterRelation
+  // once per process before the first kernel-planned run.
+  RegionProfile profile;
+  const std::array<CardinalRelation, kNumClassPairCodes>* rel_table = nullptr;
   if (options.use_prefilter) {
     CARDIR_TRACE_SPAN("engine.plan");
-    std::vector<std::pair<Box, int64_t>> entries;
-    entries.reserve(n);
-    for (size_t i = 0; i < n; ++i) {
-      entries.emplace_back(boxes[i], static_cast<int64_t>(i));
-      everything.Extend(boxes[i]);
-    }
-    CARDIR_RETURN_IF_ERROR(rtree.BulkLoad(std::move(entries)));
+    CARDIR_RETURN_IF_ERROR(ValidateClassKernelOnce());
+    profile = RegionProfile::FromBoxes(boxes);
+    rel_table = &ClassPairRelations();
   }
 
   const int threads = ThreadPool::ResolveThreadCount(options.threads);
@@ -85,72 +111,128 @@ Status RunEngine(const std::vector<const Region*>& regions,
 
   ThreadPool pool(threads);
   CARDIR_METRIC_GAUGE_SET("engine.pool.threads", threads);
+  std::vector<WorkerScratch> scratch(static_cast<size_t>(threads));
+
+  // Phase 1 — classify: dynamic chunks over primaries (the canonical merge
+  // order is row-major by primary, so one primary's box-resolved row is
+  // emitted as a contiguous streak of output slots instead of a strided
+  // scatter). Pairs needing the full algorithm are deferred to a shared
+  // queue so the expensive work can be re-chunked at a finer grain in
+  // phase 2 instead of load-imbalancing the row chunks.
+  std::vector<DeferredPair> queue;
+  std::mutex queue_mutex;
   {
-  CARDIR_TRACE_SPAN("engine.execute");
-  pool.ParallelFor(
-      n, options.chunk_size,
-      [&](size_t begin, size_t end) {
-        CARDIR_TRACE_SPAN("engine.chunk");
-        std::vector<char> crosses(n, 0);
-        size_t prefiltered = 0, computed = 0, crossing = 0;
-        CdrMetricsDelta cdr_metrics;  // Flushed once per chunk, not per pair.
-        for (size_t j = begin; j < end; ++j) {
-          const Box& ref_box = boxes[j];
-          const Region& reference = *regions[j];
-          if (options.use_prefilter) {
-            std::fill(crosses.begin(), crosses.end(), 0);
-            const double x_lo = everything.min_x() - 1.0;
-            const double x_hi = everything.max_x() + 1.0;
-            const double y_lo = everything.min_y() - 1.0;
-            const double y_hi = everything.max_y() + 1.0;
-            const Box lines[4] = {
-                Box(ref_box.min_x(), y_lo, ref_box.min_x(), y_hi),
-                Box(ref_box.max_x(), y_lo, ref_box.max_x(), y_hi),
-                Box(x_lo, ref_box.min_y(), x_hi, ref_box.min_y()),
-                Box(x_lo, ref_box.max_y(), x_hi, ref_box.max_y())};
-            for (const Box& line : lines) {
-              rtree.Search(line, [&](const Box&, int64_t id) {
-                const size_t i = static_cast<size_t>(id);
-                if (i != j && crosses[i] == 0 &&
-                    MbbProperlyCrossesReferenceLines(boxes[i], ref_box)) {
-                  crosses[i] = 1;
+    CARDIR_TRACE_SPAN("engine.execute");
+    pool.ParallelFor(
+        n, options.chunk_size,
+        [&](size_t begin, size_t end, size_t participant) {
+          CARDIR_TRACE_SPAN("engine.chunk");
+          WorkerScratch& ws = scratch[participant];
+          size_t prefiltered = 0, computed = 0, crossing = 0;
+          CdrMetricsDelta cdr_metrics;  // Flushed once per chunk.
+          for (size_t i = begin; i < end; ++i) {
+            const Box& primary_box = boxes[i];
+            if (options.use_prefilter && !primary_box.IsEmpty() &&
+                !primary_box.IsDegenerate()) {
+              // Two branch-free passes classify this primary against all n
+              // reference bands; the 16-entry table turns each class-pair
+              // code into either a single-tile relation or "defer".
+              ws.codes.resize(n);
+              ClassifyAgainstBands(profile, primary_box, ws.codes.data());
+              const uint8_t* codes = ws.codes.data();
+              for (size_t j = 0; j < n; ++j) {
+                if (i == j) continue;
+                const CardinalRelation relation = (*rel_table)[codes[j]];
+                if (!relation.IsEmpty()) {
+                  // Audit seam: a box-resolved pair must agree with the
+                  // full algorithm on the real geometry.
+                  if constexpr (kAuditEnabled) {
+                    CARDIR_AUDIT(AuditPrefilterAgreement(
+                        relation, *regions[i], *regions[j]));
+                  }
+                  sink(i, j, relation, participant);
+                  ++prefiltered;
+                } else {
+                  ws.deferred.push_back({static_cast<uint32_t>(i),
+                                         static_cast<uint32_t>(j)});
+                  if (MbbProperlyCrossesReferenceLines(primary_box,
+                                                      boxes[j])) {
+                    ++crossing;
+                  }
+                }
+              }
+            } else if (options.use_prefilter) {
+              // Degenerate primary mbb (never produced by a valid REG*
+              // region): nothing in this row is box-resolvable, defer it.
+              for (size_t j = 0; j < n; ++j) {
+                if (i == j) continue;
+                ws.deferred.push_back(
+                    {static_cast<uint32_t>(i), static_cast<uint32_t>(j)});
+                if (MbbProperlyCrossesReferenceLines(primary_box, boxes[j])) {
                   ++crossing;
                 }
-              });
-            }
-          }
-          for (size_t i = 0; i < n; ++i) {
-            if (i == j) continue;
-            if (options.use_prefilter && crosses[i] == 0) {
-              const std::optional<CardinalRelation> bounded =
-                  MbbPrefilterRelation(boxes[i], ref_box);
-              if (bounded.has_value()) {
-                // Audit seam: a box-resolved pair must agree with the full
-                // algorithm on the real geometry.
-                if constexpr (kAuditEnabled) {
-                  CARDIR_AUDIT(AuditPrefilterAgreement(*bounded, *regions[i],
-                                                       reference));
-                }
-                sink(i, j, *bounded);
-                ++prefiltered;
-                continue;
               }
-              // Degenerate boxes fall through to the full algorithm.
+            } else {
+              const Region& primary = *regions[i];
+              for (size_t j = 0; j < n; ++j) {
+                if (i == j) continue;
+                sink(i, j,
+                     ComputeCdrUnchecked(primary, boxes[j], &cdr_metrics,
+                                         &ws.cdr)
+                         .relation,
+                     participant);
+                ++computed;
+              }
             }
-            sink(i, j,
-                 ComputeCdrUnchecked(*regions[i], reference, &cdr_metrics)
-                     .relation);
-            ++computed;
           }
-        }
-        cdr_metrics.FlushToRegistry();
-        prefiltered_total.fetch_add(prefiltered, std::memory_order_relaxed);
-        computed_total.fetch_add(computed, std::memory_order_relaxed);
-        crossing_total.fetch_add(crossing, std::memory_order_relaxed);
-        CARDIR_METRIC_COUNT("engine.pairs.prefiltered", prefiltered);
-        CARDIR_METRIC_COUNT("engine.pairs.computed", computed);
-        CARDIR_METRIC_COUNT("engine.pairs.crossing", crossing);
-      });
+          if (!ws.deferred.empty()) {
+            std::lock_guard<std::mutex> lock(queue_mutex);
+            queue.insert(queue.end(), ws.deferred.begin(), ws.deferred.end());
+          }
+          ws.deferred.clear();
+          cdr_metrics.FlushToRegistry();
+          prefiltered_total.fetch_add(prefiltered, std::memory_order_relaxed);
+          computed_total.fetch_add(computed, std::memory_order_relaxed);
+          crossing_total.fetch_add(crossing, std::memory_order_relaxed);
+          CARDIR_METRIC_COUNT("engine.pairs.prefiltered", prefiltered);
+          CARDIR_METRIC_COUNT("engine.pairs.computed", computed);
+          CARDIR_METRIC_COUNT("engine.pairs.crossing", crossing);
+        });
+  }
+
+  // Phase 2 — compute: drain the deferred queue with fine-grained chunks.
+  // Each entry runs the full Compute-CDR (hundreds of ns), so chunks far
+  // smaller than phase 1's keep all participants busy even when crossing
+  // pairs cluster around a few hot references.
+  if (!queue.empty()) {
+    CARDIR_TRACE_SPAN("engine.crossing_queue");
+    CARDIR_METRIC_COUNT("engine.crossing_queue.pairs", queue.size());
+    size_t chunk = options.crossing_chunk_size;
+    if (chunk == 0) {
+      chunk = std::max<size_t>(
+          16, queue.size() / (static_cast<size_t>(threads) * 32));
+    }
+    pool.ParallelFor(
+        queue.size(), chunk,
+        [&](size_t begin, size_t end, size_t participant) {
+          CARDIR_TRACE_SPAN("engine.chunk");
+          WorkerScratch& ws = scratch[participant];
+          CdrMetricsDelta cdr_metrics;
+          for (size_t k = begin; k < end; ++k) {
+            const DeferredPair pair = queue[k];
+            // The reference's mbb is already profiled — hand it over instead
+            // of letting Compute-CDR rescan the reference's vertices.
+            sink(pair.primary, pair.reference,
+                 ComputeCdrUnchecked(*regions[pair.primary],
+                                     boxes[pair.reference], &cdr_metrics,
+                                     &ws.cdr)
+                     .relation,
+                 participant);
+          }
+          cdr_metrics.FlushToRegistry();
+          CARDIR_METRIC_COUNT("engine.pairs.computed", end - begin);
+        });
+    computed_total.fetch_add(queue.size(), std::memory_order_relaxed);
   }
 
   // Audit seam: every ordered pair went through the sink exactly once
@@ -174,48 +256,52 @@ Status RunEngine(const std::vector<const Region*>& regions,
 
 }  // namespace
 
-Result<std::vector<PairRelation>> ComputeAllPairs(
-    const std::vector<const Region*>& regions, const EngineOptions& options,
-    EngineStats* stats) {
+Result<PairMatrix> ComputeAllPairs(const std::vector<const Region*>& regions,
+                                   const EngineOptions& options,
+                                   EngineStats* stats) {
   const size_t n = regions.size();
-  std::vector<PairRelation> records(n < 2 ? 0 : n * (n - 1));
+  PairMatrix records(n);
   // Merge: pair (primary i, reference j) owns slot i·(n−1) + rank of j
   // among i's references — the canonical row-major order. Slots are
-  // write-disjoint, so thread interleaving cannot reorder the output.
+  // write-disjoint, so thread interleaving cannot reorder the output, and
+  // the engine writes every slot exactly once (audited), so the matrix's
+  // uninitialised storage is fully populated on return.
+  uint16_t* masks = records.masks();
   CARDIR_RETURN_IF_ERROR(RunEngine(
       regions, options, stats,
-      [&records, n](size_t i, size_t j, CardinalRelation relation) {
-        PairRelation& slot = records[i * (n - 1) + (j < i ? j : j - 1)];
-        slot.primary = static_cast<uint32_t>(i);
-        slot.reference = static_cast<uint32_t>(j);
-        slot.relation = relation;
+      [masks, n](size_t i, size_t j, CardinalRelation relation, size_t) {
+        masks[i * (n - 1) + (j < i ? j : j - 1)] = relation.mask();
       }));
   return records;
 }
 
-Result<std::vector<PairRelation>> ComputeAllPairs(
-    const std::vector<Region>& regions, const EngineOptions& options,
-    EngineStats* stats) {
-  std::vector<const Region*> pointers;
-  pointers.reserve(regions.size());
-  for (const Region& region : regions) pointers.push_back(&region);
-  return ComputeAllPairs(pointers, options, stats);
+Result<PairMatrix> ComputeAllPairs(const std::vector<Region>& regions,
+                                   const EngineOptions& options,
+                                   EngineStats* stats) {
+  return ComputeAllPairs(RegionPointers(regions), options, stats);
 }
 
 Result<uint64_t> ComputeAllPairsDigest(const std::vector<Region>& regions,
                                        const EngineOptions& options,
                                        EngineStats* stats) {
-  std::vector<const Region*> pointers;
-  pointers.reserve(regions.size());
-  for (const Region& region : regions) pointers.push_back(&region);
-  std::atomic<uint64_t> digest{0};
+  // One padded accumulator per pool participant: the digest is a
+  // commutative sum, so each thread folds its pairs locally and the shards
+  // are combined once after the join — no per-pair atomics. The pool's
+  // job-done rendezvous publishes the plain shard writes to this thread.
+  struct alignas(64) DigestShard {
+    uint64_t value = 0;
+  };
+  std::vector<DigestShard> shards(static_cast<size_t>(
+      ThreadPool::ResolveThreadCount(options.threads)));
   CARDIR_RETURN_IF_ERROR(RunEngine(
-      pointers, options, stats,
-      [&digest](size_t i, size_t j, CardinalRelation relation) {
-        digest.fetch_add(MixPair(i, j, relation.mask()),
-                         std::memory_order_relaxed);
+      RegionPointers(regions), options, stats,
+      [&shards](size_t i, size_t j, CardinalRelation relation,
+                size_t participant) {
+        shards[participant].value += MixPair(i, j, relation.mask());
       }));
-  return digest.load();
+  uint64_t digest = 0;
+  for (const DigestShard& shard : shards) digest += shard.value;
+  return digest;
 }
 
 }  // namespace cardir

@@ -3,18 +3,21 @@
 // prefiltering.
 //
 // Pipeline (see src/engine/README.md):
-//   plan    — bulk-load an R-tree over the regions' mbbs; for every
-//             reference region, four degenerate-box line queries enumerate
-//             the primaries whose mbb properly crosses one of the
-//             reference's mbb lines. Only those pairs need edge splitting.
-//   execute — a work-stealing thread pool processes references in chunks;
-//             tile-separated pairs take their relation straight from the
-//             boxes (engine/prefilter.h), crossing pairs run the full
-//             Compute-CDR.
-//   merge   — each pair's result is written into its precomputed slot of a
-//             flat output vector in canonical (primary, reference) order,
-//             so the output is bit-identical for every thread count and
-//             interleaving.
+//   plan     — build a struct-of-arrays profile of the regions' mbb bounds
+//              (engine/interval_kernel.h) once per run.
+//   classify — a work-stealing thread pool processes references in chunks;
+//              for each reference, two branch-free passes over the profile
+//              classify every primary's x and y extent into interval
+//              classes, and a 16-entry table maps each class pair to either
+//              a single-tile relation (sunk inline, O(1)) or "needs the
+//              full algorithm" (deferred to the crossing queue).
+//   compute  — the deferred pairs — the ones whose mbb properly crosses a
+//              reference line — are drained with fine-grained chunks, each
+//              running Compute-CDR with per-thread scratch reuse.
+//   merge    — each pair's result is written into its precomputed slot of a
+//              flat output vector in canonical (primary, reference) order,
+//              so the output is bit-identical for every thread count and
+//              interleaving.
 //
 // The engine works on geometry-level inputs (it sits below the CARDIRECT
 // configuration model); Configuration::ComputeAllRelations adapts it to
@@ -24,6 +27,8 @@
 #define CARDIR_ENGINE_BATCH_ENGINE_H_
 
 #include <cstdint>
+#include <iterator>
+#include <memory>
 #include <vector>
 
 #include "core/cardinal_relation.h"
@@ -39,8 +44,13 @@ struct EngineOptions {
   /// Resolve tile-separated pairs from the boxes alone. Disable only to
   /// benchmark or cross-check the full algorithm.
   bool use_prefilter = true;
-  /// References per work-stealing chunk; 0 picks a size automatically.
+  /// References per work-stealing chunk in the classification phase; 0
+  /// picks a size automatically.
   size_t chunk_size = 0;
+  /// Deferred pairs per chunk when draining the crossing queue (each entry
+  /// is a full Compute-CDR, so this grain is much finer than chunk_size);
+  /// 0 picks a size automatically.
+  size_t crossing_chunk_size = 0;
 };
 
 /// Instrumentation of one engine run.
@@ -60,22 +70,109 @@ struct PairRelation {
   CardinalRelation relation;
 };
 
+/// The all-pairs relation matrix in canonical row-major order: slot
+/// k = i·(n−1) + (j < i ? j : j − 1) holds `primary i R reference j`.
+///
+/// Storage is *packed*: only the 9-bit relation mask (2 bytes) per slot —
+/// the primary/reference indices are recomputed from the slot index on
+/// access, since the canonical order determines them. This matters at
+/// engine scale: 12-byte PairRelation slots at n = 5000 are a 300 MB
+/// buffer whose first-touch page-zeroing alone costs ~150 ms and whose
+/// writes dominate the classify phase; the packed form is 50 MB. The
+/// buffer is also allocated uninitialised (the engine writes every slot
+/// exactly once — the audit seam checks the accounting), skipping
+/// std::vector's O(n²) value-initialisation memset.
+class PairMatrix {
+ public:
+  PairMatrix() = default;
+  /// Allocates the n·(n−1) uninitialised slots for `regions` regions (zero
+  /// slots when regions < 2). The caller must write every slot before
+  /// reading any.
+  explicit PairMatrix(size_t regions)
+      : regions_(regions),
+        size_(regions < 2 ? 0 : regions * (regions - 1)),
+        masks_(size_ == 0 ? nullptr
+                          : static_cast<uint16_t*>(::operator new(
+                                size_ * sizeof(uint16_t)))) {}
+
+  PairMatrix(PairMatrix&&) = default;
+  PairMatrix& operator=(PairMatrix&&) = default;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// The k-th pair record, materialised from the packed slot (by value —
+  /// the indices are derived from k, not stored).
+  PairRelation operator[](size_t k) const {
+    const size_t stride = regions_ - 1;
+    const size_t i = k / stride;
+    const size_t rank = k % stride;
+    const size_t j = rank < i ? rank : rank + 1;
+    return {static_cast<uint32_t>(i), static_cast<uint32_t>(j),
+            CardinalRelation::FromMask(masks_.get()[k])};
+  }
+
+  /// Forward iteration over the materialised records (proxy values, not
+  /// references into storage).
+  class const_iterator {
+   public:
+    using iterator_category = std::input_iterator_tag;
+    using value_type = PairRelation;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const PairRelation*;
+    using reference = PairRelation;
+
+    const_iterator(const PairMatrix* matrix, size_t k)
+        : matrix_(matrix), k_(k) {}
+    PairRelation operator*() const { return (*matrix_)[k_]; }
+    const_iterator& operator++() {
+      ++k_;
+      return *this;
+    }
+    bool operator==(const const_iterator& other) const {
+      return k_ == other.k_;
+    }
+    bool operator!=(const const_iterator& other) const {
+      return k_ != other.k_;
+    }
+
+   private:
+    const PairMatrix* matrix_;
+    size_t k_;
+  };
+
+  const_iterator begin() const { return {this, 0}; }
+  const_iterator end() const { return {this, size_}; }
+
+  /// The packed mask array (engine merge target; tests may inspect it).
+  uint16_t* masks() { return masks_.get(); }
+  const uint16_t* masks() const { return masks_.get(); }
+
+ private:
+  struct Deleter {
+    void operator()(uint16_t* p) const { ::operator delete(p); }
+  };
+  size_t regions_ = 0;
+  size_t size_ = 0;
+  std::unique_ptr<uint16_t, Deleter> masks_;
+};
+
 /// Computes the relation for every ordered pair (primary ≠ reference) of
 /// `regions`, in canonical row-major order: all pairs with primary 0 first
 /// (references in index order), then primary 1, and so on — the order of
 /// the serial nested loop it replaces. Fails with kInvalidArgument when a
 /// region fails Region::Validate(). The output is identical for every
 /// thread count.
-Result<std::vector<PairRelation>> ComputeAllPairs(
-    const std::vector<Region>& regions, const EngineOptions& options = {},
-    EngineStats* stats = nullptr);
+Result<PairMatrix> ComputeAllPairs(const std::vector<Region>& regions,
+                                   const EngineOptions& options = {},
+                                   EngineStats* stats = nullptr);
 
 /// Pointer-based overload for callers whose regions live inside larger
 /// records (e.g. the CARDIRECT configuration model). Entries must be
 /// non-null.
-Result<std::vector<PairRelation>> ComputeAllPairs(
-    const std::vector<const Region*>& regions,
-    const EngineOptions& options = {}, EngineStats* stats = nullptr);
+Result<PairMatrix> ComputeAllPairs(const std::vector<const Region*>& regions,
+                                   const EngineOptions& options = {},
+                                   EngineStats* stats = nullptr);
 
 /// Throughput/cross-check variant that does not materialise the matrix:
 /// folds every pair's relation into an order-independent 64-bit digest

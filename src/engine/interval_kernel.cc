@@ -1,0 +1,270 @@
+#include "engine/interval_kernel.h"
+
+#include <optional>
+
+#include "core/cardinal_relation.h"
+#include "core/tile.h"
+#include "engine/prefilter.h"
+#include "util/string_util.h"
+
+// Runtime ISA dispatch for the two batched entry points. The classify
+// passes are pure streaming arithmetic that vectorizes ~8x wider under
+// AVX2, but the library targets the baseline x86-64 ABI; function
+// multi-versioning compiles each entry point once per listed ISA and the
+// loader picks via the GNU ifunc mechanism, so the kernel reaches vector
+// speed without -march flags leaking into the build. Disabled under the
+// sanitizers (ifunc resolvers run before their runtimes initialise) and on
+// non-GCC/non-x86 toolchains, where the plain definition stands.
+#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__) && \
+    !defined(__SANITIZE_ADDRESS__) && !defined(__SANITIZE_THREAD__)
+#define CARDIR_KERNEL_CLONES __attribute__((target_clones("avx2", "default")))
+#else
+#define CARDIR_KERNEL_CLONES
+#endif
+
+namespace cardir {
+namespace {
+
+std::array<uint16_t, kNumClassPairCodes> BuildClassPairRelationTable() {
+  std::array<uint16_t, kNumClassPairCodes> table{};
+  for (int xc = 0; xc < 3; ++xc) {
+    for (int yc = 0; yc < 3; ++yc) {
+      const Tile tile = TileAt(static_cast<TileColumn>(xc),
+                               static_cast<TileRow>(yc));
+      table[static_cast<size_t>((xc << 2) | yc)] =
+          CardinalRelation(tile).mask();
+    }
+  }
+  // Codes with a kCross class keep mask 0: not box-resolvable.
+  return table;
+}
+
+// One branch-free axis pass: codes[i] op= (class of [lo[i], hi[i]] within
+// [m1, m2]) << shift. With a non-degenerate band (m1 < m2) and a
+// non-degenerate extent (lo < hi) at most one of low/mid/high holds, so the
+// arithmetic select is exact; degenerate extents may satisfy two predicates
+// at once, but those boxes carry cross_override and the garbage class is
+// OR-ed away. The y pass (kShift == 0) folds the override in (`over`
+// non-null there, unused in the x pass) so each row takes exactly two
+// passes over the code bytes.
+template <int kShift>
+void ClassifyAxis(const double* lo, const double* hi, size_t n, double m1,
+                  double m2, const uint8_t* over, uint8_t* codes) {
+  for (size_t i = 0; i < n; ++i) {
+    const unsigned low = static_cast<unsigned>(hi[i] <= m1);
+    const unsigned high = static_cast<unsigned>(lo[i] >= m2);
+    const unsigned mid = static_cast<unsigned>(lo[i] >= m1) &
+                         static_cast<unsigned>(hi[i] <= m2);
+    const unsigned cls = 2u * high + mid + 3u * (1u - (low | high | mid));
+    if constexpr (kShift == 0) {
+      codes[i] = static_cast<uint8_t>(codes[i] | cls | over[i]);
+    } else {
+      codes[i] = static_cast<uint8_t>(cls << kShift);
+    }
+  }
+}
+
+// Transposed axis pass: a scalar extent [lo, hi] against per-element bands
+// [m1[j], m2[j]]. Same comparisons as ClassifyAxis with the operand roles
+// swapped; the same degenerate-overlap argument applies (a band with
+// m1[j] == m2[j] can satisfy two predicates, but such boxes carry
+// cross_override and the garbage class is OR-ed away).
+template <int kShift>
+void ClassifyBandsAxis(double lo, double hi, const double* m1,
+                       const double* m2, size_t n, const uint8_t* over,
+                       uint8_t* codes) {
+  for (size_t j = 0; j < n; ++j) {
+    const unsigned low = static_cast<unsigned>(hi <= m1[j]);
+    const unsigned high = static_cast<unsigned>(lo >= m2[j]);
+    const unsigned mid = static_cast<unsigned>(lo >= m1[j]) &
+                         static_cast<unsigned>(hi <= m2[j]);
+    const unsigned cls = 2u * high + mid + 3u * (1u - (low | high | mid));
+    if constexpr (kShift == 0) {
+      codes[j] = static_cast<uint8_t>(codes[j] | cls | over[j]);
+    } else {
+      codes[j] = static_cast<uint8_t>(cls << kShift);
+    }
+  }
+}
+
+Status ValidateClassKernel() {
+  const Box reference(10, 10, 20, 20);
+  // Coordinate grid hitting both reference lines of each axis exactly, plus
+  // strictly-inside, strictly-outside and straddling positions.
+  const double coords[] = {4, 8, 10, 12, 15, 18, 20, 24, 28};
+  const size_t m = sizeof(coords) / sizeof(coords[0]);
+  std::vector<Box> boxes;
+  for (size_t a = 0; a < m; ++a) {
+    for (size_t b = a; b < m; ++b) {  // b == a gives degenerate extents.
+      for (size_t c = 0; c < m; ++c) {
+        for (size_t d = c; d < m; ++d) {
+          boxes.emplace_back(coords[a], coords[c], coords[b], coords[d]);
+        }
+      }
+    }
+  }
+  const RegionProfile profile = RegionProfile::FromBoxes(boxes);
+  std::vector<uint8_t> codes(boxes.size());
+  ClassifyAgainstReference(profile, reference, codes.data());
+  const std::array<uint16_t, kNumClassPairCodes>& table =
+      ClassPairRelationTable();
+  for (size_t i = 0; i < boxes.size(); ++i) {
+    const uint16_t mask = table[codes[i]];
+    const std::optional<CardinalRelation> oracle =
+        MbbPrefilterRelation(boxes[i], reference);
+    if (oracle.has_value() != (mask != 0) ||
+        (oracle.has_value() && oracle->mask() != mask)) {
+      return Status::Internal(StrFormat(
+          "interval kernel disagrees with MbbPrefilterRelation on box "
+          "[%g,%g]x[%g,%g]: code %u mask %u vs oracle %s",
+          boxes[i].min_x(), boxes[i].max_x(), boxes[i].min_y(),
+          boxes[i].max_y(), static_cast<unsigned>(codes[i]),
+          static_cast<unsigned>(mask),
+          oracle.has_value() ? oracle->ToString().c_str() : "(none)"));
+    }
+    // The Allen coarsening must agree with the class codes wherever the
+    // Allen classification is defined (non-degenerate extents).
+    if (!boxes[i].IsDegenerate() && !boxes[i].IsEmpty()) {
+      const IntervalClass x_allen = IntervalClassOfAllen(
+          ClassifyIntervals(boxes[i].min_x(), boxes[i].max_x(),
+                            reference.min_x(), reference.max_x()));
+      const IntervalClass y_allen = IntervalClassOfAllen(
+          ClassifyIntervals(boxes[i].min_y(), boxes[i].max_y(),
+                            reference.min_y(), reference.max_y()));
+      if (codes[i] != ((static_cast<uint8_t>(x_allen) << 2) |
+                       static_cast<uint8_t>(y_allen))) {
+        return Status::Internal(StrFormat(
+            "interval kernel disagrees with the Allen coarsening on box "
+            "[%g,%g]x[%g,%g]: code %u vs (%d, %d)",
+            boxes[i].min_x(), boxes[i].max_x(), boxes[i].min_y(),
+            boxes[i].max_y(), static_cast<unsigned>(codes[i]),
+            static_cast<int>(x_allen), static_cast<int>(y_allen)));
+      }
+    }
+  }
+  // Transposed kernel: a stride-subsample of the boxes acts as the primary
+  // against every box taken as the reference band; each code must agree
+  // with the pairwise oracle.
+  std::vector<uint8_t> band_codes(boxes.size());
+  for (size_t p = 0; p < boxes.size(); p += 31) {
+    if (boxes[p].IsDegenerate() || boxes[p].IsEmpty()) continue;
+    ClassifyAgainstBands(profile, boxes[p], band_codes.data());
+    for (size_t j = 0; j < boxes.size(); ++j) {
+      const uint16_t mask = table[band_codes[j]];
+      const std::optional<CardinalRelation> oracle =
+          MbbPrefilterRelation(boxes[p], boxes[j]);
+      if (oracle.has_value() != (mask != 0) ||
+          (oracle.has_value() && oracle->mask() != mask)) {
+        return Status::Internal(StrFormat(
+            "transposed interval kernel disagrees with "
+            "MbbPrefilterRelation on primary #%zu vs reference #%zu: "
+            "code %u mask %u vs oracle %s",
+            p, j, static_cast<unsigned>(band_codes[j]),
+            static_cast<unsigned>(mask),
+            oracle.has_value() ? oracle->ToString().c_str() : "(none)"));
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+RegionProfile RegionProfile::FromBoxes(const std::vector<Box>& boxes) {
+  RegionProfile profile;
+  const size_t n = boxes.size();
+  profile.min_x.resize(n);
+  profile.max_x.resize(n);
+  profile.min_y.resize(n);
+  profile.max_y.resize(n);
+  profile.cross_override.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    profile.min_x[i] = boxes[i].min_x();
+    profile.max_x[i] = boxes[i].max_x();
+    profile.min_y[i] = boxes[i].min_y();
+    profile.max_y[i] = boxes[i].max_y();
+    profile.cross_override[i] =
+        (boxes[i].IsEmpty() || boxes[i].IsDegenerate()) ? 0x0f : 0x00;
+  }
+  return profile;
+}
+
+const std::array<uint16_t, kNumClassPairCodes>& ClassPairRelationTable() {
+  static const std::array<uint16_t, kNumClassPairCodes> table =
+      BuildClassPairRelationTable();
+  return table;
+}
+
+const std::array<CardinalRelation, kNumClassPairCodes>& ClassPairRelations() {
+  static const std::array<CardinalRelation, kNumClassPairCodes> relations =
+      [] {
+        std::array<CardinalRelation, kNumClassPairCodes> out{};
+        const std::array<uint16_t, kNumClassPairCodes>& masks =
+            ClassPairRelationTable();
+        for (size_t code = 0; code < kNumClassPairCodes; ++code) {
+          out[code] = CardinalRelation::FromMask(masks[code]);
+        }
+        return out;
+      }();
+  return relations;
+}
+
+IntervalClass ClassifyIntervalClass(double lo, double hi, double m1,
+                                    double m2) {
+  if (hi <= m1) return IntervalClass::kLow;
+  if (lo >= m2) return IntervalClass::kHigh;
+  if (lo >= m1 && hi <= m2) return IntervalClass::kMid;
+  return IntervalClass::kCross;
+}
+
+CARDIR_KERNEL_CLONES
+void ClassifyAgainstReference(const RegionProfile& profile,
+                              const Box& reference, uint8_t* codes) {
+  const size_t n = profile.size();
+  ClassifyAxis<2>(profile.min_x.data(), profile.max_x.data(), n,
+                  reference.min_x(), reference.max_x(), nullptr, codes);
+  ClassifyAxis<0>(profile.min_y.data(), profile.max_y.data(), n,
+                  reference.min_y(), reference.max_y(),
+                  profile.cross_override.data(), codes);
+}
+
+CARDIR_KERNEL_CLONES
+void ClassifyAgainstBands(const RegionProfile& profile, const Box& primary,
+                          uint8_t* codes) {
+  const size_t n = profile.size();
+  ClassifyBandsAxis<2>(primary.min_x(), primary.max_x(), profile.min_x.data(),
+                       profile.max_x.data(), n, nullptr, codes);
+  ClassifyBandsAxis<0>(primary.min_y(), primary.max_y(), profile.min_y.data(),
+                       profile.max_y.data(), n,
+                       profile.cross_override.data(), codes);
+}
+
+IntervalClass IntervalClassOfAllen(AllenRelation r) {
+  switch (r) {
+    case AllenRelation::kBefore:
+    case AllenRelation::kMeets:
+      return IntervalClass::kLow;
+    case AllenRelation::kDuring:
+    case AllenRelation::kStarts:
+    case AllenRelation::kFinishes:
+    case AllenRelation::kEquals:
+      return IntervalClass::kMid;
+    case AllenRelation::kMetBy:
+    case AllenRelation::kAfter:
+      return IntervalClass::kHigh;
+    case AllenRelation::kOverlaps:
+    case AllenRelation::kFinishedBy:
+    case AllenRelation::kContains:
+    case AllenRelation::kStartedBy:
+    case AllenRelation::kOverlappedBy:
+      return IntervalClass::kCross;
+  }
+  return IntervalClass::kCross;  // Unreachable for valid enum values.
+}
+
+Status ValidateClassKernelOnce() {
+  static const Status status = ValidateClassKernel();
+  return status;
+}
+
+}  // namespace cardir

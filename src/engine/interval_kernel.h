@@ -1,0 +1,126 @@
+// Batched interval-classification kernel for the batch engine's planner.
+//
+// The paper's §4 observation: the cardinal direction relation between two
+// bounding boxes factors into two independent 1-D interval relations — the
+// x-projections and the y-projections. The kernel exploits this in bulk:
+// each axis of a primary's mbb is classified against the two reference
+// lines of that axis into one of four *interval classes*
+//
+//   kLow   — entirely on the low side   (hi <= m1;  West resp. South)
+//   kMid   — inside the band            (m1 <= lo and hi <= m2)
+//   kHigh  — entirely on the high side  (lo >= m2;  East resp. North)
+//   kCross — properly straddles a line  (not box-resolvable)
+//
+// with the same inclusive boundary semantics as engine/prefilter.h, so a
+// (x class, y class) pair with neither class kCross determines the 9-tile
+// relation by table lookup — `ClassPairRelationTable()[code]` — and a pair
+// with a kCross class is exactly a pair whose mbb properly crosses a
+// reference line (or involves a degenerate box): the crossing set the old
+// planner derived from four R-tree line queries per reference falls out of
+// the class codes for free.
+//
+// The classification runs over a struct-of-arrays `RegionProfile` (one
+// contiguous double array per bound), two branch-free passes per reference,
+// so the hot loop streams memory instead of chasing Region pointers and
+// auto-vectorizes. `ValidateClassKernelOnce` cross-checks the table and the
+// class codes against `MbbPrefilterRelation` the first time an engine run
+// uses the kernel; `IntervalClassOfAllen` bridges the classes to the Allen
+// interval algebra of reasoning/interval_algebra.h (each class is a
+// coarsening of a block of Allen relations).
+
+#ifndef CARDIR_ENGINE_INTERVAL_KERNEL_H_
+#define CARDIR_ENGINE_INTERVAL_KERNEL_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "core/cardinal_relation.h"
+#include "geometry/box.h"
+#include "reasoning/interval_algebra.h"
+#include "util/status.h"
+
+namespace cardir {
+
+/// Position of a primary interval relative to the reference band [m1, m2].
+enum class IntervalClass : uint8_t {
+  kLow = 0,    ///< hi <= m1 — West (x axis) / South (y axis).
+  kMid = 1,    ///< m1 <= lo and hi <= m2 — the middle band.
+  kHigh = 2,   ///< lo >= m2 — East (x axis) / North (y axis).
+  kCross = 3,  ///< Properly straddles m1 or m2 (or degenerate input).
+};
+
+/// Struct-of-arrays bounding-box profile of an engine run's regions, built
+/// once per run so the per-reference classification passes stream four
+/// contiguous double arrays. `cross_override[i]` is 0b1111 when box i is
+/// empty or degenerate (zero width/height) — OR-ing it into the class code
+/// forces both axes to kCross, routing the pair to the full algorithm, the
+/// same bail-out MbbPrefilterRelation takes.
+struct RegionProfile {
+  std::vector<double> min_x, max_x, min_y, max_y;
+  std::vector<uint8_t> cross_override;
+
+  size_t size() const { return min_x.size(); }
+
+  static RegionProfile FromBoxes(const std::vector<Box>& boxes);
+};
+
+/// Packs two axis classes into a 4-bit code: (x class << 2) | y class.
+inline constexpr uint8_t kNumClassPairCodes = 16;
+
+/// Relation-mask lookup by class-pair code: the 9-bit CardinalRelation mask
+/// of the single tile at (column = x class, row = y class), or 0 when either
+/// class is kCross (pair not box-resolvable). Built from core/tile.h's
+/// TileAt on first use, never transcribed by hand.
+const std::array<uint16_t, kNumClassPairCodes>& ClassPairRelationTable();
+
+/// The same table as ready-made CardinalRelation values (the empty relation
+/// — IsEmpty() — for non-resolvable codes), so the engine's hot loop sinks
+/// table entries directly instead of re-checking the mask through
+/// CardinalRelation::FromMask per pair.
+const std::array<CardinalRelation, kNumClassPairCodes>& ClassPairRelations();
+
+/// Scalar reference classification of one axis (the semantics the batched
+/// passes implement branch-free). Degenerate extents (lo == hi) and
+/// degenerate bands (m1 == m2) are the caller's problem — the batched path
+/// handles them with `cross_override` / by skipping the reference.
+IntervalClass ClassifyIntervalClass(double lo, double hi, double m1,
+                                    double m2);
+
+/// Classifies all profiled boxes against `reference` (which must be
+/// non-empty and non-degenerate): writes the class-pair code of box i into
+/// `codes[i]` (capacity ≥ profile.size()) in two branch-free passes.
+/// `ClassPairRelationTable()[codes[i]]` then yields box i's relation mask,
+/// or 0 when the pair needs the full Compute-CDR.
+void ClassifyAgainstReference(const RegionProfile& profile,
+                              const Box& reference, uint8_t* codes);
+
+/// The transposed kernel: classifies one primary box (which must be
+/// non-empty and non-degenerate) against every profiled box taken as the
+/// *reference*, writing the class-pair code of pair (primary, box j) into
+/// `codes[j]`. Elementwise this computes exactly the same comparisons as
+/// ClassifyAgainstReference — the engine uses this orientation so that one
+/// primary's output row is emitted contiguously (the canonical merge order
+/// is row-major by primary). Codes for degenerate/empty reference boxes
+/// come out as non-resolvable via their cross_override.
+void ClassifyAgainstBands(const RegionProfile& profile,
+                          const Box& primary, uint8_t* codes);
+
+/// The interval class that Allen relation `r` between a primary interval
+/// and the reference band coarsens to: {before, meets} → kLow, {during,
+/// starts, finishes, equals} → kMid, {metBy, after} → kHigh, and the five
+/// relations straddling an endpoint (overlaps, finishedBy, contains,
+/// startedBy, overlappedBy) → kCross.
+IntervalClass IntervalClassOfAllen(AllenRelation r);
+
+/// Cross-checks the kernel (class codes + relation table) against
+/// MbbPrefilterRelation over a sweep of box pairs, including touching,
+/// corner-sharing, nested, identical and degenerate boxes, and checks the
+/// Allen coarsening on the non-degenerate pairs. Runs the sweep once per
+/// process (subsequent calls return the cached status); the engine calls it
+/// before the first kernel-planned run.
+Status ValidateClassKernelOnce();
+
+}  // namespace cardir
+
+#endif  // CARDIR_ENGINE_INTERVAL_KERNEL_H_

@@ -35,13 +35,23 @@ int ThreadPool::ResolveThreadCount(int requested) {
 
 void ThreadPool::ParallelFor(size_t count, size_t chunk_size,
                              const std::function<void(size_t, size_t)>& body) {
+  ParallelFor(count, chunk_size,
+              std::function<void(size_t, size_t, size_t)>(
+                  [&body](size_t begin, size_t end, size_t) {
+                    body(begin, end);
+                  }));
+}
+
+void ThreadPool::ParallelFor(
+    size_t count, size_t chunk_size,
+    const std::function<void(size_t, size_t, size_t)>& body) {
   if (count == 0) return;
   CARDIR_METRIC_COUNT("engine.pool.parallel_for_calls", 1);
   CARDIR_METRIC_OBSERVE("engine.pool.items", count);
   const size_t participants = static_cast<size_t>(thread_count());
   if (participants == 1) {
     CARDIR_METRIC_COUNT("engine.pool.chunks_executed", 1);
-    body(0, count);
+    body(0, count, 0);
     return;
   }
 
@@ -49,12 +59,13 @@ void ThreadPool::ParallelFor(size_t count, size_t chunk_size,
   // [0, count) exactly — no index skipped, none run twice. The counting
   // wrapper only exists in audit builds; release builds run `body` direct.
   std::atomic<uint64_t> audit_covered{0};
-  std::function<void(size_t, size_t)> audit_body;
-  const std::function<void(size_t, size_t)>* job = &body;
+  std::function<void(size_t, size_t, size_t)> audit_body;
+  const std::function<void(size_t, size_t, size_t)>* job = &body;
   if constexpr (kAuditEnabled) {
-    audit_body = [&body, &audit_covered](size_t begin, size_t end) {
+    audit_body = [&body, &audit_covered](size_t begin, size_t end,
+                                         size_t participant) {
       audit_covered.fetch_add(end - begin, std::memory_order_relaxed);
-      body(begin, end);
+      body(begin, end, participant);
     };
     job = &audit_body;
   }
@@ -119,13 +130,14 @@ void ThreadPool::WorkerLoop(size_t participant) {
   }
 }
 
-void ThreadPool::RunParticipant(size_t first_shard) {
+void ThreadPool::RunParticipant(size_t participant) {
   CARDIR_TRACE_SPAN("pool.participant");
   const size_t num_shards = shards_.size();
   size_t executed = 0, stolen = 0;  // Flushed once per participant.
-  // Drain the home shard, then steal chunks from the others round-robin.
+  // Drain the home shard (shard index = participant index), then steal
+  // chunks from the others round-robin.
   for (size_t k = 0; k < num_shards; ++k) {
-    Shard& shard = shards_[(first_shard + k) % num_shards];
+    Shard& shard = shards_[(participant + k) % num_shards];
     for (;;) {
       const size_t begin =
           shard.next.fetch_add(chunk_size_, std::memory_order_relaxed);
@@ -137,7 +149,7 @@ void ThreadPool::RunParticipant(size_t first_shard) {
         CARDIR_METRIC_OBSERVE("engine.pool.steal_queue_depth",
                               shard.end - begin);
       }
-      (*body_)(begin, std::min(begin + chunk_size_, shard.end));
+      (*body_)(begin, std::min(begin + chunk_size_, shard.end), participant);
     }
   }
   CARDIR_METRIC_COUNT("engine.pool.chunks_executed", executed);

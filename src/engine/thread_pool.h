@@ -45,6 +45,14 @@ class ThreadPool {
   void ParallelFor(size_t count, size_t chunk_size,
                    const std::function<void(size_t, size_t)>& body);
 
+  /// As above, but `body(begin, end, participant)` also receives the stable
+  /// participant index in [0, thread_count()) of the thread running the
+  /// chunk (the caller is participant 0), so callers can keep per-thread
+  /// scratch without thread_local state: a participant never runs two
+  /// chunks concurrently, even when it steals.
+  void ParallelFor(size_t count, size_t chunk_size,
+                   const std::function<void(size_t, size_t, size_t)>& body);
+
   /// Threads to use for `requested` (0 means "all hardware threads").
   static int ResolveThreadCount(int requested);
 
@@ -57,7 +65,7 @@ class ThreadPool {
   };
 
   void WorkerLoop(size_t participant);
-  void RunParticipant(size_t first_shard);
+  void RunParticipant(size_t participant);
 
   std::vector<std::thread> workers_;
 
@@ -72,7 +80,7 @@ class ThreadPool {
   // ParallelFor).
   std::vector<Shard> shards_;
   size_t chunk_size_ = 1;
-  const std::function<void(size_t, size_t)>* body_ = nullptr;
+  const std::function<void(size_t, size_t, size_t)>* body_ = nullptr;
 };
 
 }  // namespace cardir

@@ -1,0 +1,254 @@
+// Differential property tests of the batched interval-classification
+// kernel against its two oracles: the per-pair MBB prefilter
+// (engine/prefilter.h) and the full Compute-CDR on rectangle regions. The
+// layouts are adversarial by construction — every ordered pair over a
+// coordinate grid that includes touching boundaries, shared corners,
+// zero-width/zero-height boxes and identical boxes — because those are
+// exactly the cases where the branch-free arithmetic select could diverge
+// from the branchy scalar semantics.
+
+#include "engine/interval_kernel.h"
+
+#include <optional>
+#include <vector>
+
+#include "core/compute_cdr.h"
+#include "core/tile.h"
+#include "engine/batch_engine.h"
+#include "engine/prefilter.h"
+#include "geometry/polygon.h"
+#include "geometry/region.h"
+#include "gtest/gtest.h"
+#include "properties/random_instances.h"
+#include "reasoning/interval_algebra.h"
+#include "util/random.h"
+
+namespace cardir {
+namespace {
+
+// Every interval [a, b] (a <= b; a == b gives zero-width/height extents)
+// over a coordinate set that hits the reference lines of every other box
+// exactly, plus strictly-inside / outside / straddling positions.
+std::vector<Box> AdversarialBoxes() {
+  const double coords[] = {5, 10, 15, 20, 25};
+  std::vector<Box> boxes;
+  for (double ax : coords) {
+    for (double bx : coords) {
+      if (bx < ax) continue;
+      for (double ay : coords) {
+        for (double by : coords) {
+          if (by < ay) continue;
+          boxes.emplace_back(ax, ay, bx, by);
+        }
+      }
+    }
+  }
+  return boxes;
+}
+
+TEST(IntervalKernelTest, StartupValidationPasses) {
+  const Status status = ValidateClassKernelOnce();
+  EXPECT_TRUE(status.ok()) << status;
+}
+
+TEST(IntervalKernelTest, TableIsTileAtForResolvableCodesElseEmpty) {
+  const auto& table = ClassPairRelationTable();
+  const auto& relations = ClassPairRelations();
+  for (uint8_t xc = 0; xc < 4; ++xc) {
+    for (uint8_t yc = 0; yc < 4; ++yc) {
+      const uint8_t code = static_cast<uint8_t>((xc << 2) | yc);
+      if (xc == 3 || yc == 3) {
+        EXPECT_EQ(table[code], 0u) << "code " << int(code);
+        EXPECT_TRUE(relations[code].IsEmpty()) << "code " << int(code);
+      } else {
+        const Tile tile = TileAt(static_cast<TileColumn>(xc),
+                                 static_cast<TileRow>(yc));
+        EXPECT_EQ(table[code], CardinalRelation(tile).mask())
+            << "code " << int(code);
+        EXPECT_EQ(relations[code], CardinalRelation(tile))
+            << "code " << int(code);
+      }
+    }
+  }
+}
+
+// Both kernel orientations must agree with MbbPrefilterRelation on every
+// ordered pair of adversarial boxes: same resolvable set, same relation.
+// For non-degenerate pairs the non-resolvable set must be exactly the
+// properly-crossing set (the planner's crossing statistic falls out of the
+// class codes).
+TEST(IntervalKernelTest, EveryOrderedPairMatchesPrefilterOracle) {
+  const std::vector<Box> boxes = AdversarialBoxes();
+  const RegionProfile profile = RegionProfile::FromBoxes(boxes);
+  const auto& table = ClassPairRelationTable();
+  std::vector<uint8_t> by_reference(boxes.size());
+  std::vector<uint8_t> by_primary(boxes.size());
+  for (size_t r = 0; r < boxes.size(); ++r) {
+    const Box& reference = boxes[r];
+    const bool usable_reference =
+        !reference.IsEmpty() && !reference.IsDegenerate();
+    if (usable_reference) {
+      ClassifyAgainstReference(profile, reference, by_reference.data());
+    }
+    for (size_t p = 0; p < boxes.size(); ++p) {
+      const Box& primary = boxes[p];
+      const std::optional<CardinalRelation> oracle =
+          MbbPrefilterRelation(primary, reference);
+      if (usable_reference) {
+        const uint16_t mask = table[by_reference[p]];
+        ASSERT_EQ(oracle.has_value(), mask != 0)
+            << "reference-major, primary #" << p << " reference #" << r;
+        if (oracle.has_value()) {
+          ASSERT_EQ(oracle->mask(), mask)
+              << "reference-major, primary #" << p << " reference #" << r;
+        }
+        if (!primary.IsDegenerate() && !reference.IsDegenerate()) {
+          ASSERT_EQ(mask == 0,
+                    MbbProperlyCrossesReferenceLines(primary, reference))
+              << "crossing fallout, primary #" << p << " reference #" << r;
+        }
+      } else {
+        ASSERT_FALSE(oracle.has_value())
+            << "degenerate reference must not be box-resolvable, pair #"
+            << p << "/#" << r;
+      }
+    }
+  }
+  // Transposed orientation: identical codes for every usable primary.
+  for (size_t p = 0; p < boxes.size(); ++p) {
+    if (boxes[p].IsEmpty() || boxes[p].IsDegenerate()) continue;
+    ClassifyAgainstBands(profile, boxes[p], by_primary.data());
+    for (size_t r = 0; r < boxes.size(); ++r) {
+      const std::optional<CardinalRelation> oracle =
+          MbbPrefilterRelation(boxes[p], boxes[r]);
+      const uint16_t mask = table[by_primary[r]];
+      ASSERT_EQ(oracle.has_value(), mask != 0)
+          << "row-major, primary #" << p << " reference #" << r;
+      if (oracle.has_value()) {
+        ASSERT_EQ(oracle->mask(), mask)
+            << "row-major, primary #" << p << " reference #" << r;
+      }
+    }
+  }
+}
+
+// Every pair the kernel resolves must agree with the full algorithm run on
+// the boxes as rectangle regions — including identical boxes (B relation)
+// and boxes that touch along an edge or share only a corner.
+TEST(IntervalKernelTest, ResolvedPairsMatchComputeCdrOnRectangles) {
+  const std::vector<Box> boxes = AdversarialBoxes();
+  const RegionProfile profile = RegionProfile::FromBoxes(boxes);
+  const auto& relations = ClassPairRelations();
+  std::vector<uint8_t> codes(boxes.size());
+  size_t resolved = 0;
+  for (size_t p = 0; p < boxes.size(); ++p) {
+    const Box& primary = boxes[p];
+    if (primary.IsEmpty() || primary.IsDegenerate()) continue;
+    ClassifyAgainstBands(profile, primary, codes.data());
+    const Region primary_region(
+        MakeRectangle(primary.min_x(), primary.min_y(), primary.max_x(),
+                      primary.max_y()));
+    for (size_t r = 0; r < boxes.size(); ++r) {
+      const CardinalRelation relation = relations[codes[r]];
+      if (relation.IsEmpty()) continue;
+      const Box& reference = boxes[r];
+      const Region reference_region(
+          MakeRectangle(reference.min_x(), reference.min_y(),
+                        reference.max_x(), reference.max_y()));
+      const auto exact = ComputeCdr(primary_region, reference_region);
+      ASSERT_TRUE(exact.ok()) << exact.status();
+      ASSERT_EQ(relation, *exact)
+          << "primary #" << p << " reference #" << r << ": kernel "
+          << relation.ToString() << " vs Compute-CDR " << exact->ToString();
+      ++resolved;
+    }
+  }
+  // The sweep must actually exercise the resolvable side (identical boxes,
+  // touching boxes and corner-sharing boxes are all in it).
+  EXPECT_GT(resolved, 1000u);
+}
+
+TEST(IntervalKernelTest, DegenerateBoxesAlwaysDefer) {
+  const std::vector<Box> boxes = {Box(10, 10, 10, 18),   // Zero width.
+                                  Box(10, 10, 18, 10),   // Zero height.
+                                  Box(12, 12, 12, 12)};  // A point.
+  const RegionProfile profile = RegionProfile::FromBoxes(boxes);
+  const auto& table = ClassPairRelationTable();
+  std::vector<uint8_t> codes(boxes.size());
+  ClassifyAgainstReference(profile, Box(10, 10, 20, 20), codes.data());
+  for (size_t i = 0; i < boxes.size(); ++i) {
+    EXPECT_EQ(codes[i], 0x0f) << "box #" << i;
+    EXPECT_EQ(table[codes[i]], 0u) << "box #" << i;
+  }
+}
+
+// The scalar classifier, the Allen coarsening, and the batched passes are
+// three routes to the same interval class on non-degenerate input.
+TEST(IntervalKernelTest, AllenBridgeAgreesWithScalarClassifier) {
+  const double coords[] = {0, 4, 8, 10, 14, 20, 22, 26};
+  const double m1 = 8, m2 = 20;
+  for (double lo : coords) {
+    for (double hi : coords) {
+      if (hi <= lo) continue;  // Allen classification needs lo < hi.
+      const IntervalClass scalar = ClassifyIntervalClass(lo, hi, m1, m2);
+      const IntervalClass allen =
+          IntervalClassOfAllen(ClassifyIntervals(lo, hi, m1, m2));
+      EXPECT_EQ(scalar, allen) << "[" << lo << ", " << hi << "]";
+    }
+  }
+}
+
+TEST(IntervalKernelTest, AllenBlocksCoarsenAsDocumented) {
+  EXPECT_EQ(IntervalClassOfAllen(AllenRelation::kBefore), IntervalClass::kLow);
+  EXPECT_EQ(IntervalClassOfAllen(AllenRelation::kMeets), IntervalClass::kLow);
+  EXPECT_EQ(IntervalClassOfAllen(AllenRelation::kDuring), IntervalClass::kMid);
+  EXPECT_EQ(IntervalClassOfAllen(AllenRelation::kStarts), IntervalClass::kMid);
+  EXPECT_EQ(IntervalClassOfAllen(AllenRelation::kFinishes),
+            IntervalClass::kMid);
+  EXPECT_EQ(IntervalClassOfAllen(AllenRelation::kEquals), IntervalClass::kMid);
+  EXPECT_EQ(IntervalClassOfAllen(AllenRelation::kMetBy), IntervalClass::kHigh);
+  EXPECT_EQ(IntervalClassOfAllen(AllenRelation::kAfter), IntervalClass::kHigh);
+  for (AllenRelation r :
+       {AllenRelation::kOverlaps, AllenRelation::kFinishedBy,
+        AllenRelation::kContains, AllenRelation::kStartedBy,
+        AllenRelation::kOverlappedBy}) {
+    EXPECT_EQ(IntervalClassOfAllen(r), IntervalClass::kCross);
+  }
+}
+
+// PairMatrix recomputes the (primary, reference) indices from the slot
+// index; the round trip must reproduce the canonical nested-loop order.
+TEST(IntervalKernelTest, PairMatrixIndexRoundTrip) {
+  Rng rng(0x1D7);
+  std::vector<Region> regions;
+  for (int i = 0; i < 9; ++i) regions.push_back(RandomTestRegion(&rng));
+  const auto pairs = ComputeAllPairs(regions);
+  ASSERT_TRUE(pairs.ok()) << pairs.status();
+  ASSERT_EQ(pairs->size(), regions.size() * (regions.size() - 1));
+  size_t k = 0;
+  for (size_t i = 0; i < regions.size(); ++i) {
+    for (size_t j = 0; j < regions.size(); ++j) {
+      if (i == j) continue;
+      const PairRelation record = (*pairs)[k];
+      EXPECT_EQ(record.primary, i) << "slot " << k;
+      EXPECT_EQ(record.reference, j) << "slot " << k;
+      const auto exact = ComputeCdr(regions[i], regions[j]);
+      ASSERT_TRUE(exact.ok()) << exact.status();
+      EXPECT_EQ(record.relation, *exact) << "slot " << k;
+      ++k;
+    }
+  }
+  // Iteration yields the same sequence as indexing.
+  size_t it_count = 0;
+  for (const PairRelation record : *pairs) {
+    const PairRelation indexed = (*pairs)[it_count];
+    EXPECT_EQ(record.primary, indexed.primary);
+    EXPECT_EQ(record.reference, indexed.reference);
+    EXPECT_EQ(record.relation, indexed.relation);
+    ++it_count;
+  }
+  EXPECT_EQ(it_count, pairs->size());
+}
+
+}  // namespace
+}  // namespace cardir

@@ -116,5 +116,59 @@ TEST(TsanStressTest, DigestIdenticalAcrossThreadCountsUnderContention) {
   }
 }
 
+// Overlap-heavy regions drive most pairs through the deferred crossing
+// queue, so this exercises the engine's two-queue handoff under maximal
+// contention: chunk size 1 in the classify phase (every per-chunk deferred
+// spill appends to the shared queue under its mutex) and crossing chunk
+// size 1 in the compute phase (every deferred pair is its own steal-able
+// chunk). Matrix and digest must both reproduce the serial run.
+TEST(TsanStressTest, CrossingQueueTwoPhaseHandoffUnderContention) {
+  Rng rng(0xC805);
+  std::vector<Region> regions;
+  for (int i = 0; i < 24; ++i) {
+    const double size = rng.NextDouble(40.0, 120.0);
+    const double x = rng.NextDouble(0.0, 200.0 - size);
+    const double y = rng.NextDouble(0.0, 200.0 - size);
+    regions.push_back(Region(MakeRectangle(x, y, x + size, y + size)));
+  }
+
+  EngineOptions serial_options;
+  serial_options.threads = 1;
+  EngineStats serial_stats;
+  const auto expected = ComputeAllPairs(regions, serial_options,
+                                        &serial_stats);
+  ASSERT_TRUE(expected.ok()) << expected.status();
+  ASSERT_GT(serial_stats.crossing_pairs, 0u)
+      << "layout must push pairs through the crossing queue";
+  const auto serial_digest = ComputeAllPairsDigest(regions, serial_options);
+  ASSERT_TRUE(serial_digest.ok()) << serial_digest.status();
+
+  for (int threads : {2, 4, 8}) {
+    EngineOptions options;
+    options.threads = threads;
+    options.chunk_size = 1;
+    options.crossing_chunk_size = 1;
+    EngineStats stats;
+    const auto pairs = ComputeAllPairs(regions, options, &stats);
+    ASSERT_TRUE(pairs.ok()) << pairs.status();
+    ASSERT_EQ(pairs->size(), expected->size());
+    EXPECT_EQ(stats.crossing_pairs, serial_stats.crossing_pairs)
+        << threads << " threads";
+    EXPECT_EQ(stats.prefiltered_pairs, serial_stats.prefiltered_pairs)
+        << threads << " threads";
+    for (size_t k = 0; k < pairs->size(); ++k) {
+      const PairRelation got = (*pairs)[k];
+      const PairRelation want = (*expected)[k];
+      ASSERT_EQ(got.primary, want.primary) << "slot " << k;
+      ASSERT_EQ(got.reference, want.reference) << "slot " << k;
+      ASSERT_EQ(got.relation, want.relation)
+          << threads << " threads, slot " << k;
+    }
+    const auto digest = ComputeAllPairsDigest(regions, options);
+    ASSERT_TRUE(digest.ok()) << digest.status();
+    EXPECT_EQ(*digest, *serial_digest) << threads << " threads";
+  }
+}
+
 }  // namespace
 }  // namespace cardir

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Perf-smoke gate: fresh bench ledger vs the committed baseline.
+
+Joins the two BENCH_engine.json ledgers on (workload, regions, mode,
+threads) and fails when any matched row's fresh wall time exceeds the
+baseline by more than the threshold ratio (default 1.30, i.e. a >30%
+regression). Rows present in only one ledger (different size lists,
+host-dependent engine_parallel_hw thread counts) are reported and skipped,
+as are rows under --min-ms, whose wall times are scheduler noise.
+
+Usage:
+  tools/perf_smoke.py --baseline BENCH_engine.json --fresh fresh.json \
+      [--threshold 1.30] [--min-ms 5.0]
+
+Exit status: 0 when every matched row is within the threshold, 1 on any
+regression, 2 on bad input.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_runs(path):
+    try:
+        with open(path) as f:
+            ledger = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"perf_smoke: cannot read {path}: {err}", file=sys.stderr)
+        sys.exit(2)
+    runs = ledger.get("runs")
+    if not isinstance(runs, list):
+        print(f"perf_smoke: {path} has no 'runs' array", file=sys.stderr)
+        sys.exit(2)
+    by_key = {}
+    for run in runs:
+        key = (run.get("workload"), run.get("regions"), run.get("mode"),
+               run.get("threads"))
+        if None in key:
+            print(f"perf_smoke: {path} row missing key fields: {run}",
+                  file=sys.stderr)
+            sys.exit(2)
+        by_key[key] = run
+    return by_key
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True,
+                        help="committed BENCH_engine.json")
+    parser.add_argument("--fresh", required=True,
+                        help="ledger from this run")
+    parser.add_argument("--threshold", type=float, default=1.30,
+                        help="max fresh/baseline wall-time ratio "
+                             "(default 1.30)")
+    parser.add_argument("--min-ms", type=float, default=5.0,
+                        help="skip rows whose baseline wall time is below "
+                             "this (noise floor, default 5.0)")
+    args = parser.parse_args()
+
+    baseline = load_runs(args.baseline)
+    fresh = load_runs(args.fresh)
+
+    matched = sorted(set(baseline) & set(fresh))
+    if not matched:
+        print("perf_smoke: no (workload, regions, mode, threads) rows in "
+              "common — nothing to gate", file=sys.stderr)
+        sys.exit(2)
+    for key in sorted(set(fresh) - set(baseline)):
+        print(f"  [skip] {key}: not in baseline")
+
+    regressions = []
+    print(f"{'workload':10s} {'n':>6s} {'mode':20s} {'thr':>3s} "
+          f"{'base ms':>9s} {'fresh ms':>9s} {'ratio':>6s}")
+    for key in matched:
+        base_ms = baseline[key]["ms"]
+        fresh_ms = fresh[key]["ms"]
+        workload, regions, mode, threads = key
+        if base_ms < args.min_ms:
+            print(f"{workload:10s} {regions:6d} {mode:20s} {threads:3d} "
+                  f"{base_ms:9.2f} {fresh_ms:9.2f}  (below noise floor, "
+                  f"skipped)")
+            continue
+        ratio = fresh_ms / base_ms if base_ms > 0 else float("inf")
+        flag = "  << REGRESSION" if ratio > args.threshold else ""
+        print(f"{workload:10s} {regions:6d} {mode:20s} {threads:3d} "
+              f"{base_ms:9.2f} {fresh_ms:9.2f} {ratio:6.2f}{flag}")
+        if ratio > args.threshold:
+            regressions.append((key, ratio))
+
+    if regressions:
+        print(f"\nperf_smoke: {len(regressions)} row(s) regressed beyond "
+              f"{args.threshold:.2f}x:", file=sys.stderr)
+        for key, ratio in regressions:
+            print(f"  {key}: {ratio:.2f}x", file=sys.stderr)
+        sys.exit(1)
+    print(f"\nperf_smoke: all {len(matched)} matched rows within "
+          f"{args.threshold:.2f}x")
+
+
+if __name__ == "__main__":
+    main()
