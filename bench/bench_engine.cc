@@ -307,7 +307,6 @@ int Main(int argc, char** argv) {
     }
   }
 
-  Rng rng(7);
   std::vector<RunRecord> records;
   if (!trace_path.empty()) obs::StartTracing();
 
@@ -400,10 +399,16 @@ int Main(int argc, char** argv) {
     }
   };
 
+  // Each workload seeds its own generator from its (name, size) alone, so
+  // a ledger row's inputs do not depend on which other sizes ran in the
+  // same invocation — a CI run of a subset of the committed size list
+  // reproduces the committed rows' inputs exactly.
   for (int n : sizes) {
+    Rng rng(7u + static_cast<uint64_t>(n));
     run_workload("map", MapRegions(&rng, n));
   }
   if (overlap_size > 0) {
+    Rng rng(0xB0E0u + static_cast<uint64_t>(overlap_size));
     run_workload("overlap", OverlapRegions(&rng, overlap_size));
   }
 

@@ -1,6 +1,6 @@
 #include "core/compute_cdr.h"
 
-#include "core/edge_splitter.h"
+#include "core/edge_soa.h"
 #include "obs/metrics.h"
 #include "util/logging.h"
 
@@ -31,27 +31,55 @@ CdrComputation ComputeCdrUnchecked(const Region& primary,
   const Point center = mbb.Center();
 
   CdrComputation result;
-  std::vector<ClassifiedEdge>& pieces = scratch->pieces;  // Reused across
-                                                          // edges and calls.
+  // SoA pipeline (core/edge_soa.h): per polygon, one fused pass splits
+  // every edge into the reused lane scratch and classifies each piece
+  // branch-free; the codes-present bitmap (≤9 set bits) then expands
+  // through the 16-entry mask table — replacing the per-piece struct
+  // buffer, the scalar classification cascade, and any second pass over
+  // the pieces.
+  const std::array<uint16_t, kNumSubEdgeCodes>& code_masks = SubEdgeCodeMasks();
+  uint16_t mask = 0;
+  constexpr uint16_t kMaskB = 1u << static_cast<int>(Tile::kB);
+  // Precondition for the Fig. 5 point-in-polygon test below. A boundary
+  // through the center would carry a B-coded piece, so in the B-unset
+  // branch Contains(center) reduces to ray-crossing parity for a strictly
+  // interior point: each of the four axis rays from the center must cross
+  // the boundary, and (with B-coded pieces absent) the piece at each
+  // crossing can only classify into the W, E, S or N tile respectively.
+  // A bitmap missing any of the four therefore proves Contains(center)
+  // false without the O(edges) walk. The open-tile argument needs a
+  // non-degenerate mbb; zero-extent boxes keep the unconditional test.
+  constexpr uint16_t kRayTiles =
+      (1u << SubEdgeCode(TileColumn::kWest, TileRow::kMiddle)) |
+      (1u << SubEdgeCode(TileColumn::kEast, TileRow::kMiddle)) |
+      (1u << SubEdgeCode(TileColumn::kMiddle, TileRow::kSouth)) |
+      (1u << SubEdgeCode(TileColumn::kMiddle, TileRow::kNorth));
+  const bool proper_mbb =
+      mbb.min_x() < mbb.max_x() && mbb.min_y() < mbb.max_y();
   for (const Polygon& polygon : primary.polygons()) {
-    const size_t n = polygon.size();
-    result.input_edges += n;
-    for (size_t i = 0; i < n; ++i) {
-      pieces.clear();
-      result.output_edges += static_cast<size_t>(
-          SplitAndClassifyEdge(polygon.edge(i), mbb, &pieces));
-      for (const ClassifiedEdge& piece : pieces) {
-        result.relation.Add(piece.tile);
-      }
+    result.input_edges += polygon.size();
+    // Store-free classification: the qualitative relation needs only the
+    // codes-present bitmap, so no lanes are materialised (the scratch is
+    // touched only on the tie/straddle fallback).
+    const SplitClassifyResult split =
+        SplitClassifyBitmapSoA(polygon, mbb, &scratch->soa);
+    result.output_edges += split.pieces;
+    unsigned bitmap = split.code_bitmap;
+    while (bitmap != 0) {
+      const int code = __builtin_ctz(bitmap);
+      bitmap &= bitmap - 1;
+      mask = static_cast<uint16_t>(mask | code_masks[code]);
     }
     // Fig. 5: "If the center of mbb(b) is in p Then R = tile-union(R, B)".
     // Catches polygons that contain the whole bounding box, whose boundary
     // never enters the B tile.
-    if (!result.relation.Includes(Tile::kB)) {
+    if ((mask & kMaskB) == 0 &&
+        (!proper_mbb || (split.code_bitmap & kRayTiles) == kRayTiles)) {
       ++metrics->pip_tests;
-      if (polygon.Contains(center)) result.relation.Add(Tile::kB);
+      if (polygon.Contains(center)) mask |= kMaskB;
     }
   }
+  result.relation = CardinalRelation::FromMask(mask);
   ++metrics->runs;
   metrics->edges_input += result.input_edges;
   metrics->edges_split += result.output_edges;
@@ -61,7 +89,10 @@ CdrComputation ComputeCdrUnchecked(const Region& primary,
 CdrComputation ComputeCdrUnchecked(const Region& primary,
                                    const Region& reference,
                                    CdrMetricsDelta* metrics) {
-  CdrScratch scratch;
+  // A fresh EdgeSoA costs five allocations — more than the whole division
+  // of a small polygon. Callers without their own scratch share one
+  // grow-only buffer per thread instead.
+  thread_local CdrScratch scratch;
   return ComputeCdrUnchecked(primary, reference, metrics, &scratch);
 }
 

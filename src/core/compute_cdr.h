@@ -14,7 +14,7 @@
 #define CARDIR_CORE_COMPUTE_CDR_H_
 
 #include "core/cardinal_relation.h"
-#include "core/edge_splitter.h"
+#include "core/edge_soa.h"
 #include "geometry/region.h"
 #include "util/status.h"
 
@@ -58,13 +58,14 @@ struct CdrMetricsDelta {
   void FlushToRegistry();
 };
 
-/// Reusable working memory for Compute-CDR. A fresh run's only heap
-/// allocation is the sub-edge buffer the edge splitter appends into; a
-/// caller computing many pairs (the batch engine's crossing-pair queue, the
-/// benchmark loops) keeps one CdrScratch per thread and hands it to every
-/// call, so the buffer's capacity is paid once instead of per pair.
+/// Reusable working memory for Compute-CDR and Compute-CDR%. A fresh run's
+/// only heap allocation is the SoA sub-edge scratch the edge splitter
+/// appends into (core/edge_soa.h); a caller computing many pairs (the batch
+/// engine's phase-2 crossing chunks via `WorkerScratch`, the benchmark
+/// loops) keeps one CdrScratch per thread and hands it to every call, so
+/// the lane capacity is paid once instead of per pair.
 struct CdrScratch {
-  std::vector<ClassifiedEdge> pieces;
+  EdgeSoA soa;
 };
 
 /// Unchecked fast path used by benchmarks: skips validation. Preconditions:
@@ -73,7 +74,7 @@ struct CdrScratch {
 /// The two-argument form flushes its core.* counter deltas per call; the
 /// three-argument form accumulates them into `metrics` (never null) for the
 /// caller to flush; the four-argument form additionally reuses `scratch`
-/// (never null) instead of allocating per call.
+/// (never null) instead of the thread-local scratch the other forms share.
 CdrComputation ComputeCdrUnchecked(const Region& primary,
                                    const Region& reference);
 CdrComputation ComputeCdrUnchecked(const Region& primary,

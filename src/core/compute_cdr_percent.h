@@ -27,7 +27,9 @@
 
 #include <array>
 
+#include "core/compute_cdr.h"
 #include "core/percentage_matrix.h"
+#include "geometry/box.h"
 #include "geometry/region.h"
 #include "util/status.h"
 
@@ -53,9 +55,27 @@ Result<CdrPercentComputation> ComputeCdrPercentDetailed(
 Result<PercentageMatrix> ComputeCdrPercent(const Region& primary,
                                            const Region& reference);
 
-/// Unchecked fast path used by benchmarks (no validation).
+/// Unchecked fast path used by benchmarks (no validation). Runs the SoA
+/// pipeline (core/edge_soa.h): split into lane scratch, branch-free batch
+/// classification, per-tile SIMD trapezoid accumulation.
 CdrPercentComputation ComputeCdrPercentUnchecked(const Region& primary,
                                                  const Region& reference);
+
+/// Like above, but takes the reference's bounding box directly and reuses
+/// `scratch` (never null) instead of the thread-local one the two-argument
+/// form shares —
+/// the form batch callers computing many pairs per thread use.
+CdrPercentComputation ComputeCdrPercentUnchecked(const Region& primary,
+                                                 const Box& reference_mbb,
+                                                 CdrScratch* scratch);
+
+/// Scalar reference implementation: the pre-SoA per-piece loop (AoS split
+/// via core/edge_splitter.h, one running sum per tile, strictly sequential
+/// accumulation order). Kept as the differential anchor for the SoA path —
+/// the exact-rational oracle bounds both against ground truth, and the
+/// bench ablation (bench_compute_cdr_percent) reports SoA vs scalar.
+CdrPercentComputation ComputeCdrPercentScalar(const Region& primary,
+                                              const Region& reference);
 
 }  // namespace cardir
 

@@ -1,8 +1,8 @@
 #include "core/edge_splitter.h"
 
 #include <algorithm>
-#include <array>
 
+#include "core/edge_split_detail.h"
 #include "util/logging.h"
 
 namespace cardir {
@@ -60,14 +60,6 @@ TileRow ClassifyRow(double lo, double hi, double dir_x, double l1, double l2) {
   return (hi - l2 > l2 - lo) ? TileRow::kNorth : TileRow::kMiddle;
 }
 
-// Which mbb line a crossing parameter came from (for coordinate snapping).
-enum class CrossedLine { kWest, kEast, kSouth, kNorth };
-
-struct Crossing {
-  double t;
-  CrossedLine line;
-};
-
 }  // namespace
 
 Tile ClassifySubEdge(const Segment& segment, const Box& mbb) {
@@ -85,73 +77,11 @@ Tile ClassifySubEdge(const Segment& segment, const Box& mbb) {
 int SplitAndClassifyEdge(const Segment& edge, const Box& mbb,
                          std::vector<ClassifiedEdge>* out) {
   CARDIR_DCHECK(out != nullptr);
-  if (edge.IsDegenerate()) return 0;
-
-  // Parameters in (0,1) of proper crossings with the four mbb lines.
-  std::array<Crossing, 4> crossings;
-  int crossing_count = 0;
-  auto add = [&crossings, &crossing_count](std::optional<double> t,
-                                           CrossedLine line) {
-    if (t.has_value()) crossings[crossing_count++] = {*t, line};
-  };
-  add(CrossVerticalLine(edge, mbb.min_x()), CrossedLine::kWest);
-  if (mbb.max_x() != mbb.min_x()) {
-    add(CrossVerticalLine(edge, mbb.max_x()), CrossedLine::kEast);
-  }
-  add(CrossHorizontalLine(edge, mbb.min_y()), CrossedLine::kSouth);
-  if (mbb.max_y() != mbb.min_y()) {
-    add(CrossHorizontalLine(edge, mbb.max_y()), CrossedLine::kNorth);
-  }
-  // Insertion sort: at most 4 elements, and gcc 12's std::sort trips a
-  // -Warray-bounds false positive on partial std::array ranges.
-  for (int i = 1; i < crossing_count; ++i) {
-    const Crossing key = crossings[static_cast<size_t>(i)];
-    int j = i - 1;
-    while (j >= 0 && crossings[static_cast<size_t>(j)].t > key.t) {
-      crossings[static_cast<size_t>(j + 1)] = crossings[static_cast<size_t>(j)];
-      --j;
-    }
-    crossings[static_cast<size_t>(j + 1)] = key;
-  }
-
-  // Snap each split point's coordinate exactly onto the line(s) it crosses,
-  // so sub-edge extents compare exactly against the mbb bounds.
-  auto snapped_point = [&](int index) {
-    Point p = edge.At(crossings[index].t);
-    const double t = crossings[index].t;
-    for (int j = 0; j < crossing_count; ++j) {
-      if (crossings[j].t != t) continue;
-      switch (crossings[j].line) {
-        case CrossedLine::kWest: p.x = mbb.min_x(); break;
-        case CrossedLine::kEast: p.x = mbb.max_x(); break;
-        case CrossedLine::kSouth: p.y = mbb.min_y(); break;
-        case CrossedLine::kNorth: p.y = mbb.max_y(); break;
-      }
-    }
-    return p;
-  };
-
-  int emitted = 0;
-  Point start = edge.a;
-  double prev_t = 0.0;
-  for (int i = 0; i <= crossing_count; ++i) {
-    Point end;
-    if (i == crossing_count) {
-      end = edge.b;
-    } else {
-      const double t = crossings[i].t;
-      if (t == prev_t && i > 0) continue;  // Coincident crossing (corner).
-      end = snapped_point(i);
-      prev_t = t;
-    }
-    const Segment piece(start, end);
-    if (!piece.IsDegenerate()) {
-      out->push_back({piece, ClassifySubEdge(piece, mbb)});
-      ++emitted;
-    }
-    start = end;
-  }
-  return emitted;
+  return edge_split_detail::ForEachSplitPiece(
+      edge, mbb, [&](const Point& start, const Point& end) {
+        const Segment piece(start, end);
+        out->push_back({piece, ClassifySubEdge(piece, mbb)});
+      });
 }
 
 }  // namespace cardir

@@ -39,9 +39,10 @@ struct DeferredPair {
 // Per-participant working memory, reused across every chunk a participant
 // runs in both phases of an engine run: the class-code array of the
 // classification kernel, the spill buffer for deferred pairs, and the
-// Compute-CDR scratch arena (edge-split buffers). Indexed by the pool's
-// participant id; a participant never runs two chunks concurrently, so no
-// synchronisation is needed.
+// Compute-CDR scratch arena (the SoA sub-edge lanes of core/edge_soa.h,
+// whose capacity is paid once per participant instead of per crossing
+// pair). Indexed by the pool's participant id; a participant never runs
+// two chunks concurrently, so no synchronisation is needed.
 struct WorkerScratch {
   std::vector<uint8_t> codes;
   std::vector<DeferredPair> deferred;

@@ -6,21 +6,11 @@
 #include "core/tile.h"
 #include "engine/prefilter.h"
 #include "util/string_util.h"
-
-// Runtime ISA dispatch for the two batched entry points. The classify
-// passes are pure streaming arithmetic that vectorizes ~8x wider under
-// AVX2, but the library targets the baseline x86-64 ABI; function
-// multi-versioning compiles each entry point once per listed ISA and the
-// loader picks via the GNU ifunc mechanism, so the kernel reaches vector
-// speed without -march flags leaking into the build. Disabled under the
-// sanitizers (ifunc resolvers run before their runtimes initialise) and on
-// non-GCC/non-x86 toolchains, where the plain definition stands.
-#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__) && \
-    !defined(__SANITIZE_ADDRESS__) && !defined(__SANITIZE_THREAD__)
-#define CARDIR_KERNEL_CLONES __attribute__((target_clones("avx2", "default")))
-#else
-#define CARDIR_KERNEL_CLONES
-#endif
+// Runtime ISA dispatch for the batched entry points (CARDIR_KERNEL_CLONES,
+// shared with the core SoA kernels): multi-versioned for AVX2 with GNU
+// ifunc dispatch on x86-64 GCC, compiled out under the sanitizers and on
+// non-GCC/non-x86 toolchains. See util/target_clones.h for the rationale.
+#include "util/target_clones.h"
 
 namespace cardir {
 namespace {

@@ -9,6 +9,8 @@
 #include <thread>
 #include <vector>
 
+#include "core/compute_cdr.h"
+#include "core/compute_cdr_percent.h"
 #include "engine/batch_engine.h"
 #include "engine/thread_pool.h"
 #include "geometry/region.h"
@@ -167,6 +169,106 @@ TEST(TsanStressTest, CrossingQueueTwoPhaseHandoffUnderContention) {
     const auto digest = ComputeAllPairsDigest(regions, options);
     ASSERT_TRUE(digest.ok()) << digest.status();
     EXPECT_EQ(*digest, *serial_digest) << threads << " threads";
+  }
+}
+
+// The phase-2 WorkerScratch pattern: each worker owns one CdrScratch whose
+// SoA lane arrays are reused (and grown) across every pair it drains,
+// while all workers read the same region vector. Each thread interleaves
+// small and large polygons so EnsureCapacity regrows its buffers mid-run
+// while the neighbours are deep in their own lanes; every result is
+// checked against a fresh-scratch serial recomputation, so a stale-lane
+// or shared-growth bug shows up as a wrong mask/area, not just as a tsan
+// report.
+TEST(TsanStressTest, SharedRegionsPerThreadScratchReuse) {
+  Rng rng(0x50A5C);
+  std::vector<Region> regions;
+  for (int i = 0; i < 12; ++i) {
+    const double size = rng.NextDouble(30.0, 150.0);
+    const double x = rng.NextDouble(0.0, 200.0 - size);
+    const double y = rng.NextDouble(0.0, 200.0 - size);
+    regions.push_back(RandomTestRegion(&rng));
+    regions.push_back(Region(MakeRectangle(x, y, x + size, y + size)));
+  }
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> workers;
+  for (int w = 0; w < 8; ++w) {
+    workers.emplace_back([&regions, &mismatches, w] {
+      CdrScratch scratch;  // Reused across every pair, like WorkerScratch.
+      CdrMetricsDelta metrics;
+      for (int round = 0; round < 4; ++round) {
+        for (size_t i = 0; i < regions.size(); ++i) {
+          for (size_t j = 0; j < regions.size(); ++j) {
+            if (i == j) continue;
+            // Stagger the traversal so threads hit different (i, j) at
+            // any instant but still cover every ordered pair.
+            const size_t pi = (i + static_cast<size_t>(w)) % regions.size();
+            if (pi == j) continue;
+            const Box mbb = regions[j].BoundingBox();
+            const CdrComputation reused =
+                ComputeCdrUnchecked(regions[pi], mbb, &metrics, &scratch);
+            const CdrPercentComputation reused_pct =
+                ComputeCdrPercentUnchecked(regions[pi], mbb, &scratch);
+
+            CdrScratch fresh;
+            CdrMetricsDelta fresh_metrics;
+            const CdrComputation expected = ComputeCdrUnchecked(
+                regions[pi], mbb, &fresh_metrics, &fresh);
+            const CdrPercentComputation expected_pct =
+                ComputeCdrPercentUnchecked(regions[pi], mbb, &fresh);
+            if (reused.relation.mask() != expected.relation.mask() ||
+                reused.output_edges != expected.output_edges) {
+              mismatches.fetch_add(1);
+            }
+            for (int t = 0; t < kNumTiles; ++t) {
+              if (reused_pct.tile_areas[t] != expected_pct.tile_areas[t]) {
+                mismatches.fetch_add(1);
+                break;
+              }
+            }
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+// The same reuse contract through the engine itself: overlap-heavy input
+// (most pairs deferred to the crossing queue, so every worker's scratch
+// is hot) at crossing chunk size 1, against the serial matrix.
+TEST(TsanStressTest, EngineWorkerScratchReuseAcrossCrossingPairs) {
+  Rng rng(0x5C8A7C);
+  std::vector<Region> regions;
+  for (int i = 0; i < 20; ++i) {
+    const double size = rng.NextDouble(60.0, 160.0);
+    const double x = rng.NextDouble(0.0, 200.0 - size);
+    const double y = rng.NextDouble(0.0, 200.0 - size);
+    regions.push_back(Region(MakeRectangle(x, y, x + size, y + size)));
+  }
+
+  EngineOptions serial_options;
+  serial_options.threads = 1;
+  EngineStats serial_stats;
+  const auto expected = ComputeAllPairs(regions, serial_options,
+                                        &serial_stats);
+  ASSERT_TRUE(expected.ok()) << expected.status();
+  ASSERT_GT(serial_stats.crossing_pairs, regions.size())
+      << "layout must keep the worker scratches busy";
+
+  for (int run = 0; run < 3; ++run) {
+    EngineOptions options;
+    options.threads = 8;
+    options.crossing_chunk_size = 1;
+    const auto pairs = ComputeAllPairs(regions, options);
+    ASSERT_TRUE(pairs.ok()) << pairs.status();
+    ASSERT_EQ(pairs->size(), expected->size());
+    for (size_t k = 0; k < pairs->size(); ++k) {
+      ASSERT_EQ((*pairs)[k].relation, (*expected)[k].relation)
+          << "run " << run << ", slot " << k;
+    }
   }
 }
 

@@ -1,0 +1,574 @@
+// Exact-rational differential oracle for Compute-CDR% (paper §3.2, Def. 4).
+//
+// Ground truth is computed with arbitrary-precision rational arithmetic —
+// a small sign-magnitude big integer plus an unreduced fraction type, no
+// external dependency — by mirroring the algorithm exactly: split each
+// integer-coordinate edge at the four integer mbb lines (crossing
+// parameters and split points stay exact rationals), classify each piece
+// with exact comparisons (including the interior-side tie-breaks of
+// core/edge_splitter.cc for pieces lying ON a line), and accumulate the
+// signed trapezoid terms of Definition 4 without a single rounding. The
+// oracle validates itself on every instance: the exact per-tile areas must
+// sum *exactly* (as rationals) to the polygon's exact shoelace area.
+//
+// The floating-point pipelines (the SoA/SIMD path and the scalar
+// reference path) are then required to agree with ground truth within a
+// derived absolute bound. Derivation, for vertex coordinates bounded by
+// C = 1024 and unit roundoff eps = 2^-52:
+//
+//  * integer endpoints and mbb lines are exact doubles, so the strict
+//    straddle tests agree bit-for-bit with the exact oracle and both
+//    pipelines produce the same crossing structure;
+//  * a float split point carries absolute error ≤ c1·eps·C from the
+//    division t = (m−x0)/dx and the two-op evaluation x0 + t·dx
+//    (c1 ≤ 8 covers the involved roundings, including the line snap);
+//  * perturbing one piece endpoint by δ changes its two adjacent
+//    trapezoid terms by ≤ 6·C·δ (the partial derivatives of
+//    0.5·d·(s−2l) are bounded by 3C), and any sliver shifted to a
+//    neighbouring tile by the perturbation has area ≤ 2C·δ;
+//  * each term evaluation rounds ≤ 4 times at magnitude ≤ 4C², and the
+//    accumulation — sequential in the scalar path, 4-wide reassociated in
+//    the SoA path; the bound is order-independent — adds ≤ n·eps·4C²
+//    over n terms;
+//  * the a_B noise clamp of FinalizeSums zeroes at most
+//    1e-12·max(|a_{B+N}|, a_N) ≤ 1e-12·C², itself below the bound.
+//
+// Summing over n pieces: |float − exact| ≤ 128·n·eps·C² per tile; the
+// test asserts with K = 128 and n = pieces + 4.
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/compute_cdr.h"
+#include "core/compute_cdr_percent.h"
+#include "core/tile.h"
+#include "geometry/box.h"
+#include "geometry/polygon.h"
+#include "geometry/region.h"
+#include "gtest/gtest.h"
+#include "util/random.h"
+
+namespace cardir {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Sign-magnitude arbitrary-precision integer. Magnitude is base-2^64,
+// little-endian, no leading zero limbs; zero has sign 0 and no limbs.
+// Only what the oracle needs: add, subtract, multiply, compare, and an
+// approximate mantissa·2^exp decomposition for the final double readout.
+class BigInt {
+ public:
+  BigInt() = default;
+  explicit BigInt(int64_t v) {
+    if (v == 0) return;
+    sign_ = v < 0 ? -1 : 1;
+    const uint64_t mag =
+        v < 0 ? ~static_cast<uint64_t>(v) + 1 : static_cast<uint64_t>(v);
+    limbs_.push_back(mag);
+  }
+
+  bool IsZero() const { return sign_ == 0; }
+  int sign() const { return sign_; }
+
+  BigInt Negated() const {
+    BigInt r = *this;
+    r.sign_ = -r.sign_;
+    return r;
+  }
+
+  BigInt Abs() const {
+    BigInt r = *this;
+    if (r.sign_ < 0) r.sign_ = 1;
+    return r;
+  }
+
+  friend BigInt operator+(const BigInt& a, const BigInt& b) {
+    if (a.IsZero()) return b;
+    if (b.IsZero()) return a;
+    BigInt r;
+    if (a.sign_ == b.sign_) {
+      r.limbs_ = AddMag(a.limbs_, b.limbs_);
+      r.sign_ = a.sign_;
+      return r;
+    }
+    const int cmp = CompareMag(a.limbs_, b.limbs_);
+    if (cmp == 0) return BigInt();
+    if (cmp > 0) {
+      r.limbs_ = SubMag(a.limbs_, b.limbs_);
+      r.sign_ = a.sign_;
+    } else {
+      r.limbs_ = SubMag(b.limbs_, a.limbs_);
+      r.sign_ = b.sign_;
+    }
+    return r;
+  }
+
+  friend BigInt operator-(const BigInt& a, const BigInt& b) {
+    return a + b.Negated();
+  }
+
+  friend BigInt operator*(const BigInt& a, const BigInt& b) {
+    if (a.IsZero() || b.IsZero()) return BigInt();
+    BigInt r;
+    r.sign_ = a.sign_ * b.sign_;
+    r.limbs_.assign(a.limbs_.size() + b.limbs_.size(), 0);
+    for (size_t i = 0; i < a.limbs_.size(); ++i) {
+      uint64_t carry = 0;
+      for (size_t j = 0; j < b.limbs_.size(); ++j) {
+        const unsigned __int128 cur =
+            static_cast<unsigned __int128>(a.limbs_[i]) * b.limbs_[j] +
+            r.limbs_[i + j] + carry;
+        r.limbs_[i + j] = static_cast<uint64_t>(cur);
+        carry = static_cast<uint64_t>(cur >> 64);
+      }
+      r.limbs_[i + b.limbs_.size()] += carry;
+    }
+    r.Trim();
+    return r;
+  }
+
+  /// Three-way comparison: sign of (a - b).
+  friend int Compare(const BigInt& a, const BigInt& b) {
+    if (a.sign_ != b.sign_) return a.sign_ < b.sign_ ? -1 : 1;
+    if (a.sign_ == 0) return 0;
+    const int mag = CompareMag(a.limbs_, b.limbs_);
+    return a.sign_ > 0 ? mag : -mag;
+  }
+
+  friend bool operator==(const BigInt& a, const BigInt& b) {
+    return Compare(a, b) == 0;
+  }
+
+  /// Signed mantissa of the top two limbs plus a binary exponent:
+  /// value ≈ mantissa · 2^exp with relative error < 2^-64. Unreduced
+  /// rationals grow far past double range, so BigRat::ToDouble must go
+  /// through this decomposition rather than a full-value conversion.
+  double TopMantissa(int* exp) const {
+    if (sign_ == 0) {
+      *exp = 0;
+      return 0.0;
+    }
+    const size_t top = limbs_.size() - 1;
+    double v = static_cast<double>(limbs_[top]);
+    if (top >= 1) {
+      v = v * 18446744073709551616.0 + static_cast<double>(limbs_[top - 1]);
+      *exp = static_cast<int>((top - 1) * 64);
+    } else {
+      *exp = 0;
+    }
+    return sign_ < 0 ? -v : v;
+  }
+
+ private:
+  static int CompareMag(const std::vector<uint64_t>& a,
+                        const std::vector<uint64_t>& b) {
+    if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
+    for (size_t i = a.size(); i-- > 0;) {
+      if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
+    }
+    return 0;
+  }
+
+  static std::vector<uint64_t> AddMag(const std::vector<uint64_t>& a,
+                                      const std::vector<uint64_t>& b) {
+    const std::vector<uint64_t>& lo = a.size() < b.size() ? a : b;
+    const std::vector<uint64_t>& hi = a.size() < b.size() ? b : a;
+    std::vector<uint64_t> r(hi.size() + 1, 0);
+    uint64_t carry = 0;
+    for (size_t i = 0; i < hi.size(); ++i) {
+      unsigned __int128 cur = static_cast<unsigned __int128>(hi[i]) + carry;
+      if (i < lo.size()) cur += lo[i];
+      r[i] = static_cast<uint64_t>(cur);
+      carry = static_cast<uint64_t>(cur >> 64);
+    }
+    r[hi.size()] = carry;
+    while (!r.empty() && r.back() == 0) r.pop_back();
+    return r;
+  }
+
+  // Requires |a| > |b|.
+  static std::vector<uint64_t> SubMag(const std::vector<uint64_t>& a,
+                                      const std::vector<uint64_t>& b) {
+    std::vector<uint64_t> r(a.size(), 0);
+    uint64_t borrow = 0;
+    for (size_t i = 0; i < a.size(); ++i) {
+      const uint64_t sub = i < b.size() ? b[i] : 0;
+      r[i] = a[i] - sub - borrow;
+      borrow = (a[i] < sub || (a[i] == sub && borrow != 0)) ? 1 : 0;
+    }
+    while (!r.empty() && r.back() == 0) r.pop_back();
+    return r;
+  }
+
+  void Trim() {
+    while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+    if (limbs_.empty()) sign_ = 0;
+  }
+
+  int sign_ = 0;
+  std::vector<uint64_t> limbs_;
+};
+
+// ---------------------------------------------------------------------------
+// Unreduced rational: num/den with den > 0 always. No gcd reduction — the
+// oracle only needs +, −, ×, exact three-way comparison (by cross
+// multiplication) and one approximate double readout at the end, and the
+// instance sizes (integer inputs ≤ 2^10, ≤ ~100 accumulated terms) keep
+// the unreduced limb counts small enough that exactness is cheap.
+struct BigRat {
+  BigInt num;
+  BigInt den;  // Always > 0.
+
+  BigRat() : num(), den(BigInt(1)) {}
+  explicit BigRat(int64_t v) : num(v), den(BigInt(1)) {}
+  BigRat(BigInt n, BigInt d) : num(std::move(n)), den(std::move(d)) {
+    if (den.sign() < 0) {
+      num = num.Negated();
+      den = den.Negated();
+    }
+  }
+
+  bool IsZero() const { return num.IsZero(); }
+
+  friend BigRat operator+(const BigRat& a, const BigRat& b) {
+    return BigRat(a.num * b.den + b.num * a.den, a.den * b.den);
+  }
+  friend BigRat operator-(const BigRat& a, const BigRat& b) {
+    return BigRat(a.num * b.den - b.num * a.den, a.den * b.den);
+  }
+  friend BigRat operator*(const BigRat& a, const BigRat& b) {
+    return BigRat(a.num * b.num, a.den * b.den);
+  }
+
+  BigRat Abs() const { return BigRat(num.Abs(), den); }
+
+  /// Exact three-way comparison by cross multiplication (dens > 0).
+  friend int Compare(const BigRat& a, const BigRat& b) {
+    return Compare(a.num * b.den, b.num * a.den);
+  }
+  friend bool operator==(const BigRat& a, const BigRat& b) {
+    return Compare(a, b) == 0;
+  }
+  friend bool operator<(const BigRat& a, const BigRat& b) {
+    return Compare(a, b) < 0;
+  }
+
+  double ToDouble() const {
+    int en = 0;
+    int ed = 0;
+    const double n = num.TopMantissa(&en);
+    const double d = den.TopMantissa(&ed);
+    if (n == 0.0) return 0.0;
+    return std::ldexp(n / d, en - ed);
+  }
+};
+
+struct RatPoint {
+  BigRat x;
+  BigRat y;
+};
+
+// ---------------------------------------------------------------------------
+// Exact mirror of the §3.1 edge division + §3.2 accumulation for one
+// integer-coordinate polygon against an integer reference box.
+
+struct ExactSums {
+  std::array<BigRat, kNumTiles> signed_sum;
+  BigRat signed_b_plus_n;
+  size_t pieces = 0;
+};
+
+// Exact counterpart of ClassifyColumn (core/edge_splitter.cc), same
+// cascade: pieces lying ON a vertical line resolve to the interior side
+// via the ring direction (clockwise ring: interior to the right, so a
+// piece going up — end.y > start.y — keeps the interior on its east).
+// Exact split pieces never straddle a line, so no defensive branch.
+int ExactColumn(const RatPoint& a, const RatPoint& b, const BigRat& m1,
+                const BigRat& m2) {
+  const BigRat& lo = a.x < b.x ? a.x : b.x;
+  const BigRat& hi = a.x < b.x ? b.x : a.x;
+  if (lo == hi && (lo == m1 || lo == m2)) {
+    const bool dir_y_positive = a.y < b.y;
+    if (m1 == m2) return dir_y_positive ? 2 : 0;
+    if (lo == m1) return dir_y_positive ? 1 : 0;
+    return dir_y_positive ? 2 : 1;
+  }
+  if (Compare(hi, m1) <= 0) return 0;
+  if (Compare(lo, m2) >= 0) return 2;
+  return 1;
+}
+
+int ExactRow(const RatPoint& a, const RatPoint& b, const BigRat& l1,
+             const BigRat& l2) {
+  const BigRat& lo = a.y < b.y ? a.y : b.y;
+  const BigRat& hi = a.y < b.y ? b.y : a.y;
+  if (lo == hi && (lo == l1 || lo == l2)) {
+    const bool dir_x_positive = a.x < b.x;
+    if (l1 == l2) return dir_x_positive ? 0 : 2;
+    if (lo == l1) return dir_x_positive ? 0 : 1;
+    return dir_x_positive ? 1 : 2;
+  }
+  if (Compare(hi, l1) <= 0) return 0;
+  if (Compare(lo, l2) >= 0) return 2;
+  return 1;
+}
+
+// 0.5 * (p1 - p0) * (s0 + s1 - 2*ref), exact — p is the coordinate along
+// the sweep axis, s the summed axis (Def. 4's E/E' trapezoid terms).
+BigRat ExactTrapezoid(const BigRat& p0, const BigRat& p1, const BigRat& s0,
+                      const BigRat& s1, const BigRat& ref) {
+  return BigRat(BigInt(1), BigInt(2)) * (p1 - p0) *
+         (s0 + s1 - BigRat(2) * ref);
+}
+
+void AccumulateExact(const Polygon& polygon, const Box& mbb,
+                     ExactSums* sums) {
+  const BigRat m1(static_cast<int64_t>(mbb.min_x()));
+  const BigRat m2(static_cast<int64_t>(mbb.max_x()));
+  const BigRat l1(static_cast<int64_t>(mbb.min_y()));
+  const BigRat l2(static_cast<int64_t>(mbb.max_y()));
+
+  const size_t n = polygon.size();
+  for (size_t e = 0; e < n; ++e) {
+    const Point pa = polygon.vertex(e);
+    const Point pb = polygon.vertex((e + 1) % n);
+    const RatPoint a{BigRat(static_cast<int64_t>(pa.x)),
+                     BigRat(static_cast<int64_t>(pa.y))};
+    const RatPoint b{BigRat(static_cast<int64_t>(pb.x)),
+                     BigRat(static_cast<int64_t>(pb.y))};
+    if (a.x == b.x && a.y == b.y) continue;
+    const BigRat dx = b.x - a.x;
+    const BigRat dy = b.y - a.y;
+
+    // Exact proper-crossing parameters t ∈ (0, 1): one per mbb line the
+    // edge strictly straddles, skipping the twin line of a degenerate
+    // band (matching the splitter). Corner crossings coincide exactly in
+    // rationals, so sort + dedupe.
+    std::vector<BigRat> ts;
+    auto maybe_cross = [&](const BigRat& coord_a, const BigRat& coord_b,
+                           const BigRat& line, const BigRat& d) {
+      const bool straddles = (coord_a < line && line < coord_b) ||
+                             (coord_b < line && line < coord_a);
+      if (!straddles) return;
+      const BigRat diff = line - coord_a;
+      ts.push_back(BigRat(diff.num * d.den, diff.den * d.num));
+    };
+    maybe_cross(a.x, b.x, m1, dx);
+    if (!(m1 == m2)) maybe_cross(a.x, b.x, m2, dx);
+    maybe_cross(a.y, b.y, l1, dy);
+    if (!(l1 == l2)) maybe_cross(a.y, b.y, l2, dy);
+    std::sort(ts.begin(), ts.end(),
+              [](const BigRat& p, const BigRat& q) { return p < q; });
+    ts.erase(std::unique(ts.begin(), ts.end(),
+                         [](const BigRat& p, const BigRat& q) {
+                           return p == q;
+                         }),
+             ts.end());
+
+    RatPoint start = a;
+    for (size_t i = 0; i <= ts.size(); ++i) {
+      const RatPoint end =
+          i == ts.size() ? b
+                         : RatPoint{a.x + ts[i] * dx, a.y + ts[i] * dy};
+      if (start.x == end.x && start.y == end.y) continue;
+      ++sums->pieces;
+      const int col = ExactColumn(start, end, m1, m2);
+      const int row = ExactRow(start, end, l1, l2);
+      const Tile tile =
+          TileAt(static_cast<TileColumn>(col), static_cast<TileRow>(row));
+      const int ti = static_cast<int>(tile);
+      switch (tile) {
+        case Tile::kNW:
+        case Tile::kW:
+        case Tile::kSW:
+          sums->signed_sum[ti] =
+              sums->signed_sum[ti] +
+              ExactTrapezoid(start.y, end.y, start.x, end.x, m1);
+          break;
+        case Tile::kNE:
+        case Tile::kE:
+        case Tile::kSE:
+          sums->signed_sum[ti] =
+              sums->signed_sum[ti] +
+              ExactTrapezoid(start.y, end.y, start.x, end.x, m2);
+          break;
+        case Tile::kS:
+          sums->signed_sum[ti] =
+              sums->signed_sum[ti] +
+              ExactTrapezoid(start.x, end.x, start.y, end.y, l1);
+          break;
+        case Tile::kN:
+          sums->signed_sum[ti] =
+              sums->signed_sum[ti] +
+              ExactTrapezoid(start.x, end.x, start.y, end.y, l2);
+          break;
+        case Tile::kB:
+          break;  // Only the B+N accumulator below sees B edges.
+      }
+      if (tile == Tile::kN || tile == Tile::kB) {
+        sums->signed_b_plus_n =
+            sums->signed_b_plus_n +
+            ExactTrapezoid(start.x, end.x, start.y, end.y, l1);
+      }
+      start = end;
+    }
+  }
+}
+
+// Exact shoelace area, positive for the repo's clockwise rings (same sign
+// convention as the E_{l} accumulation: 0.5·Σ (x1−x0)(y0+y1)).
+BigRat ExactArea(const Polygon& polygon) {
+  BigRat twice;
+  const size_t n = polygon.size();
+  for (size_t i = 0; i < n; ++i) {
+    const Point pa = polygon.vertex(i);
+    const Point pb = polygon.vertex((i + 1) % n);
+    twice = twice + (BigRat(static_cast<int64_t>(pb.x)) -
+                     BigRat(static_cast<int64_t>(pa.x))) *
+                        (BigRat(static_cast<int64_t>(pa.y)) +
+                         BigRat(static_cast<int64_t>(pb.y)));
+  }
+  return BigRat(BigInt(1), BigInt(2)) * twice;
+}
+
+// ---------------------------------------------------------------------------
+// Instance generation: random integer-coordinate clockwise polygons with
+// coordinates in [0, C], plus an integer reference box overlapping the
+// polygon's extent — crossing pairs whose split points land on every tile
+// boundary combination.
+
+constexpr int64_t kCoordBound = 1024;
+
+Polygon RandomIntegerPolygon(Rng* rng) {
+  // An angular fan around a centre, traversed clockwise, then rounded to
+  // integers. Rounding may introduce local concavity or even an invalid
+  // ring — callers Validate() and skip those instances.
+  const int verts = static_cast<int>(rng->NextInt(3, 12));
+  const double cx = rng->NextDouble(200.0, 800.0);
+  const double cy = rng->NextDouble(200.0, 800.0);
+  const double radius = rng->NextDouble(40.0, 190.0);
+  std::vector<Point> points;
+  points.reserve(static_cast<size_t>(verts));
+  for (int i = 0; i < verts; ++i) {
+    const double angle = (static_cast<double>(i) + rng->NextDouble(0.05, 0.9)) *
+                         2.0 * 3.14159265358979323846 / verts;
+    const double r = radius * rng->NextDouble(0.5, 1.0);
+    const double x = cx + r * std::cos(-angle);  // Negated: clockwise order.
+    const double y = cy + r * std::sin(-angle);
+    points.push_back(Point{
+        std::round(
+            std::min(std::max(x, 0.0), static_cast<double>(kCoordBound))),
+        std::round(
+            std::min(std::max(y, 0.0), static_cast<double>(kCoordBound)))});
+  }
+  return Polygon(points);
+}
+
+Box RandomOverlappingIntegerBox(Rng* rng, const Box& extent) {
+  const double w = extent.max_x() - extent.min_x();
+  const double h = extent.max_y() - extent.min_y();
+  const double x1 = std::round(extent.min_x() + rng->NextDouble(-0.6, 0.6) * w);
+  const double y1 = std::round(extent.min_y() + rng->NextDouble(-0.6, 0.6) * h);
+  const double x2 = x1 + std::round(rng->NextDouble(0.2, 1.2) * w) + 1.0;
+  const double y2 = y1 + std::round(rng->NextDouble(0.2, 1.2) * h) + 1.0;
+  return Box(std::max(0.0, x1), std::max(0.0, y1),
+             std::min(static_cast<double>(kCoordBound), x2),
+             std::min(static_cast<double>(kCoordBound), y2));
+}
+
+TEST(ExactCdrOracleTest, FloatPipelinesAgreeWithExactRationalGroundTruth) {
+  Rng rng(4040);
+  constexpr double kEps = 2.220446049250313e-16;  // 2^-52.
+  const double c2 =
+      static_cast<double>(kCoordBound) * static_cast<double>(kCoordBound);
+  int tested = 0;
+  int attempts = 0;
+  while (tested < 1100 && attempts < 4000) {
+    ++attempts;
+    Region primary(RandomIntegerPolygon(&rng));
+    primary.EnsureClockwise();
+    if (!primary.Validate().ok()) continue;
+    const Box mbb = RandomOverlappingIntegerBox(&rng, primary.BoundingBox());
+    if (mbb.IsEmpty()) continue;
+
+    // Exact ground truth + per-instance oracle self-check: the exact
+    // per-tile areas must sum — as rationals, no tolerance — to the exact
+    // shoelace area of the polygon.
+    ExactSums exact;
+    AccumulateExact(primary.polygons()[0], mbb, &exact);
+    std::array<BigRat, kNumTiles> exact_area;
+    BigRat exact_total;
+    for (Tile t : kAllTiles) {
+      const int i = static_cast<int>(t);
+      if (t == Tile::kB) {
+        exact_area[i] = exact.signed_b_plus_n.Abs() -
+                        exact.signed_sum[static_cast<int>(Tile::kN)].Abs();
+      } else {
+        exact_area[i] = exact.signed_sum[i].Abs();
+      }
+      exact_total = exact_total + exact_area[i];
+    }
+    ASSERT_EQ(Compare(exact_total, ExactArea(primary.polygons()[0])), 0)
+        << "oracle self-check failed on attempt " << attempts;
+
+    // Both float pipelines against ground truth, within the derived bound.
+    CdrScratch scratch;
+    const CdrPercentComputation soa =
+        ComputeCdrPercentUnchecked(primary, mbb, &scratch);
+    const Region reference(Polygon({{mbb.min_x(), mbb.min_y()},
+                                    {mbb.min_x(), mbb.max_y()},
+                                    {mbb.max_x(), mbb.max_y()},
+                                    {mbb.max_x(), mbb.min_y()}}));
+    const CdrPercentComputation scalar =
+        ComputeCdrPercentScalar(primary, reference);
+
+    const double bound =
+        128.0 * static_cast<double>(exact.pieces + 4) * kEps * c2;
+    for (Tile t : kAllTiles) {
+      const int i = static_cast<int>(t);
+      const double truth = exact_area[i].ToDouble();
+      EXPECT_NEAR(soa.tile_areas[i], truth, bound)
+          << "SoA tile " << i << ", attempt " << attempts;
+      EXPECT_NEAR(scalar.tile_areas[i], truth, bound)
+          << "scalar tile " << i << ", attempt " << attempts;
+    }
+    ++tested;
+  }
+  // The generator must actually deliver the promised volume of crossing
+  // pairs — a silent collapse to a handful of instances would gut the
+  // oracle without failing it.
+  EXPECT_GE(tested, 1000) << "generator rejected too many instances";
+}
+
+TEST(ExactCdrOracleTest, BigRatArithmeticSanity) {
+  // 1/3 + 1/6 == 1/2 without reduction.
+  const BigRat a(BigInt(1), BigInt(3));
+  const BigRat b(BigInt(1), BigInt(6));
+  EXPECT_EQ(Compare(a + b, BigRat(BigInt(1), BigInt(2))), 0);
+  // (-5/4) · (2/3) == -5/6; Abs flips the sign.
+  const BigRat c = BigRat(BigInt(-5), BigInt(4)) * BigRat(BigInt(2), BigInt(3));
+  EXPECT_EQ(Compare(c, BigRat(BigInt(-5), BigInt(6))), 0);
+  EXPECT_EQ(Compare(c.Abs(), BigRat(BigInt(5), BigInt(6))), 0);
+  // Negative denominators normalise at construction.
+  EXPECT_EQ(
+      Compare(BigRat(BigInt(3), BigInt(-2)), BigRat(BigInt(-3), BigInt(2))),
+      0);
+  EXPECT_EQ(BigRat(BigInt(-3), BigInt(2)).ToDouble(), -1.5);
+  // Multi-limb carries: (2^64 + 1)^2 == 2^128 + 2^65 + 1.
+  const BigInt two_64 = BigInt(int64_t{1} << 62) * BigInt(4);
+  const BigInt v = two_64 + BigInt(1);
+  const BigInt expect = two_64 * two_64 + two_64 * BigInt(2) + BigInt(1);
+  EXPECT_EQ(Compare(v * v, expect), 0);
+  EXPECT_TRUE((v * v - expect).IsZero());
+  // TopMantissa round-trips a multi-limb power of two.
+  const BigRat big(two_64 * two_64, BigInt(1));
+  EXPECT_EQ(big.ToDouble(), std::ldexp(1.0, 128));
+}
+
+}  // namespace
+}  // namespace cardir

@@ -1,0 +1,162 @@
+#!/usr/bin/env python3
+"""Line-coverage report and gate over a --coverage (gcov) build tree.
+
+Walks the build tree for .gcno note files, runs gcov in JSON mode on each,
+and merges the per-translation-unit line records (a header or template
+line counts as covered if ANY unit executed it). Only sources under the
+--filter prefixes (relative to --source-root) enter the report, so test
+scaffolding and third-party code do not inflate or dilute the number.
+
+Usage:
+  tools/coverage_report.py --build-dir build-coverage \
+      [--source-root .] [--filter src/core --filter src/engine] \
+      [--fail-under 80.0] [--out coverage.txt]
+
+Exit status: 0 when total line coverage meets --fail-under, 1 when below,
+2 on bad input (no .gcno files, gcov missing or failing on every file).
+"""
+
+import argparse
+import gzip
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+
+def find_gcno(build_dir):
+    notes = []
+    for root, _dirs, files in os.walk(build_dir):
+        for name in files:
+            if name.endswith(".gcno"):
+                notes.append(os.path.join(root, name))
+    return sorted(notes)
+
+
+def run_gcov(gcno_paths, workdir):
+    """Run gcov --json-format on each note file; yield parsed reports."""
+    reports = []
+    failures = 0
+    for gcno in gcno_paths:
+        before = set(os.listdir(workdir))
+        proc = subprocess.run(
+            ["gcov", "--json-format", os.path.abspath(gcno)],
+            cwd=workdir, stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL)
+        if proc.returncode != 0:
+            failures += 1
+            continue
+        for name in set(os.listdir(workdir)) - before:
+            if not name.endswith(".gcov.json.gz"):
+                continue
+            path = os.path.join(workdir, name)
+            try:
+                with gzip.open(path, "rt") as f:
+                    reports.append(json.load(f))
+            except (OSError, json.JSONDecodeError):
+                failures += 1
+            os.unlink(path)
+    return reports, failures
+
+
+def merge_lines(reports, source_root, filters):
+    """Return {relpath: {line_number: max_count}} for filtered sources."""
+    source_root = os.path.abspath(source_root)
+    merged = {}
+    for report in reports:
+        # gcov records each source relative to the compilation cwd.
+        cwd = report.get("current_working_directory", "")
+        for entry in report.get("files", []):
+            src = entry.get("file", "")
+            if not os.path.isabs(src):
+                src = os.path.join(cwd, src)
+            src = os.path.normpath(src)
+            if not src.startswith(source_root + os.sep):
+                continue
+            rel = os.path.relpath(src, source_root)
+            if filters and not any(
+                    rel == f or rel.startswith(f + os.sep) for f in filters):
+                continue
+            lines = merged.setdefault(rel, {})
+            for line in entry.get("lines", []):
+                number = line.get("line_number")
+                count = line.get("count", 0)
+                if number is None:
+                    continue
+                lines[number] = max(lines.get(number, 0), count)
+    return merged
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", required=True,
+                        help="build tree compiled with --coverage")
+    parser.add_argument("--source-root", default=".",
+                        help="repository root the report paths are "
+                             "relative to (default: .)")
+    parser.add_argument("--filter", action="append", default=[],
+                        metavar="PREFIX",
+                        help="only report sources under this prefix, "
+                             "relative to --source-root (repeatable; "
+                             "default: everything under the root)")
+    parser.add_argument("--fail-under", type=float, default=0.0,
+                        help="exit 1 when total line coverage (percent) "
+                             "is below this (default 0 = report only)")
+    parser.add_argument("--out", default="",
+                        help="also write the report to this file")
+    args = parser.parse_args()
+
+    gcno_paths = find_gcno(args.build_dir)
+    if not gcno_paths:
+        print(f"coverage_report: no .gcno files under {args.build_dir} — "
+              f"was the tree built with --coverage?", file=sys.stderr)
+        sys.exit(2)
+
+    with tempfile.TemporaryDirectory() as workdir:
+        reports, failures = run_gcov(gcno_paths, workdir)
+    if not reports:
+        print(f"coverage_report: gcov produced no reports from "
+              f"{len(gcno_paths)} note files ({failures} failures)",
+              file=sys.stderr)
+        sys.exit(2)
+
+    merged = merge_lines(reports, args.source_root, args.filter)
+    if not merged:
+        print("coverage_report: no sources matched the filters "
+              f"{args.filter}", file=sys.stderr)
+        sys.exit(2)
+
+    rows = []
+    total_lines = 0
+    total_covered = 0
+    for rel in sorted(merged):
+        lines = merged[rel]
+        covered = sum(1 for count in lines.values() if count > 0)
+        rows.append((rel, covered, len(lines)))
+        total_lines += len(lines)
+        total_covered += covered
+
+    out_lines = [f"{'file':44s} {'covered':>8s} {'lines':>6s} {'pct':>7s}"]
+    for rel, covered, count in rows:
+        pct = 100.0 * covered / count if count else 100.0
+        out_lines.append(f"{rel:44s} {covered:8d} {count:6d} {pct:6.1f}%")
+    total_pct = 100.0 * total_covered / total_lines if total_lines else 100.0
+    out_lines.append(f"{'TOTAL':44s} {total_covered:8d} {total_lines:6d} "
+                     f"{total_pct:6.1f}%")
+    report = "\n".join(out_lines)
+    print(report)
+    if args.out:
+        with open(args.out, "w") as f:
+            f.write(report + "\n")
+
+    if total_pct < args.fail_under:
+        print(f"\ncoverage_report: total line coverage {total_pct:.1f}% is "
+              f"below the floor {args.fail_under:.1f}%", file=sys.stderr)
+        sys.exit(1)
+    print(f"\ncoverage_report: total line coverage {total_pct:.1f}% "
+          f"(floor {args.fail_under:.1f}%)")
+
+
+if __name__ == "__main__":
+    main()

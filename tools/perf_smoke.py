@@ -56,6 +56,12 @@ def main():
     parser.add_argument("--min-ms", type=float, default=5.0,
                         help="skip rows whose baseline wall time is below "
                              "this (noise floor, default 5.0)")
+    parser.add_argument("--require", action="append", default=[],
+                        metavar="WORKLOAD",
+                        help="fail unless at least one matched row belongs "
+                             "to this workload (repeatable); guards against "
+                             "a fresh run that silently skipped the "
+                             "workload the gate is meant to cover")
     args = parser.parse_args()
 
     baseline = load_runs(args.baseline)
@@ -68,6 +74,13 @@ def main():
         sys.exit(2)
     for key in sorted(set(fresh) - set(baseline)):
         print(f"  [skip] {key}: not in baseline")
+
+    matched_workloads = {key[0] for key in matched}
+    missing = [w for w in args.require if w not in matched_workloads]
+    if missing:
+        print(f"perf_smoke: required workload(s) absent from the matched "
+              f"rows: {', '.join(missing)}", file=sys.stderr)
+        sys.exit(2)
 
     regressions = []
     print(f"{'workload':10s} {'n':>6s} {'mode':20s} {'thr':>3s} "
