@@ -44,8 +44,8 @@ class CardinalRelation {
   /// Parses "B:S:SW" style strings (any tile order accepted on input).
   static Result<CardinalRelation> Parse(std::string_view text);
 
-  uint16_t mask() const { return mask_; }
-  bool IsEmpty() const { return mask_ == 0; }
+  constexpr uint16_t mask() const { return mask_; }
+  constexpr bool IsEmpty() const { return mask_ == 0; }
 
   /// Number of tiles (the k of Definition 1).
   int TileCount() const;

@@ -11,7 +11,7 @@
 namespace cardir {
 namespace {
 
-std::array<uint16_t, kNumSubEdgeCodes> BuildSubEdgeCodeMasks() {
+constexpr std::array<uint16_t, kNumSubEdgeCodes> BuildSubEdgeCodeMasks() {
   std::array<uint16_t, kNumSubEdgeCodes> masks{};
   for (int c = 0; c < 3; ++c) {
     for (int r = 0; r < 3; ++r) {
@@ -24,7 +24,7 @@ std::array<uint16_t, kNumSubEdgeCodes> BuildSubEdgeCodeMasks() {
   return masks;
 }
 
-std::array<Tile, kNumSubEdgeCodes> BuildSubEdgeCodeTiles() {
+constexpr std::array<Tile, kNumSubEdgeCodes> BuildSubEdgeCodeTiles() {
   std::array<Tile, kNumSubEdgeCodes> tiles{};
   tiles.fill(Tile::kB);
   for (int c = 0; c < 3; ++c) {
@@ -35,6 +35,55 @@ std::array<Tile, kNumSubEdgeCodes> BuildSubEdgeCodeTiles() {
   }
   return tiles;
 }
+
+constexpr std::array<uint16_t, kNumSubEdgeCodes> kSubEdgeCodeMasks =
+    BuildSubEdgeCodeMasks();
+constexpr std::array<Tile, kNumSubEdgeCodes> kSubEdgeCodeTiles =
+    BuildSubEdgeCodeTiles();
+
+// Compile-time proof over all 16 sub-edge codes, both orientations:
+// forward, every reachable (column << 2) | row code carries exactly the
+// single-tile mask and the tile of TileAt(column, row), and the six
+// unreachable code values carry mask 0 / the kB placeholder; backward,
+// every tile's own column/row — the pair the scalar classifier produces —
+// packs to a code whose table entries recover that tile. A divergence
+// between these tables and core/tile.h's grid is a build break, not a
+// startup abort (ctest's differential tests remain as the runtime
+// cross-check of the *classifiers* that produce the codes).
+constexpr bool SubEdgeTablesAgreeWithTileAt() {
+  bool reachable[kNumSubEdgeCodes] = {};
+  for (int c = 0; c < 3; ++c) {
+    for (int r = 0; r < 3; ++r) {
+      const Tile tile =
+          TileAt(static_cast<TileColumn>(c), static_cast<TileRow>(r));
+      const uint8_t code =
+          SubEdgeCode(static_cast<TileColumn>(c), static_cast<TileRow>(r));
+      reachable[code] = true;
+      if (kSubEdgeCodeMasks[code] !=
+          static_cast<uint16_t>(1u << static_cast<int>(tile))) {
+        return false;
+      }
+      if (kSubEdgeCodeTiles[code] != tile) return false;
+    }
+  }
+  for (int code = 0; code < kNumSubEdgeCodes; ++code) {
+    if (reachable[code]) continue;
+    if (kSubEdgeCodeMasks[code] != 0) return false;
+    if (kSubEdgeCodeTiles[code] != Tile::kB) return false;
+  }
+  for (Tile tile : kAllTiles) {
+    const uint8_t code = SubEdgeCode(ColumnOf(tile), RowOf(tile));
+    if (kSubEdgeCodeTiles[code] != tile) return false;
+    if (kSubEdgeCodeMasks[code] !=
+        static_cast<uint16_t>(1u << static_cast<int>(tile))) {
+      return false;
+    }
+  }
+  return true;
+}
+static_assert(SubEdgeTablesAgreeWithTileAt(),
+              "core/edge_soa: sub-edge code tables disagree with "
+              "core/tile.h's TileAt");
 
 // Branch-free classification of one lane along one axis. Returns the axis
 // class (0 = low/west/south, 1 = middle, 2 = high/east/north) assuming the
@@ -129,15 +178,11 @@ void EdgeSoA::EnsureCapacity(size_t lanes) {
 }
 
 const std::array<uint16_t, kNumSubEdgeCodes>& SubEdgeCodeMasks() {
-  static const std::array<uint16_t, kNumSubEdgeCodes> masks =
-      BuildSubEdgeCodeMasks();
-  return masks;
+  return kSubEdgeCodeMasks;
 }
 
 const std::array<Tile, kNumSubEdgeCodes>& SubEdgeCodeTiles() {
-  static const std::array<Tile, kNumSubEdgeCodes> tiles =
-      BuildSubEdgeCodeTiles();
-  return tiles;
+  return kSubEdgeCodeTiles;
 }
 
 size_t AppendSplitEdgesSoA(const Polygon& polygon, const Box& mbb,

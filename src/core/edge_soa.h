@@ -67,7 +67,9 @@ inline constexpr uint8_t SubEdgeCode(TileColumn column, TileRow row) {
 inline constexpr uint8_t kNumSubEdgeCodes = 16;
 
 /// 9-bit CardinalRelation mask of the tile at each code (0 for the six
-/// unreachable code values). Built from core/tile.h's TileAt on first use.
+/// unreachable code values). Built from core/tile.h's TileAt as a constexpr
+/// table and proven against it by static_assert in edge_soa.cc — a
+/// table/TileAt divergence is a build break.
 const std::array<uint16_t, kNumSubEdgeCodes>& SubEdgeCodeMasks();
 
 /// The tile at each code (Tile::kB for unreachable values — callers index

@@ -18,6 +18,12 @@
 #include <array>
 
 #include "geometry/box.h"
+
+// Crossing parameters and snapped coordinates are compared exactly on
+// purpose: coincident-crossing dedupe and degenerate-mbb guards operate
+// on values computed from identical expressions, never on independently
+// rounded results.
+// cardir-analyzer: allow-file(float-eq): exact dedupe/degeneracy guards on identically-computed values
 #include "geometry/segment.h"
 
 namespace cardir {

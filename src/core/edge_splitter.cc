@@ -5,6 +5,11 @@
 #include "core/edge_split_detail.h"
 #include "util/logging.h"
 
+// Sub-edge extents arrive snapped exactly onto the tile lines
+// (edge_split_detail.h), so `lo == m1`-style on-line classification is
+// exact by contract — the paper's boundary semantics depend on it.
+// cardir-analyzer: allow-file(float-eq): split points are snapped exactly onto tile lines
+
 namespace cardir {
 namespace {
 

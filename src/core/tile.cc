@@ -29,54 +29,6 @@ bool ParseTile(std::string_view name, Tile* tile) {
   return false;
 }
 
-TileColumn ColumnOf(Tile tile) {
-  switch (tile) {
-    case Tile::kSW:
-    case Tile::kW:
-    case Tile::kNW:
-      return TileColumn::kWest;
-    case Tile::kS:
-    case Tile::kB:
-    case Tile::kN:
-      return TileColumn::kMiddle;
-    case Tile::kSE:
-    case Tile::kE:
-    case Tile::kNE:
-      return TileColumn::kEast;
-  }
-  CARDIR_CHECK(false) << "bad tile";
-  return TileColumn::kMiddle;
-}
-
-TileRow RowOf(Tile tile) {
-  switch (tile) {
-    case Tile::kSW:
-    case Tile::kS:
-    case Tile::kSE:
-      return TileRow::kSouth;
-    case Tile::kW:
-    case Tile::kB:
-    case Tile::kE:
-      return TileRow::kMiddle;
-    case Tile::kNW:
-    case Tile::kN:
-    case Tile::kNE:
-      return TileRow::kNorth;
-  }
-  CARDIR_CHECK(false) << "bad tile";
-  return TileRow::kMiddle;
-}
-
-Tile TileAt(TileColumn column, TileRow row) {
-  static constexpr Tile kGrid[3][3] = {
-      // rows: south, middle, north; columns: west, middle, east.
-      {Tile::kSW, Tile::kS, Tile::kSE},
-      {Tile::kW, Tile::kB, Tile::kE},
-      {Tile::kNW, Tile::kN, Tile::kNE},
-  };
-  return kGrid[static_cast<int>(row)][static_cast<int>(column)];
-}
-
 Tile ClassifyPoint(const Point& p, const Box& mbb) {
   CARDIR_DCHECK(!mbb.IsEmpty());
   TileColumn column = TileColumn::kMiddle;

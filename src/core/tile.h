@@ -50,14 +50,79 @@ std::string_view TileName(Tile tile);
 /// Parses a canonical tile name; returns false on failure.
 bool ParseTile(std::string_view name, Tile* tile);
 
-/// Column (west/middle/east) of the tile.
-TileColumn ColumnOf(Tile tile);
+/// Column (west/middle/east) of the tile. Constexpr so that the lookup
+/// tables derived from the tile grid (engine/interval_kernel, core/edge_soa)
+/// can be built and proven against TileAt at compile time; an out-of-range
+/// enum value falls through to the middle column (callers pass enumerators).
+constexpr TileColumn ColumnOf(Tile tile) {
+  switch (tile) {
+    case Tile::kSW:
+    case Tile::kW:
+    case Tile::kNW:
+      return TileColumn::kWest;
+    case Tile::kS:
+    case Tile::kB:
+    case Tile::kN:
+      return TileColumn::kMiddle;
+    case Tile::kSE:
+    case Tile::kE:
+    case Tile::kNE:
+      return TileColumn::kEast;
+  }
+  return TileColumn::kMiddle;
+}
 
 /// Row (south/middle/north) of the tile.
-TileRow RowOf(Tile tile);
+constexpr TileRow RowOf(Tile tile) {
+  switch (tile) {
+    case Tile::kSW:
+    case Tile::kS:
+    case Tile::kSE:
+      return TileRow::kSouth;
+    case Tile::kW:
+    case Tile::kB:
+    case Tile::kE:
+      return TileRow::kMiddle;
+    case Tile::kNW:
+    case Tile::kN:
+    case Tile::kNE:
+      return TileRow::kNorth;
+  }
+  return TileRow::kMiddle;
+}
 
 /// Tile at the given column/row (e.g. kWest+kNorth = NW; kMiddle+kMiddle = B).
-Tile TileAt(TileColumn column, TileRow row);
+constexpr Tile TileAt(TileColumn column, TileRow row) {
+  constexpr Tile kGrid[3][3] = {
+      // rows: south, middle, north; columns: west, middle, east.
+      {Tile::kSW, Tile::kS, Tile::kSE},
+      {Tile::kW, Tile::kB, Tile::kE},
+      {Tile::kNW, Tile::kN, Tile::kNE},
+  };
+  return kGrid[static_cast<int>(row)][static_cast<int>(column)];
+}
+
+namespace tile_internal {
+// Compile-time proof that TileAt and ColumnOf/RowOf are mutually inverse
+// over all nine tiles: the grid cannot drift from the per-tile band
+// accessors without breaking the build.
+constexpr bool TileGridRoundTrips() {
+  for (Tile tile : kAllTiles) {
+    if (TileAt(ColumnOf(tile), RowOf(tile)) != tile) return false;
+  }
+  for (int column = 0; column < 3; ++column) {
+    for (int row = 0; row < 3; ++row) {
+      const Tile tile = TileAt(static_cast<TileColumn>(column),
+                               static_cast<TileRow>(row));
+      if (ColumnOf(tile) != static_cast<TileColumn>(column)) return false;
+      if (RowOf(tile) != static_cast<TileRow>(row)) return false;
+    }
+  }
+  return true;
+}
+static_assert(TileGridRoundTrips(),
+              "core/tile.h: TileAt grid disagrees with ColumnOf/RowOf");
+}  // namespace tile_internal
 
 /// Classifies a point into a tile of `mbb`. Points on an mbb line belong to
 /// several closed tiles; this function resolves ties toward the *middle*

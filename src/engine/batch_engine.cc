@@ -94,13 +94,17 @@ Status RunEngine(const std::vector<const Region*>& regions,
   }
 
   // Plan: the SoA box profile feeds the per-reference classification
-  // passes; the class table is self-checked against MbbPrefilterRelation
-  // once per process before the first kernel-planned run.
+  // passes. The class table is proven against TileAt at compile time
+  // (static_asserts in interval_kernel.cc); the runtime sweep against
+  // MbbPrefilterRelation is a debug-only cross-check, run once per process
+  // in audit builds only.
   RegionProfile profile;
   const std::array<CardinalRelation, kNumClassPairCodes>* rel_table = nullptr;
   if (options.use_prefilter) {
     CARDIR_TRACE_SPAN("engine.plan");
-    CARDIR_RETURN_IF_ERROR(ValidateClassKernelOnce());
+    if constexpr (kAuditEnabled) {
+      CARDIR_RETURN_IF_ERROR(ValidateClassKernelOnce());
+    }
     profile = RegionProfile::FromBoxes(boxes);
     rel_table = &ClassPairRelations();
   }

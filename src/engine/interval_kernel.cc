@@ -15,7 +15,8 @@
 namespace cardir {
 namespace {
 
-std::array<uint16_t, kNumClassPairCodes> BuildClassPairRelationTable() {
+constexpr std::array<uint16_t, kNumClassPairCodes>
+BuildClassPairRelationTable() {
   std::array<uint16_t, kNumClassPairCodes> table{};
   for (int xc = 0; xc < 3; ++xc) {
     for (int yc = 0; yc < 3; ++yc) {
@@ -28,6 +29,101 @@ std::array<uint16_t, kNumClassPairCodes> BuildClassPairRelationTable() {
   // Codes with a kCross class keep mask 0: not box-resolvable.
   return table;
 }
+
+constexpr std::array<uint16_t, kNumClassPairCodes> kClassPairRelationTable =
+    BuildClassPairRelationTable();
+
+// ---- Compile-time table proofs -------------------------------------------
+//
+// PR 4 validated the class-pair table against TileAt and the prefilter at
+// engine startup (ValidateClassKernelOnce); these static_asserts promote
+// the table/TileAt agreement to a build break, so a drifted table can never
+// even link. The runtime sweep against MbbPrefilterRelation survives as a
+// debug-only cross-check (audit builds and tests/engine/interval_kernel_test)
+// because MbbPrefilterRelation lives behind std::optional plumbing that is
+// more naturally exercised at runtime.
+
+// Every one of the 16 class-pair codes, checked in both orientations:
+// forward (a resolvable (x class, y class) code maps to exactly the
+// single-tile mask of TileAt(x, y), a kCross code maps to 0) and backward
+// (each tile's own column/row, fed back through the code layout, recovers
+// that tile's mask — so the code packing (x << 2) | y cannot silently flip
+// its operands).
+constexpr bool ClassPairTableAgreesWithTileAt() {
+  for (int xc = 0; xc < 4; ++xc) {
+    for (int yc = 0; yc < 4; ++yc) {
+      const uint16_t entry =
+          kClassPairRelationTable[static_cast<size_t>((xc << 2) | yc)];
+      if (xc == static_cast<int>(IntervalClass::kCross) ||
+          yc == static_cast<int>(IntervalClass::kCross)) {
+        if (entry != 0) return false;
+        continue;
+      }
+      const Tile tile =
+          TileAt(static_cast<TileColumn>(xc), static_cast<TileRow>(yc));
+      if (entry != CardinalRelation(tile).mask()) return false;
+    }
+  }
+  for (Tile tile : kAllTiles) {
+    const int code = (static_cast<int>(ColumnOf(tile)) << 2) |
+                     static_cast<int>(RowOf(tile));
+    if (kClassPairRelationTable[static_cast<size_t>(code)] !=
+        CardinalRelation(tile).mask()) {
+      return false;
+    }
+  }
+  return true;
+}
+static_assert(ClassPairTableAgreesWithTileAt(),
+              "engine/interval_kernel: class-pair relation table disagrees "
+              "with core/tile.h's TileAt");
+
+// The branch-free arithmetic select of the classification passes, as a
+// constexpr scalar model: cls = 2*high + mid, or kCross when no predicate
+// (or two predicates) holds. ClassifyAxis and ClassifyBandsAxis both
+// evaluate exactly these comparisons (with operand roles swapped in the
+// transposed kernel), so proving the model equal to the documented cascade
+// covers both orientations of the batched kernel.
+constexpr IntervalClass BranchFreeClassModel(double lo, double hi, double m1,
+                                             double m2) {
+  const unsigned low = static_cast<unsigned>(hi <= m1);
+  const unsigned high = static_cast<unsigned>(lo >= m2);
+  const unsigned mid = static_cast<unsigned>(lo >= m1) &
+                       static_cast<unsigned>(hi <= m2);
+  const unsigned cls = 2u * high + mid + 3u * (1u - (low | high | mid));
+  return static_cast<IntervalClass>(cls);
+}
+
+// Exhaustive sweep of the same coordinate grid the runtime validation uses
+// (both reference lines hit exactly, strictly-inside/outside and straddling
+// extents): on every non-degenerate extent against the non-degenerate band
+// the branch-free select must agree with the reference cascade
+// ClassifyIntervalClass. Degenerate extents are excluded exactly as in the
+// kernel, where they carry cross_override.
+constexpr bool BranchFreeSelectMatchesCascade() {
+  constexpr double kCoords[] = {4, 8, 10, 12, 15, 18, 20, 24, 28};
+  constexpr double kM1 = 10;
+  constexpr double kM2 = 20;
+  for (double lo : kCoords) {
+    for (double hi : kCoords) {
+      if (lo >= hi) continue;  // Degenerate/invalid extents excluded.
+      IntervalClass expected = IntervalClass::kCross;
+      if (hi <= kM1) {
+        expected = IntervalClass::kLow;
+      } else if (lo >= kM2) {
+        expected = IntervalClass::kHigh;
+      } else if (lo >= kM1 && hi <= kM2) {
+        expected = IntervalClass::kMid;
+      }
+      if (BranchFreeClassModel(lo, hi, kM1, kM2) != expected) return false;
+    }
+  }
+  return true;
+}
+static_assert(BranchFreeSelectMatchesCascade(),
+              "engine/interval_kernel: branch-free class select disagrees "
+              "with the ClassifyIntervalClass cascade");
+// --------------------------------------------------------------------------
 
 // One branch-free axis pass: codes[i] op= (class of [lo[i], hi[i]] within
 // [m1, m2]) << shift. With a non-degenerate band (m1 < m2) and a
@@ -180,9 +276,7 @@ RegionProfile RegionProfile::FromBoxes(const std::vector<Box>& boxes) {
 }
 
 const std::array<uint16_t, kNumClassPairCodes>& ClassPairRelationTable() {
-  static const std::array<uint16_t, kNumClassPairCodes> table =
-      BuildClassPairRelationTable();
-  return table;
+  return kClassPairRelationTable;
 }
 
 const std::array<CardinalRelation, kNumClassPairCodes>& ClassPairRelations() {

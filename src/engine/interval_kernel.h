@@ -22,9 +22,11 @@
 // The classification runs over a struct-of-arrays `RegionProfile` (one
 // contiguous double array per bound), two branch-free passes per reference,
 // so the hot loop streams memory instead of chasing Region pointers and
-// auto-vectorizes. `ValidateClassKernelOnce` cross-checks the table and the
-// class codes against `MbbPrefilterRelation` the first time an engine run
-// uses the kernel; `IntervalClassOfAllen` bridges the classes to the Allen
+// auto-vectorizes. The class-pair table and the branch-free class select
+// are proven against core/tile.h's TileAt at compile time (static_asserts
+// in interval_kernel.cc); `ValidateClassKernelOnce` keeps the runtime sweep
+// against `MbbPrefilterRelation` as a debug-only cross-check (audit builds
+// and tests); `IntervalClassOfAllen` bridges the classes to the Allen
 // interval algebra of reasoning/interval_algebra.h (each class is a
 // coarsening of a block of Allen relations).
 
@@ -71,7 +73,10 @@ inline constexpr uint8_t kNumClassPairCodes = 16;
 /// Relation-mask lookup by class-pair code: the 9-bit CardinalRelation mask
 /// of the single tile at (column = x class, row = y class), or 0 when either
 /// class is kCross (pair not box-resolvable). Built from core/tile.h's
-/// TileAt on first use, never transcribed by hand.
+/// TileAt as a constexpr table, never transcribed by hand, and proven
+/// against TileAt in both orientations by static_assert (see the
+/// compile-time table proofs in interval_kernel.cc) — divergence is a build
+/// break, not a startup abort.
 const std::array<uint16_t, kNumClassPairCodes>& ClassPairRelationTable();
 
 /// The same table as ready-made CardinalRelation values (the empty relation
@@ -117,8 +122,11 @@ IntervalClass IntervalClassOfAllen(AllenRelation r);
 /// MbbPrefilterRelation over a sweep of box pairs, including touching,
 /// corner-sharing, nested, identical and degenerate boxes, and checks the
 /// Allen coarsening on the non-degenerate pairs. Runs the sweep once per
-/// process (subsequent calls return the cached status); the engine calls it
-/// before the first kernel-planned run.
+/// process (subsequent calls return the cached status). Since the table and
+/// the branch-free class select are proven against TileAt at compile time
+/// (static_asserts in interval_kernel.cc), this runtime sweep is a
+/// debug-only cross-check: the engine runs it only in audit builds
+/// (CARDIR_AUDIT=ON); tests call it directly.
 Status ValidateClassKernelOnce();
 
 }  // namespace cardir

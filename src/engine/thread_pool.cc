@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdlib>
 
 #include "audit/audit.h"
 #include "audit/invariants.h"
@@ -30,6 +31,24 @@ ThreadPool::~ThreadPool() {
 int ThreadPool::ResolveThreadCount(int requested) {
   if (requested > 0) return requested;
   const unsigned hw = std::thread::hardware_concurrency();
+  if (hw <= 1) {
+    // hardware_concurrency() is allowed to return 0 ("unknown") and
+    // containerised hosts with restricted cpusets often pin it at 1 — the
+    // project's own bench host reports hardware_concurrency=1, which is why
+    // the parallel rows of BENCH_engine.json sit at ~1.0x (see ROADMAP).
+    // CARDIR_THREADS lets such hosts opt parallel runs back in without
+    // threading --threads flags through every caller.
+    // Reading the environment is not reentrancy-safe in general, but this
+    // runs before any pool thread exists.
+    // NOLINTNEXTLINE(concurrency-mt-unsafe)
+    if (const char* env = std::getenv("CARDIR_THREADS")) {
+      char* end = nullptr;
+      const long parsed = std::strtol(env, &end, 10);
+      if (end != env && *end == '\0' && parsed > 0 && parsed <= 4096) {
+        return static_cast<int>(parsed);
+      }
+    }
+  }
   return hw == 0 ? 1 : static_cast<int>(hw);
 }
 

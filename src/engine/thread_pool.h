@@ -54,6 +54,9 @@ class ThreadPool {
                    const std::function<void(size_t, size_t, size_t)>& body);
 
   /// Threads to use for `requested` (0 means "all hardware threads").
+  /// When hardware_concurrency() is unhelpful (0 or 1 — containers and
+  /// restricted cgroups routinely report either), a positive integer in the
+  /// CARDIR_THREADS environment variable overrides it.
   static int ResolveThreadCount(int requested);
 
  private:

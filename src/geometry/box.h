@@ -39,6 +39,7 @@ class Box {
   /// legal as a bound but not as the mbb of a REG* region, which has
   /// positive area in both projections.
   bool IsDegenerate() const {
+    // cardir-analyzer: allow(float-eq): degenerate-box test is exact by design
     return !IsEmpty() && (min_x_ == max_x_ || min_y_ == max_y_);
   }
 
@@ -91,7 +92,9 @@ class Box {
   }
 
   friend bool operator==(const Box& a, const Box& b) {
+    // cardir-analyzer: allow(float-eq): exact structural equality
     return a.min_x_ == b.min_x_ && a.min_y_ == b.min_y_ &&
+           // cardir-analyzer: allow(float-eq): exact structural equality
            a.max_x_ == b.max_x_ && a.max_y_ == b.max_y_;
   }
 

@@ -32,6 +32,7 @@ Result<Region> DecomposeEvenOdd(const std::vector<Polygon>& rings) {
       const Segment edge = ring.edge(e);
       cuts.insert(edge.a.y);
       cuts.insert(edge.b.y);
+      // cardir-analyzer: allow(float-eq): horizontal-edge test on stored coords
       if (edge.a.y == edge.b.y) continue;  // Horizontal: no slab crossing.
       SlabEdge slab_edge{edge.a, edge.b};
       if (slab_edge.low.y > slab_edge.high.y) {
@@ -77,6 +78,7 @@ Result<Region> DecomposeEvenOdd(const std::vector<Polygon>& rings) {
       if (tr != tl) trapezoid.AddVertex(tr);
       if (br != tr) trapezoid.AddVertex(br);
       if (bl != br && bl != tl) trapezoid.AddVertex(bl);
+      // cardir-analyzer: allow(float-eq): exact zero signed area = degenerate trapezoid
       if (trapezoid.size() < 3 || trapezoid.SignedArea() == 0.0) {
         continue;  // Degenerate sliver (edges meeting at a vertex).
       }

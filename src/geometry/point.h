@@ -17,6 +17,7 @@ struct Point {
   constexpr Point(double px, double py) : x(px), y(py) {}
 
   friend constexpr bool operator==(const Point& a, const Point& b) {
+    // cardir-analyzer: allow(float-eq): exact structural equality
     return a.x == b.x && a.y == b.y;
   }
   friend constexpr bool operator!=(const Point& a, const Point& b) {

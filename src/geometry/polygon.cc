@@ -33,6 +33,7 @@ double Polygon::SignedArea() const {
 Point Polygon::Centroid() const {
   const size_t n = vertices_.size();
   const double signed_area = SignedArea();
+  // cardir-analyzer: allow(float-eq): exact-zero degeneracy check
   CARDIR_CHECK(signed_area != 0.0) << "centroid of a degenerate polygon";
   double cx = 0.0;
   double cy = 0.0;
@@ -144,6 +145,7 @@ Status Polygon::Validate() const {
           StrFormat("non-finite coordinate at index %zu", i));
     }
   }
+  // cardir-analyzer: allow(float-eq): exact-zero degeneracy check
   if (SignedArea() == 0.0) {
     return Status::InvalidArgument("polygon has zero area");
   }

@@ -64,6 +64,7 @@ std::optional<Point> ProperIntersection(const Segment& s, const Segment& t) {
 double PointSegmentDistance(const Point& p, const Segment& s) {
   const Point d = s.Direction();
   const double len2 = Dot(d, d);
+  // cardir-analyzer: allow(float-eq): exact-zero guard before division
   if (len2 == 0.0) return Distance(p, s.a);
   const double t = std::clamp(Dot(p - s.a, d) / len2, 0.0, 1.0);
   return Distance(p, s.At(t));

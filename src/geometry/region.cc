@@ -75,6 +75,7 @@ PointLocation Region::Locate(const Point& p) const {
   for (size_t x = 0; x < hits.size(); ++x) {
     for (size_t y = x + 1; y < hits.size(); ++y) {
       if (hits[x].polygon != hits[y].polygon &&
+          // cardir-analyzer: allow(float-eq): exact-zero cross product = collinear rays
           Cross(hits[x].direction, hits[y].direction) == 0.0) {
         return PointLocation::kInside;  // Shared edge of two members.
       }

@@ -2,6 +2,11 @@
 
 #include <cmath>
 
+// Exact floating-point predicates: expansion arithmetic *is* equality-
+// and sign-exact by construction; epsilon comparisons here would destroy
+// the robustness guarantee.
+// cardir-analyzer: allow-file(float-eq): exact expansion arithmetic, equality is the algorithm
+
 namespace cardir {
 namespace {
 

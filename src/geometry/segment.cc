@@ -4,6 +4,7 @@ namespace cardir {
 
 std::optional<double> CrossVerticalLine(const Segment& s, double m) {
   const double dx = s.b.x - s.a.x;
+  // cardir-analyzer: allow(float-eq): exact-zero guard before division
   if (dx == 0.0) return std::nullopt;  // Parallel to (or on) the line.
   // Proper crossing requires the endpoints strictly on opposite sides.
   if ((s.a.x < m && s.b.x > m) || (s.a.x > m && s.b.x < m)) {
@@ -14,6 +15,7 @@ std::optional<double> CrossVerticalLine(const Segment& s, double m) {
 
 std::optional<double> CrossHorizontalLine(const Segment& s, double l) {
   const double dy = s.b.y - s.a.y;
+  // cardir-analyzer: allow(float-eq): exact-zero guard before division
   if (dy == 0.0) return std::nullopt;
   if ((s.a.y < l && s.b.y > l) || (s.a.y > l && s.b.y < l)) {
     return (l - s.a.y) / dy;

@@ -37,6 +37,7 @@ struct Segment {
   constexpr Point At(double t) const { return a + t * (b - a); }
 
   friend constexpr bool operator==(const Segment& s, const Segment& t) {
+    // cardir-analyzer: allow(float-eq): exact structural equality
     return s.a == t.a && s.b == t.b;
   }
 };

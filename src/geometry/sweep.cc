@@ -8,6 +8,12 @@
 #include "util/logging.h"
 #include "util/string_util.h"
 
+// The sweep orders events and status entries by exact coordinate
+// values; its comparators must be strict weak orders, which epsilon
+// comparisons are not (they lose transitivity). Equality against a
+// stored coordinate is the intended semantics throughout.
+// cardir-analyzer: allow-file(float-eq): sweep comparators need exact strict-weak orders
+
 namespace cardir {
 namespace {
 

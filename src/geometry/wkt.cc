@@ -12,6 +12,7 @@ namespace {
 
 std::string FormatCoordinate(double value) {
   std::string candidate = StrFormat("%.15g", value);
+  // cardir-analyzer: allow(float-eq): round-trip check must be bit-exact
   if (std::strtod(candidate.c_str(), nullptr) == value) return candidate;
   return StrFormat("%.17g", value);
 }

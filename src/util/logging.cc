@@ -15,6 +15,8 @@ std::atomic<int> g_log_level{-1};    // -1: not yet initialised.
 std::atomic<int> g_timestamps{-1};   // -1: not yet initialised.
 
 LogLevel InitialLevelFromEnv() {
+  // Lazy one-shot init (first log call); nothing writes the environment.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   const char* env = std::getenv("CARDIR_LOG_LEVEL");
   if (env == nullptr) return LogLevel::kWarning;
   if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
@@ -25,6 +27,7 @@ LogLevel InitialLevelFromEnv() {
 }
 
 bool InitialTimestampsFromEnv() {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   const char* env = std::getenv("CARDIR_LOG_TIMESTAMPS");
   return env != nullptr && std::strcmp(env, "1") == 0;
 }

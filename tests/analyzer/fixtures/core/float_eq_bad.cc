@@ -1,0 +1,15 @@
+// Fixture: float-eq positives inside a path-filtered (core/) directory.
+// Expected findings: 2.
+namespace cardir {
+
+double Slope();
+
+bool SameX(double ax, double bx) {
+  return ax == bx;  // BAD: double variables compared with ==.
+}
+
+bool IsVertical() {
+  return Slope() == 0.0;  // BAD: double-returning call vs float literal.
+}
+
+}  // namespace cardir

@@ -1,0 +1,17 @@
+// Fixture: sanctioned float comparison styles. Expected findings: 0.
+namespace cardir {
+
+bool NearlyEqual(double a, double b, double eps) {
+  return (a - b < eps) && (b - a < eps);  // Ordering comparisons are fine.
+}
+
+bool IsSentinel(double v) {
+  // cardir-analyzer: allow(float-eq): sentinel is assigned, never computed
+  return v == -1.0;
+}
+
+bool CountsMatch(int lhs_count, int rhs_count) {
+  return lhs_count == rhs_count;  // Integers: not the analyzer's business.
+}
+
+}  // namespace cardir

@@ -1,0 +1,9 @@
+// Fixture: Compute-CDR running under a scoped lock. Expected findings: 1.
+namespace cardir {
+
+void Bad(std::mutex& mu, const RegionPair& pair, Results* results) {
+  std::lock_guard<std::mutex> lock(mu);
+  results->Add(ComputeCdrPercent(pair));  // BAD: compute while holding mu.
+}
+
+}  // namespace cardir

@@ -1,0 +1,13 @@
+// Fixture: collect under the lock, release, then compute. Expected: 0.
+namespace cardir {
+
+void Good(std::mutex& mu, const SharedQueue& queue, Results* results) {
+  RegionPair pair;
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    pair = queue.front();
+  }  // Lock dies here.
+  results->Add(ComputeCdrPercent(pair));
+}
+
+}  // namespace cardir

@@ -1,0 +1,16 @@
+// Fixture: the same comparisons as core/float_eq_bad.cc but outside the
+// core/ + geometry/ path filter — the policy only binds the exact-geometry
+// kernels. Expected findings: 0 (with the default path filter).
+namespace cardir {
+
+double Gain();
+
+bool SameGain(double a, double b) {
+  return a == b;  // Outside the filtered paths: reported only with --no-path-filter.
+}
+
+bool IsFlat() {
+  return Gain() == 0.0;
+}
+
+}  // namespace cardir

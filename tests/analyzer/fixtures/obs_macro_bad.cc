@@ -1,0 +1,11 @@
+// Fixture: side effects inside compiled-out observability macros.
+// Expected findings: 3 (one per macro invocation).
+namespace cardir {
+
+void Bad(int n, int depth, int* hits, const char** names, int i) {
+  CARDIR_METRIC_COUNT("engine.calls", ++n);          // BAD: increment vanishes.
+  CARDIR_TRACE_SPAN(names[i++]);                     // BAD: index bump vanishes.
+  CARDIR_METRIC_GAUGE_SET("engine.depth", depth = *hits);  // BAD: assignment.
+}
+
+}  // namespace cardir

@@ -1,0 +1,16 @@
+// Fixture: both unchecked-result patterns. Expected findings: 2.
+#include "util/status.h"
+
+namespace cardir {
+
+Status DoThing();
+Result<int> ParseCount(const char* text);
+
+void BadCaller() {
+  DoThing();  // BAD: Status discarded as a bare statement.
+  Result<int> parsed = ParseCount("3");
+  int n = parsed.value();  // BAD: no parsed.ok() guard in sight.
+  static_cast<void>(n);
+}
+
+}  // namespace cardir

@@ -1,0 +1,20 @@
+// Fixture: every sanctioned way to consume a Status/Result. Expected: 0.
+#include "util/status.h"
+
+namespace cardir {
+
+Status DoThing();
+Result<int> ParseCount(const char* text);
+
+Status GoodCaller() {
+  CARDIR_RETURN_IF_ERROR(DoThing());  // Wrapped: not a discard.
+  Result<int> parsed = ParseCount("3");
+  if (!parsed.ok()) return parsed.status();
+  static_cast<void>(parsed.value());  // Guarded by the ok() above.
+  Status kept = DoThing();  // Assigned: not a discard.
+  if (!kept.ok()) return kept;
+  (void)DoThing();  // Explicit (void) cast: deliberate discard.
+  return Status::Ok();
+}
+
+}  // namespace cardir

@@ -1,7 +1,9 @@
 #include "engine/thread_pool.h"
 
 #include <atomic>
+#include <cstdlib>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include "gtest/gtest.h"
@@ -81,6 +83,29 @@ TEST(ThreadPoolTest, ClampsNonPositiveThreadCounts) {
 TEST(ThreadPoolTest, ResolveThreadCount) {
   EXPECT_EQ(ThreadPool::ResolveThreadCount(4), 4);
   EXPECT_GE(ThreadPool::ResolveThreadCount(0), 1);
+}
+
+TEST(ThreadPoolTest, ResolveThreadCountHonoursEnvOnStarvedHosts) {
+  // CARDIR_THREADS only applies when hardware_concurrency() reports 0 or 1
+  // (unknown, or a restricted container cpuset); on wider hosts the
+  // hardware count wins and the override must be ignored.
+  const unsigned hw = std::thread::hardware_concurrency();
+  ASSERT_EQ(setenv("CARDIR_THREADS", "3", /*overwrite=*/1), 0);
+  if (hw <= 1) {
+    EXPECT_EQ(ThreadPool::ResolveThreadCount(0), 3);
+  } else {
+    EXPECT_EQ(ThreadPool::ResolveThreadCount(0), static_cast<int>(hw));
+  }
+  // An explicit request always beats the environment.
+  EXPECT_EQ(ThreadPool::ResolveThreadCount(2), 2);
+  // Garbage and non-positive values fall back to the hardware count.
+  for (const char* bad : {"0", "-4", "junk", "3x", ""}) {
+    ASSERT_EQ(setenv("CARDIR_THREADS", bad, 1), 0);
+    EXPECT_EQ(ThreadPool::ResolveThreadCount(0), hw == 0 ? 1
+                                                         : static_cast<int>(hw))
+        << "CARDIR_THREADS='" << bad << "'";
+  }
+  ASSERT_EQ(unsetenv("CARDIR_THREADS"), 0);
 }
 
 TEST(ThreadPoolTest, UnbalancedTasksAreStolen) {

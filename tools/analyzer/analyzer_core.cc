@@ -1,0 +1,255 @@
+#include "analyzer_core.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace cardir_analyzer {
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Multi-character punctuation, longest first (maximal munch).
+const char* const kPuncts[] = {
+    "<<=", ">>=", "...", "->*", "::", "->", "++", "--", "<<", ">>",
+    "<=", ">=", "==", "!=", "&&", "||", "+=", "-=", "*=", "/=",
+    "%=", "&=", "|=", "^=",
+};
+
+// Parses a suppression comment body (text after "cardir-analyzer:").
+// Returns the check ids and whether this is a file-level allow. A
+// malformed body yields no ids (the comment is inert, never a crash).
+void ParseAllowComment(const std::string& body, std::set<std::string>* ids,
+                       bool* file_level) {
+  size_t pos = body.find_first_not_of(" \t");
+  if (pos == std::string::npos) return;
+  const bool is_file = body.compare(pos, 10, "allow-file") == 0;
+  const bool is_line = !is_file && body.compare(pos, 5, "allow") == 0;
+  if (!is_file && !is_line) return;
+  *file_level = is_file;
+  const size_t open = body.find('(', pos);
+  const size_t close = body.find(')', open == std::string::npos ? pos : open);
+  if (open == std::string::npos || close == std::string::npos) return;
+  std::string inside = body.substr(open + 1, close - open - 1);
+  std::string id;
+  std::istringstream stream(inside);
+  while (std::getline(stream, id, ',')) {
+    const size_t a = id.find_first_not_of(" \t");
+    const size_t b = id.find_last_not_of(" \t");
+    if (a != std::string::npos) ids->insert(id.substr(a, b - a + 1));
+  }
+}
+
+}  // namespace
+
+FileTokens Lex(const std::string& path, const std::string& content) {
+  FileTokens out;
+  out.path = path;
+  int line = 1;
+  size_t i = 0;
+  const size_t n = content.size();
+  // Suppression comments seen but not yet bound to a line: when a comment
+  // sits on a line with no preceding token, it applies to the next line
+  // that produces a token.
+  std::vector<std::set<std::string>> pending_allows;
+  int last_token_line = 0;
+
+  auto handle_comment = [&](const std::string& text, int comment_line) {
+    const size_t tag = text.find("cardir-analyzer:");
+    if (tag == std::string::npos) return;
+    std::set<std::string> ids;
+    bool file_level = false;
+    ParseAllowComment(text.substr(tag + 16), &ids, &file_level);
+    if (ids.empty()) return;
+    if (file_level) {
+      out.file_allows.insert(ids.begin(), ids.end());
+    } else if (last_token_line == comment_line) {
+      out.line_allows[comment_line].insert(ids.begin(), ids.end());
+    } else {
+      pending_allows.push_back(std::move(ids));
+    }
+  };
+
+  auto emit = [&](TokKind kind, std::string text, int tok_line) {
+    for (std::set<std::string>& ids : pending_allows) {
+      out.line_allows[tok_line].insert(ids.begin(), ids.end());
+    }
+    pending_allows.clear();
+    last_token_line = tok_line;
+    out.tokens.push_back(Tok{kind, std::move(text), tok_line});
+  };
+
+  bool at_line_start = true;  // Only whitespace/comments seen on this line.
+  while (i < n) {
+    const char c = content[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      at_line_start = true;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Comments.
+    if (c == '/' && i + 1 < n && content[i + 1] == '/') {
+      const size_t end = content.find('\n', i);
+      const std::string text =
+          content.substr(i, (end == std::string::npos ? n : end) - i);
+      handle_comment(text, line);
+      i = end == std::string::npos ? n : end;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && content[i + 1] == '*') {
+      const int comment_line = line;
+      const size_t end = content.find("*/", i + 2);
+      const size_t stop = end == std::string::npos ? n : end + 2;
+      const std::string text = content.substr(i, stop - i);
+      handle_comment(text, comment_line);
+      for (size_t k = i; k < stop; ++k) {
+        if (content[k] == '\n') ++line;
+      }
+      i = stop;
+      continue;
+    }
+    // Preprocessor directive: skip to end of line, honoring continuations.
+    if (c == '#' && at_line_start) {
+      while (i < n) {
+        if (content[i] == '\n') {
+          // A backslash (possibly followed by spaces) continues the line.
+          size_t back = i;
+          while (back > 0 && (content[back - 1] == ' ' ||
+                              content[back - 1] == '\t' ||
+                              content[back - 1] == '\r')) {
+            --back;
+          }
+          ++line;
+          ++i;
+          if (back == 0 || content[back - 1] != '\\') break;
+          continue;
+        }
+        ++i;
+      }
+      at_line_start = true;
+      continue;
+    }
+    at_line_start = false;
+    // Raw string literal: R"delim( ... )delim".
+    if (c == 'R' && i + 1 < n && content[i + 1] == '"') {
+      size_t p = i + 2;
+      std::string delim;
+      while (p < n && content[p] != '(') delim += content[p++];
+      const std::string closer = ")" + delim + "\"";
+      const size_t end = content.find(closer, p);
+      const size_t stop = end == std::string::npos ? n : end + closer.size();
+      const int tok_line = line;
+      for (size_t k = i; k < stop; ++k) {
+        if (content[k] == '\n') ++line;
+      }
+      emit(TokKind::kString, content.substr(i, stop - i), tok_line);
+      i = stop;
+      continue;
+    }
+    // String / char literals.
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      size_t p = i + 1;
+      while (p < n && content[p] != quote) {
+        if (content[p] == '\\' && p + 1 < n) ++p;
+        if (content[p] == '\n') ++line;
+        ++p;
+      }
+      const size_t stop = p < n ? p + 1 : n;
+      emit(quote == '"' ? TokKind::kString : TokKind::kChar,
+           content.substr(i, stop - i), line);
+      i = stop;
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      size_t p = i + 1;
+      while (p < n && IsIdentChar(content[p])) ++p;
+      emit(TokKind::kIdent, content.substr(i, p - i), line);
+      i = p;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(content[i + 1])))) {
+      size_t p = i;
+      while (p < n) {
+        const char d = content[p];
+        if (IsIdentChar(d) || d == '.' || d == '\'') {
+          ++p;
+          continue;
+        }
+        // Exponent sign: only after e/E/p/P.
+        if ((d == '+' || d == '-') && p > i &&
+            (content[p - 1] == 'e' || content[p - 1] == 'E' ||
+             content[p - 1] == 'p' || content[p - 1] == 'P')) {
+          ++p;
+          continue;
+        }
+        break;
+      }
+      emit(TokKind::kNumber, content.substr(i, p - i), line);
+      i = p;
+      continue;
+    }
+    // Punctuation, longest match first.
+    std::string punct(1, c);
+    for (const char* candidate : kPuncts) {
+      const size_t len = std::strlen(candidate);
+      if (content.compare(i, len, candidate) == 0) {
+        punct = candidate;
+        break;
+      }
+    }
+    emit(TokKind::kPunct, punct, line);
+    i += punct.size();
+  }
+  out.tokens.push_back(Tok{TokKind::kEof, "", line});
+  return out;
+}
+
+bool LoadBaseline(const std::string& path, std::set<std::string>* keys,
+                  std::string* error) {
+  std::ifstream file(path);
+  if (!file) {
+    *error = "cannot open baseline file '" + path + "'";
+    return false;
+  }
+  std::string line;
+  while (std::getline(file, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    // Key is the first three tab-separated fields (check, path, line);
+    // anything after the third tab is a human note.
+    size_t tabs = 0;
+    size_t cut = std::string::npos;
+    for (size_t i = 0; i < line.size(); ++i) {
+      if (line[i] == '\t' && ++tabs == 3) {
+        cut = i;
+        break;
+      }
+    }
+    keys->insert(cut == std::string::npos ? line : line.substr(0, cut));
+  }
+  return true;
+}
+
+std::string BaselineKey(const Diagnostic& diag) {
+  return diag.check + "\t" + diag.path + "\t" + std::to_string(diag.line);
+}
+
+std::string FormatBaselineLine(const Diagnostic& diag) {
+  return BaselineKey(diag) + "\t" + diag.message;
+}
+
+}  // namespace cardir_analyzer

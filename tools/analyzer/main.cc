@@ -1,0 +1,245 @@
+// cardir-analyzer CLI.
+//
+//   cardir-analyzer --src src [--baseline tools/analyzer/baseline.txt]
+//   cardir-analyzer file.cc other.h
+//   cardir-analyzer --src src --checks float-eq,unchecked-result
+//   cardir-analyzer --src src --write-baseline tools/analyzer/baseline.txt
+//
+// Output: one `path:line: error: [check-id] message` per finding, findings
+// summary on stderr. Exit 0 = clean (or fully baselined), 1 = findings,
+// 2 = usage / I/O error.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <dirent.h>
+#include <sys/stat.h>
+#endif
+
+#include "analyzer_core.h"
+
+namespace cardir_analyzer {
+namespace {
+
+bool HasSuffix(const std::string& s, const char* suffix) {
+  const size_t len = std::strlen(suffix);
+  return s.size() >= len && s.compare(s.size() - len, len, suffix) == 0;
+}
+
+bool IsSourceFile(const std::string& path) {
+  return HasSuffix(path, ".cc") || HasSuffix(path, ".cpp") ||
+         HasSuffix(path, ".cxx") || HasSuffix(path, ".h") ||
+         HasSuffix(path, ".hpp");
+}
+
+// Recursively collects .cc/.h files under `dir`, sorted for determinism.
+bool CollectSources(const std::string& dir, std::vector<std::string>* out,
+                    std::string* error) {
+#if defined(__unix__) || defined(__APPLE__)
+  DIR* handle = opendir(dir.c_str());
+  if (handle == nullptr) {
+    *error = "cannot open directory '" + dir + "'";
+    return false;
+  }
+  std::vector<std::string> subdirs;
+  for (dirent* entry = readdir(handle); entry != nullptr;
+       entry = readdir(handle)) {
+    const std::string name = entry->d_name;
+    if (name == "." || name == "..") continue;
+    const std::string path = dir + "/" + name;
+    struct stat st;
+    if (stat(path.c_str(), &st) != 0) continue;
+    if (S_ISDIR(st.st_mode)) {
+      subdirs.push_back(path);
+    } else if (S_ISREG(st.st_mode) && IsSourceFile(path)) {
+      out->push_back(path);
+    }
+  }
+  closedir(handle);
+  std::sort(subdirs.begin(), subdirs.end());
+  for (const std::string& sub : subdirs) {
+    if (!CollectSources(sub, out, error)) return false;
+  }
+  return true;
+#else
+  (void)dir;
+  (void)out;
+  *error = "directory walking is not supported on this platform; pass files";
+  return false;
+#endif
+}
+
+bool ReadFile(const std::string& path, std::string* content,
+              std::string* error) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    *error = "cannot read '" + path + "'";
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  *content = buffer.str();
+  return true;
+}
+
+int Usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0 << " [options] [files...]\n"
+      << "  --src DIR             analyze all .cc/.h under DIR (recursive)\n"
+      << "  --checks a,b,...      run only the named checks\n"
+      << "  --baseline FILE       suppress findings listed in FILE\n"
+      << "  --write-baseline FILE write current findings as the baseline\n"
+      << "  --no-path-filter      run path-scoped checks on every file\n"
+      << "  --list-checks         print the check catalog and exit\n"
+      << "exit status: 0 clean, 1 findings, 2 usage/I-O error\n";
+  return 2;
+}
+
+int Run(int argc, char** argv) {
+  std::vector<std::string> paths;
+  std::string src_dir;
+  std::string baseline_path;
+  std::string write_baseline_path;
+  std::set<std::string> enabled;
+  bool no_path_filter = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "error: " << flag << " needs a value\n";
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--list-checks") {
+      for (const auto& entry : CheckCatalog()) {
+        std::cout << entry.first << "\n    " << entry.second << "\n";
+      }
+      return 0;
+    } else if (arg == "--src") {
+      const char* value = next_value("--src");
+      if (value == nullptr) return 2;
+      src_dir = value;
+    } else if (arg == "--baseline") {
+      const char* value = next_value("--baseline");
+      if (value == nullptr) return 2;
+      baseline_path = value;
+    } else if (arg == "--write-baseline") {
+      const char* value = next_value("--write-baseline");
+      if (value == nullptr) return 2;
+      write_baseline_path = value;
+    } else if (arg == "--checks") {
+      const char* value = next_value("--checks");
+      if (value == nullptr) return 2;
+      std::istringstream stream(value);
+      std::string id;
+      while (std::getline(stream, id, ',')) {
+        if (!id.empty()) enabled.insert(id);
+      }
+    } else if (arg == "--no-path-filter") {
+      no_path_filter = true;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage(argv[0]);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "error: unknown flag '" << arg << "'\n";
+      return Usage(argv[0]);
+    } else {
+      paths.push_back(arg);
+    }
+  }
+
+  if (enabled.empty()) {
+    for (const auto& entry : CheckCatalog()) enabled.insert(entry.first);
+  } else {
+    for (const std::string& id : enabled) {
+      bool known = false;
+      for (const auto& entry : CheckCatalog()) {
+        if (entry.first == id) known = true;
+      }
+      if (!known) {
+        std::cerr << "error: unknown check '" << id
+                  << "' (see --list-checks)\n";
+        return 2;
+      }
+    }
+  }
+
+  std::string error;
+  if (!src_dir.empty() && !CollectSources(src_dir, &paths, &error)) {
+    std::cerr << "error: " << error << "\n";
+    return 2;
+  }
+  if (paths.empty()) {
+    std::cerr << "error: nothing to analyze (pass --src DIR or files)\n";
+    return Usage(argv[0]);
+  }
+  std::sort(paths.begin(), paths.end());
+
+  std::vector<FileTokens> files;
+  files.reserve(paths.size());
+  for (const std::string& path : paths) {
+    std::string content;
+    if (!ReadFile(path, &content, &error)) {
+      std::cerr << "error: " << error << "\n";
+      return 2;
+    }
+    files.push_back(Lex(path, content));
+  }
+
+  std::vector<Diagnostic> diags = RunChecks(files, enabled, no_path_filter);
+
+  if (!write_baseline_path.empty()) {
+    std::ofstream out(write_baseline_path);
+    if (!out) {
+      std::cerr << "error: cannot write '" << write_baseline_path << "'\n";
+      return 2;
+    }
+    out << "# cardir-analyzer baseline — regenerate with --write-baseline.\n"
+        << "# <check-id>\\t<path>\\t<line>\\t<note>\n";
+    for (const Diagnostic& diag : diags) {
+      out << FormatBaselineLine(diag) << "\n";
+    }
+    std::cerr << "wrote " << diags.size() << " finding(s) to "
+              << write_baseline_path << "\n";
+    return 0;
+  }
+
+  std::set<std::string> baseline;
+  if (!baseline_path.empty() &&
+      !LoadBaseline(baseline_path, &baseline, &error)) {
+    std::cerr << "error: " << error << "\n";
+    return 2;
+  }
+
+  size_t reported = 0;
+  size_t baselined = 0;
+  for (const Diagnostic& diag : diags) {
+    if (baseline.count(BaselineKey(diag)) != 0) {
+      ++baselined;
+      continue;
+    }
+    std::cout << diag.path << ":" << diag.line << ": error: [" << diag.check
+              << "] " << diag.message << "\n";
+    ++reported;
+  }
+  std::cerr << "cardir-analyzer: " << files.size() << " file(s), " << reported
+            << " finding(s)";
+  if (baselined != 0) std::cerr << ", " << baselined << " baselined";
+  std::cerr << "\n";
+  return reported == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace cardir_analyzer
+
+int main(int argc, char** argv) { return cardir_analyzer::Run(argc, argv); }

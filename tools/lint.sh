@@ -1,13 +1,20 @@
 #!/usr/bin/env bash
 # Lint gate for first-party code (src/).
 #
-# Three stages, each fatal when its tool reports a finding:
+# Four stages, each fatal when its tool reports a finding:
 #   1. strict-warning compile — CARDIR_WERROR=ON turns the src/ warning bar
 #      (-Wall -Wextra -Wshadow -Wconversion -Wdouble-promotion) into errors;
-#      always available, runs with whatever compiler CMake picks;
+#      always available, runs with whatever compiler CMake picks. This
+#      stage also proves the compile-time table layer: the static_asserts
+#      over the interval-kernel class-pair table and the SoA sub-edge code
+#      tables (exhaustive agreement with TileAt) fire here, not at startup;
 #   2. clang-tidy over every src/ translation unit with the checked-in
 #      .clang-tidy (skipped with a notice when clang-tidy is absent);
-#   3. cppcheck over the same compilation database (skipped likewise).
+#   3. cppcheck over the same compilation database (skipped likewise);
+#   4. cardir-analyzer (tools/analyzer) — the project-specific checks
+#      (unchecked-result, scratch-escape, float-eq, obs-macro-side-effect,
+#      lock-across-compute) against the checked-in empty baseline; built
+#      from source in the lint tree, so it always runs.
 #
 # Exit code 0 means: every stage whose tool exists came back clean.
 #
@@ -29,7 +36,7 @@ done
 
 status=0
 
-echo "[lint] stage 1/3: strict-warning compile (CARDIR_WERROR=ON)"
+echo "[lint] stage 1/4: strict-warning compile + table static_asserts (CARDIR_WERROR=ON)"
 generator_args=()
 if command -v ninja >/dev/null 2>&1; then
   generator_args=(-G Ninja)
@@ -46,7 +53,7 @@ if ! cmake --build "$build_dir" -j "$jobs"; then
   status=1
 fi
 
-echo "[lint] stage 2/3: clang-tidy"
+echo "[lint] stage 2/4: clang-tidy"
 if command -v clang-tidy >/dev/null 2>&1; then
   mapfile -t sources < <(find "$root/src" -name '*.cc' | sort)
   if ! clang-tidy -p "$build_dir" --quiet "${sources[@]}"; then
@@ -57,7 +64,7 @@ else
   echo "[lint] clang-tidy not found on PATH — stage skipped"
 fi
 
-echo "[lint] stage 3/3: cppcheck"
+echo "[lint] stage 3/4: cppcheck"
 if command -v cppcheck >/dev/null 2>&1; then
   if ! cppcheck --project="$build_dir/compile_commands.json" \
                 --enable=warning,performance,portability \
@@ -70,6 +77,19 @@ if command -v cppcheck >/dev/null 2>&1; then
   fi
 else
   echo "[lint] cppcheck not found on PATH — stage skipped"
+fi
+
+echo "[lint] stage 4/4: cardir-analyzer"
+if cmake --build "$build_dir" -j "$jobs" --target cardir-analyzer; then
+  if ! "$build_dir/tools/analyzer/cardir-analyzer" --src "$root/src" \
+       --baseline "$root/tools/analyzer/baseline.txt"; then
+    echo "[lint] FAIL: cardir-analyzer reported findings (annotate proven"\
+" sites with // cardir-analyzer: allow(<check>): <reason>)" >&2
+    status=1
+  fi
+else
+  echo "[lint] FAIL: cardir-analyzer failed to build" >&2
+  status=1
 fi
 
 if [[ $status -eq 0 ]]; then
