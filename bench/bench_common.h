@@ -11,6 +11,7 @@
 #include <string>
 
 #include "geometry/region.h"
+#include "obs/memstats.h"
 #include "obs/metrics.h"
 #include "util/random.h"
 #include "workload/region_gen.h"
@@ -29,11 +30,19 @@ namespace bench {
 /// written into a BENCH_*.json ledger must be windowed this way.
 class ObsWindow {
  public:
-  ObsWindow() : before_(obs::CaptureMetrics()) {}
+  // Resetting the mem.*.peak_bytes gauges at window start makes each
+  // record's peaks high-waters *within that run*, not since process start
+  // (Diff keeps the later snapshot's gauge values, so peaks pass through).
+  ObsWindow() {
+    obs::ResetMemPeaks();
+    before_ = obs::CaptureMetrics();
+  }
 
   /// Counter increments since construction (by full metric name; 0 when the
-  /// counter does not exist, e.g. in a -DCARDIR_OBS=OFF build).
+  /// counter does not exist, e.g. in a -DCARDIR_OBS=OFF build). Also
+  /// samples process RSS so mem.process.* gauges are fresh in the result.
   obs::MetricsSnapshot Delta() const {
+    obs::SampleProcessMemory();
     return obs::CaptureMetrics().Diff(before_);
   }
 

@@ -11,7 +11,8 @@
 //
 //   bench_engine [--sizes 1000,2000] [--serial-cap 2000] [--overlap 600]
 //                [--threads 2,8] [--repeat 1] [--out BENCH_engine.json]
-//                [--trace-out trace.json]
+//                [--trace-out trace.json] [--flight-record record.txt]
+//                [--profile profile.folded] [--profile-hz 997]
 //
 // Sizes above --serial-cap skip the serial baseline (quadratic, validated
 // per pair — minutes at 10k); sizes above 5000 use the engine's digest
@@ -36,6 +37,8 @@
 #include "engine/batch_engine.h"
 #include "engine/thread_pool.h"
 #include "geometry/region.h"
+#include "obs/profile.h"
+#include "obs/recorder.h"
 #include "obs/trace.h"
 #include "util/random.h"
 #include "util/string_util.h"
@@ -112,6 +115,15 @@ struct RunRecord {
   uint64_t chunks_stolen = 0;
   uint64_t edges_input = 0;
   uint64_t edges_split = 0;
+  // Memory telemetry (obs/memstats.h): per-arena high-water bytes within
+  // this run's window (ObsWindow resets peaks at window start) plus the
+  // process RSS sampled at window close. All zero under -DCARDIR_OBS=OFF.
+  int64_t mem_pair_matrix_peak_bytes = 0;
+  int64_t mem_edge_soa_peak_bytes = 0;
+  int64_t mem_worker_scratch_peak_bytes = 0;
+  int64_t mem_crossing_queue_peak_bytes = 0;
+  int64_t mem_total_peak_bytes = 0;
+  int64_t mem_process_rss_bytes = 0;
 };
 
 // Fails the process on a counter-accounting violation; the nightly CI job
@@ -217,6 +229,14 @@ void RecordCounters(RunRecord* r, const bench::ObsWindow& window) {
   r->chunks_stolen = delta.counter("engine.pool.chunks_stolen");
   r->edges_input = delta.counter("core.edges.input");
   r->edges_split = delta.counter("core.edges.split");
+  r->mem_pair_matrix_peak_bytes = delta.gauge("mem.pair_matrix.peak_bytes");
+  r->mem_edge_soa_peak_bytes = delta.gauge("mem.edge_soa.peak_bytes");
+  r->mem_worker_scratch_peak_bytes =
+      delta.gauge("mem.worker_scratch.peak_bytes");
+  r->mem_crossing_queue_peak_bytes =
+      delta.gauge("mem.crossing_queue.peak_bytes");
+  r->mem_total_peak_bytes = delta.gauge("mem.total.peak_bytes");
+  r->mem_process_rss_bytes = delta.gauge("mem.process.rss_bytes");
   CheckCounterInvariants(*r, delta);
 }
 
@@ -253,7 +273,12 @@ void WriteJson(const std::vector<RunRecord>& records, int repeat,
         "\"speedup_vs_serial\": %s, \"pairs_per_sec\": %.0f, "
         "\"prefilter_hit_rate\": %.4f, \"chunks_executed\": %llu, "
         "\"chunks_stolen\": %llu, \"edges_input\": %llu, "
-        "\"edges_split\": %llu}%s\n",
+        "\"edges_split\": %llu, \"mem_pair_matrix_peak_bytes\": %lld, "
+        "\"mem_edge_soa_peak_bytes\": %lld, "
+        "\"mem_worker_scratch_peak_bytes\": %lld, "
+        "\"mem_crossing_queue_peak_bytes\": %lld, "
+        "\"mem_total_peak_bytes\": %lld, "
+        "\"mem_process_rss_bytes\": %lld}%s\n",
         r.workload.c_str(), r.regions, r.mode.c_str(), r.threads,
         r.prefilter ? "true" : "false", r.ms, r.pairs, r.prefiltered_pairs,
         r.crossing_pairs, speedup.c_str(), r.pairs_per_sec,
@@ -262,6 +287,12 @@ void WriteJson(const std::vector<RunRecord>& records, int repeat,
         static_cast<unsigned long long>(r.chunks_stolen),
         static_cast<unsigned long long>(r.edges_input),
         static_cast<unsigned long long>(r.edges_split),
+        static_cast<long long>(r.mem_pair_matrix_peak_bytes),
+        static_cast<long long>(r.mem_edge_soa_peak_bytes),
+        static_cast<long long>(r.mem_worker_scratch_peak_bytes),
+        static_cast<long long>(r.mem_crossing_queue_peak_bytes),
+        static_cast<long long>(r.mem_total_peak_bytes),
+        static_cast<long long>(r.mem_process_rss_bytes),
         i + 1 < records.size() ? "," : "");
   }
   out << "  ]\n}\n";
@@ -278,6 +309,9 @@ int Main(int argc, char** argv) {
   int repeat = 1;
   std::string out_path = "BENCH_engine.json";
   std::string trace_path;
+  std::string flight_record_path;
+  std::string profile_path;
+  double profile_hz = obs::ProfileOptions().hz;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> std::string {
@@ -301,6 +335,12 @@ int Main(int argc, char** argv) {
       out_path = next();
     } else if (arg == "--trace-out") {
       trace_path = next();
+    } else if (arg == "--flight-record") {
+      flight_record_path = next();
+    } else if (arg == "--profile") {
+      profile_path = next();
+    } else if (arg == "--profile-hz") {
+      profile_hz = std::stod(next());
     } else {
       std::cerr << "unknown argument: " << arg << "\n";
       return 2;
@@ -308,6 +348,19 @@ int Main(int argc, char** argv) {
   }
 
   std::vector<RunRecord> records;
+  if (!flight_record_path.empty()) {
+    obs::InstallCrashDump(flight_record_path.c_str());
+    obs::CaptureLogTail();
+  }
+  if (!profile_path.empty()) {
+    obs::ProfileOptions profile_options;
+    profile_options.hz = profile_hz;
+    const Status started = obs::StartProfiling(profile_options);
+    if (!started.ok()) {
+      std::cerr << "--profile: " << started << "\n";
+      return 1;
+    }
+  }
   if (!trace_path.empty()) obs::StartTracing();
 
   auto run_workload = [&](const std::string& name,
@@ -421,6 +474,25 @@ int Main(int argc, char** argv) {
     }
     obs::WriteChromeTrace(trace_file);
     std::cout << "wrote " << trace_path << "\n";
+  }
+  if (!profile_path.empty()) {
+    obs::StopProfiling();
+    const Status written = obs::WriteCollapsedProfile(profile_path);
+    if (!written.ok()) {
+      std::cerr << "--profile: " << written << "\n";
+      return 1;
+    }
+    const obs::ProfileStats pstats = obs::GetProfileStats();
+    std::cout << "wrote " << profile_path << " (" << pstats.samples_taken
+              << " samples, " << pstats.samples_with_work << " with work)\n";
+  }
+  if (!flight_record_path.empty()) {
+    if (!obs::DumpFlightRecordToPath(flight_record_path.c_str())) {
+      std::cerr << "cannot write flight record to " << flight_record_path
+                << "\n";
+      return 1;
+    }
+    std::cout << "wrote " << flight_record_path << "\n";
   }
   WriteJson(records, repeat, out_path);
   return 0;

@@ -1,5 +1,6 @@
 #include "cardirect/tool.h"
 
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
@@ -10,6 +11,8 @@
 #include "index/directional_query.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
+#include "obs/recorder.h"
 #include "obs/trace.h"
 #include "reasoning/tables.h"
 #include "util/logging.h"
@@ -20,11 +23,18 @@ namespace {
 
 constexpr const char* kUsage =
     "usage: cardirect [--stats[=json|prom]] [--trace-out=FILE] "
-    "<command> [args]\n"
+    "[--flight-record=FILE] [--profile=FILE] <command> [args]\n"
     "  --stats[=FORMAT]   after the command, print the metric counters the\n"
     "                     run incremented (table, json, or prom[etheus])\n"
     "  --trace-out=FILE   record trace spans and write Chrome trace_event\n"
     "                     JSON to FILE (open in chrome://tracing/Perfetto)\n"
+    "  --flight-record=FILE\n"
+    "                     keep a ring of recent engine events and write it\n"
+    "                     (plus a metrics snapshot) to FILE on crash\n"
+    "                     (SIGSEGV/SIGABRT/SIGBUS) or on clean exit\n"
+    "  --profile=FILE     sample wall-clock stacks while the command runs\n"
+    "                     and write collapsed (flamegraph) lines to FILE\n"
+    "  --profile-hz=N     sampling rate for --profile (default 997)\n"
     "  create <out.xml> [name] [image]      start an empty configuration\n"
     "  add-region <xml> <id> <color> <x,y> <x,y> <x,y>...\n"
     "                                       annotate a polygon region\n"
@@ -412,6 +422,9 @@ int RunCardirectTool(const std::vector<std::string>& args, std::ostream& out,
   // for every subcommand.
   StatsFormat stats_format = StatsFormat::kNone;
   std::string trace_path;
+  std::string flight_record_path;
+  std::string profile_path;
+  double profile_hz = obs::ProfileOptions().hz;
   std::vector<std::string> command_args;
   command_args.reserve(args.size());
   for (const std::string& arg : args) {
@@ -431,11 +444,50 @@ int RunCardirectTool(const std::vector<std::string>& args, std::ostream& out,
         return Fail(err,
                     Status::InvalidArgument("--trace-out needs a file name"));
       }
+    } else if (arg.rfind("--flight-record=", 0) == 0) {
+      flight_record_path = arg.substr(std::string("--flight-record=").size());
+      if (flight_record_path.empty()) {
+        return Fail(err, Status::InvalidArgument(
+                             "--flight-record needs a file name"));
+      }
+    } else if (arg.rfind("--profile=", 0) == 0) {
+      profile_path = arg.substr(std::string("--profile=").size());
+      if (profile_path.empty()) {
+        return Fail(err,
+                    Status::InvalidArgument("--profile needs a file name"));
+      }
+    } else if (arg.rfind("--profile-hz=", 0) == 0) {
+      const std::string value = arg.substr(std::string("--profile-hz=").size());
+      char* end = nullptr;
+      profile_hz = std::strtod(value.c_str(), &end);
+      if (value.empty() || end == nullptr || *end != '\0' ||
+          !(profile_hz > 0)) {
+        return Fail(err, Status::InvalidArgument(
+                             "--profile-hz needs a positive number, got '" +
+                             value + "'"));
+      }
     } else {
       command_args.push_back(arg);
     }
   }
 
+  if (!flight_record_path.empty()) {
+#ifdef CARDIR_OBS_ENABLED
+    // Crash handlers + the log tail go in before the command so the ring
+    // holds the run's own history; the clean-exit dump happens below.
+    obs::InstallCrashDump(flight_record_path.c_str());
+    obs::CaptureLogTail();
+#else
+    return Fail(err, Status::Unimplemented(
+                         "--flight-record requires a build with CARDIR_OBS=ON"));
+#endif
+  }
+  if (!profile_path.empty()) {
+    obs::ProfileOptions profile_options;
+    profile_options.hz = profile_hz;
+    const Status started = obs::StartProfiling(profile_options);
+    if (!started.ok()) return Fail(err, started);
+  }
   if (!trace_path.empty()) obs::StartTracing();
   const obs::MetricsSnapshot before = stats_format != StatsFormat::kNone
                                           ? obs::CaptureMetrics()
@@ -443,6 +495,23 @@ int RunCardirectTool(const std::vector<std::string>& args, std::ostream& out,
 
   const int code = DispatchCommand(command_args, out, err);
 
+  if (!profile_path.empty()) {
+    obs::StopProfiling();
+    const Status written = obs::WriteCollapsedProfile(profile_path);
+    if (!written.ok()) return Fail(err, written);
+    const obs::ProfileStats pstats = obs::GetProfileStats();
+    out << "wrote profile: " << profile_path << " (" << pstats.samples_taken
+        << " samples, " << pstats.samples_with_work << " with work)\n";
+  }
+  if (!flight_record_path.empty()) {
+    // Clean-exit dump: the same file the crash handler would have written,
+    // so post-mortem tooling reads one format either way.
+    if (!obs::DumpFlightRecordToPath(flight_record_path.c_str())) {
+      return Fail(err, Status::IoError("cannot write flight record to '" +
+                                       flight_record_path + "'"));
+    }
+    out << "wrote flight record: " << flight_record_path << "\n";
+  }
   if (!trace_path.empty()) {
     obs::StopTracing();
     std::ofstream trace_file(trace_path);

@@ -4,6 +4,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "obs/memstats.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/string_util.h"
@@ -436,7 +437,10 @@ Status SaveConfiguration(const Configuration& configuration,
                          const std::string& path) {
   std::ofstream file(path);
   if (!file) return Status::IoError("cannot open '" + path + "' for writing");
-  file << ConfigurationToXml(configuration);
+  const std::string text = ConfigurationToXml(configuration);
+  CARDIR_MEMSTAT_ALLOC("xml_buffer", text.size());
+  file << text;
+  CARDIR_MEMSTAT_FREE("xml_buffer", text.size());
   file.close();
   if (!file) return Status::IoError("failed writing '" + path + "'");
   return Status::Ok();
@@ -447,7 +451,14 @@ Result<Configuration> LoadConfiguration(const std::string& path) {
   if (!file) return Status::IoError("cannot open '" + path + "' for reading");
   std::ostringstream buffer;
   buffer << file.rdbuf();
-  return ConfigurationFromXml(buffer.str());
+  const std::string text = buffer.str();
+  // The whole-file text buffer is the transient peak of an ingest; charge
+  // it for the duration of the parse so mem.xml_buffer's high-water shows
+  // the real footprint of loading a large configuration.
+  CARDIR_MEMSTAT_ALLOC("xml_buffer", text.size());
+  Result<Configuration> result = ConfigurationFromXml(text);
+  CARDIR_MEMSTAT_FREE("xml_buffer", text.size());
+  return result;
 }
 
 }  // namespace cardir

@@ -28,6 +28,10 @@ CdrComputation ComputeCdrUnchecked(const Region& primary,
                                    CdrScratch* scratch) {
   const Box& mbb = reference_mbb;
   CARDIR_DCHECK(!mbb.IsEmpty());
+  // No profiler frame here: one Compute-CDR is ~100 ns, so even a cheap
+  // frame push/pop per call shows up as tens of percent on the batch
+  // workloads. Callers that loop over pairs open a chunk-granularity
+  // "cdr.compute" frame instead (engine/batch_engine.cc).
   const Point center = mbb.Center();
 
   CdrComputation result;

@@ -8,6 +8,7 @@
 #include "core/edge_soa.h"
 #include "core/edge_splitter.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "util/logging.h"
 #include "util/target_clones.h"
 
@@ -189,6 +190,7 @@ CdrPercentComputation ComputeCdrPercentUnchecked(const Region& primary,
   const Box& mbb = reference_mbb;
   CARDIR_DCHECK(!mbb.IsEmpty());
   CARDIR_DCHECK(scratch != nullptr);
+  CARDIR_PROFILE_FRAME("cdr.compute_percent");
 
   SignedSums sums;
   EdgeSoA& soa = scratch->soa;

@@ -5,6 +5,7 @@
 #include "core/edge_split_detail.h"
 #include "core/edge_splitter.h"
 #include "geometry/segment.h"
+#include "obs/memstats.h"
 #include "util/logging.h"
 #include "util/target_clones.h"
 
@@ -167,9 +168,16 @@ uint32_t ClassifySubEdgesSoAImpl(const double* x0, const double* y0,
 
 }  // namespace
 
+EdgeSoA::~EdgeSoA() {
+  if (x0.empty()) return;
+  CARDIR_MEMSTAT_FREE("edge_soa", LaneBytes());
+}
+
 void EdgeSoA::EnsureCapacity(size_t lanes) {
   if (x0.size() >= lanes) return;
   const size_t capacity = std::max(lanes, x0.size() * 2);
+  CARDIR_MEMSTAT_ALLOC("edge_soa", (capacity - x0.size()) *
+                                       (4 * sizeof(double) + sizeof(uint8_t)));
   x0.resize(capacity);
   y0.resize(capacity);
   x1.resize(capacity);

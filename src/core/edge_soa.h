@@ -47,6 +47,18 @@ namespace cardir {
 /// computes (the engine's phase-2 crossing chunks hand one through
 /// `WorkerScratch`/`CdrScratch`).
 struct EdgeSoA {
+  EdgeSoA() = default;
+  // Move-only: the lane buffers are charged to the mem.edge_soa telemetry
+  // arena on growth and released in the destructor, so a copy would
+  // double-count. Moves leave the source's vectors empty (libstdc++
+  // guarantees this for the default allocator), so the moved-from
+  // destructor releases zero bytes — accounting stays balanced.
+  EdgeSoA(EdgeSoA&&) = default;
+  EdgeSoA& operator=(EdgeSoA&&) = default;
+  EdgeSoA(const EdgeSoA&) = delete;
+  EdgeSoA& operator=(const EdgeSoA&) = delete;
+  ~EdgeSoA();
+
   std::vector<double> x0, y0, x1, y1;  ///< Piece endpoints, directed a→b.
   std::vector<uint8_t> code;           ///< (column << 2) | row per lane.
   size_t count = 0;
@@ -55,6 +67,12 @@ struct EdgeSoA {
 
   /// Grow-only: ensures every lane array can hold at least `lanes` entries.
   void EnsureCapacity(size_t lanes);
+
+  /// Bytes held by the five lane arrays (size == capacity under the
+  /// grow-only doubling policy; this is what the mem.edge_soa gauges see).
+  size_t LaneBytes() const {
+    return x0.size() * (4 * sizeof(double) + sizeof(uint8_t));
+  }
 };
 
 /// Packs a column/row pair into the 4-bit sub-edge code. Same layout as the

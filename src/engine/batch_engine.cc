@@ -12,6 +12,8 @@
 #include "engine/prefilter.h"
 #include "engine/thread_pool.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
+#include "obs/recorder.h"
 #include "obs/trace.h"
 #include "util/logging.h"
 #include "util/string_util.h"
@@ -73,6 +75,7 @@ Status RunEngine(const std::vector<const Region*>& regions,
   const uint64_t run_start_us = obs::TraceNowMicros();
   CARDIR_METRIC_COUNT("engine.runs", 1);
   CARDIR_METRIC_COUNT("engine.regions", n);
+  CARDIR_RECORD_EVENT(kPhase, "engine.validate", 0, n);
 
   // Validate every region once up front (the serial loop re-validated both
   // sides of every pair — n·(n−1) validations for n regions).
@@ -102,6 +105,7 @@ Status RunEngine(const std::vector<const Region*>& regions,
   const std::array<CardinalRelation, kNumClassPairCodes>* rel_table = nullptr;
   if (options.use_prefilter) {
     CARDIR_TRACE_SPAN("engine.plan");
+    CARDIR_RECORD_EVENT(kPhase, "engine.plan", 1, n);
     if constexpr (kAuditEnabled) {
       CARDIR_RETURN_IF_ERROR(ValidateClassKernelOnce());
     }
@@ -128,10 +132,12 @@ Status RunEngine(const std::vector<const Region*>& regions,
   std::mutex queue_mutex;
   {
     CARDIR_TRACE_SPAN("engine.execute");
+    CARDIR_RECORD_EVENT(kPhase, "engine.classify", 2, n);
     pool.ParallelFor(
         n, options.chunk_size,
         [&](size_t begin, size_t end, size_t participant) {
           CARDIR_TRACE_SPAN("engine.chunk");
+          CARDIR_RECORD_EVENT(kChunk, "classify", begin, end - begin);
           WorkerScratch& ws = scratch[participant];
           size_t prefiltered = 0, computed = 0, crossing = 0;
           CdrMetricsDelta cdr_metrics;  // Flushed once per chunk.
@@ -142,6 +148,10 @@ Status RunEngine(const std::vector<const Region*>& regions,
               // Two branch-free passes classify this primary against all n
               // reference bands; the 16-entry table turns each class-pair
               // code into either a single-tile relation or "defer".
+              // Row-granularity profiler frame: one push covers n
+              // classifications, so the sampler can split chunk time into
+              // classification vs compute without per-pair cost.
+              CARDIR_PROFILE_FRAME("prefilter.classify");
               ws.codes.resize(n);
               ClassifyAgainstBands(profile, primary_box, ws.codes.data());
               const uint8_t* codes = ws.codes.data();
@@ -179,6 +189,9 @@ Status RunEngine(const std::vector<const Region*>& regions,
               }
             } else {
               const Region& primary = *regions[i];
+              // Row-granularity frame: n Compute-CDR calls per push (a
+              // per-pair frame costs tens of percent at ~100 ns/pair).
+              CARDIR_PROFILE_FRAME("cdr.compute");
               for (size_t j = 0; j < n; ++j) {
                 if (i == j) continue;
                 sink(i, j,
@@ -191,6 +204,11 @@ Status RunEngine(const std::vector<const Region*>& regions,
             }
           }
           if (!ws.deferred.empty()) {
+            // Pair indices entering the crossing queue: the recorder logs
+            // the spilled range (first deferred primary + batch size) so a
+            // post-mortem shows which rows were in flight.
+            CARDIR_RECORD_EVENT(kDefer, "spill", ws.deferred.front().primary,
+                                ws.deferred.size());
             std::lock_guard<std::mutex> lock(queue_mutex);
             queue.insert(queue.end(), ws.deferred.begin(), ws.deferred.end());
           }
@@ -212,6 +230,9 @@ Status RunEngine(const std::vector<const Region*>& regions,
   if (!queue.empty()) {
     CARDIR_TRACE_SPAN("engine.crossing_queue");
     CARDIR_METRIC_COUNT("engine.crossing_queue.pairs", queue.size());
+    CARDIR_RECORD_EVENT(kPhase, "engine.crossing", 3, queue.size());
+    CARDIR_MEMSTAT_ALLOC("crossing_queue",
+                         queue.capacity() * sizeof(DeferredPair));
     size_t chunk = options.crossing_chunk_size;
     if (chunk == 0) {
       chunk = std::max<size_t>(
@@ -221,6 +242,11 @@ Status RunEngine(const std::vector<const Region*>& regions,
         queue.size(), chunk,
         [&](size_t begin, size_t end, size_t participant) {
           CARDIR_TRACE_SPAN("engine.chunk");
+          CARDIR_RECORD_EVENT(kChunk, "crossing", begin, end - begin);
+          // The whole crossing chunk is Compute-CDR work: one frame per
+          // chunk gives the profiler the same attribution a per-pair frame
+          // would, at none of the hot-loop cost.
+          CARDIR_PROFILE_FRAME("cdr.compute");
           WorkerScratch& ws = scratch[participant];
           CdrMetricsDelta cdr_metrics;
           for (size_t k = begin; k < end; ++k) {
@@ -238,7 +264,28 @@ Status RunEngine(const std::vector<const Region*>& regions,
           CARDIR_METRIC_COUNT("engine.pairs.computed", end - begin);
         });
     computed_total.fetch_add(queue.size(), std::memory_order_relaxed);
+    CARDIR_MEMSTAT_FREE("crossing_queue",
+                        queue.capacity() * sizeof(DeferredPair));
   }
+
+  // Worker-scratch telemetry: the codes/spill buffers reach their maximum
+  // extent by the end of the run (grow-only within a run), and they die
+  // with this scope — charge and release here so mem.worker_scratch's peak
+  // gauge records the run's high-water while live returns to zero. The
+  // CdrScratch SoA lanes inside are charged continuously by the
+  // mem.edge_soa arena and excluded to avoid double counting.
+  {
+    size_t scratch_bytes = 0;
+    for (const WorkerScratch& ws : scratch) {
+      scratch_bytes += ws.codes.capacity() * sizeof(uint8_t) +
+                       ws.deferred.capacity() * sizeof(DeferredPair);
+    }
+    if (scratch_bytes != 0) {
+      CARDIR_MEMSTAT_ALLOC("worker_scratch", scratch_bytes);
+      CARDIR_MEMSTAT_FREE("worker_scratch", scratch_bytes);
+    }
+  }
+  CARDIR_RECORD_EVENT(kPhase, "engine.done", 4, n * (n - 1));
 
   // Audit seam: every ordered pair went through the sink exactly once
   // (prefiltered + computed partitions the n·(n−1) pairs).

@@ -33,6 +33,7 @@
 
 #include "core/cardinal_relation.h"
 #include "geometry/region.h"
+#include "obs/memstats.h"
 #include "util/status.h"
 
 namespace cardir {
@@ -93,7 +94,12 @@ class PairMatrix {
         size_(regions < 2 ? 0 : regions * (regions - 1)),
         masks_(size_ == 0 ? nullptr
                           : static_cast<uint16_t*>(::operator new(
-                                size_ * sizeof(uint16_t)))) {}
+                                size_ * sizeof(uint16_t))),
+               Deleter{size_ * sizeof(uint16_t)}) {
+    if (size_ != 0) {
+      CARDIR_MEMSTAT_ALLOC("pair_matrix", size_ * sizeof(uint16_t));
+    }
+  }
 
   PairMatrix(PairMatrix&&) = default;
   PairMatrix& operator=(PairMatrix&&) = default;
@@ -149,8 +155,14 @@ class PairMatrix {
   const uint16_t* masks() const { return masks_.get(); }
 
  private:
+  // Stateful: remembers the allocation size so the mem.pair_matrix gauges
+  // balance on destruction (moves carry the deleter with the pointer).
   struct Deleter {
-    void operator()(uint16_t* p) const { ::operator delete(p); }
+    size_t bytes = 0;
+    void operator()(uint16_t* p) const {
+      if (p != nullptr) CARDIR_MEMSTAT_FREE("pair_matrix", bytes);
+      ::operator delete(p);
+    }
   };
   size_t regions_ = 0;
   size_t size_ = 0;

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/memstats.h"
 #include "obs/metrics.h"
 #include "util/logging.h"
 #include "util/string_util.h"
@@ -43,9 +44,50 @@ RTree::RTree(int max_entries)
   CARDIR_CHECK(max_entries >= 4) << "R-tree nodes need at least 4 slots";
 }
 
-RTree::~RTree() = default;
-RTree::RTree(RTree&&) noexcept = default;
-RTree& RTree::operator=(RTree&&) noexcept = default;
+RTree::~RTree() {
+  if (tracked_bytes_ != 0) CARDIR_MEMSTAT_FREE("rtree", tracked_bytes_);
+}
+
+// Hand-written moves: the default would leave tracked_bytes_ behind in the
+// source, whose destructor would then release the same bytes twice.
+RTree::RTree(RTree&& other) noexcept
+    : max_entries_(other.max_entries_),
+      min_entries_(other.min_entries_),
+      root_(std::move(other.root_)),
+      size_(other.size_),
+      tracked_bytes_(other.tracked_bytes_),
+      bulk_loaded_(other.bulk_loaded_) {
+  other.size_ = 0;
+  other.tracked_bytes_ = 0;
+  other.root_ = std::make_unique<Node>();
+  other.bulk_loaded_ = false;
+}
+
+RTree& RTree::operator=(RTree&& other) noexcept {
+  if (this == &other) return *this;
+  if (tracked_bytes_ != 0) CARDIR_MEMSTAT_FREE("rtree", tracked_bytes_);
+  max_entries_ = other.max_entries_;
+  min_entries_ = other.min_entries_;
+  root_ = std::move(other.root_);
+  size_ = other.size_;
+  tracked_bytes_ = other.tracked_bytes_;
+  bulk_loaded_ = other.bulk_loaded_;
+  other.size_ = 0;
+  other.tracked_bytes_ = 0;
+  other.root_ = std::make_unique<Node>();
+  other.bulk_loaded_ = false;
+  return *this;
+}
+
+size_t RTree::NodeBytes(const Node& node) {
+  size_t bytes = sizeof(Node) + node.boxes.capacity() * sizeof(Box) +
+                 node.ids.capacity() * sizeof(int64_t) +
+                 node.children.capacity() * sizeof(std::unique_ptr<Node>);
+  for (const std::unique_ptr<Node>& child : node.children) {
+    bytes += NodeBytes(*child);
+  }
+  return bytes;
+}
 
 RTree::Node* RTree::ChooseLeaf(const Box& box) const {
   Node* node = root_.get();
@@ -284,6 +326,8 @@ Status RTree::BulkLoad(std::vector<std::pair<Box, int64_t>> entries) {
   }
   root_ = std::move(level.front());
   root_->parent = nullptr;
+  tracked_bytes_ = NodeBytes(*root_);
+  CARDIR_MEMSTAT_ALLOC("rtree", tracked_bytes_);
   return Status::Ok();
 }
 

@@ -69,10 +69,18 @@ class RTree {
   Node* ChooseLeaf(const Box& box) const;
   void SplitAndPropagate(Node* node);
 
+  // Recursive node + payload-capacity byte count (memory telemetry).
+  static size_t NodeBytes(const Node& node);
+
   int max_entries_;
   int min_entries_;
   std::unique_ptr<Node> root_;
   size_t size_ = 0;
+  // Bytes charged to the mem.rtree arena. Measured once at the end of
+  // BulkLoad (the engine-scale build path) and released on destruction;
+  // insert-built trees stay uncharged rather than paying an O(n) walk per
+  // insertion.
+  size_t tracked_bytes_ = 0;
   // STR packing legitimately leaves one underfull node per level; the
   // invariant checker relaxes the min-fill rule for bulk-loaded trees.
   bool bulk_loaded_ = false;

@@ -31,7 +31,55 @@ std::string HistogramMaxBound(const HistogramData& data) {
   return "0";
 }
 
+// Quantile estimates rendered with %g so integers stay short ("412") and
+// interpolated values keep a couple of decimals ("3.5").
+std::string QuantileString(const HistogramData& data, double q) {
+  return StrFormat("%.4g", HistogramQuantileEstimate(data, q));
+}
+
+// # HELP text by metric-name prefix: exact descriptions live next to the
+// instrumentation sites, so the exporter only knows the subsystem.
+const char* PrometheusHelp(const std::string& name) {
+  if (name.rfind("engine.", 0) == 0) return "Batch relation engine metric.";
+  if (name.rfind("cdr.", 0) == 0) return "Compute-CDR core metric.";
+  if (name.rfind("index.", 0) == 0) return "Spatial index metric.";
+  if (name.rfind("xml.", 0) == 0) return "XML ingest/serialise metric.";
+  if (name.rfind("mem.", 0) == 0) return "Memory telemetry in bytes.";
+  if (name.rfind("query.", 0) == 0) return "Directional query metric.";
+  return "cardir metric.";
+}
+
 }  // namespace
+
+double HistogramQuantileEstimate(const HistogramData& data, double q) {
+  if (data.count == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double target = q * static_cast<double>(data.count);
+  uint64_t cumulative = 0;
+  for (size_t k = 0; k < data.buckets.size(); ++k) {
+    if (data.buckets[k] == 0) continue;
+    const uint64_t before = cumulative;
+    cumulative += data.buckets[k];
+    if (static_cast<double>(cumulative) < target) continue;
+    // Bucket k spans (2^(k-1), 2^k]; bucket 0 spans [0, 1].
+    const double lower =
+        k == 0 ? 0.0
+               : static_cast<double>(Histogram::BucketUpperBound(k - 1));
+    const double upper = static_cast<double>(Histogram::BucketUpperBound(k));
+    const double in_bucket = static_cast<double>(data.buckets[k]);
+    const double position = (target - static_cast<double>(before)) / in_bucket;
+    return lower + position * (upper - lower);
+  }
+  // All observations below target can only happen via rounding; report the
+  // histogram's max bound.
+  for (size_t k = data.buckets.size(); k-- > 0;) {
+    if (data.buckets[k] != 0) {
+      return static_cast<double>(Histogram::BucketUpperBound(k));
+    }
+  }
+  return 0.0;
+}
 
 std::string FormatMetricsTable(const MetricsSnapshot& snapshot,
                                const MetricsTableOptions& options) {
@@ -61,11 +109,13 @@ std::string FormatMetricsTable(const MetricsSnapshot& snapshot,
   }
   for (const auto& [name, data] : snapshot.histograms) {
     if (options.skip_zero && data.count == 0) continue;
-    out << StrFormat("histogram  %-*s count=%llu sum=%llu max<=%s\n",
-                     static_cast<int>(width), name.c_str(),
-                     static_cast<unsigned long long>(data.count),
-                     static_cast<unsigned long long>(data.sum),
-                     HistogramMaxBound(data).c_str());
+    out << StrFormat(
+        "histogram  %-*s count=%llu sum=%llu p50~%s p90~%s p99~%s max<=%s\n",
+        static_cast<int>(width), name.c_str(),
+        static_cast<unsigned long long>(data.count),
+        static_cast<unsigned long long>(data.sum),
+        QuantileString(data, 0.50).c_str(), QuantileString(data, 0.90).c_str(),
+        QuantileString(data, 0.99).c_str(), HistogramMaxBound(data).c_str());
   }
   return out.str();
 }
@@ -89,7 +139,9 @@ std::string FormatMetricsJson(const MetricsSnapshot& snapshot) {
   for (const auto& [name, data] : snapshot.histograms) {
     out << (first ? "\n" : ",\n") << "    \"" << name
         << "\": {\"count\": " << data.count << ", \"sum\": " << data.sum
-        << ", \"buckets\": {";
+        << ", \"p50\": " << QuantileString(data, 0.50)
+        << ", \"p90\": " << QuantileString(data, 0.90)
+        << ", \"p99\": " << QuantileString(data, 0.99) << ", \"buckets\": {";
     bool first_bucket = true;
     for (size_t k = 0; k < data.buckets.size(); ++k) {
       if (data.buckets[k] == 0) continue;
@@ -109,21 +161,37 @@ std::string FormatMetricsPrometheus(const MetricsSnapshot& snapshot) {
   std::ostringstream out;
   for (const auto& [name, value] : snapshot.counters) {
     const std::string prom = PrometheusName(name);
-    out << "# TYPE " << prom << " counter\n" << prom << " " << value << "\n";
+    out << "# HELP " << prom << " " << PrometheusHelp(name) << "\n"
+        << "# TYPE " << prom << " counter\n"
+        << prom << " " << value << "\n";
   }
   for (const auto& [name, value] : snapshot.gauges) {
     const std::string prom = PrometheusName(name);
-    out << "# TYPE " << prom << " gauge\n" << prom << " " << value << "\n";
+    out << "# HELP " << prom << " " << PrometheusHelp(name) << "\n"
+        << "# TYPE " << prom << " gauge\n"
+        << prom << " " << value << "\n";
   }
   for (const auto& [name, data] : snapshot.histograms) {
     const std::string prom = PrometheusName(name);
-    out << "# TYPE " << prom << " histogram\n";
-    uint64_t cumulative = 0;
+    out << "# HELP " << prom << " " << PrometheusHelp(name) << "\n"
+        << "# TYPE " << prom << " histogram\n";
+    // Dense cumulative series: every le bound up to the highest non-empty
+    // bucket, so histogram_quantile never sees gaps.
+    size_t highest = 0;
+    bool any = false;
     for (size_t k = 0; k < data.buckets.size(); ++k) {
-      if (data.buckets[k] == 0) continue;  // Sparse: skip empty buckets.
-      cumulative += data.buckets[k];
-      out << prom << "_bucket{le=\"" << Histogram::BucketUpperBound(k)
-          << "\"} " << cumulative << "\n";
+      if (data.buckets[k] != 0) {
+        highest = k;
+        any = true;
+      }
+    }
+    uint64_t cumulative = 0;
+    if (any) {
+      for (size_t k = 0; k <= highest; ++k) {
+        cumulative += data.buckets[k];
+        out << prom << "_bucket{le=\"" << Histogram::BucketUpperBound(k)
+            << "\"} " << cumulative << "\n";
+      }
     }
     out << prom << "_bucket{le=\"+Inf\"} " << data.count << "\n"
         << prom << "_sum " << data.sum << "\n"

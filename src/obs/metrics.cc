@@ -1,7 +1,39 @@
 #include "obs/metrics.h"
 
+#include <unistd.h>
+
+#include "obs/raw_format.h"
+
 namespace cardir {
 namespace obs {
+namespace {
+
+// write(2) the whole buffer; signal-safe (no errno inspection loops beyond
+// the return value, no retries on error).
+void RawWrite(int fd, const char* data, size_t size) {
+  size_t written = 0;
+  while (written < size) {
+    const ssize_t n = ::write(fd, data + written, size - written);
+    if (n <= 0) return;
+    written += static_cast<size_t>(n);
+  }
+}
+
+void DumpMetricLine(int fd, const char* metric_kind, const std::string& name,
+                    int64_t value) {
+  char buf[256];
+  size_t len = 0;
+  len = raw::AppendStr(buf, len, sizeof(buf), "metric ");
+  len = raw::AppendStr(buf, len, sizeof(buf), metric_kind);
+  len = raw::AppendChar(buf, len, sizeof(buf), ' ');
+  len = raw::AppendSanitised(buf, len, sizeof(buf), name.c_str());
+  len = raw::AppendChar(buf, len, sizeof(buf), ' ');
+  len = raw::AppendI64(buf, len, sizeof(buf), value);
+  len = raw::AppendChar(buf, len, sizeof(buf), '\n');
+  RawWrite(fd, buf, len);
+}
+
+}  // namespace
 
 size_t ThisThreadIndex() {
   static std::atomic<size_t> next{0};
@@ -47,6 +79,11 @@ std::vector<uint64_t> Histogram::Buckets() const {
 uint64_t MetricsSnapshot::counter(const std::string& name) const {
   const auto it = counters.find(name);
   return it == counters.end() ? 0 : it->second;
+}
+
+int64_t MetricsSnapshot::gauge(const std::string& name) const {
+  const auto it = gauges.find(name);
+  return it == gauges.end() ? 0 : it->second;
 }
 
 MetricsSnapshot MetricsSnapshot::Diff(const MetricsSnapshot& earlier) const {
@@ -117,6 +154,33 @@ MetricsSnapshot MetricsRegistry::Capture() const {
     snapshot.histograms[name] = std::move(data);
   }
   return snapshot;
+}
+
+bool MetricsRegistry::TryDumpRaw(int fd) const {
+  if (!mutex_.try_lock()) return false;
+  // Map traversal only reads existing nodes; metric Value() sums atomics.
+  // Neither allocates, so this is safe from a signal handler given the
+  // lock (which the try_lock above guarantees we own).
+  for (const auto& [name, counter] : counters_) {
+    DumpMetricLine(fd, "counter", name, static_cast<int64_t>(counter->Value()));
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    DumpMetricLine(fd, "gauge", name, gauge->Value());
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    char buf[256];
+    size_t len = 0;
+    len = raw::AppendStr(buf, len, sizeof(buf), "metric histogram ");
+    len = raw::AppendSanitised(buf, len, sizeof(buf), name.c_str());
+    len = raw::AppendStr(buf, len, sizeof(buf), " count=");
+    len = raw::AppendU64(buf, len, sizeof(buf), histogram->Count());
+    len = raw::AppendStr(buf, len, sizeof(buf), " sum=");
+    len = raw::AppendU64(buf, len, sizeof(buf), histogram->Sum());
+    len = raw::AppendChar(buf, len, sizeof(buf), '\n');
+    RawWrite(fd, buf, len);
+  }
+  mutex_.unlock();
+  return true;
 }
 
 MetricsSnapshot CaptureMetrics() { return MetricsRegistry::Global().Capture(); }

@@ -73,7 +73,21 @@ class Counter {
 class Gauge {
  public:
   void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
-  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  /// Adjusts by `delta` and returns the post-adjustment value, so callers
+  /// tracking a paired high-water gauge can feed UpdateMax without a racy
+  /// re-read.
+  int64_t Add(int64_t delta) {
+    return value_.fetch_add(delta, std::memory_order_relaxed) + delta;
+  }
+  /// Raises the gauge to `candidate` if it is below it (CAS max). Used for
+  /// peak/high-water gauges updated from many threads.
+  void UpdateMax(int64_t candidate) {
+    int64_t current = value_.load(std::memory_order_relaxed);
+    while (current < candidate &&
+           !value_.compare_exchange_weak(current, candidate,
+                                         std::memory_order_relaxed)) {
+    }
+  }
   int64_t Value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
@@ -136,6 +150,9 @@ struct MetricsSnapshot {
   /// Counter value by name (0 when absent) — convenience for benches/tests.
   uint64_t counter(const std::string& name) const;
 
+  /// Gauge value by name (0 when absent) — convenience for benches/tests.
+  int64_t gauge(const std::string& name) const;
+
   /// The change from `earlier` to this snapshot: counters and histogram
   /// counts subtract; gauges keep this snapshot's value (a gauge is a
   /// level, not a flow). Metrics born after `earlier` diff against zero.
@@ -153,6 +170,15 @@ class MetricsRegistry {
   Histogram& GetHistogram(const std::string& name);
 
   MetricsSnapshot Capture() const;
+
+  /// Best-effort async-signal-safe dump of counter and gauge values into
+  /// `fd` as "metric counter <name> <value>" lines. Takes the registry
+  /// mutex with try_lock only — if another thread holds it at crash time
+  /// the metrics section is skipped rather than deadlocking the signal
+  /// handler. Traversing the maps neither allocates nor formats through
+  /// stdio (raw_format helpers only). Histograms are summarised as
+  /// count/sum. Returns true when the lock was obtained.
+  bool TryDumpRaw(int fd) const;
 
  private:
   MetricsRegistry() = default;

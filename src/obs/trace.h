@@ -63,6 +63,31 @@ void WriteChromeTrace(std::ostream& out);
 /// Microseconds since the tracer's clock epoch (process start, roughly).
 uint64_t TraceNowMicros();
 
+// --- Shadow span stacks (sampling-profiler support) ------------------------
+//
+// When enabled, every TraceSpan also pushes its label onto a per-thread
+// shadow stack that the profiler's sampling thread reads concurrently.
+// The stack is all-atomic (frame pointers and depth), so cross-thread
+// sampling is TSan-clean; labels are immortal string literals, so a
+// sampled frame pointer is always safe to dereference even when the stack
+// mutated mid-sample — the worst case is one misattributed sample, which
+// a statistical profile tolerates.
+
+/// A sampling-thread view of one thread's open spans, outermost first.
+struct SpanStackSample {
+  uint32_t tid = 0;
+  std::vector<const char*> frames;
+};
+
+/// Turns shadow-stack bookkeeping on/off (the profiler holds it on while
+/// sampling). Off costs one relaxed load per span.
+void EnableSpanStacks(bool enabled);
+bool SpanStacksEnabled();
+
+/// Snapshots every registered thread's shadow stack. Threads with no open
+/// span are omitted. Safe to call concurrently with span push/pop.
+std::vector<SpanStackSample> SampleSpanStacks();
+
 class TraceSpan {
  public:
   explicit TraceSpan(const char* name);
@@ -74,7 +99,8 @@ class TraceSpan {
  private:
   const char* name_;
   uint64_t start_us_ = 0;
-  bool active_ = false;
+  bool active_ = false;   // Recording a Chrome trace event.
+  bool pushed_ = false;   // Holding a shadow-stack frame.
 };
 
 #define CARDIR_TRACE_SPAN_CONCAT2(a, b) a##b
@@ -85,12 +111,20 @@ class TraceSpan {
 
 #else  // !CARDIR_OBS_ENABLED
 
+struct SpanStackSample {
+  uint32_t tid = 0;
+  std::vector<const char*> frames;
+};
+
 inline void StartTracing() {}
 inline void StopTracing() {}
 inline bool TracingEnabled() { return false; }
 inline std::vector<TraceEvent> CollectTraceEvents() { return {}; }
 void WriteChromeTrace(std::ostream& out);  // Writes an empty trace.
 inline uint64_t TraceNowMicros() { return 0; }
+inline void EnableSpanStacks(bool) {}
+inline bool SpanStacksEnabled() { return false; }
+inline std::vector<SpanStackSample> SampleSpanStacks() { return {}; }
 
 #define CARDIR_TRACE_SPAN(name) \
   do {                          \

@@ -13,6 +13,7 @@ namespace {
 
 std::atomic<int> g_log_level{-1};    // -1: not yet initialised.
 std::atomic<int> g_timestamps{-1};   // -1: not yet initialised.
+std::atomic<LogLineHook> g_line_hook{nullptr};
 
 LogLevel InitialLevelFromEnv() {
   // Lazy one-shot init (first log call); nothing writes the environment.
@@ -50,9 +51,11 @@ void WriteLine(const std::string& line) {
   while (written < line.size()) {
     const ssize_t n =
         ::write(STDERR_FILENO, line.data() + written, line.size() - written);
-    if (n <= 0) return;  // Logging must never loop on a broken stderr.
+    if (n <= 0) break;  // Logging must never loop on a broken stderr.
     written += static_cast<size_t>(n);
   }
+  const LogLineHook hook = g_line_hook.load(std::memory_order_acquire);
+  if (hook != nullptr) hook(line.data(), line.size());
 }
 
 const char* LevelName(LogLevel level) {
@@ -88,6 +91,10 @@ LogLevel GetLogLevel() {
 
 void SetLogTimestamps(bool enabled) {
   g_timestamps.store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+void SetLogLineHook(LogLineHook hook) {
+  g_line_hook.store(hook, std::memory_order_release);
 }
 
 bool GetLogTimestamps() {

@@ -42,6 +42,15 @@ void SetLogTimestamps(bool enabled);
 /// True when log lines carry a timestamp prefix.
 bool GetLogTimestamps();
 
+/// Observer invoked with every fully formatted log line (including the
+/// trailing newline) after it is written to stderr. The hook runs on the
+/// logging thread and must be cheap and reentrancy-safe (it must not log).
+/// Used by the obs flight recorder to keep a tail of recent log lines.
+/// Pass nullptr to clear. Not a layering inversion: util knows only this
+/// function-pointer seam, never the obs types.
+using LogLineHook = void (*)(const char* line, size_t length);
+void SetLogLineHook(LogLineHook hook);
+
 namespace internal_logging {
 
 /// The full log line for `message` (prefix, message, trailing newline) —

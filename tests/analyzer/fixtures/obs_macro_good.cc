@@ -7,6 +7,9 @@ void Good(int n, bool strict) {
   CARDIR_METRIC_OBSERVE("engine.size", n <= 4 ? n : 4);  // <= is not =.
   const bool same = (n == 4);  // == inside an argument is a comparison.
   CARDIR_AUDIT(CheckInvariant(same, strict));
+  CARDIR_RECORD_EVENT(kChunk, "classify", n, n - 1);  // Pure arguments.
+  CARDIR_MEMSTAT_FREE("scratch", n * 2);              // * is not *=.
+  CARDIR_PROFILE_FRAME("cdr.compute");
 }
 
 }  // namespace cardir

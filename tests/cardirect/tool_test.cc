@@ -311,5 +311,51 @@ TEST_F(ToolTest, ThreadsEqualsFormIsAccepted) {
   EXPECT_EQ(RunTool({"relations", path_, "--threads=bogus"}).exit_code, 1);
 }
 
+TEST_F(ToolTest, FlightRecordWritesDumpOnCleanExit) {
+  if (!kObsEnabled) GTEST_SKIP() << "flight recorder compiled out";
+  const std::string record_path =
+      ::testing::TempDir() + "/cardirect_flight.txt";
+  const ToolRun run =
+      RunTool({"--flight-record=" + record_path, "relations", path_});
+  ASSERT_EQ(run.exit_code, 0) << run.err;
+  EXPECT_NE(run.out.find("wrote flight record: " + record_path),
+            std::string::npos);
+  std::ifstream record_file(record_path);
+  ASSERT_TRUE(record_file.is_open());
+  std::stringstream buffer;
+  buffer << record_file.rdbuf();
+  const std::string record = buffer.str();
+  EXPECT_EQ(record.rfind("cardir-flight-record v1\n", 0), 0u);
+  // The engine run's phase transitions are in the ring.
+  EXPECT_NE(record.find("label=engine.validate"), std::string::npos);
+  EXPECT_NE(record.find("label=engine.done"), std::string::npos);
+  EXPECT_NE(record.find("\nend\n"), std::string::npos);
+  std::remove(record_path.c_str());
+
+  EXPECT_EQ(RunTool({"--flight-record=", "relations", path_}).exit_code, 1);
+}
+
+TEST_F(ToolTest, ProfileWritesCollapsedStacks) {
+  if (!kObsEnabled) GTEST_SKIP() << "profiler compiled out";
+  const std::string profile_path =
+      ::testing::TempDir() + "/cardirect_profile.folded";
+  // The demo configuration finishes in microseconds, so the file may hold
+  // zero samples — the contract here is flag plumbing: the profiler starts,
+  // stops, and writes the file.
+  const ToolRun run = RunTool({"--profile=" + profile_path, "--profile-hz=2000",
+                               "relations", path_});
+  ASSERT_EQ(run.exit_code, 0) << run.err;
+  EXPECT_NE(run.out.find("wrote profile: " + profile_path), std::string::npos);
+  std::ifstream profile_file(profile_path);
+  EXPECT_TRUE(profile_file.is_open());
+  std::remove(profile_path.c_str());
+
+  EXPECT_EQ(RunTool({"--profile=", "relations", path_}).exit_code, 1);
+  const ToolRun bad_rate = RunTool(
+      {"--profile=" + profile_path, "--profile-hz=-5", "relations", path_});
+  EXPECT_EQ(bad_rate.exit_code, 1);
+  EXPECT_NE(bad_rate.err.find("--profile-hz"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace cardir

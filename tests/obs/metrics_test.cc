@@ -211,29 +211,66 @@ TEST(ExportTest, JsonGolden) {
       "  },\n"
       "  \"histograms\": {\n"
       "    \"engine.run_us\": {\"count\": 3, \"sum\": 7, "
+      "\"p50\": 0.75, \"p90\": 6.8, \"p99\": 7.88, "
       "\"buckets\": {\"<=1\": 2, \"<=8\": 1}}\n"
       "  }\n"
       "}\n";
   EXPECT_EQ(json, expected);
 }
 
+TEST(ExportTest, QuantileEstimateInterpolatesWithinBuckets) {
+  HistogramData data;
+  data.count = 3;
+  data.sum = 7;
+  data.buckets.assign(Histogram::kBuckets, 0);
+  data.buckets[Histogram::BucketOf(1)] = 2;  // bucket 0: [0, 1]
+  data.buckets[Histogram::BucketOf(5)] = 1;  // bucket 3: (4, 8]
+  // q*count = 1.5 of 2 observations in bucket 0 -> 0.75 of the way to 1.
+  EXPECT_DOUBLE_EQ(HistogramQuantileEstimate(data, 0.5), 0.75);
+  // q*count = 2.7: 0.7 into the single observation of bucket (4, 8].
+  EXPECT_DOUBLE_EQ(HistogramQuantileEstimate(data, 0.9), 6.8);
+  EXPECT_DOUBLE_EQ(HistogramQuantileEstimate(data, 0.99), 7.88);
+  // Extremes clamp to the bucket bounds; empty histograms estimate 0.
+  EXPECT_DOUBLE_EQ(HistogramQuantileEstimate(data, 1.0), 8.0);
+  EXPECT_DOUBLE_EQ(HistogramQuantileEstimate(HistogramData{}, 0.5), 0.0);
+}
+
+TEST(ExportTest, TableShowsQuantileColumns) {
+  const std::string table = FormatMetricsTable(ExampleSnapshot());
+  EXPECT_NE(table.find("p50~0.75"), std::string::npos) << table;
+  EXPECT_NE(table.find("p90~6.8"), std::string::npos) << table;
+  EXPECT_NE(table.find("p99~7.88"), std::string::npos) << table;
+}
+
 TEST(ExportTest, PrometheusGolden) {
   const std::string prom = FormatMetricsPrometheus(ExampleSnapshot());
-  // Names are sanitised and prefixed; histogram buckets are cumulative.
+  // Names are sanitised and prefixed; every series carries # HELP + # TYPE.
+  EXPECT_NE(prom.find("# HELP cardir_engine_pairs_total"), std::string::npos);
   EXPECT_NE(prom.find("# TYPE cardir_engine_pairs_total counter\n"
                       "cardir_engine_pairs_total 90\n"),
             std::string::npos);
+  EXPECT_NE(prom.find("# HELP cardir_engine_pool_threads"), std::string::npos);
   EXPECT_NE(prom.find("# TYPE cardir_engine_pool_threads gauge\n"
                       "cardir_engine_pool_threads 4\n"),
             std::string::npos);
+  EXPECT_NE(prom.find("# HELP cardir_engine_run_us"), std::string::npos);
   EXPECT_NE(prom.find("# TYPE cardir_engine_run_us histogram\n"),
             std::string::npos);
   EXPECT_NE(prom.find("cardir_engine_run_us_bucket{le=\"1\"} 2\n"),
             std::string::npos);
-  // Cumulative: the le="8" bucket includes the two observations <= 1.
+  // Dense cumulative series: the empty buckets between le=1 and le=8 are
+  // emitted too (gap-free monotone series for histogram_quantile), and the
+  // le="8" bucket includes the two observations <= 1.
+  EXPECT_NE(prom.find("cardir_engine_run_us_bucket{le=\"2\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("cardir_engine_run_us_bucket{le=\"4\"} 2\n"),
+            std::string::npos);
   EXPECT_NE(prom.find("cardir_engine_run_us_bucket{le=\"8\"} 3\n"),
             std::string::npos);
   EXPECT_NE(prom.find("cardir_engine_run_us_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  // ...but not past the highest non-empty bucket.
+  EXPECT_EQ(prom.find("cardir_engine_run_us_bucket{le=\"16\"}"),
             std::string::npos);
   EXPECT_NE(prom.find("cardir_engine_run_us_sum 7\n"), std::string::npos);
   EXPECT_NE(prom.find("cardir_engine_run_us_count 3\n"), std::string::npos);

@@ -20,8 +20,9 @@
 //                        + src/geometry. Proven-exact sites carry an
 //                        `allow(float-eq)` comment with a justification.
 //  obs-macro-side-effect An argument of CARDIR_METRIC_*/CARDIR_TRACE_SPAN/
-//                        CARDIR_AUDIT contains ++/--/assignment. Those
-//                        macros compile to (void)sizeof under
+//                        CARDIR_AUDIT/CARDIR_RECORD_EVENT/CARDIR_MEMSTAT_*/
+//                        CARDIR_PROFILE_FRAME contains ++/--/assignment.
+//                        Those macros compile to (void)sizeof under
 //                        CARDIR_OBS=OFF / CARDIR_AUDIT=OFF, so the side
 //                        effect silently vanishes in those builds.
 //  lock-across-compute   A scoped lock (lock_guard/unique_lock/scoped_lock/
@@ -504,8 +505,11 @@ void CheckFloatEq(const FileTokens& file,
 
 const std::set<std::string>& VanishingMacros() {
   static const std::set<std::string> kMacros = {
-      "CARDIR_METRIC_COUNT", "CARDIR_METRIC_GAUGE_SET",
-      "CARDIR_METRIC_OBSERVE", "CARDIR_TRACE_SPAN", "CARDIR_AUDIT",
+      "CARDIR_METRIC_COUNT",   "CARDIR_METRIC_GAUGE_SET",
+      "CARDIR_METRIC_OBSERVE", "CARDIR_TRACE_SPAN",
+      "CARDIR_AUDIT",          "CARDIR_RECORD_EVENT",
+      "CARDIR_MEMSTAT_ALLOC",  "CARDIR_MEMSTAT_FREE",
+      "CARDIR_PROFILE_FRAME",
   };
   return kMacros;
 }

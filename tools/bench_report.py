@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Render a BENCH_engine.json ledger (optionally joined against a baseline)
+as a human-readable report with wall-time AND memory-telemetry columns.
+
+perf_smoke.py is the pass/fail gate; this is the companion report the
+nightly jobs attach as an artifact — one table per workload with ms,
+throughput, the mem_*_peak_bytes columns the obs memory telemetry records,
+and (when --baseline is given) the fresh/baseline ratios for both time and
+peak memory.
+
+Usage:
+  tools/bench_report.py --ledger BENCH_engine.json \
+      [--baseline committed.json] [--format text|markdown]
+
+Exit status: 0 on success, 2 on bad input. This tool never gates — pair it
+with perf_smoke.py when a red/green signal is needed.
+"""
+
+import argparse
+import json
+import sys
+
+MEM_COLUMNS = [
+    ("mem_pair_matrix_peak_bytes", "matrix"),
+    ("mem_edge_soa_peak_bytes", "edge_soa"),
+    ("mem_worker_scratch_peak_bytes", "scratch"),
+    ("mem_crossing_queue_peak_bytes", "queue"),
+    ("mem_total_peak_bytes", "total"),
+    ("mem_process_rss_bytes", "rss"),
+]
+
+
+def load_runs(path):
+    try:
+        with open(path) as f:
+            ledger = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"bench_report: cannot read {path}: {err}", file=sys.stderr)
+        sys.exit(2)
+    runs = ledger.get("runs")
+    if not isinstance(runs, list):
+        print(f"bench_report: {path} has no 'runs' array", file=sys.stderr)
+        sys.exit(2)
+    return runs
+
+
+def row_key(run):
+    return (run.get("workload"), run.get("regions"), run.get("mode"),
+            run.get("threads"))
+
+
+def human_bytes(value):
+    if not value:
+        return "-"
+    value = float(value)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if value < 1024.0 or unit == "GiB":
+            return f"{value:.0f}{unit}" if unit == "B" else f"{value:.1f}{unit}"
+        value /= 1024.0
+    return f"{value:.1f}GiB"
+
+
+def ratio_cell(fresh, base):
+    if not base or not fresh:
+        return "-"
+    return f"{fresh / base:.2f}x"
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--ledger", required=True,
+                        help="BENCH_engine.json from this run")
+    parser.add_argument("--baseline", default=None,
+                        help="committed ledger to join ratios against")
+    parser.add_argument("--format", choices=("text", "markdown"),
+                        default="text")
+    args = parser.parse_args()
+
+    runs = load_runs(args.ledger)
+    baseline = {}
+    if args.baseline:
+        baseline = {row_key(run): run for run in load_runs(args.baseline)}
+
+    headers = ["workload", "n", "mode", "thr", "ms", "Mpairs/s"]
+    headers += [label for _, label in MEM_COLUMNS]
+    if baseline:
+        headers += ["ms ratio", "mem ratio"]
+
+    rows = []
+    for run in runs:
+        ms = run.get("ms", 0.0)
+        pairs = run.get("pairs", 0)
+        mpairs = pairs / ms / 1000.0 if ms else 0.0
+        row = [
+            str(run.get("workload")),
+            str(run.get("regions")),
+            str(run.get("mode")),
+            str(run.get("threads")),
+            f"{ms:.1f}",
+            f"{mpairs:.2f}",
+        ]
+        row += [human_bytes(run.get(column, 0)) for column, _ in MEM_COLUMNS]
+        if baseline:
+            base = baseline.get(row_key(run))
+            if base is None:
+                row += ["-", "-"]
+            else:
+                row += [
+                    ratio_cell(ms, base.get("ms")),
+                    ratio_cell(run.get("mem_total_peak_bytes"),
+                               base.get("mem_total_peak_bytes")),
+                ]
+        rows.append(row)
+
+    widths = [max(len(headers[i]), max((len(r[i]) for r in rows), default=0))
+              for i in range(len(headers))]
+    if args.format == "markdown":
+        print("| " + " | ".join(h.ljust(w) for h, w in zip(headers, widths)) +
+              " |")
+        print("|" + "|".join("-" * (w + 2) for w in widths) + "|")
+        for row in rows:
+            print("| " + " | ".join(c.ljust(w) for c, w in zip(row, widths)) +
+                  " |")
+    else:
+        print("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+        for row in rows:
+            print("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+
+    telemetry_rows = sum(1 for run in runs if run.get("mem_total_peak_bytes"))
+    if telemetry_rows == 0:
+        print("\nbench_report: no memory-telemetry columns found "
+              "(ledger predates obs memstats or CARDIR_OBS=OFF)",
+              file=sys.stderr)
+
+
+if __name__ == "__main__":
+    main()

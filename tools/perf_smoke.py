@@ -8,16 +8,27 @@ regression). Rows present in only one ledger (different size lists,
 host-dependent engine_parallel_hw thread counts) are reported and skipped,
 as are rows under --min-ms, whose wall times are scheduler noise.
 
+Memory gate: rows carrying the mem_total_peak_bytes column (obs memory
+telemetry) are additionally checked against --mem-threshold (default 1.50).
+Rows whose baseline lacks the column (older ledgers, CARDIR_OBS=OFF runs)
+or sits under --min-mem-bytes are skipped — peaks of a few KiB are
+allocator noise, not a leak signal.
+
 Usage:
   tools/perf_smoke.py --baseline BENCH_engine.json --fresh fresh.json \
-      [--threshold 1.30] [--min-ms 5.0]
+      [--threshold 1.30] [--min-ms 5.0] [--mem-threshold 1.50] [--median]
 
-Exit status: 0 when every matched row is within the threshold, 1 on any
-regression, 2 on bad input.
+--median gates the median ratio across all matched rows instead of each
+row individually — the right shape for tight bounds (e.g. the 2% profiler
+overhead gate) where single-row scheduler noise exceeds the threshold.
+
+Exit status: 0 when every matched row is within the thresholds, 1 on any
+regression (time or memory), 2 on bad input.
 """
 
 import argparse
 import json
+import statistics
 import sys
 
 
@@ -56,6 +67,18 @@ def main():
     parser.add_argument("--min-ms", type=float, default=5.0,
                         help="skip rows whose baseline wall time is below "
                              "this (noise floor, default 5.0)")
+    parser.add_argument("--mem-threshold", type=float, default=1.50,
+                        help="max fresh/baseline mem_total_peak_bytes ratio "
+                             "(default 1.50)")
+    parser.add_argument("--min-mem-bytes", type=int, default=65536,
+                        help="skip the memory check when the baseline peak "
+                             "is below this (default 65536)")
+    parser.add_argument("--median", action="store_true",
+                        help="gate the median wall-time ratio across all "
+                             "matched rows instead of each row individually "
+                             "(for tight bounds like the 2%% profiler-"
+                             "overhead gate, where per-row machine noise "
+                             "exceeds the threshold)")
     parser.add_argument("--require", action="append", default=[],
                         metavar="WORKLOAD",
                         help="fail unless at least one matched row belongs "
@@ -83,32 +106,64 @@ def main():
         sys.exit(2)
 
     regressions = []
+    mem_regressions = []
+    gated_ratios = []
     print(f"{'workload':10s} {'n':>6s} {'mode':20s} {'thr':>3s} "
-          f"{'base ms':>9s} {'fresh ms':>9s} {'ratio':>6s}")
+          f"{'base ms':>9s} {'fresh ms':>9s} {'ratio':>6s} {'mem':>6s}")
     for key in matched:
         base_ms = baseline[key]["ms"]
         fresh_ms = fresh[key]["ms"]
         workload, regions, mode, threads = key
+
+        # Memory check is independent of the wall-time noise floor: a peak
+        # regression on a fast row is still a real allocation change.
+        base_mem = baseline[key].get("mem_total_peak_bytes", 0) or 0
+        fresh_mem = fresh[key].get("mem_total_peak_bytes", 0) or 0
+        mem_note = ""
+        if base_mem >= args.min_mem_bytes and fresh_mem > 0:
+            mem_ratio = fresh_mem / base_mem
+            mem_note = f"{mem_ratio:6.2f}"
+            if mem_ratio > args.mem_threshold:
+                mem_note += "  << MEM REGRESSION"
+                mem_regressions.append((key, mem_ratio))
+        else:
+            mem_note = "     -"
+
         if base_ms < args.min_ms:
             print(f"{workload:10s} {regions:6d} {mode:20s} {threads:3d} "
-                  f"{base_ms:9.2f} {fresh_ms:9.2f}  (below noise floor, "
-                  f"skipped)")
+                  f"{base_ms:9.2f} {fresh_ms:9.2f}   skip {mem_note}")
             continue
         ratio = fresh_ms / base_ms if base_ms > 0 else float("inf")
-        flag = "  << REGRESSION" if ratio > args.threshold else ""
+        gated_ratios.append(ratio)
+        over = ratio > args.threshold and not args.median
+        flag = "  << REGRESSION" if over else ""
         print(f"{workload:10s} {regions:6d} {mode:20s} {threads:3d} "
-              f"{base_ms:9.2f} {fresh_ms:9.2f} {ratio:6.2f}{flag}")
-        if ratio > args.threshold:
+              f"{base_ms:9.2f} {fresh_ms:9.2f} {ratio:6.2f} {mem_note}{flag}")
+        if over:
             regressions.append((key, ratio))
+
+    if args.median and gated_ratios:
+        median = statistics.median(gated_ratios)
+        print(f"\nperf_smoke: median wall-time ratio over "
+              f"{len(gated_ratios)} row(s): {median:.3f} "
+              f"(threshold {args.threshold:.2f})")
+        if median > args.threshold:
+            regressions.append((("median", "-", "-", "-"), median))
 
     if regressions:
         print(f"\nperf_smoke: {len(regressions)} row(s) regressed beyond "
               f"{args.threshold:.2f}x:", file=sys.stderr)
         for key, ratio in regressions:
             print(f"  {key}: {ratio:.2f}x", file=sys.stderr)
+    if mem_regressions:
+        print(f"\nperf_smoke: {len(mem_regressions)} row(s) grew peak memory "
+              f"beyond {args.mem_threshold:.2f}x:", file=sys.stderr)
+        for key, ratio in mem_regressions:
+            print(f"  {key}: {ratio:.2f}x", file=sys.stderr)
+    if regressions or mem_regressions:
         sys.exit(1)
     print(f"\nperf_smoke: all {len(matched)} matched rows within "
-          f"{args.threshold:.2f}x")
+          f"{args.threshold:.2f}x (memory within {args.mem_threshold:.2f}x)")
 
 
 if __name__ == "__main__":
