@@ -9,14 +9,18 @@
 // (prefiltered + computed = total pairs; edges split ≥ edges in) — the
 // binary exits non-zero on a violation, which the nightly CI job relies on.
 //
-//   bench_engine [--sizes 1000,2000] [--serial-cap 2000] [--overlap 600]
-//                [--threads 2,8] [--repeat 1] [--out BENCH_engine.json]
-//                [--trace-out trace.json] [--flight-record record.txt]
-//                [--profile profile.folded] [--profile-hz 997]
+//   bench_engine [--sizes 1000,2000] [--serial-cap 2000] [--engine-cap 25000]
+//                [--overlap 600] [--threads 2,8] [--repeat 1]
+//                [--out BENCH_engine.json] [--trace-out trace.json]
+//                [--flight-record record.txt] [--profile profile.folded]
+//                [--profile-hz 997]
 //
 // Sizes above --serial-cap skip the serial baseline (quadratic, validated
 // per pair — minutes at 10k); sizes above 5000 use the engine's digest
-// mode so that 10^8-pair matrices do not have to be materialised.
+// mode so that 10^8-pair matrices do not have to be materialised. Sizes
+// above --engine-cap skip the dense-engine modes entirely and run only the
+// engine_sweep rows: the sweep join's run-length RelationStore is the only
+// mode whose memory stays sub-quadratic, so it alone covers n = 50k/100k.
 // --repeat N times each *engine* row N times and records the best wall
 // time (the serial baseline always runs once — it is quadratic and only a
 // reference point): single engine measurements on a loaded host can swing
@@ -35,6 +39,7 @@
 #include "bench_common.h"
 #include "core/compute_cdr.h"
 #include "engine/batch_engine.h"
+#include "engine/relation_store.h"
 #include "engine/thread_pool.h"
 #include "geometry/region.h"
 #include "obs/profile.h"
@@ -122,8 +127,14 @@ struct RunRecord {
   int64_t mem_edge_soa_peak_bytes = 0;
   int64_t mem_worker_scratch_peak_bytes = 0;
   int64_t mem_crossing_queue_peak_bytes = 0;
+  int64_t mem_relation_store_peak_bytes = 0;
   int64_t mem_total_peak_bytes = 0;
   int64_t mem_process_rss_bytes = 0;
+  // The serial loop allocates its matrix outside the instrumented arenas,
+  // so its mem.* window is mostly silence plus whatever the allocator left
+  // behind — not a measurement. Such rows emit every mem_* column as JSON
+  // null (see the schema note in bench_common.h).
+  bool mem_valid = true;
 };
 
 // Fails the process on a counter-accounting violation; the nightly CI job
@@ -186,6 +197,28 @@ double TimeSerialLoop(const std::vector<Region>& regions) {
   return MsSince(start);
 }
 
+// The sweep join (engine/relation_store.h): candidate pairs come from the
+// interval-overlap indexes, everything else resolves implicitly from the
+// run-length class profile, and the result is the O(n + explicit) store
+// rather than a dense matrix. The timed region is construction only —
+// enumerating all n·(n-1) pairs afterwards (Digest) would put the
+// quadratic walk the sweep exists to avoid back into the measurement.
+// `overlay_out` receives the explicit-pair count so the caller can report
+// how much of the quadratic pair space ever materialised.
+double TimeSweep(const std::vector<Region>& regions,
+                 const EngineOptions& options, EngineStats* stats,
+                 size_t* overlay_out) {
+  const auto start = std::chrono::steady_clock::now();
+  auto store = ComputeRelationStore(regions, options, stats);
+  if (!store.ok()) {
+    std::cerr << "sweep engine failed: " << store.status() << "\n";
+    std::exit(1);
+  }
+  const double ms = MsSince(start);
+  *overlay_out = store->overlay_pairs();
+  return ms;
+}
+
 double TimeEngine(const std::vector<Region>& regions,
                   const EngineOptions& options, bool digest_mode,
                   EngineStats* stats) {
@@ -235,6 +268,8 @@ void RecordCounters(RunRecord* r, const bench::ObsWindow& window) {
       delta.gauge("mem.worker_scratch.peak_bytes");
   r->mem_crossing_queue_peak_bytes =
       delta.gauge("mem.crossing_queue.peak_bytes");
+  r->mem_relation_store_peak_bytes =
+      delta.gauge("mem.relation_store.peak_bytes");
   r->mem_total_peak_bytes = delta.gauge("mem.total.peak_bytes");
   r->mem_process_rss_bytes = delta.gauge("mem.process.rss_bytes");
   CheckCounterInvariants(*r, delta);
@@ -266,6 +301,13 @@ void WriteJson(const std::vector<RunRecord>& records, int repeat,
     const std::string speedup =
         r.speedup_vs_serial > 0 ? StrFormat("%.2f", r.speedup_vs_serial)
                                 : std::string("null");
+    // Rows that ran outside the instrumented arenas (the serial loop) have
+    // no memory measurement: every mem_* column is null, never 0 (see the
+    // schema note in bench_common.h).
+    auto mem = [&](int64_t value) -> std::string {
+      return r.mem_valid ? StrFormat("%lld", static_cast<long long>(value))
+                         : std::string("null");
+    };
     out << StrFormat(
         "    {\"workload\": \"%s\", \"regions\": %d, \"mode\": \"%s\", "
         "\"threads\": %d, \"prefilter\": %s, \"ms\": %.2f, \"pairs\": %zu, "
@@ -273,12 +315,13 @@ void WriteJson(const std::vector<RunRecord>& records, int repeat,
         "\"speedup_vs_serial\": %s, \"pairs_per_sec\": %.0f, "
         "\"prefilter_hit_rate\": %.4f, \"chunks_executed\": %llu, "
         "\"chunks_stolen\": %llu, \"edges_input\": %llu, "
-        "\"edges_split\": %llu, \"mem_pair_matrix_peak_bytes\": %lld, "
-        "\"mem_edge_soa_peak_bytes\": %lld, "
-        "\"mem_worker_scratch_peak_bytes\": %lld, "
-        "\"mem_crossing_queue_peak_bytes\": %lld, "
-        "\"mem_total_peak_bytes\": %lld, "
-        "\"mem_process_rss_bytes\": %lld}%s\n",
+        "\"edges_split\": %llu, \"mem_pair_matrix_peak_bytes\": %s, "
+        "\"mem_edge_soa_peak_bytes\": %s, "
+        "\"mem_worker_scratch_peak_bytes\": %s, "
+        "\"mem_crossing_queue_peak_bytes\": %s, "
+        "\"mem_relation_store_peak_bytes\": %s, "
+        "\"mem_total_peak_bytes\": %s, "
+        "\"mem_process_rss_bytes\": %s}%s\n",
         r.workload.c_str(), r.regions, r.mode.c_str(), r.threads,
         r.prefilter ? "true" : "false", r.ms, r.pairs, r.prefiltered_pairs,
         r.crossing_pairs, speedup.c_str(), r.pairs_per_sec,
@@ -287,12 +330,13 @@ void WriteJson(const std::vector<RunRecord>& records, int repeat,
         static_cast<unsigned long long>(r.chunks_stolen),
         static_cast<unsigned long long>(r.edges_input),
         static_cast<unsigned long long>(r.edges_split),
-        static_cast<long long>(r.mem_pair_matrix_peak_bytes),
-        static_cast<long long>(r.mem_edge_soa_peak_bytes),
-        static_cast<long long>(r.mem_worker_scratch_peak_bytes),
-        static_cast<long long>(r.mem_crossing_queue_peak_bytes),
-        static_cast<long long>(r.mem_total_peak_bytes),
-        static_cast<long long>(r.mem_process_rss_bytes),
+        mem(r.mem_pair_matrix_peak_bytes).c_str(),
+        mem(r.mem_edge_soa_peak_bytes).c_str(),
+        mem(r.mem_worker_scratch_peak_bytes).c_str(),
+        mem(r.mem_crossing_queue_peak_bytes).c_str(),
+        mem(r.mem_relation_store_peak_bytes).c_str(),
+        mem(r.mem_total_peak_bytes).c_str(),
+        mem(r.mem_process_rss_bytes).c_str(),
         i + 1 < records.size() ? "," : "");
   }
   out << "  ]\n}\n";
@@ -305,6 +349,7 @@ int Main(int argc, char** argv) {
   std::vector<int> sizes = {1000, 2000};
   std::vector<int> thread_counts = {2, 8};
   int serial_cap = 2000;
+  int engine_cap = 25000;
   int overlap_size = 600;
   int repeat = 1;
   std::string out_path = "BENCH_engine.json";
@@ -327,6 +372,8 @@ int Main(int argc, char** argv) {
       thread_counts = ParseIntList(next());
     } else if (arg == "--serial-cap") {
       serial_cap = std::stoi(next());
+    } else if (arg == "--engine-cap") {
+      engine_cap = std::stoi(next());
     } else if (arg == "--overlap") {
       overlap_size = std::stoi(next());
     } else if (arg == "--repeat") {
@@ -380,6 +427,9 @@ int Main(int argc, char** argv) {
       const bench::ObsWindow window;
       serial.ms = TimeSerialLoop(regions);
       RecordCounters(&serial, window);
+      // The serial loop's relation matrix is a plain std::vector outside
+      // the instrumented arenas — its mem columns are not a measurement.
+      serial.mem_valid = false;
       serial_ms = serial.ms;
       records.push_back(serial);
       PrintRecord(serial);
@@ -424,26 +474,63 @@ int Main(int argc, char** argv) {
     // Engine with prefilter: 1 thread, the requested parallel counts, and
     // one row at full hardware concurrency (threads = 0 lets the engine
     // resolve it) so the ledger records the host's best-case scaling even
-    // when the fixed counts over- or under-subscribe the machine.
-    std::vector<int> engine_threads = {1};
-    engine_threads.insert(engine_threads.end(), thread_counts.begin(),
-                          thread_counts.end());
-    engine_threads.push_back(0);
-    for (int threads : engine_threads) {
+    // when the fixed counts over- or under-subscribe the machine. Sizes
+    // above --engine-cap skip these: even the digest mode still *examines*
+    // every ordered pair, which at 50k regions is 2.5·10^9 Compute-CDR
+    // prefilter probes.
+    if (n <= engine_cap) {
+      std::vector<int> engine_threads = {1};
+      engine_threads.insert(engine_threads.end(), thread_counts.begin(),
+                            thread_counts.end());
+      engine_threads.push_back(0);
+      for (int threads : engine_threads) {
+        EngineOptions options;
+        options.threads = threads;
+        options.use_prefilter = true;
+        RunRecord r;
+        r.workload = name;
+        r.regions = n;
+        r.mode = threads == 1 ? "engine_prefilter"
+                 : threads == 0 ? "engine_parallel_hw"
+                                : "engine_parallel";
+        r.threads = threads == 0 ? ThreadPool::ResolveThreadCount(0) : threads;
+        r.prefilter = true;
+        r.pairs = pairs;
+        EngineStats stats;
+        time_engine_best(options, &r, &stats);
+        r.prefiltered_pairs = stats.prefiltered_pairs;
+        r.crossing_pairs = stats.crossing_pairs;
+        if (serial_ms > 0) r.speedup_vs_serial = serial_ms / r.ms;
+        records.push_back(r);
+        PrintRecord(r);
+      }
+    }
+
+    // Sweep join: the only mode that never enumerates the quadratic pair
+    // space, so it runs at every size. One serial row and one at full
+    // hardware concurrency (strip-parallel).
+    for (const int threads : {1, 0}) {
       EngineOptions options;
       options.threads = threads;
-      options.use_prefilter = true;
       RunRecord r;
       r.workload = name;
       r.regions = n;
-      r.mode = threads == 1 ? "engine_prefilter"
-               : threads == 0 ? "engine_parallel_hw"
-                              : "engine_parallel";
+      r.mode = threads == 1 ? "engine_sweep" : "engine_sweep_parallel";
       r.threads = threads == 0 ? ThreadPool::ResolveThreadCount(0) : threads;
-      r.prefilter = true;
+      r.prefilter = true;  // Implicit class resolution is the prefilter.
       r.pairs = pairs;
       EngineStats stats;
-      time_engine_best(options, &r, &stats);
+      size_t overlay = 0;
+      double best = 0;
+      for (int rep = 0; rep < repeat; ++rep) {
+        const bench::ObsWindow window;
+        const double ms = TimeSweep(regions, options, &stats, &overlay);
+        if (rep == 0 || ms < best) best = ms;
+        if (rep + 1 == repeat) {
+          r.ms = best;
+          RecordCounters(&r, window);
+        }
+      }
       r.prefiltered_pairs = stats.prefiltered_pairs;
       r.crossing_pairs = stats.crossing_pairs;
       if (serial_ms > 0) r.speedup_vs_serial = serial_ms / r.ms;

@@ -30,17 +30,20 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::cout << "generated " << config->regions().size() << " regions, "
-            << config->relations().size()
+            << config->relation_count()
             << " stored relations (n*(n-1) ordered pairs)\n\n";
 
   // A few representative relations.
   std::cout << "sample relations:\n";
-  for (size_t i = 0; i < config->relations().size() && i < 5; ++i) {
-    const RelationRecord& record = config->relations()[i];
-    std::cout << "  " << record.primary_id << " "
-              << record.relation.ToString() << " " << record.reference_id
-              << "\n";
-  }
+  size_t shown = 0;
+  config->ForEachRelation([&](const std::string& primary_id,
+                              const std::string& reference_id,
+                              const CardinalRelation& relation) {
+    if (shown >= 5) return;
+    std::cout << "  " << primary_id << " " << relation.ToString() << " "
+              << reference_id << "\n";
+    ++shown;
+  });
   std::cout << "\n";
 
   // One percentage matrix, computed on demand.

@@ -30,6 +30,9 @@ Status Configuration::RemoveRegion(const std::string& id) {
   if (it == regions_.end()) {
     return Status::NotFound("no region with id '" + id + "'");
   }
+  // The store's indices parallel regions_ — convert to id-keyed records
+  // before the erase shifts them, then drop the stale subset below.
+  MaterializeRelations();
   regions_.erase(it);
   relations_.erase(
       std::remove_if(relations_.begin(), relations_.end(),
@@ -51,6 +54,7 @@ Status Configuration::AddPolygonToRegion(const std::string& id,
   CARDIR_RETURN_IF_ERROR(polygon.Validate());
   it->geometry.AddPolygon(std::move(polygon));
   // Stored relations involving this region are stale now.
+  MaterializeRelations();
   relations_.erase(
       std::remove_if(relations_.begin(), relations_.end(),
                      [&id](const RelationRecord& rec) {
@@ -83,20 +87,44 @@ Status Configuration::ComputeAllRelations(const EngineOptions& options,
   for (const AnnotatedRegion& region : regions_) {
     geometries.push_back(&region.geometry);
   }
-  Result<PairMatrix> pairs = ComputeAllPairs(geometries, options, stats);
-  if (!pairs.ok()) return pairs.status();
-  std::vector<RelationRecord> records;
-  records.reserve(pairs->size());
-  for (const PairRelation& pair : *pairs) {
-    records.push_back({regions_[pair.primary].id,
-                       regions_[pair.reference].id, pair.relation});
-  }
-  relations_ = std::move(records);
+  // Sweep join instead of all-pairs: the result is held as profile +
+  // explicit-pair overlay (indices parallel regions_), not as n·(n−1)
+  // id-keyed records — at engine scale the records themselves were the
+  // dominant allocation.
+  Result<RelationStore> store =
+      ComputeRelationStore(geometries, options, stats);
+  if (!store.ok()) return store.status();
+  store_ = std::move(*store);
+  relations_.clear();
   return Status::Ok();
+}
+
+void Configuration::MaterializeRelations() {
+  if (!store_.has_value()) return;
+  std::vector<RelationRecord> records;
+  records.reserve(store_->pair_count());
+  store_->ForEach(
+      [this, &records](size_t i, size_t j, const CardinalRelation& relation) {
+        records.push_back({regions_[i].id, regions_[j].id, relation});
+      });
+  relations_ = std::move(records);
+  store_.reset();
 }
 
 std::optional<CardinalRelation> Configuration::StoredRelation(
     const std::string& primary_id, const std::string& reference_id) const {
+  if (store_.has_value()) {
+    size_t primary = regions_.size(), reference = regions_.size();
+    for (size_t i = 0; i < regions_.size(); ++i) {
+      if (regions_[i].id == primary_id) primary = i;
+      if (regions_[i].id == reference_id) reference = i;
+    }
+    if (primary == regions_.size() || reference == regions_.size() ||
+        primary == reference) {
+      return std::nullopt;
+    }
+    return store_->Relation(primary, reference);
+  }
   for (const RelationRecord& record : relations_) {
     if (record.primary_id == primary_id &&
         record.reference_id == reference_id) {

@@ -15,6 +15,7 @@
 #include "core/cardinal_relation.h"
 #include "core/percentage_matrix.h"
 #include "engine/batch_engine.h"
+#include "engine/relation_store.h"
 #include "geometry/region.h"
 #include "util/status.h"
 
@@ -48,7 +49,45 @@ class Configuration {
   void set_image_file(std::string file) { image_file_ = std::move(file); }
 
   const std::vector<AnnotatedRegion>& regions() const { return regions_; }
+
+  /// The *explicit* relation records — ones loaded from XML or materialised
+  /// by a mutation. Computed relations live in the RelationStore instead
+  /// (45 bytes/region + 2 bytes per crossing pair, vs ~56 bytes per pair
+  /// here — n·(n−1) records defeat the engine's sub-quadratic memory);
+  /// consumers that want "all stored relations" regardless of provenance
+  /// iterate ForEachRelation / count relation_count.
   const std::vector<RelationRecord>& relations() const { return relations_; }
+
+  /// Stored relations, from whichever representation holds them: the
+  /// computed RelationStore when present, the explicit records otherwise.
+  size_t relation_count() const {
+    return store_.has_value() ? store_->pair_count() : relations_.size();
+  }
+  bool has_relations() const { return relation_count() != 0; }
+
+  /// Invokes `fn(primary_id, reference_id, relation)` for every stored
+  /// relation, in canonical (primary, reference) row-major order — the
+  /// order ComputeAllRelations has always produced, so XML output is
+  /// byte-identical whichever representation backs the configuration.
+  template <typename Fn>
+  void ForEachRelation(Fn&& fn) const {
+    if (store_.has_value()) {
+      store_->ForEach(
+          [this, &fn](size_t i, size_t j, const CardinalRelation& relation) {
+            fn(regions_[i].id, regions_[j].id, relation);
+          });
+    } else {
+      for (const RelationRecord& record : relations_) {
+        fn(record.primary_id, record.reference_id, record.relation);
+      }
+    }
+  }
+
+  /// The computed relation store, or nullptr when relations were loaded
+  /// from XML / mutated since the last compute (telemetry + tests).
+  const RelationStore* relation_store() const {
+    return store_.has_value() ? &*store_ : nullptr;
+  }
 
   /// Adds a region; fails on duplicate/empty id or invalid geometry.
   /// Polygon rings are reoriented to the canonical clockwise order.
@@ -70,12 +109,13 @@ class Configuration {
       const std::string& color) const;
 
   /// Recomputes all pairwise cardinal direction relations and stores them
-  /// (the paper's "compute their relationships" action — Fig. 12). n
-  /// regions yield n·(n−1) records in canonical (primary, reference)
-  /// order. Runs on the batch relation engine (src/engine): MBB
-  /// prefiltering plus an optional thread pool; the stored records are
-  /// identical for every `options.threads` value. `stats`, when non-null,
-  /// receives the engine instrumentation.
+  /// (the paper's "compute their relationships" action — Fig. 12) as a
+  /// RelationStore covering the n·(n−1) ordered pairs in canonical
+  /// (primary, reference) order. Runs on the sweep-join engine
+  /// (src/engine/sweep_join.cc): implicit box resolution plus an optional
+  /// thread pool; the stored relations are identical for every
+  /// `options.threads` value. Replaces any explicit records. `stats`, when
+  /// non-null, receives the engine instrumentation.
   Status ComputeAllRelations(const EngineOptions& options = EngineOptions(),
                              EngineStats* stats = nullptr);
 
@@ -89,16 +129,28 @@ class Configuration {
   Result<PercentageMatrix> ComputePercentages(
       const std::string& primary_id, const std::string& reference_id) const;
 
-  /// Replaces the stored relation records (used by the XML reader).
+  /// Replaces the stored relations with explicit records (used by the XML
+  /// reader). Drops any computed store.
   void SetRelations(std::vector<RelationRecord> relations) {
     relations_ = std::move(relations);
+    store_.reset();
   }
 
  private:
+  // Converts the computed store (if any) into explicit records, so a
+  // mutation can drop the stale subset record-by-record. Region indices
+  // into the store stay valid only while regions_ is unchanged — callers
+  // materialise *before* erasing.
+  void MaterializeRelations();
+
   std::string name_;
   std::string image_file_;
   std::vector<AnnotatedRegion> regions_;
+  // Stored relations: exactly one representation is active. `store_` after
+  // ComputeAllRelations (indices parallel regions_); `relations_` after an
+  // XML load or a mutation of a computed configuration.
   std::vector<RelationRecord> relations_;
+  std::optional<RelationStore> store_;
 };
 
 }  // namespace cardir

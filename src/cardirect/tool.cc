@@ -183,12 +183,14 @@ int CmdShow(const std::string& path, std::ostream& out, std::ostream& err) {
                      region.color.c_str(), region.geometry.polygon_count(),
                      region.geometry.TotalEdges(), region.geometry.Area());
   }
-  if (!config->relations().empty()) {
+  if (config->has_relations()) {
     out << "Stored relations:\n";
-    for (const RelationRecord& record : config->relations()) {
-      out << "  " << record.primary_id << " " << record.relation.ToString()
-          << " " << record.reference_id << "\n";
-    }
+    config->ForEachRelation([&out](const std::string& primary_id,
+                                   const std::string& reference_id,
+                                   const CardinalRelation& relation) {
+      out << "  " << primary_id << " " << relation.ToString() << " "
+          << reference_id << "\n";
+    });
   }
   return 0;
 }
@@ -201,10 +203,12 @@ int CmdRelations(const std::string& path, const std::string& save_path,
   EngineStats stats;
   Status status = config->ComputeAllRelations(options, &stats);
   if (!status.ok()) return Fail(err, status);
-  for (const RelationRecord& record : config->relations()) {
-    out << record.primary_id << " " << record.relation.ToString() << " "
-        << record.reference_id << "\n";
-  }
+  config->ForEachRelation([&out](const std::string& primary_id,
+                                 const std::string& reference_id,
+                                 const CardinalRelation& relation) {
+    out << primary_id << " " << relation.ToString() << " " << reference_id
+        << "\n";
+  });
   if (stats.threads_used > 1) {
     out << StrFormat(
         "computed %zu relations on %d threads (%zu from mbbs alone)\n",

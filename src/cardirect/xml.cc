@@ -420,14 +420,19 @@ std::string ConfigurationToXml(const Configuration& configuration) {
     }
     root.children.push_back(std::move(region_node));
   }
-  for (const RelationRecord& record : configuration.relations()) {
+  // Computed configurations stream straight out of the RelationStore in
+  // the same canonical order the record vector used to hold, so the XML is
+  // byte-identical across the two representations.
+  configuration.ForEachRelation([&root](const std::string& primary_id,
+                                        const std::string& reference_id,
+                                        const CardinalRelation& relation) {
     XmlNode relation_node;
     relation_node.tag = "Relation";
-    relation_node.attributes.emplace_back("type", record.relation.ToString());
-    relation_node.attributes.emplace_back("primary", record.primary_id);
-    relation_node.attributes.emplace_back("reference", record.reference_id);
+    relation_node.attributes.emplace_back("type", relation.ToString());
+    relation_node.attributes.emplace_back("primary", primary_id);
+    relation_node.attributes.emplace_back("reference", reference_id);
     root.children.push_back(std::move(relation_node));
-  }
+  });
   std::string out = "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n";
   out += WriteXml(root, /*pretty=*/true);
   return out;

@@ -10,6 +10,7 @@
 #include "core/compute_cdr.h"
 #include "engine/interval_kernel.h"
 #include "engine/prefilter.h"
+#include "engine/relation_store.h"
 #include "engine/thread_pool.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
@@ -20,16 +21,6 @@
 
 namespace cardir {
 namespace {
-
-// Mixes one matrix entry into a 64-bit value. Pair digests are *summed*, so
-// the total is independent of the order in which threads emit entries.
-uint64_t MixPair(size_t primary, size_t reference, uint16_t mask) {
-  uint64_t z = (static_cast<uint64_t>(primary) << 40) ^
-               (static_cast<uint64_t>(reference) << 16) ^ mask;
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-  return z ^ (z >> 31);
-}
 
 // One pair deferred from the classification phase to the fine-grained
 // crossing queue (full Compute-CDR required).
@@ -128,7 +119,20 @@ Status RunEngine(const std::vector<const Region*>& regions,
   // scatter). Pairs needing the full algorithm are deferred to a shared
   // queue so the expensive work can be re-chunked at a finer grain in
   // phase 2 instead of load-imbalancing the row chunks.
+  // The queue's backing store is a fixed budget: reserved at the cap and
+  // charged to mem.crossing_queue once, before any spill, so the arena's
+  // peak is the cap regardless of how many pairs defer (inserts never
+  // exceed the cap, so the vector never reallocates). Overflow is computed
+  // inline by the spilling participant instead of growing the queue.
+  size_t queue_capacity = options.crossing_queue_capacity;
+  if (queue_capacity == 0) {
+    queue_capacity = std::min(n * (n - 1),
+                              static_cast<size_t>(threads) * 65536);
+  }
   std::vector<DeferredPair> queue;
+  queue.reserve(queue_capacity);
+  const size_t queue_bytes = queue.capacity() * sizeof(DeferredPair);
+  CARDIR_MEMSTAT_ALLOC("crossing_queue", queue_bytes);
   std::mutex queue_mutex;
   {
     CARDIR_TRACE_SPAN("engine.execute");
@@ -209,8 +213,33 @@ Status RunEngine(const std::vector<const Region*>& regions,
             // post-mortem shows which rows were in flight.
             CARDIR_RECORD_EVENT(kDefer, "spill", ws.deferred.front().primary,
                                 ws.deferred.size());
-            std::lock_guard<std::mutex> lock(queue_mutex);
-            queue.insert(queue.end(), ws.deferred.begin(), ws.deferred.end());
+            size_t accepted = 0;
+            {
+              std::lock_guard<std::mutex> lock(queue_mutex);
+              const size_t room = queue_capacity - queue.size();
+              accepted = std::min(room, ws.deferred.size());
+              queue.insert(queue.end(), ws.deferred.begin(),
+                           ws.deferred.begin() +
+                               static_cast<std::ptrdiff_t>(accepted));
+            }
+            if (accepted < ws.deferred.size()) {
+              // Queue at capacity: this participant resolves its own
+              // overflow right here instead of growing the queue — same
+              // results, bounded memory, coarser phase-2 balancing.
+              const size_t overflow = ws.deferred.size() - accepted;
+              CARDIR_METRIC_COUNT("engine.crossing_queue.overflow", overflow);
+              CARDIR_PROFILE_FRAME("cdr.compute");
+              for (size_t k = accepted; k < ws.deferred.size(); ++k) {
+                const DeferredPair pair = ws.deferred[k];
+                sink(pair.primary, pair.reference,
+                     ComputeCdrUnchecked(*regions[pair.primary],
+                                         boxes[pair.reference], &cdr_metrics,
+                                         &ws.cdr)
+                         .relation,
+                     participant);
+              }
+              computed += overflow;
+            }
           }
           ws.deferred.clear();
           cdr_metrics.FlushToRegistry();
@@ -231,8 +260,6 @@ Status RunEngine(const std::vector<const Region*>& regions,
     CARDIR_TRACE_SPAN("engine.crossing_queue");
     CARDIR_METRIC_COUNT("engine.crossing_queue.pairs", queue.size());
     CARDIR_RECORD_EVENT(kPhase, "engine.crossing", 3, queue.size());
-    CARDIR_MEMSTAT_ALLOC("crossing_queue",
-                         queue.capacity() * sizeof(DeferredPair));
     size_t chunk = options.crossing_chunk_size;
     if (chunk == 0) {
       chunk = std::max<size_t>(
@@ -264,9 +291,8 @@ Status RunEngine(const std::vector<const Region*>& regions,
           CARDIR_METRIC_COUNT("engine.pairs.computed", end - begin);
         });
     computed_total.fetch_add(queue.size(), std::memory_order_relaxed);
-    CARDIR_MEMSTAT_FREE("crossing_queue",
-                        queue.capacity() * sizeof(DeferredPair));
   }
+  CARDIR_MEMSTAT_FREE("crossing_queue", queue_bytes);
 
   // Worker-scratch telemetry: the codes/spill buffers reach their maximum
   // extent by the end of the run (grow-only within a run), and they die
@@ -349,7 +375,7 @@ Result<uint64_t> ComputeAllPairsDigest(const std::vector<Region>& regions,
       RegionPointers(regions), options, stats,
       [&shards](size_t i, size_t j, CardinalRelation relation,
                 size_t participant) {
-        shards[participant].value += MixPair(i, j, relation.mask());
+        shards[participant].value += MixPairDigest(i, j, relation.mask());
       }));
   uint64_t digest = 0;
   for (const DigestShard& shard : shards) digest += shard.value;

@@ -52,6 +52,16 @@ struct EngineOptions {
   /// is a full Compute-CDR, so this grain is much finer than chunk_size);
   /// 0 picks a size automatically.
   size_t crossing_chunk_size = 0;
+  /// Maximum pairs the shared crossing queue may hold (8 bytes each). The
+  /// queue's backing store is reserved at this size up front and charged to
+  /// mem.crossing_queue once, so its footprint is a fixed, workload-
+  /// independent budget instead of growing with every spilled pair (the
+  /// unbounded queue scales as the crossing count — O(n^1.5) on map
+  /// workloads). Spills beyond the cap are computed inline by the spilling
+  /// participant (counted in engine.crossing_queue.overflow), trading phase-
+  /// 2's finer load balancing for bounded memory; results are identical
+  /// either way. 0 picks min(n·(n−1), threads · 65536).
+  size_t crossing_queue_capacity = 0;
 };
 
 /// Instrumentation of one engine run.

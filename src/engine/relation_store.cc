@@ -1,0 +1,29 @@
+#include "engine/relation_store.h"
+
+namespace cardir {
+
+CardinalRelation RelationStore::Relation(size_t primary,
+                                         size_t reference) const {
+  if (primary == reference) return CardinalRelation();
+  const uint8_t code = ClassPairCode(primary, reference);
+  if (ResolvableCode(code)) return (*relations_)[code];
+  // Rank `reference` among the row's explicit columns: the overlay stores
+  // masks in ascending reference order with no indices, so membership (an
+  // O(1) classification per column) doubles as the rank function.
+  uint64_t rank = row_offsets_[primary];
+  for (size_t j = 0; j < reference; ++j) {
+    if (j == primary) continue;
+    if (!ResolvableCode(ClassPairCode(primary, j))) ++rank;
+  }
+  return CardinalRelation::FromMask(overlay_masks_[rank]);
+}
+
+uint64_t RelationStore::Digest() const {
+  uint64_t digest = 0;
+  ForEach([&digest](size_t i, size_t j, const CardinalRelation& relation) {
+    digest += MixPairDigest(i, j, relation.mask());
+  });
+  return digest;
+}
+
+}  // namespace cardir

@@ -1,0 +1,244 @@
+// RelationStore: the sweep engine's sub-quadratic all-pairs result type.
+//
+// The dense PairMatrix stores 2 bytes for every one of the n·(n−1) ordered
+// pairs — 50 MB at n = 5000 — even though on map-like workloads the vast
+// majority of relations are *implicit*: determined entirely by the two
+// boxes' per-axis interval classes (engine/interval_kernel.h). The store
+// therefore keeps only
+//
+//   * the SoA box profile of the run's regions (4 doubles + 1 byte each),
+//     from which any implicit pair's relation is recomputed in O(1) — two
+//     scalar interval classifications and one 16-entry table lookup, the
+//     exact kernel the engine's classify phase uses, so the recomputed
+//     relation is bit-identical to what the dense engine would have stored;
+//   * an *explicit-pair overlay*: the packed relation masks of exactly the
+//     pairs that are not box-resolvable (either axis class kCross, or a
+//     degenerate/empty box), laid out row-major with ascending reference
+//     index inside each row, plus one offset per row. Per-row, the overlay
+//     is the run-length structure the plane sweep emits: each row's code
+//     sequence over ascending reference index is long implicit runs broken
+//     by the row's few crossing pairs, and only the breaks are stored.
+//
+// Overlay membership of a pair is itself derivable from the boxes (the
+// same O(1) classification), so the overlay needs no reference indices:
+// row iteration walks the row left to right consuming overlay masks at the
+// non-resolvable positions, and (i, j) lookup ranks j among row i's
+// non-resolvable columns. On the map workloads the overlay holds ~2% of
+// the pairs, putting the whole store two orders of magnitude under the
+// dense matrix (see DESIGN.md §3.19 and the mem.relation_store telemetry
+// in BENCH_engine.json).
+//
+// ComputeRelationStore builds the store with a plane-sweep spatial join
+// instead of all-pairs enumeration: see engine/sweep_join.cc.
+
+#ifndef CARDIR_ENGINE_RELATION_STORE_H_
+#define CARDIR_ENGINE_RELATION_STORE_H_
+
+#include <array>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/cardinal_relation.h"
+#include "engine/batch_engine.h"
+#include "engine/interval_kernel.h"
+#include "geometry/region.h"
+#include "obs/memstats.h"
+#include "util/status.h"
+
+namespace cardir {
+
+/// Mixes one relation-matrix entry into a 64-bit value. Pair digests are
+/// *summed*, so a total over any enumeration order is comparable: the batch
+/// engine's digest mode and RelationStore::Digest use this same mix, and
+/// two equal digests mean bit-identical matrices (modulo hash collisions).
+inline uint64_t MixPairDigest(size_t primary, size_t reference,
+                              uint16_t mask) {
+  uint64_t z = (static_cast<uint64_t>(primary) << 40) ^
+               (static_cast<uint64_t>(reference) << 16) ^ mask;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+class RelationStore;
+
+/// Computes the all-pairs relation store of `regions` with the plane-sweep
+/// spatial join (engine/sweep_join.cc): only pairs whose boxes interact on
+/// an axis are ever examined, every other pair is resolved implicitly from
+/// its interval classes. The result is bit-identical to ComputeAllPairs for
+/// every thread count (the oracle tests hold the two against each other).
+/// `options.use_prefilter` is ignored — implicit resolution *is* the
+/// prefilter; `options.chunk_size` is the sweep strip height in rows.
+Result<RelationStore> ComputeRelationStore(
+    const std::vector<const Region*>& regions,
+    const EngineOptions& options = {}, EngineStats* stats = nullptr);
+
+/// Value-typed overload.
+Result<RelationStore> ComputeRelationStore(
+    const std::vector<Region>& regions, const EngineOptions& options = {},
+    EngineStats* stats = nullptr);
+
+/// The relation between every ordered pair of an engine run's regions,
+/// stored as box profile + explicit-pair overlay (see file comment).
+/// Cheaply movable; charges its footprint to the mem.relation_store arena.
+class RelationStore {
+ public:
+  RelationStore() = default;
+  RelationStore(RelationStore&&) = default;
+  RelationStore& operator=(RelationStore&&) = default;
+  // Copies re-charge the arena for the clone's own footprint (the charge
+  // is per-instance state, not shared).
+  RelationStore(const RelationStore& other)
+      : profile_(other.profile_),
+        row_offsets_(other.row_offsets_),
+        overlay_masks_(other.overlay_masks_),
+        relations_(other.relations_),
+        charge_(bytes()) {}
+  RelationStore& operator=(const RelationStore& other) {
+    if (this != &other) {
+      profile_ = other.profile_;
+      row_offsets_ = other.row_offsets_;
+      overlay_masks_ = other.overlay_masks_;
+      relations_ = other.relations_;
+      charge_ = MemCharge(bytes());
+    }
+    return *this;
+  }
+
+  /// Regions covered by the store (indices in [0, regions())).
+  size_t regions() const { return profile_.size(); }
+
+  /// Ordered pairs represented: n·(n−1).
+  size_t pair_count() const {
+    const size_t n = profile_.size();
+    return n < 2 ? 0 : n * (n - 1);
+  }
+
+  /// Pairs stored explicitly in the overlay (the rest are implicit).
+  size_t overlay_pairs() const { return overlay_masks_.size(); }
+
+  /// Storage footprint in bytes (what mem.relation_store is charged).
+  size_t bytes() const {
+    return (profile_.min_x.capacity() + profile_.max_x.capacity() +
+            profile_.min_y.capacity() + profile_.max_y.capacity()) *
+               sizeof(double) +
+           profile_.cross_override.capacity() * sizeof(uint8_t) +
+           row_offsets_.capacity() * sizeof(uint64_t) +
+           overlay_masks_.capacity() * sizeof(uint16_t);
+  }
+
+  /// True when either axis class of (primary, reference) is kCross or a box
+  /// is degenerate — i.e. the pair's mask lives in the overlay.
+  bool IsExplicit(size_t primary, size_t reference) const {
+    return !ResolvableCode(ClassPairCode(primary, reference));
+  }
+
+  /// The stored relation `primary R reference`. Precondition: both indices
+  /// in range and distinct (returns the empty relation for primary ==
+  /// reference). Implicit pairs are O(1); overlay pairs rank `reference`
+  /// among the row's explicit columns, which is O(n) scalar
+  /// classifications — fine for interactive queries, use ForEachInRow for
+  /// bulk traversal.
+  CardinalRelation Relation(size_t primary, size_t reference) const;
+
+  /// Invokes `fn(reference, relation)` for every reference ≠ primary in
+  /// ascending reference order — the canonical row order of PairMatrix.
+  template <typename Fn>
+  void ForEachInRow(size_t primary, Fn&& fn) const {
+    const size_t n = profile_.size();
+    const uint16_t* overlay = overlay_masks_.data() + row_offsets_[primary];
+    size_t cursor = 0;
+    for (size_t j = 0; j < n; ++j) {
+      if (j == primary) continue;
+      const uint8_t code = ClassPairCode(primary, j);
+      if (ResolvableCode(code)) {
+        fn(j, (*relations_)[code]);
+      } else {
+        fn(j, CardinalRelation::FromMask(overlay[cursor++]));
+      }
+    }
+    assert(cursor == row_offsets_[primary + 1] - row_offsets_[primary]);
+  }
+
+  /// Invokes `fn(primary, reference, relation)` over all ordered pairs in
+  /// canonical row-major order (PairMatrix's iteration order).
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    const size_t n = profile_.size();
+    if (n < 2) return;
+    for (size_t i = 0; i < n; ++i) {
+      ForEachInRow(i, [&fn, i](size_t j, const CardinalRelation& relation) {
+        fn(i, j, relation);
+      });
+    }
+  }
+
+  /// Order-independent digest over all pairs; equals the batch engine's
+  /// ComputeAllPairsDigest on the same regions.
+  uint64_t Digest() const;
+
+  /// True iff neither 2-bit axis class of `code` is kCross (== 3).
+  static constexpr bool ResolvableCode(uint8_t code) {
+    return (code & 0b1100u) != 0b1100u && (code & 0b0011u) != 0b0011u;
+  }
+
+ private:
+  friend Result<RelationStore> ComputeRelationStore(
+      const std::vector<const Region*>&, const EngineOptions&, EngineStats*);
+
+  // Balances the mem.relation_store gauges across moves and destruction.
+  struct MemCharge {
+    size_t charged = 0;
+    MemCharge() = default;
+    explicit MemCharge(size_t bytes) : charged(bytes) {
+      if (charged != 0) CARDIR_MEMSTAT_ALLOC("relation_store", charged);
+    }
+    MemCharge(MemCharge&& other) noexcept
+        : charged(std::exchange(other.charged, 0)) {}
+    MemCharge& operator=(MemCharge&& other) noexcept {
+      if (this != &other) {
+        Release();
+        charged = std::exchange(other.charged, 0);
+      }
+      return *this;
+    }
+    ~MemCharge() { Release(); }
+    void Release() {
+      if (charged != 0) {
+        CARDIR_MEMSTAT_FREE("relation_store", charged);
+        charged = 0;
+      }
+    }
+  };
+
+  // The class-pair code of (i, j) — (x class << 2) | y class with the
+  // degenerate-box override OR-ed in — computed from the boxes exactly as
+  // the engine's classify phase computes it (ValidateClassKernelOnce proves
+  // scalar and batched agree), so implicit relations are bit-identical to
+  // the dense engine's.
+  uint8_t ClassPairCode(size_t i, size_t j) const {
+    const uint8_t cx = static_cast<uint8_t>(ClassifyIntervalClass(
+        profile_.min_x[i], profile_.max_x[i], profile_.min_x[j],
+        profile_.max_x[j]));
+    const uint8_t cy = static_cast<uint8_t>(ClassifyIntervalClass(
+        profile_.min_y[i], profile_.max_y[i], profile_.min_y[j],
+        profile_.max_y[j]));
+    return static_cast<uint8_t>(static_cast<uint8_t>(cx << 2 | cy) |
+                                profile_.cross_override[i] |
+                                profile_.cross_override[j]);
+  }
+
+  RegionProfile profile_;
+  std::vector<uint64_t> row_offsets_;    // regions() + 1 entries.
+  std::vector<uint16_t> overlay_masks_;  // Row-major, ascending reference.
+  const std::array<CardinalRelation, kNumClassPairCodes>* relations_ =
+      nullptr;
+  MemCharge charge_;
+};
+
+}  // namespace cardir
+
+#endif  // CARDIR_ENGINE_RELATION_STORE_H_

@@ -57,6 +57,7 @@ const char* KindName(uint16_t kind) {
     case RecordKind::kChunk: return "chunk";
     case RecordKind::kDefer: return "defer";
     case RecordKind::kLog: return "log";
+    case RecordKind::kSweep: return "sweep";
   }
   return "unknown";
 }

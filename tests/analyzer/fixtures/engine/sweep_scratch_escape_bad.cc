@@ -1,0 +1,11 @@
+// Fixture: the sweep join's per-participant scratch captured by reference
+// into a thread-escaping submission. Expected findings: 1.
+namespace cardir {
+
+void Bad(ThreadPool& pool) {
+  SweepScratch ws;
+  // BAD: the row bitset escapes into an async task that may outlive it.
+  pool.Submit([&ws] { MarkRow(ws); });
+}
+
+}  // namespace cardir

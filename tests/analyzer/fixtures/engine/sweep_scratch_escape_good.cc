@@ -1,0 +1,15 @@
+// Fixture: the sweep join's sanctioned scratch pattern. Expected findings: 0.
+namespace cardir {
+
+void Good(ThreadPool& pool) {
+  // One SweepScratch per pool participant, captured by reference into the
+  // synchronous ParallelFor — exactly how engine/sweep_join.cc runs its
+  // count and emit strips. ParallelFor joins before returning, so the
+  // capture cannot dangle.
+  std::vector<SweepScratch> scratch;
+  pool.ParallelFor(100, 0, [&scratch](size_t begin, size_t end, size_t w) {
+    SweepRows(scratch[w], begin, end);
+  });
+}
+
+}  // namespace cardir

@@ -66,7 +66,10 @@ TEST(ConfigurationTest, ComputeAllRelationsProducesAllOrderedPairs) {
   ASSERT_TRUE(config.AddRegion(MakeRegion("a", "red", 0, 0, 10, 10)).ok());
   ASSERT_TRUE(config.AddRegion(MakeRegion("b", "blue", 2, -20, 8, -12)).ok());
   ASSERT_TRUE(config.ComputeAllRelations().ok());
-  EXPECT_EQ(config.relations().size(), 2u);
+  EXPECT_EQ(config.relation_count(), 2u);
+  // Computed relations live in the RelationStore, not as explicit records.
+  EXPECT_TRUE(config.relations().empty());
+  ASSERT_NE(config.relation_store(), nullptr);
   auto ab = config.StoredRelation("a", "b");
   ASSERT_TRUE(ab.has_value());
   // a is north of b, spilling over b's narrower mbb into NW and NE.
@@ -83,6 +86,7 @@ TEST(ConfigurationTest, RemoveRegionDropsItsRelations) {
   ASSERT_TRUE(config.AddRegion(MakeRegion("b", "blue", 0, 20, 10, 30)).ok());
   ASSERT_TRUE(config.ComputeAllRelations().ok());
   ASSERT_TRUE(config.RemoveRegion("b").ok());
+  EXPECT_FALSE(config.has_relations());
   EXPECT_TRUE(config.relations().empty());
   EXPECT_EQ(config.RemoveRegion("b").code(), StatusCode::kNotFound);
 }

@@ -326,9 +326,11 @@ TEST_F(ToolTest, FlightRecordWritesDumpOnCleanExit) {
   buffer << record_file.rdbuf();
   const std::string record = buffer.str();
   EXPECT_EQ(record.rfind("cardir-flight-record v1\n", 0), 0u);
-  // The engine run's phase transitions are in the ring.
+  // The sweep run's phase transitions are in the ring.
   EXPECT_NE(record.find("label=engine.validate"), std::string::npos);
-  EXPECT_NE(record.find("label=engine.done"), std::string::npos);
+  EXPECT_NE(record.find("label=sweep.done"), std::string::npos);
+  // Strip events carry their own record kind.
+  EXPECT_NE(record.find("kind=sweep"), std::string::npos);
   EXPECT_NE(record.find("\nend\n"), std::string::npos);
   std::remove(record_path.c_str());
 

@@ -102,11 +102,18 @@ TEST(ConfigurationXmlTest, RoundTripPreservesEverything) {
     EXPECT_EQ(a.color, b.color);
     EXPECT_EQ(a.geometry, b.geometry);  // Exact coordinate round-trip.
   }
-  ASSERT_EQ(loaded->relations().size(), original.relations().size());
-  for (size_t i = 0; i < original.relations().size(); ++i) {
-    EXPECT_EQ(loaded->relations()[i].relation,
-              original.relations()[i].relation);
-  }
+  // The original holds computed relations (RelationStore); the reloaded
+  // configuration holds explicit records — same relations, same order.
+  ASSERT_EQ(loaded->relations().size(), original.relation_count());
+  size_t flat = 0;
+  original.ForEachRelation([&](const std::string& primary_id,
+                               const std::string& reference_id,
+                               const CardinalRelation& relation) {
+    EXPECT_EQ(loaded->relations()[flat].primary_id, primary_id);
+    EXPECT_EQ(loaded->relations()[flat].reference_id, reference_id);
+    EXPECT_EQ(loaded->relations()[flat].relation, relation);
+    ++flat;
+  });
 }
 
 TEST(ConfigurationXmlTest, OutputFollowsTheDtdShape) {

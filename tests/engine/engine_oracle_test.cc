@@ -9,6 +9,7 @@
 #include "clipping/baseline_cdr.h"
 #include "core/compute_cdr.h"
 #include "engine/batch_engine.h"
+#include "engine/relation_store.h"
 #include "geometry/region.h"
 #include "gtest/gtest.h"
 #include "properties/random_instances.h"
@@ -95,6 +96,46 @@ TEST_P(EngineOracleTest, MatrixMatchesSerialLoopAndClippingBaseline) {
         }
       }
     }
+  }
+}
+
+TEST_P(EngineOracleTest, RelationStoreMatchesSerialLoop) {
+  Rng rng(GetParam());
+  const size_t num_regions = 12 + rng.NextBelow(14);
+  std::vector<Region> regions;
+  regions.reserve(num_regions);
+  for (size_t i = 0; i < num_regions; ++i) {
+    regions.push_back(RandomTestRegion(&rng));
+  }
+
+  const std::vector<CardinalRelation> serial = SerialMatrix(regions);
+
+  for (int threads : {1, 2, 8}) {
+    EngineOptions options;
+    options.threads = threads;
+    EngineStats stats;
+    auto store = ComputeRelationStore(regions, options, &stats);
+    ASSERT_TRUE(store.ok()) << store.status();
+    ASSERT_EQ(store->pair_count(), serial.size());
+    EXPECT_EQ(stats.prefiltered_pairs + stats.computed_pairs,
+              stats.total_pairs);
+
+    size_t flat = 0;
+    store->ForEach(
+        [&](size_t i, size_t j, const CardinalRelation& relation) {
+          ASSERT_EQ(relation.mask(), serial[flat].mask())
+              << "pair (" << i << ", " << j << "), " << threads
+              << " threads: store " << relation.ToString() << " vs serial "
+              << serial[flat].ToString();
+          ++flat;
+        });
+    ASSERT_EQ(flat, serial.size());
+
+    // The digest seam ties all three result types together: the store, the
+    // dense matrix, and the streaming digest must agree bit-for-bit.
+    auto digest = ComputeAllPairsDigest(regions, options);
+    ASSERT_TRUE(digest.ok()) << digest.status();
+    EXPECT_EQ(store->Digest(), *digest);
   }
 }
 

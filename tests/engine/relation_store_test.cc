@@ -1,0 +1,278 @@
+// RelationStore / sweep-join tests: the store must round-trip exactly to
+// the dense PairMatrix — every pair, every instance class, every thread
+// count — and its footprint accounting must hold even on instances built
+// to defeat the implicit-run compression.
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "engine/batch_engine.h"
+#include "engine/relation_store.h"
+#include "geometry/region.h"
+#include "gtest/gtest.h"
+#include "obs/memstats.h"
+#include "properties/random_instances.h"
+#include "util/random.h"
+#include "workload/region_gen.h"
+
+namespace cardir {
+namespace {
+
+// Map-like instance: one region per jittered grid cell (the bench's map
+// workload in miniature) — almost every pair resolves implicitly.
+std::vector<Region> SmallMapRegions(Rng* rng, int count) {
+  const int grid = 1 + static_cast<int>(std::sqrt(static_cast<double>(count)));
+  const double cell = 1000.0 / grid;
+  std::vector<Region> regions;
+  regions.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const int cx = i % grid;
+    const int cy = i / grid;
+    RegionGenOptions options;
+    options.num_polygons = 1;
+    options.vertices_per_polygon = 8;
+    options.bounds = Box(cx * cell + 0.05 * cell, cy * cell + 0.05 * cell,
+                         (cx + 1) * cell - 0.05 * cell,
+                         (cy + 1) * cell - 0.05 * cell);
+    regions.push_back(RandomRegion(rng, options));
+  }
+  return regions;
+}
+
+// Overlap-heavy instance: random boxes on a shared canvas, so a large
+// share of pairs cross reference lines and land in the overlay.
+std::vector<Region> SmallOverlapRegions(Rng* rng, int count) {
+  std::vector<Region> regions;
+  regions.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const double size = rng->NextDouble(40.0, 160.0);
+    const double x = rng->NextDouble(0.0, 400.0 - size);
+    const double y = rng->NextDouble(0.0, 400.0 - size);
+    RegionGenOptions options;
+    options.num_polygons = 1;
+    options.vertices_per_polygon = 10;
+    options.bounds = Box(x, y, x + size, y + size);
+    regions.push_back(RandomRegion(rng, options));
+  }
+  return regions;
+}
+
+// Asserts that `store` agrees with the dense matrix pair-for-pair, via all
+// three read paths (ForEach cursor iteration, per-row iteration, and spot
+// Lookup), and that the accounting between implicit and overlay pairs is
+// consistent.
+void ExpectMatchesDense(const RelationStore& store, const PairMatrix& dense,
+                        size_t n) {
+  ASSERT_EQ(store.regions(), n);
+  ASSERT_EQ(store.pair_count(), dense.size());
+
+  const uint16_t* masks = dense.masks();
+  size_t flat = 0;
+  size_t explicit_seen = 0;
+  store.ForEach([&](size_t i, size_t j, const CardinalRelation& relation) {
+    // Canonical row-major order, same as the dense matrix.
+    const size_t expect_i = flat / (n - 1);
+    const size_t rank = flat % (n - 1);
+    const size_t expect_j = rank < expect_i ? rank : rank + 1;
+    ASSERT_EQ(i, expect_i);
+    ASSERT_EQ(j, expect_j);
+    ASSERT_EQ(relation.mask(), masks[flat])
+        << "pair (" << i << ", " << j << ")";
+    if (store.IsExplicit(i, j)) ++explicit_seen;
+    ++flat;
+  });
+  ASSERT_EQ(flat, dense.size());
+  EXPECT_EQ(explicit_seen, store.overlay_pairs());
+
+  EXPECT_EQ(store.Digest(), [&] {
+    uint64_t digest = 0;
+    for (size_t k = 0; k < dense.size(); ++k) {
+      const PairRelation pair = dense[k];
+      digest += MixPairDigest(pair.primary, pair.reference, masks[k]);
+    }
+    return digest;
+  }());
+
+  // Random-access lookups against a handful of rows (Lookup is O(n) per
+  // overlay pair, so exhaustive lookup would square the test).
+  for (size_t i = 0; i < n; i += 1 + n / 7) {
+    for (size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const size_t k = i * (n - 1) + (j < i ? j : j - 1);
+      ASSERT_EQ(store.Relation(i, j).mask(), masks[k])
+          << "lookup (" << i << ", " << j << ")";
+    }
+  }
+}
+
+TEST(RelationStoreProperty, RoundTripsToDenseMatrixOn1000RandomInstances) {
+  for (uint64_t seed = 0; seed < 1000; ++seed) {
+    Rng rng(0x5EED0000u + seed);
+    const int n = 3 + static_cast<int>(rng.NextBelow(18));
+    std::vector<Region> regions;
+    switch (seed % 3) {
+      case 0:
+        regions = SmallMapRegions(&rng, n);
+        break;
+      case 1:
+        regions = SmallOverlapRegions(&rng, n);
+        break;
+      default:
+        for (int i = 0; i < n; ++i) {
+          regions.push_back(RandomTestRegion(&rng));
+        }
+        break;
+    }
+
+    auto dense = ComputeAllPairs(regions);
+    ASSERT_TRUE(dense.ok()) << dense.status();
+    EngineStats stats;
+    auto store = ComputeRelationStore(regions, EngineOptions(), &stats);
+    ASSERT_TRUE(store.ok()) << store.status() << " (seed " << seed << ")";
+
+    ExpectMatchesDense(*store, *dense, regions.size());
+    EXPECT_EQ(stats.total_pairs, store->pair_count());
+    EXPECT_EQ(stats.computed_pairs, store->overlay_pairs());
+    EXPECT_EQ(stats.prefiltered_pairs + stats.computed_pairs,
+              stats.total_pairs);
+  }
+}
+
+// Alternating tall/wide slats through a common centre: every (tall, wide)
+// pair crosses on both axes, so ~half of all pairs land in the overlay —
+// the worst case for the implicit-run compression. The store must stay
+// correct and its footprint must still be exactly the accounted bound
+// (overlay + profile + offsets), i.e. bounded by the dense matrix plus the
+// per-region overhead even with compression fully defeated.
+TEST(RelationStoreProperty, AdversarialAlternatingClassInstance) {
+  std::vector<Region> regions;
+  const int n = 64;
+  for (int i = 0; i < n; ++i) {
+    const double offset = 10.0 * i;
+    if (i % 2 == 0) {
+      // Tall, thin, x-offset.
+      regions.push_back(
+          Region(MakeRectangle(100.0 + offset, 0.0, 140.0 + offset, 1000.0)));
+    } else {
+      // Wide, flat, y-offset.
+      regions.push_back(
+          Region(MakeRectangle(0.0, 100.0 + offset, 1000.0, 140.0 + offset)));
+    }
+  }
+
+  auto dense = ComputeAllPairs(regions);
+  ASSERT_TRUE(dense.ok()) << dense.status();
+  auto store = ComputeRelationStore(regions);
+  ASSERT_TRUE(store.ok()) << store.status();
+
+  // Compression is actually defeated: a large share of pairs is explicit.
+  EXPECT_GE(store->overlay_pairs(), store->pair_count() / 4);
+
+  ExpectMatchesDense(*store, *dense, regions.size());
+
+  // Memory gate: footprint is exactly the accounted structures — 2 bytes
+  // per overlay pair, the SoA profile, and one offset per row — so even
+  // with every pair explicit the store cannot exceed dense-matrix size
+  // plus the fixed per-region overhead.
+  const size_t accounted =
+      store->overlay_pairs() * sizeof(uint16_t) +
+      store->regions() * (4 * sizeof(double) + sizeof(uint8_t)) +
+      (store->regions() + 1) * sizeof(uint64_t);
+  EXPECT_LE(store->bytes(), 2 * accounted)
+      << "capacity overhead exceeded the accounted footprint";
+  EXPECT_LE(store->overlay_pairs() * sizeof(uint16_t),
+            store->pair_count() * sizeof(uint16_t));
+}
+
+// On map workloads the overlay must be a small fraction of the dense
+// matrix — the ISSUE gate is ≤10% of dense PairMatrix bytes.
+TEST(RelationStoreProperty, MapWorkloadStaysUnderTenPercentOfDense) {
+  Rng rng(7u + 600u);
+  const std::vector<Region> regions = SmallMapRegions(&rng, 600);
+  auto store = ComputeRelationStore(regions);
+  ASSERT_TRUE(store.ok()) << store.status();
+  const size_t dense_bytes = store->pair_count() * sizeof(uint16_t);
+  EXPECT_LE(store->bytes(), dense_bytes / 10)
+      << "store " << store->bytes() << "B vs dense " << dense_bytes << "B";
+}
+
+// Sweep-strip concurrency: many single-row strips across 8 participants
+// must produce a bit-identical store (the tsan tier runs this under the
+// race detector; chunk_size 1 maximises strip interleaving).
+TEST(RelationStoreConcurrency, StripParallelismIsDeterministic) {
+  Rng rng(0xCAFEu);
+  std::vector<Region> regions = SmallOverlapRegions(&rng, 120);
+  // A couple of map clusters too, so implicit runs and overlay mix.
+  std::vector<Region> map = SmallMapRegions(&rng, 80);
+  for (Region& region : map) regions.push_back(std::move(region));
+
+  EngineOptions serial;
+  serial.threads = 1;
+  auto expected = ComputeRelationStore(regions, serial);
+  ASSERT_TRUE(expected.ok()) << expected.status();
+
+  for (size_t chunk : {size_t{1}, size_t{7}, size_t{0}}) {
+    EngineOptions options;
+    options.threads = 8;
+    options.chunk_size = chunk;
+    EngineStats stats;
+    auto store = ComputeRelationStore(regions, options, &stats);
+    ASSERT_TRUE(store.ok()) << store.status();
+    EXPECT_EQ(stats.threads_used, 8);
+    ASSERT_EQ(store->overlay_pairs(), expected->overlay_pairs());
+    EXPECT_EQ(store->Digest(), expected->Digest()) << "chunk " << chunk;
+  }
+}
+
+TEST(RelationStoreEdgeCases, EmptyAndSingletonInputs) {
+  std::vector<Region> none;
+  auto empty = ComputeRelationStore(none);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(empty->regions(), 0u);
+  EXPECT_EQ(empty->pair_count(), 0u);
+  empty->ForEach([](size_t, size_t, const CardinalRelation&) {
+    FAIL() << "no pairs expected";
+  });
+
+  std::vector<Region> one;
+  one.push_back(Region(MakeRectangle(0, 0, 10, 10)));
+  auto single = ComputeRelationStore(one);
+  ASSERT_TRUE(single.ok());
+  EXPECT_EQ(single->regions(), 1u);
+  EXPECT_EQ(single->pair_count(), 0u);
+}
+
+TEST(RelationStoreEdgeCases, InvalidRegionIsReported) {
+  std::vector<Region> regions;
+  regions.push_back(Region(MakeRectangle(0, 0, 10, 10)));
+  regions.push_back(Region());  // Empty region: fails Validate().
+  auto store = ComputeRelationStore(regions);
+  ASSERT_FALSE(store.ok());
+  EXPECT_EQ(store.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(store.status().message().find("#1"), std::string::npos);
+}
+
+#ifdef CARDIR_OBS_ENABLED
+// The mem.relation_store arena must balance: live returns to zero when
+// stores die, and the charge follows the store across moves.
+TEST(RelationStoreMemstats, ArenaChargesBalanceAcrossMoveAndDestroy) {
+  obs::MemArena& arena = obs::MemArena::Get("relation_store");
+  const int64_t live_before = arena.LiveBytes();
+  Rng rng(99u);
+  const std::vector<Region> regions = SmallOverlapRegions(&rng, 40);
+  {
+    auto store = ComputeRelationStore(regions);
+    ASSERT_TRUE(store.ok());
+    EXPECT_EQ(arena.LiveBytes() - live_before,
+              static_cast<int64_t>(store->bytes()));
+    RelationStore moved = std::move(*store);  // Charge moves, not doubles.
+    EXPECT_EQ(arena.LiveBytes() - live_before,
+              static_cast<int64_t>(moved.bytes()));
+  }
+  EXPECT_EQ(arena.LiveBytes(), live_before);
+}
+#endif  // CARDIR_OBS_ENABLED
+
+}  // namespace
+}  // namespace cardir

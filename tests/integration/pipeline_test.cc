@@ -35,13 +35,14 @@ TEST(PipelineTest, GenerateSaveLoadQuery) {
 
   // The reloaded configuration has identical regions and relations.
   ASSERT_EQ(loaded->regions().size(), config->regions().size());
-  ASSERT_EQ(loaded->relations().size(), config->relations().size());
-  for (const RelationRecord& record : config->relations()) {
-    auto stored = loaded->StoredRelation(record.primary_id,
-                                         record.reference_id);
+  ASSERT_EQ(loaded->relations().size(), config->relation_count());
+  config->ForEachRelation([&](const std::string& primary_id,
+                              const std::string& reference_id,
+                              const CardinalRelation& relation) {
+    auto stored = loaded->StoredRelation(primary_id, reference_id);
     ASSERT_TRUE(stored.has_value());
-    EXPECT_EQ(*stored, record.relation);
-  }
+    EXPECT_EQ(*stored, relation);
+  });
 
   // Stored relations agree with recomputation from the reloaded geometry.
   for (const RelationRecord& record : loaded->relations()) {

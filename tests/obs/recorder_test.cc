@@ -183,9 +183,11 @@ TEST(RecorderDeathTest, CrashDumpWritesPreCrashEvents) {
         CARDIR_RECORD_EVENT(kMark, "pre.crash.mark", 10, 11);
         // A real fault, not raise(): InstallCrashDump's handler overrides
         // any sanitizer handler, dumps, and re-raises with the default
-        // disposition.
-        volatile int* null_pointer = nullptr;
-        *null_pointer = 1;
+        // disposition. The bad address is non-null on purpose: under
+        // -fno-sanitize-recover UBSan's null-store check exits(1) before
+        // the hardware fault, so a null write never reaches the handler.
+        volatile int* bad_pointer = reinterpret_cast<volatile int*>(8);
+        *bad_pointer = 1;
       },
       "");
   const std::string dump = ReadFileOrEmpty(path);

@@ -71,7 +71,7 @@ TEST(ExtractConfigurationTest, BuildsAnnotatedConfigurationWithRelations) {
                {3, "city", "City", "red"}});
   ASSERT_TRUE(config.ok()) << config.status();
   EXPECT_EQ(config->regions().size(), 3u);
-  EXPECT_EQ(config->relations().size(), 6u);
+  EXPECT_EQ(config->relation_count(), 6u);
   // The forest (around (30,30)) is northeast-ish of the lake (around
   // (10,10)): the stored relation must only use N/NE/E tiles.
   auto relation = config->StoredRelation("forest", "lake");

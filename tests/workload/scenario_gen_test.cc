@@ -23,7 +23,7 @@ TEST(ScenarioGenTest, ComputesAllPairwiseRelations) {
   options.num_regions = 6;
   auto config = GenerateMapConfiguration(&rng, options);
   ASSERT_TRUE(config.ok());
-  EXPECT_EQ(config->relations().size(), 6u * 5u);
+  EXPECT_EQ(config->relation_count(), 6u * 5u);
 }
 
 TEST(ScenarioGenTest, CanSkipRelationComputation) {
@@ -33,7 +33,7 @@ TEST(ScenarioGenTest, CanSkipRelationComputation) {
   options.compute_relations = false;
   auto config = GenerateMapConfiguration(&rng, options);
   ASSERT_TRUE(config.ok());
-  EXPECT_TRUE(config->relations().empty());
+  EXPECT_FALSE(config->has_relations());
 }
 
 TEST(ScenarioGenTest, CyclesColorPalette) {

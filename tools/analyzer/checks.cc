@@ -8,8 +8,9 @@
 //                        called with no visible `.ok()` guard (and no
 //                        CARDIR_ASSIGN_OR_RETURN) earlier in the function.
 //                        Cast to (void) to discard deliberately.
-//  scratch-escape        A CdrScratch/WorkerScratch/EdgeSoA is captured by
-//                        reference in a lambda handed to an API that may
+//  scratch-escape        A CdrScratch/WorkerScratch/EdgeSoA/SweepScratch is
+//                        captured by reference in a lambda handed to an API
+//                        that may
 //                        outlive the enclosing scope (Submit/Post/async/
 //                        std::thread/push_back of callables...). The
 //                        sanctioned pattern — per-participant scratch in a
@@ -307,7 +308,7 @@ void CheckUncheckedResult(const FileTokens& file,
 
 const std::set<std::string>& ScratchTypes() {
   static const std::set<std::string> kTypes = {"CdrScratch", "WorkerScratch",
-                                               "EdgeSoA"};
+                                               "EdgeSoA", "SweepScratch"};
   return kTypes;
 }
 

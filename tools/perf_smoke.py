@@ -85,6 +85,12 @@ def main():
                              "to this workload (repeatable); guards against "
                              "a fresh run that silently skipped the "
                              "workload the gate is meant to cover")
+    parser.add_argument("--require-mode", action="append", default=[],
+                        metavar="MODE",
+                        help="fail unless at least one matched row runs in "
+                             "this mode (repeatable); guards against a "
+                             "fresh run or a baseline refresh that silently "
+                             "dropped a gated mode (e.g. engine_sweep)")
     args = parser.parse_args()
 
     baseline = load_runs(args.baseline)
@@ -103,6 +109,12 @@ def main():
     if missing:
         print(f"perf_smoke: required workload(s) absent from the matched "
               f"rows: {', '.join(missing)}", file=sys.stderr)
+        sys.exit(2)
+    matched_modes = {key[2] for key in matched}
+    missing_modes = [m for m in args.require_mode if m not in matched_modes]
+    if missing_modes:
+        print(f"perf_smoke: required mode(s) absent from the matched rows: "
+              f"{', '.join(missing_modes)}", file=sys.stderr)
         sys.exit(2)
 
     regressions = []
