@@ -39,6 +39,7 @@
 #include "bench_common.h"
 #include "core/compute_cdr.h"
 #include "engine/batch_engine.h"
+#include "engine/delta_engine.h"
 #include "engine/relation_store.h"
 #include "engine/thread_pool.h"
 #include "geometry/region.h"
@@ -97,6 +98,22 @@ std::vector<Region> OverlapRegions(Rng* rng, int count) {
   return regions;
 }
 
+// The move generator: the same region shape, shifted. Keeps the workload's
+// geometry scale so the delta rows measure maintenance cost, not a change
+// of region statistics.
+Region Translated(const Region& region, double dx, double dy) {
+  Region out;
+  for (const Polygon& polygon : region.polygons()) {
+    std::vector<Point> vertices;
+    vertices.reserve(polygon.size());
+    for (const Point& p : polygon.vertices()) {
+      vertices.emplace_back(p.x + dx, p.y + dy);
+    }
+    out.AddPolygon(Polygon(std::move(vertices)));
+  }
+  return out;
+}
+
 struct RunRecord {
   std::string workload;
   int regions = 0;
@@ -104,6 +121,9 @@ struct RunRecord {
   int threads = 1;
   bool prefilter = false;
   double ms = 0;
+  // 99th-percentile single-mutation latency — only the engine_delta* rows
+  // measure a latency distribution; 0 elsewhere and emitted as JSON null.
+  double p99_ms = 0;
   size_t pairs = 0;
   size_t prefiltered_pairs = 0;
   size_t crossing_pairs = 0;
@@ -120,6 +140,11 @@ struct RunRecord {
   uint64_t chunks_stolen = 0;
   uint64_t edges_input = 0;
   uint64_t edges_split = 0;
+  // Pairs the delta engine touched over this row's window, split by how
+  // they resolved (explicit re-resolution vs implicit-from-profile). Zero
+  // for the batch modes.
+  uint64_t delta_pairs_reresolved = 0;
+  uint64_t delta_pairs_implicit = 0;
   // Memory telemetry (obs/memstats.h): per-arena high-water bytes within
   // this run's window (ObsWindow resets peaks at window start) plus the
   // process RSS sampled at window close. All zero under -DCARDIR_OBS=OFF.
@@ -262,6 +287,8 @@ void RecordCounters(RunRecord* r, const bench::ObsWindow& window) {
   r->chunks_stolen = delta.counter("engine.pool.chunks_stolen");
   r->edges_input = delta.counter("core.edges.input");
   r->edges_split = delta.counter("core.edges.split");
+  r->delta_pairs_reresolved = delta.counter("delta.pairs_reresolved");
+  r->delta_pairs_implicit = delta.counter("delta.pairs_implicit");
   r->mem_pair_matrix_peak_bytes = delta.gauge("mem.pair_matrix.peak_bytes");
   r->mem_edge_soa_peak_bytes = delta.gauge("mem.edge_soa.peak_bytes");
   r->mem_worker_scratch_peak_bytes =
@@ -276,6 +303,16 @@ void RecordCounters(RunRecord* r, const bench::ObsWindow& window) {
 }
 
 void PrintRecord(const RunRecord& r) {
+  if (r.p99_ms > 0) {
+    // Delta rows: per-mutation latency, not a batch throughput number.
+    std::printf(
+        "%-8s n=%-6d %-18s threads=%-2d %10.4f ms median  p99=%.4f ms"
+        "  reresolved=%llu implicit=%llu\n",
+        r.workload.c_str(), r.regions, r.mode.c_str(), r.threads, r.ms,
+        r.p99_ms, static_cast<unsigned long long>(r.delta_pairs_reresolved),
+        static_cast<unsigned long long>(r.delta_pairs_implicit));
+    return;
+  }
   const double mpairs_s =
       r.ms > 0 ? static_cast<double>(r.pairs) / r.ms / 1000.0 : 0.0;
   std::printf(
@@ -308,14 +345,22 @@ void WriteJson(const std::vector<RunRecord>& records, int repeat,
       return r.mem_valid ? StrFormat("%lld", static_cast<long long>(value))
                          : std::string("null");
     };
+    // Only the delta rows carry a latency distribution; everything else
+    // emits p99_ms as null so consumers cannot mistake "not a latency
+    // bench" for "zero-latency".
+    const std::string p99 =
+        r.p99_ms > 0 ? StrFormat("%.4f", r.p99_ms) : std::string("null");
     out << StrFormat(
         "    {\"workload\": \"%s\", \"regions\": %d, \"mode\": \"%s\", "
-        "\"threads\": %d, \"prefilter\": %s, \"ms\": %.2f, \"pairs\": %zu, "
+        "\"threads\": %d, \"prefilter\": %s, \"ms\": %.4f, "
+        "\"p99_ms\": %s, \"pairs\": %zu, "
         "\"prefiltered_pairs\": %zu, \"crossing_pairs\": %zu, "
         "\"speedup_vs_serial\": %s, \"pairs_per_sec\": %.0f, "
         "\"prefilter_hit_rate\": %.4f, \"chunks_executed\": %llu, "
         "\"chunks_stolen\": %llu, \"edges_input\": %llu, "
-        "\"edges_split\": %llu, \"mem_pair_matrix_peak_bytes\": %s, "
+        "\"edges_split\": %llu, \"delta_pairs_reresolved\": %llu, "
+        "\"delta_pairs_implicit\": %llu, "
+        "\"mem_pair_matrix_peak_bytes\": %s, "
         "\"mem_edge_soa_peak_bytes\": %s, "
         "\"mem_worker_scratch_peak_bytes\": %s, "
         "\"mem_crossing_queue_peak_bytes\": %s, "
@@ -323,13 +368,16 @@ void WriteJson(const std::vector<RunRecord>& records, int repeat,
         "\"mem_total_peak_bytes\": %s, "
         "\"mem_process_rss_bytes\": %s}%s\n",
         r.workload.c_str(), r.regions, r.mode.c_str(), r.threads,
-        r.prefilter ? "true" : "false", r.ms, r.pairs, r.prefiltered_pairs,
+        r.prefilter ? "true" : "false", r.ms, p99.c_str(), r.pairs,
+        r.prefiltered_pairs,
         r.crossing_pairs, speedup.c_str(), r.pairs_per_sec,
         r.prefilter_hit_rate,
         static_cast<unsigned long long>(r.chunks_executed),
         static_cast<unsigned long long>(r.chunks_stolen),
         static_cast<unsigned long long>(r.edges_input),
         static_cast<unsigned long long>(r.edges_split),
+        static_cast<unsigned long long>(r.delta_pairs_reresolved),
+        static_cast<unsigned long long>(r.delta_pairs_implicit),
         mem(r.mem_pair_matrix_peak_bytes).c_str(),
         mem(r.mem_edge_soa_peak_bytes).c_str(),
         mem(r.mem_worker_scratch_peak_bytes).c_str(),
@@ -536,6 +584,125 @@ int Main(int argc, char** argv) {
       if (serial_ms > 0) r.speedup_vs_serial = serial_ms / r.ms;
       records.push_back(r);
       PrintRecord(r);
+    }
+
+    // Delta maintenance (engine/delta_engine.h): single-mutation latency
+    // against a store adopted from one sweep build. Each row times
+    // `kDeltaMutations` mutations of one kind and reports the median (ms)
+    // and 99th percentile (p99_ms) of the distribution — best-of-N is the
+    // wrong statistic for latency, so --repeat does not apply here. The
+    // engine is built OUTSIDE the obs windows: each window then sees only
+    // the mutations, engine.runs stays 0, and the counter invariants apply
+    // to the delta path alone. The headline comparison is this row's
+    // median vs the same (workload, n) engine_sweep row: the cost of one
+    // move vs recomputing the configuration from scratch.
+    {
+      constexpr int kDeltaMutations = 200;
+      auto built = DeltaEngine::Build(regions);
+      if (!built.ok()) {
+        std::cerr << "delta engine build failed: " << built.status() << "\n";
+        std::exit(1);
+      }
+      DeltaEngine engine = std::move(built.value());
+      Rng delta_rng(0xDE0000u + static_cast<uint64_t>(n));
+
+      auto push_delta_row = [&](const std::string& mode,
+                                std::vector<double> lat, double total_ms,
+                                const bench::ObsWindow& window) {
+        std::sort(lat.begin(), lat.end());
+        RunRecord r;
+        r.workload = name;
+        r.regions = n;
+        r.mode = mode;
+        r.threads = 1;
+        r.prefilter = true;  // The interval indexes bound the dirty set.
+        r.pairs = pairs;
+        r.ms = lat[lat.size() / 2];
+        r.p99_ms = lat[(lat.size() * 99) / 100];
+        RecordCounters(&r, window);
+        // Throughput over the whole mutation script, in maintained pairs —
+        // the generic pairs/ms formula would divide the quadratic pair
+        // count by one median mutation.
+        r.pairs_per_sec =
+            total_ms > 0
+                ? static_cast<double>(r.delta_pairs_reresolved +
+                                      r.delta_pairs_implicit) /
+                      (total_ms / 1000.0)
+                : 0.0;
+        records.push_back(r);
+        PrintRecord(r);
+      };
+
+      {
+        // Move: shift one region to a nearby spot, geometry built outside
+        // the timed section.
+        const bench::ObsWindow window;
+        std::vector<double> lat;
+        double total_ms = 0;
+        for (int m = 0; m < kDeltaMutations; ++m) {
+          const size_t id = delta_rng.NextBelow(engine.regions());
+          Region moved = Translated(engine.region(id),
+                                    delta_rng.NextDouble(-40.0, 40.0),
+                                    delta_rng.NextDouble(-40.0, 40.0));
+          const auto start = std::chrono::steady_clock::now();
+          const auto applied = engine.Move(id, std::move(moved));
+          const double ms = MsSince(start);
+          if (!applied.ok()) {
+            std::cerr << "delta move failed: " << applied.status() << "\n";
+            std::exit(1);
+          }
+          lat.push_back(ms);
+          total_ms += ms;
+        }
+        push_delta_row("engine_delta", std::move(lat), total_ms, window);
+      }
+
+      {
+        // Insert: a fresh region cloned from a random existing one,
+        // shifted — same shape statistics as the workload.
+        const bench::ObsWindow window;
+        std::vector<double> lat;
+        double total_ms = 0;
+        for (int m = 0; m < kDeltaMutations; ++m) {
+          const size_t id = delta_rng.NextBelow(engine.regions());
+          Region fresh = Translated(engine.region(id),
+                                    delta_rng.NextDouble(-60.0, 60.0),
+                                    delta_rng.NextDouble(-60.0, 60.0));
+          const auto start = std::chrono::steady_clock::now();
+          const auto applied = engine.Insert(std::move(fresh));
+          const double ms = MsSince(start);
+          if (!applied.ok()) {
+            std::cerr << "delta insert failed: " << applied.status() << "\n";
+            std::exit(1);
+          }
+          lat.push_back(ms);
+          total_ms += ms;
+        }
+        push_delta_row("engine_delta_insert", std::move(lat), total_ms,
+                       window);
+      }
+
+      {
+        // Remove: drains what the insert pass added, so the engine ends
+        // the bench at its original size.
+        const bench::ObsWindow window;
+        std::vector<double> lat;
+        double total_ms = 0;
+        for (int m = 0; m < kDeltaMutations; ++m) {
+          const size_t id = delta_rng.NextBelow(engine.regions());
+          const auto start = std::chrono::steady_clock::now();
+          const auto applied = engine.Remove(id);
+          const double ms = MsSince(start);
+          if (!applied.ok()) {
+            std::cerr << "delta remove failed: " << applied.status() << "\n";
+            std::exit(1);
+          }
+          lat.push_back(ms);
+          total_ms += ms;
+        }
+        push_delta_row("engine_delta_remove", std::move(lat), total_ms,
+                       window);
+      }
     }
   };
 

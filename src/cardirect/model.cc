@@ -20,6 +20,13 @@ Status Configuration::AddRegion(AnnotatedRegion region) {
     return Status::InvalidArgument("region '" + region.id +
                                    "': " + status.message());
   }
+  if (relation_store() != nullptr) {
+    // Keep the computed store complete: resolve the new region's pairs
+    // incrementally instead of invalidating n·(n−1) relations.
+    PromoteToDelta();
+    Result<DeltaResult> applied = delta_->Insert(region.geometry);
+    if (!applied.ok()) return applied.status();
+  }
   regions_.push_back(std::move(region));
   return Status::Ok();
 }
@@ -30,9 +37,16 @@ Status Configuration::RemoveRegion(const std::string& id) {
   if (it == regions_.end()) {
     return Status::NotFound("no region with id '" + id + "'");
   }
-  // The store's indices parallel regions_ — convert to id-keyed records
-  // before the erase shifts them, then drop the stale subset below.
-  MaterializeRelations();
+  if (relation_store() != nullptr) {
+    // Delta-maintain the computed store: only the removed region's pairs
+    // go, everything else keeps its stored relation.
+    PromoteToDelta();
+    const size_t index = static_cast<size_t>(it - regions_.begin());
+    Result<DeltaResult> applied = delta_->Remove(index);
+    if (!applied.ok()) return applied.status();
+    regions_.erase(it);
+    return Status::Ok();
+  }
   regions_.erase(it);
   relations_.erase(
       std::remove_if(relations_.begin(), relations_.end(),
@@ -53,8 +67,15 @@ Status Configuration::AddPolygonToRegion(const std::string& id,
   polygon.EnsureClockwise();
   CARDIR_RETURN_IF_ERROR(polygon.Validate());
   it->geometry.AddPolygon(std::move(polygon));
-  // Stored relations involving this region are stale now.
-  MaterializeRelations();
+  if (relation_store() != nullptr) {
+    // Re-resolve just this region's dirty pairs against the grown geometry.
+    PromoteToDelta();
+    const size_t index = static_cast<size_t>(it - regions_.begin());
+    Result<DeltaResult> applied = delta_->Move(index, it->geometry);
+    if (!applied.ok()) return applied.status();
+    return Status::Ok();
+  }
+  // XML-loaded records involving this region are stale now.
   relations_.erase(
       std::remove_if(relations_.begin(), relations_.end(),
                      [&id](const RelationRecord& rec) {
@@ -95,25 +116,27 @@ Status Configuration::ComputeAllRelations(const EngineOptions& options,
       ComputeRelationStore(geometries, options, stats);
   if (!store.ok()) return store.status();
   store_ = std::move(*store);
+  delta_.reset();
   relations_.clear();
   return Status::Ok();
 }
 
-void Configuration::MaterializeRelations() {
-  if (!store_.has_value()) return;
-  std::vector<RelationRecord> records;
-  records.reserve(store_->pair_count());
-  store_->ForEach(
-      [this, &records](size_t i, size_t j, const CardinalRelation& relation) {
-        records.push_back({regions_[i].id, regions_[j].id, relation});
-      });
-  relations_ = std::move(records);
+void Configuration::PromoteToDelta() {
+  if (delta_.has_value() || !store_.has_value()) return;
+  std::vector<Region> geometries;
+  geometries.reserve(regions_.size());
+  for (const AnnotatedRegion& region : regions_) {
+    geometries.push_back(region.geometry);
+  }
+  delta_.emplace(
+      DeltaEngine::Adopt(std::move(*store_), std::move(geometries)));
   store_.reset();
 }
 
 std::optional<CardinalRelation> Configuration::StoredRelation(
     const std::string& primary_id, const std::string& reference_id) const {
-  if (store_.has_value()) {
+  const RelationStore* store = relation_store();
+  if (store != nullptr) {
     size_t primary = regions_.size(), reference = regions_.size();
     for (size_t i = 0; i < regions_.size(); ++i) {
       if (regions_[i].id == primary_id) primary = i;
@@ -123,7 +146,7 @@ std::optional<CardinalRelation> Configuration::StoredRelation(
         primary == reference) {
       return std::nullopt;
     }
-    return store_->Relation(primary, reference);
+    return store->Relation(primary, reference);
   }
   for (const RelationRecord& record : relations_) {
     if (record.primary_id == primary_id &&

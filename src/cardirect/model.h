@@ -15,6 +15,7 @@
 #include "core/cardinal_relation.h"
 #include "core/percentage_matrix.h"
 #include "engine/batch_engine.h"
+#include "engine/delta_engine.h"
 #include "engine/relation_store.h"
 #include "geometry/region.h"
 #include "util/status.h"
@@ -50,18 +51,20 @@ class Configuration {
 
   const std::vector<AnnotatedRegion>& regions() const { return regions_; }
 
-  /// The *explicit* relation records — ones loaded from XML or materialised
-  /// by a mutation. Computed relations live in the RelationStore instead
-  /// (45 bytes/region + 2 bytes per crossing pair, vs ~56 bytes per pair
-  /// here — n·(n−1) records defeat the engine's sub-quadratic memory);
-  /// consumers that want "all stored relations" regardless of provenance
-  /// iterate ForEachRelation / count relation_count.
+  /// The *explicit* relation records — ones loaded from XML. Computed
+  /// relations live in the RelationStore instead (45 bytes/region + 2 bytes
+  /// per crossing pair, vs ~56 bytes per pair here — n·(n−1) records defeat
+  /// the engine's sub-quadratic memory); consumers that want "all stored
+  /// relations" regardless of provenance iterate ForEachRelation / count
+  /// relation_count.
   const std::vector<RelationRecord>& relations() const { return relations_; }
 
   /// Stored relations, from whichever representation holds them: the
-  /// computed RelationStore when present, the explicit records otherwise.
+  /// computed (possibly delta-maintained) RelationStore when present, the
+  /// explicit records otherwise.
   size_t relation_count() const {
-    return store_.has_value() ? store_->pair_count() : relations_.size();
+    const RelationStore* store = relation_store();
+    return store != nullptr ? store->pair_count() : relations_.size();
   }
   bool has_relations() const { return relation_count() != 0; }
 
@@ -71,8 +74,9 @@ class Configuration {
   /// byte-identical whichever representation backs the configuration.
   template <typename Fn>
   void ForEachRelation(Fn&& fn) const {
-    if (store_.has_value()) {
-      store_->ForEach(
+    const RelationStore* store = relation_store();
+    if (store != nullptr) {
+      store->ForEach(
           [this, &fn](size_t i, size_t j, const CardinalRelation& relation) {
             fn(regions_[i].id, regions_[j].id, relation);
           });
@@ -83,22 +87,36 @@ class Configuration {
     }
   }
 
-  /// The computed relation store, or nullptr when relations were loaded
-  /// from XML / mutated since the last compute (telemetry + tests).
+  /// The computed relation store — freshly computed or delta-maintained —
+  /// or nullptr when relations were loaded from XML (telemetry + tests).
   const RelationStore* relation_store() const {
+    if (delta_.has_value()) return &delta_->store();
     return store_.has_value() ? &*store_ : nullptr;
   }
 
+  /// The incremental engine backing the store, engaged once a computed
+  /// configuration is mutated (test/telemetry hook).
+  const DeltaEngine* delta_engine() const {
+    return delta_.has_value() ? &*delta_ : nullptr;
+  }
+
   /// Adds a region; fails on duplicate/empty id or invalid geometry.
-  /// Polygon rings are reoriented to the canonical clockwise order.
+  /// Polygon rings are reoriented to the canonical clockwise order. On a
+  /// computed configuration the new region's relations are resolved
+  /// incrementally (DeltaEngine::Insert) — the store stays complete, no
+  /// recompute needed.
   Status AddRegion(AnnotatedRegion region);
 
   /// Removes the region with `id` and every stored relation touching it.
+  /// On a computed configuration the store is delta-maintained
+  /// (DeltaEngine::Remove); all other pairs keep their stored relations.
   Status RemoveRegion(const std::string& id);
 
   /// Appends one more polygon to an existing region (regions in REG* are
-  /// sets of polygons) and drops that region's stale stored relations. The
-  /// ring is reoriented to clockwise and validated.
+  /// sets of polygons). The ring is reoriented to clockwise and validated.
+  /// On a computed configuration the region's relations are re-resolved
+  /// incrementally (DeltaEngine::Move); XML-loaded records touching the
+  /// region are dropped as stale instead.
   Status AddPolygonToRegion(const std::string& id, Polygon polygon);
 
   /// The region with `id`, or nullptr.
@@ -130,27 +148,29 @@ class Configuration {
       const std::string& primary_id, const std::string& reference_id) const;
 
   /// Replaces the stored relations with explicit records (used by the XML
-  /// reader). Drops any computed store.
+  /// reader). Drops any computed store / delta engine.
   void SetRelations(std::vector<RelationRecord> relations) {
     relations_ = std::move(relations);
     store_.reset();
+    delta_.reset();
   }
 
  private:
-  // Converts the computed store (if any) into explicit records, so a
-  // mutation can drop the stale subset record-by-record. Region indices
-  // into the store stay valid only while regions_ is unchanged — callers
-  // materialise *before* erasing.
-  void MaterializeRelations();
+  // Hands the computed store (if any) to a DeltaEngine so a mutation can
+  // update it in place instead of recomputing or dropping it. No-op when a
+  // delta engine is already active or nothing was computed.
+  void PromoteToDelta();
 
   std::string name_;
   std::string image_file_;
   std::vector<AnnotatedRegion> regions_;
-  // Stored relations: exactly one representation is active. `store_` after
-  // ComputeAllRelations (indices parallel regions_); `relations_` after an
-  // XML load or a mutation of a computed configuration.
+  // Stored relations: at most one representation is active. `store_` right
+  // after ComputeAllRelations (indices parallel regions_); `delta_` once a
+  // computed configuration is mutated (it owns the maintained store);
+  // `relations_` after an XML load.
   std::vector<RelationRecord> relations_;
   std::optional<RelationStore> store_;
+  std::optional<DeltaEngine> delta_;
 };
 
 }  // namespace cardir

@@ -30,14 +30,32 @@
 //
 // ComputeRelationStore builds the store with a plane-sweep spatial join
 // instead of all-pairs enumeration: see engine/sweep_join.cc.
+//
+// Mutation layer (DESIGN.md §3.20): the store supports single-region
+// rewrites without rebuilding the positional base. The base overlay stays
+// immutable between EraseRegion calls; edits are layered on top as
+//   * per-row *patch lists* — sparse column overrides, sorted by column,
+//     each recording whether the base row still carries an (orphaned) slot
+//     for that column (`consumes_base`), so the walk stays cursor-aligned;
+//     *ghost* entries consume a base slot of an erased column;
+//   * *loose rows* — rows rewritten wholesale as explicit column-id/mask
+//     pairs, their base slots orphaned.
+// Callers (the DeltaEngine, the mutation property tests) own the
+// consistency contract: after every profile change (SetRegionBox /
+// AppendRegion), every pair whose explicitness or mask changed must be
+// patched before the store is read — exactly the dirty set the sweep
+// completeness bound yields. MaybeCompactRow converts a long patch list to
+// a loose row, keeping per-row walk overhead amortized O(1) per patch.
 
 #ifndef CARDIR_ENGINE_RELATION_STORE_H_
 #define CARDIR_ENGINE_RELATION_STORE_H_
 
+#include <algorithm>
 #include <array>
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -95,6 +113,8 @@ class RelationStore {
       : profile_(other.profile_),
         row_offsets_(other.row_offsets_),
         overlay_masks_(other.overlay_masks_),
+        loose_(other.loose_),
+        patches_(other.patches_),
         relations_(other.relations_),
         charge_(bytes()) {}
   RelationStore& operator=(const RelationStore& other) {
@@ -102,6 +122,8 @@ class RelationStore {
       profile_ = other.profile_;
       row_offsets_ = other.row_offsets_;
       overlay_masks_ = other.overlay_masks_;
+      loose_ = other.loose_;
+      patches_ = other.patches_;
       relations_ = other.relations_;
       charge_ = MemCharge(bytes());
     }
@@ -117,17 +139,29 @@ class RelationStore {
     return n < 2 ? 0 : n * (n - 1);
   }
 
-  /// Pairs stored explicitly in the overlay (the rest are implicit).
+  /// Base-overlay slots. On a freshly built store this is exactly the
+  /// explicit pair count; after mutations it also counts slots orphaned by
+  /// patches and loose rows (reclaimed only by a full rebuild).
   size_t overlay_pairs() const { return overlay_masks_.size(); }
 
-  /// Storage footprint in bytes (what mem.relation_store is charged).
+  /// Storage footprint in bytes (what mem.relation_store is charged),
+  /// including the mutation layer's patch lists and loose rows.
   size_t bytes() const {
-    return (profile_.min_x.capacity() + profile_.max_x.capacity() +
-            profile_.min_y.capacity() + profile_.max_y.capacity()) *
-               sizeof(double) +
-           profile_.cross_override.capacity() * sizeof(uint8_t) +
-           row_offsets_.capacity() * sizeof(uint64_t) +
-           overlay_masks_.capacity() * sizeof(uint16_t);
+    size_t total = (profile_.min_x.capacity() + profile_.max_x.capacity() +
+                    profile_.min_y.capacity() + profile_.max_y.capacity()) *
+                       sizeof(double) +
+                   profile_.cross_override.capacity() * sizeof(uint8_t) +
+                   row_offsets_.capacity() * sizeof(uint64_t) +
+                   overlay_masks_.capacity() * sizeof(uint16_t);
+    for (const auto& entry : loose_) {
+      total += kEditNodeBytes +
+               entry.second.cols.capacity() * sizeof(uint32_t) +
+               entry.second.masks.capacity() * sizeof(uint16_t);
+    }
+    for (const auto& entry : patches_) {
+      total += kEditNodeBytes + entry.second.capacity() * sizeof(RowPatch);
+    }
+    return total;
   }
 
   /// True when either axis class of (primary, reference) is kCross or a box
@@ -149,18 +183,71 @@ class RelationStore {
   template <typename Fn>
   void ForEachInRow(size_t primary, Fn&& fn) const {
     const size_t n = profile_.size();
-    const uint16_t* overlay = overlay_masks_.data() + row_offsets_[primary];
-    size_t cursor = 0;
-    for (size_t j = 0; j < n; ++j) {
-      if (j == primary) continue;
-      const uint8_t code = ClassPairCode(primary, j);
-      if (ResolvableCode(code)) {
-        fn(j, (*relations_)[code]);
-      } else {
-        fn(j, CardinalRelation::FromMask(overlay[cursor++]));
+    if (!loose_.empty()) {
+      const auto it = loose_.find(static_cast<uint32_t>(primary));
+      if (it != loose_.end()) {
+        // Loose row: the sorted explicit columns are authoritative, the
+        // base slots (if any) are orphaned.
+        const LooseRow& row = it->second;
+        size_t k = 0;
+        for (size_t j = 0; j < n; ++j) {
+          if (j == primary) continue;
+          if (k < row.cols.size() && row.cols[k] == j) {
+            fn(j, CardinalRelation::FromMask(row.masks[k++]));
+          } else {
+            fn(j, (*relations_)[ClassPairCode(primary, j)]);
+          }
+        }
+        return;
       }
     }
-    assert(cursor == row_offsets_[primary + 1] - row_offsets_[primary]);
+    const std::vector<RowPatch>* patches = FindPatches(primary);
+    const uint16_t* overlay = overlay_masks_.data() + row_offsets_[primary];
+    size_t cursor = 0;
+    if (patches == nullptr) {
+      for (size_t j = 0; j < n; ++j) {
+        if (j == primary) continue;
+        const uint8_t code = ClassPairCode(primary, j);
+        if (ResolvableCode(code)) {
+          fn(j, (*relations_)[code]);
+        } else {
+          fn(j, CardinalRelation::FromMask(overlay[cursor++]));
+        }
+      }
+      assert(cursor == row_offsets_[primary + 1] - row_offsets_[primary]);
+      return;
+    }
+    // Patched row: merge the base walk with the sorted patch list. Ghosts
+    // consume an orphaned base slot of an erased column and are processed
+    // at the top of their column's iteration — before the self-skip, since
+    // renumbering can leave a ghost at the row's own index — and a final
+    // pass drains ghosts parked past the last column.
+    size_t pi = 0;
+    const size_t pn = patches->size();
+    for (size_t j = 0; j <= n; ++j) {
+      while (pi < pn && (*patches)[pi].col == j && (*patches)[pi].is_ghost) {
+        ++cursor;
+        ++pi;
+      }
+      if (j == n) break;
+      if (j == primary) continue;
+      if (pi < pn && (*patches)[pi].col == j) {
+        const RowPatch& patch = (*patches)[pi++];
+        if (patch.consumes_base != 0) ++cursor;
+        if (patch.is_explicit != 0) {
+          fn(j, CardinalRelation::FromMask(patch.mask));
+        } else {
+          fn(j, (*relations_)[ClassPairCode(primary, j)]);
+        }
+      } else {
+        const uint8_t code = ClassPairCode(primary, j);
+        if (ResolvableCode(code)) {
+          fn(j, (*relations_)[code]);
+        } else {
+          fn(j, CardinalRelation::FromMask(overlay[cursor++]));
+        }
+      }
+    }
   }
 
   /// Invokes `fn(primary, reference, relation)` over all ordered pairs in
@@ -185,9 +272,85 @@ class RelationStore {
     return (code & 0b1100u) != 0b1100u && (code & 0b0011u) != 0b0011u;
   }
 
+  // ---- Mutation layer (see file comment). The caller owns consistency:
+  // after a profile change, every pair whose explicitness or mask changed
+  // must be patched before the store is read.
+
+  /// Overwrites region `id`'s profiled box (and its degenerate override).
+  void SetRegionBox(size_t id, const Box& box);
+
+  /// Extends the profile with a new region (index regions()); its row has
+  /// no base slots, so the caller must ReplaceRow it before reading, and
+  /// PatchPair the new column into every row where (j, new) is explicit
+  /// (was_explicit = false — the base rows predate the column).
+  void AppendRegion(const Box& box);
+
+  /// Rewrites row `row` wholesale: `cols` (ascending) are its explicit
+  /// reference columns, `masks` their relation masks. Drops the row's
+  /// patches; its base slots become orphaned.
+  void ReplaceRow(size_t row, std::vector<uint32_t> cols,
+                  std::vector<uint16_t> masks);
+
+  /// Records that pair (row, col)'s stored state changed: `was_explicit`
+  /// is its explicitness immediately before the current mutation's profile
+  /// change, `now_explicit` its explicitness after; `mask` the new mask
+  /// (ignored unless now_explicit). Explicit pairs whose mask is unchanged
+  /// must be patched too — the base slot is stale once the profile moved.
+  void PatchPair(size_t row, size_t col, bool was_explicit, bool now_explicit,
+                 uint16_t mask);
+
+  /// Removes region `id`: its row, its column in every other row, its
+  /// profile entry; indices above `id` renumber down by one. Precondition:
+  /// every explicit pair (j, id) has been patched implicit (PatchPair with
+  /// now_explicit = false), so base slots of column `id` are recorded in
+  /// patch lists and convert to ghosts. O(regions + overlay + edits).
+  void EraseRegion(size_t id);
+
+  /// Converts `row`'s patch list to a loose row once it outgrows
+  /// kCompactPatches — O(regions), amortized O(1) per patch. Call after a
+  /// batch of PatchPair applications.
+  void MaybeCompactRow(size_t row);
+
+  /// Re-charges the mem.relation_store arena for the current footprint.
+  /// Call once per mutation batch.
+  void RechargeMem() { charge_ = MemCharge(bytes()); }
+
+  /// Rows currently carrying edits (loose or patched) — test hook.
+  size_t edited_rows() const { return loose_.size() + patches_.size(); }
+
  private:
   friend Result<RelationStore> ComputeRelationStore(
       const std::vector<const Region*>&, const EngineOptions&, EngineStats*);
+  friend class DeltaEngine;
+
+  // Patch lists longer than this compact into a loose row.
+  static constexpr size_t kCompactPatches = 64;
+  // Flat estimate of one unordered_map node + bookkeeping, for bytes().
+  static constexpr size_t kEditNodeBytes = 64;
+
+  // One sparse edit to a base row. Sorted by (col, ghosts first). A ghost
+  // consumes one orphaned base slot of an erased column; a normal entry
+  // overrides column `col` (is_explicit/mask) and consumes a base slot iff
+  // the base row was built with one for that column.
+  struct RowPatch {
+    uint32_t col = 0;
+    uint8_t consumes_base = 0;
+    uint8_t is_explicit = 0;
+    uint8_t is_ghost = 0;
+    uint16_t mask = 0;
+  };
+
+  // A row rewritten wholesale: ascending explicit column ids + masks.
+  struct LooseRow {
+    std::vector<uint32_t> cols;
+    std::vector<uint16_t> masks;
+  };
+
+  const std::vector<RowPatch>* FindPatches(size_t row) const {
+    if (patches_.empty()) return nullptr;
+    const auto it = patches_.find(static_cast<uint32_t>(row));
+    return it == patches_.end() ? nullptr : &it->second;
+  }
 
   // Balances the mem.relation_store gauges across moves and destruction.
   struct MemCharge {
@@ -234,6 +397,9 @@ class RelationStore {
   RegionProfile profile_;
   std::vector<uint64_t> row_offsets_;    // regions() + 1 entries.
   std::vector<uint16_t> overlay_masks_;  // Row-major, ascending reference.
+  // Mutation layer: rows rewritten wholesale / sparse column overrides.
+  std::unordered_map<uint32_t, LooseRow> loose_;
+  std::unordered_map<uint32_t, std::vector<RowPatch>> patches_;
   const std::array<CardinalRelation, kNumClassPairCodes>* relations_ =
       nullptr;
   MemCharge charge_;

@@ -44,13 +44,12 @@
 
 #include <algorithm>
 #include <atomic>
-#include <bit>
-#include <limits>
 #include <vector>
 
 #include "audit/audit.h"
 #include "audit/invariants.h"
 #include "core/compute_cdr.h"
+#include "engine/interval_index.h"
 #include "engine/interval_kernel.h"
 #include "engine/prefilter.h"
 #include "engine/relation_store.h"
@@ -64,103 +63,17 @@
 namespace cardir {
 namespace {
 
-// Static interval-overlap index over one axis of the non-degenerate boxes:
-// entries sorted by interval start, pruned by a two-level max-over-ends
-// block summary. ForEachOverlap reports every indexed interval strictly
-// overlapping the query: one lower_bound bounds the candidates to a prefix
-// (start < query end), then the scan skips every 64-entry block — and
-// every 64-block superblock — whose max end fails end > query start.
-// The flat layout beats the pointer-free segment tree it replaced by ~3x
-// on the gather-bound map workloads: skip decisions are sequential loads
-// over a dense summary array rather than a branchy recursive descent, and
-// surviving blocks are scanned as contiguous doubles.
-class IntervalOverlapIndex {
- public:
-  static constexpr size_t kBlock = 64;           // Entries per block.
-  static constexpr size_t kSuper = 64 * kBlock;  // Entries per superblock.
-
-  void Build(const std::vector<double>& lo, const std::vector<double>& hi,
-             const std::vector<uint8_t>& skip) {
-    const size_t n = lo.size();
-    ids_.clear();
-    for (size_t i = 0; i < n; ++i) {
-      if (skip[i] == 0) ids_.push_back(static_cast<uint32_t>(i));
-    }
-    std::sort(ids_.begin(), ids_.end(), [&lo](uint32_t a, uint32_t b) {
-      return lo[a] < lo[b] || (lo[a] == lo[b] && a < b);
-    });
-    const size_t m = ids_.size();
-    lo_.resize(m);
-    hi_.resize(m);
-    for (size_t p = 0; p < m; ++p) {
-      lo_[p] = lo[ids_[p]];
-      hi_[p] = hi[ids_[p]];
-    }
-    constexpr double kNegInf = -std::numeric_limits<double>::infinity();
-    block_max_.assign((m + kBlock - 1) / kBlock, kNegInf);
-    super_max_.assign((m + kSuper - 1) / kSuper, kNegInf);
-    for (size_t p = 0; p < m; ++p) {
-      block_max_[p / kBlock] = std::max(block_max_[p / kBlock], hi_[p]);
-      super_max_[p / kSuper] = std::max(super_max_[p / kSuper], hi_[p]);
-    }
-  }
-
-  size_t bytes() const {
-    return ids_.capacity() * sizeof(uint32_t) +
-           (lo_.capacity() + hi_.capacity() + block_max_.capacity() +
-            super_max_.capacity()) *
-               sizeof(double);
-  }
-
-  /// Invokes `fn(id)` for every indexed id with lo_id < qhi and hi_id >
-  /// qlo — exactly the strict-overlap candidates of the query interval.
-  template <typename Fn>
-  void ForEachOverlap(double qlo, double qhi, Fn&& fn) const {
-    const size_t limit = static_cast<size_t>(
-        std::lower_bound(lo_.begin(), lo_.end(), qhi) - lo_.begin());
-    for (size_t s = 0; s * kSuper < limit; ++s) {
-      if (!(super_max_[s] > qlo)) continue;
-      const size_t block_end =
-          std::min((s + 1) * (kSuper / kBlock), (limit + kBlock - 1) / kBlock);
-      for (size_t b = s * (kSuper / kBlock); b < block_end; ++b) {
-        if (!(block_max_[b] > qlo)) continue;
-        const size_t end = std::min(limit, (b + 1) * kBlock);
-        for (size_t p = b * kBlock; p < end; ++p) {
-          if (hi_[p] > qlo) fn(ids_[p]);
-        }
-      }
-    }
-  }
-
- private:
-  std::vector<uint32_t> ids_;      // Non-degenerate box ids, sorted by lo.
-  std::vector<double> lo_;         // Sorted interval starts (lower_bound key).
-  std::vector<double> hi_;         // Interval ends, parallel to ids_.
-  std::vector<double> block_max_;  // Max end per kBlock entries.
-  std::vector<double> super_max_;  // Max end per kSuper entries.
-};
-
 // Per-participant working memory of the sweep, reused across every strip a
 // participant runs in both passes: the candidate row bitset and the
 // Compute-CDR scratch arena. The bitset (one bit per region) is how a row's
-// two axis queries combine without a sort: each query sets bits, the union
-// is iterated in ascending-id order with countr_zero, and duplicates
-// between the axes collapse for free. It is zeroed on construction and
-// re-zeroed during iteration, so each row starts clean. Indexed by pool
-// participant id; a participant never runs two strips concurrently, so no
-// synchronisation is needed. Escapes into cross-thread lambdas are
-// forbidden (analyzer scratch-escape check).
+// two axis queries combine without a sort (see engine/interval_index.h); it
+// is zeroed on construction and re-zeroed by Drain, so each row starts
+// clean. Indexed by pool participant id; a participant never runs two
+// strips concurrently, so no synchronisation is needed. Escapes into
+// cross-thread lambdas are forbidden (analyzer scratch-escape check).
 struct SweepScratch {
-  std::vector<uint64_t> row_bits;
+  CandidateBitset bits;
   CdrScratch cdr;
-};
-
-// Per-polygon bounding boxes of all regions, flattened SoA with row
-// offsets — the one-axis-cross shortcut reads these instead of rescanning
-// polygon vertices per crossing pair.
-struct PolygonBoxes {
-  std::vector<uint64_t> offsets;  // regions + 1 entries.
-  std::vector<double> min_x, max_x, min_y, max_y;
 };
 
 std::vector<const Region*> RegionPointers(const std::vector<Region>& regions) {
@@ -211,8 +124,6 @@ Result<RelationStore> ComputeRelationStore(
   CARDIR_METRIC_COUNT("engine.runs", 1);
   CARDIR_METRIC_COUNT("engine.regions", n);
   const RegionProfile& profile = store.profile_;
-  const std::array<uint16_t, kNumClassPairCodes>& table =
-      ClassPairRelationTable();
 
   // Plan: the per-axis overlap indexes over the non-degenerate boxes, the
   // degenerate id list (explicit against every primary, enumerated
@@ -233,18 +144,7 @@ Result<RelationStore> ComputeRelationStore(
         degenerate_ids.push_back(static_cast<uint32_t>(i));
       }
     }
-    poly.offsets.resize(n + 1);
-    for (size_t i = 0; i < n; ++i) {
-      poly.offsets[i] = poly.min_x.size();
-      for (const Polygon& polygon : regions[i]->polygons()) {
-        const Box box = polygon.BoundingBox();
-        poly.min_x.push_back(box.min_x());
-        poly.max_x.push_back(box.max_x());
-        poly.min_y.push_back(box.min_y());
-        poly.max_y.push_back(box.max_y());
-      }
-    }
-    poly.offsets[n] = poly.min_x.size();
+    poly.Build(regions);
   }
 
   // The raw class-pair code of (i, j) — identical arithmetic to
@@ -270,7 +170,6 @@ Result<RelationStore> ComputeRelationStore(
   // (which both deduplicates their intersection and sorts by construction —
   // a per-row std::sort of the candidate list was the single hottest part
   // of an earlier version); iteration then drains and re-zeroes the words.
-  const size_t bit_words = (n + 63) / 64;
   const auto for_each_candidate = [&](size_t i, SweepScratch& ws, auto&& fn) {
     if (profile.cross_override[i] != 0) {
       // Degenerate primary: nothing in the row is box-resolvable.
@@ -279,31 +178,19 @@ Result<RelationStore> ComputeRelationStore(
       }
       return;
     }
-    uint64_t* bits = ws.row_bits.data();
-    const auto mark = [bits](uint32_t j) {
-      bits[j >> 6] |= uint64_t{1} << (j & 63);
-    };
+    const auto mark = [&ws](uint32_t j) { ws.bits.Mark(j); };
     x_index.ForEachOverlap(profile.min_x[i], profile.max_x[i], mark);
     y_index.ForEachOverlap(profile.min_y[i], profile.max_y[i], mark);
     for (const uint32_t j : degenerate_ids) mark(j);
-    bits[i >> 6] &= ~(uint64_t{1} << (i & 63));  // Never self-paired.
-    for (size_t w = 0; w < bit_words; ++w) {
-      uint64_t word = bits[w];
-      bits[w] = 0;
-      while (word != 0) {
-        const uint32_t j = static_cast<uint32_t>(
-            w * 64 + static_cast<size_t>(std::countr_zero(word)));
-        word &= word - 1;
-        fn(j);
-      }
-    }
+    ws.bits.Clear(static_cast<uint32_t>(i));  // Never self-paired.
+    ws.bits.Drain(fn);
   };
 
   const int threads = ThreadPool::ResolveThreadCount(options.threads);
   ThreadPool pool(threads);
   CARDIR_METRIC_GAUGE_SET("engine.pool.threads", threads);
   std::vector<SweepScratch> scratch(static_cast<size_t>(threads));
-  for (SweepScratch& ws : scratch) ws.row_bits.assign(bit_words, 0);
+  for (SweepScratch& ws : scratch) ws.bits.Reset(n);
   std::atomic<size_t> crossing_total{0};
   std::atomic<size_t> candidates_total{0};
   std::atomic<size_t> emitted_total{0};
@@ -371,46 +258,12 @@ Result<RelationStore> ComputeRelationStore(
             for_each_candidate(i, ws, [&](uint32_t j) {
               const uint8_t code = pair_code(i, j);
               if (RelationStore::ResolvableCode(code)) return;
-              const uint8_t cx = static_cast<uint8_t>(code >> 2);
-              const uint8_t cy = static_cast<uint8_t>(code & 0b0011u);
-              uint16_t mask;
-              if (profile.cross_override[i] != 0 ||
-                  profile.cross_override[j] != 0 || (cx == 3 && cy == 3)) {
-                // Degenerate box or both axes crossing: the dense engine's
-                // crossing path, full Compute-CDR against the profiled mbb.
-                mask = ComputeCdrUnchecked(*regions[i], boxes[j],
-                                           &cdr_metrics, &ws.cdr)
-                           .relation.mask();
-              } else if (cx == 3) {
-                // One-axis-cross shortcut, x crossing: row fixed at cy;
-                // each polygon's x-extent decides its columns (see the
-                // exactness argument in the file comment).
-                const double m1 = profile.min_x[j];
-                const double m2 = profile.max_x[j];
-                mask = 0;
-                for (uint64_t p = poly.offsets[i]; p < poly.offsets[i + 1];
-                     ++p) {
-                  if (poly.min_x[p] < m1) mask |= table[cy];
-                  if (poly.max_x[p] > m1 && poly.min_x[p] < m2) {
-                    mask |= table[(1u << 2) | cy];
-                  }
-                  if (poly.max_x[p] > m2) mask |= table[(2u << 2) | cy];
-                }
-              } else {
-                // y crossing: column fixed at cx, rows from y-extents.
-                const double m1 = profile.min_y[j];
-                const double m2 = profile.max_y[j];
-                mask = 0;
-                for (uint64_t p = poly.offsets[i]; p < poly.offsets[i + 1];
-                     ++p) {
-                  if (poly.min_y[p] < m1) mask |= table[cx << 2];
-                  if (poly.max_y[p] > m1 && poly.min_y[p] < m2) {
-                    mask |= table[(cx << 2) | 1u];
-                  }
-                  if (poly.max_y[p] > m2) mask |= table[(cx << 2) | 2u];
-                }
-              }
-              overlay[cursor++] = mask;
+              // One-axis-cross shortcut / full Compute-CDR, shared with the
+              // delta engine (see interval_index.h for the exactness
+              // argument).
+              overlay[cursor++] =
+                  ResolveExplicitMask(code, *regions[i], boxes[j], profile, i,
+                                      j, poly, &cdr_metrics, &ws.cdr);
               ++emitted;
             });
           }
@@ -428,7 +281,7 @@ Result<RelationStore> ComputeRelationStore(
   {
     size_t scratch_bytes = x_index.bytes() + y_index.bytes();
     for (const SweepScratch& ws : scratch) {
-      scratch_bytes += ws.row_bits.capacity() * sizeof(uint64_t);
+      scratch_bytes += ws.bits.bytes();
     }
     if (scratch_bytes != 0) {
       CARDIR_MEMSTAT_ALLOC("sweep_scratch", scratch_bytes);

@@ -58,6 +58,7 @@ const char* KindName(uint16_t kind) {
     case RecordKind::kDefer: return "defer";
     case RecordKind::kLog: return "log";
     case RecordKind::kSweep: return "sweep";
+    case RecordKind::kDelta: return "delta";
   }
   return "unknown";
 }

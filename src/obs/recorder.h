@@ -43,6 +43,7 @@ enum class RecordKind : uint16_t {
   kDefer = 3,  // Pairs deferred to the crossing queue; a = first, b = count.
   kLog = 4,    // Tail of a CARDIR_LOG line (truncated to the label field).
   kSweep = 5,  // Sweep-join strip; a = first row, b = row count.
+  kDelta = 6,  // Delta-engine apply; a = region id, b = touched pairs.
 };
 
 /// One recorded event. POD, fixed size, no pointers to transient storage:

@@ -66,12 +66,12 @@ TEST(AnalyzerFixtureTest, CorpusFindingsAreExact) {
   EXPECT_EQ(result.exit_code, 1);
   const std::map<std::string, int> counts = CountByCheck(result);
   const std::map<std::string, int> expected = {
-      {"unchecked-result", 2},  {"scratch-escape", 3},
+      {"unchecked-result", 2},  {"scratch-escape", 4},
       {"float-eq", 2},          {"obs-macro-side-effect", 5},
       {"lock-across-compute", 1},
   };
   EXPECT_EQ(counts, expected);
-  EXPECT_EQ(result.findings.size(), 13u);
+  EXPECT_EQ(result.findings.size(), 14u);
   // Every finding must come from a *_bad fixture — the *_good twins (and
   // the annotated line in float_eq_good.cc) must stay silent.
   for (const std::string& line : result.findings) {
@@ -84,7 +84,8 @@ TEST(AnalyzerFixtureTest, GoodFixturesRunCleanInIsolation) {
        {"unchecked_result_good.cc", "core/float_eq_good.cc",
         "scratch_escape_good.cc", "obs_macro_good.cc",
         "engine/lock_across_compute_good.cc",
-        "engine/sweep_scratch_escape_good.cc"}) {
+        "engine/sweep_scratch_escape_good.cc",
+        "engine/delta_scratch_escape_good.cc"}) {
     const RunResult result = RunAnalyzer(Fixtures() + "/" + fixture);
     EXPECT_EQ(result.exit_code, 0) << fixture;
     EXPECT_TRUE(result.findings.empty()) << fixture;

@@ -1,0 +1,12 @@
+// Fixture: the delta engine's per-apply scratch captured by reference into
+// a thread-escaping submission. Expected findings: 1.
+namespace cardir {
+
+void Bad(ThreadPool& pool) {
+  DeltaScratch ws;
+  // BAD: the candidate bitset escapes into an async task that may outlive
+  // the apply that owns it.
+  pool.Submit([&ws] { GatherCandidates(ws); });
+}
+
+}  // namespace cardir

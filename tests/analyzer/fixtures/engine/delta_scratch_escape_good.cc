@@ -1,0 +1,14 @@
+// Fixture: the delta engine's sanctioned scratch pattern. Expected
+// findings: 0.
+namespace cardir {
+
+void Good(DeltaEngine& engine) {
+  // One DeltaScratch per engine, reused across applies under the engine's
+  // mutex — exactly how engine/delta_engine.cc runs its gather/resolve
+  // loop. The reference never leaves the locked scope.
+  DeltaScratch& ws = engine.scratch();
+  GatherCandidates(ws);
+  ResolveDirtyPairs(ws);
+}
+
+}  // namespace cardir

@@ -91,6 +91,100 @@ TEST(ConfigurationTest, RemoveRegionDropsItsRelations) {
   EXPECT_EQ(config.RemoveRegion("b").code(), StatusCode::kNotFound);
 }
 
+// After any delta-maintained mutation the configuration must answer
+// StoredRelation / relation_count / ForEachRelation exactly as a copy that
+// recomputes from scratch would.
+void ExpectMatchesRecompute(const Configuration& config) {
+  Configuration fresh = config;
+  ASSERT_TRUE(fresh.ComputeAllRelations().ok());
+  ASSERT_EQ(config.relation_count(), fresh.relation_count());
+  const auto& regions = config.regions();
+  for (const AnnotatedRegion& primary : regions) {
+    for (const AnnotatedRegion& reference : regions) {
+      if (primary.id == reference.id) continue;
+      auto got = config.StoredRelation(primary.id, reference.id);
+      auto want = fresh.StoredRelation(primary.id, reference.id);
+      ASSERT_EQ(got.has_value(), want.has_value())
+          << primary.id << " vs " << reference.id;
+      if (got.has_value()) {
+        EXPECT_EQ(got->ToString(), want->ToString())
+            << primary.id << " vs " << reference.id;
+      }
+    }
+  }
+  size_t iterated = 0;
+  config.ForEachRelation([&iterated](const std::string&, const std::string&,
+                                     const CardinalRelation&) { ++iterated; });
+  EXPECT_EQ(iterated, config.relation_count());
+}
+
+TEST(ConfigurationTest, AddRegionAfterComputeMaintainsStoreIncrementally) {
+  Configuration config;
+  ASSERT_TRUE(config.AddRegion(MakeRegion("a", "red", 0, 0, 10, 10)).ok());
+  ASSERT_TRUE(config.AddRegion(MakeRegion("b", "blue", 4, 4, 14, 14)).ok());
+  ASSERT_TRUE(config.ComputeAllRelations().ok());
+  EXPECT_EQ(config.delta_engine(), nullptr);
+
+  // The insert rides the delta engine; no recompute, no explicit records.
+  ASSERT_TRUE(config.AddRegion(MakeRegion("c", "green", 2, -9, 12, -1)).ok());
+  EXPECT_NE(config.delta_engine(), nullptr);
+  EXPECT_TRUE(config.relations().empty());
+  EXPECT_EQ(config.relation_count(), 6u);
+  ExpectMatchesRecompute(config);
+
+  // A failed insert (duplicate id) must leave the store untouched.
+  EXPECT_EQ(config.AddRegion(MakeRegion("c", "red", 0, 0, 1, 1)).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(config.relation_count(), 6u);
+  ExpectMatchesRecompute(config);
+}
+
+TEST(ConfigurationTest, AddPolygonAfterComputeReResolvesItsPairs) {
+  Configuration config;
+  ASSERT_TRUE(config.AddRegion(MakeRegion("a", "red", 0, 0, 10, 10)).ok());
+  ASSERT_TRUE(config.AddRegion(MakeRegion("b", "blue", 20, 0, 30, 10)).ok());
+  ASSERT_TRUE(config.ComputeAllRelations().ok());
+  ASSERT_EQ(config.StoredRelation("a", "b")->ToString(), "W");
+
+  // Growing `a` eastwards past `b` flips the stored relation without a
+  // recompute — and leaves the untouched direction consistent too.
+  ASSERT_TRUE(
+      config.AddPolygonToRegion("a", MakeRectangle(35, 0, 45, 10)).ok());
+  EXPECT_NE(config.delta_engine(), nullptr);
+  EXPECT_EQ(config.StoredRelation("a", "b")->ToString(), "W:E");
+  EXPECT_TRUE(config.relations().empty());
+  ExpectMatchesRecompute(config);
+
+  EXPECT_EQ(config.AddPolygonToRegion("missing", MakeRectangle(0, 0, 1, 1))
+                .code(),
+            StatusCode::kNotFound);
+}
+
+TEST(ConfigurationTest, RemoveRegionAfterComputeKeepsOtherPairs) {
+  Configuration config;
+  ASSERT_TRUE(config.AddRegion(MakeRegion("a", "red", 0, 0, 10, 10)).ok());
+  ASSERT_TRUE(config.AddRegion(MakeRegion("b", "blue", 3, 3, 13, 13)).ok());
+  ASSERT_TRUE(config.AddRegion(MakeRegion("c", "green", 0, 20, 10, 30)).ok());
+  ASSERT_TRUE(config.ComputeAllRelations().ok());
+  const std::string ab = config.StoredRelation("a", "b")->ToString();
+
+  ASSERT_TRUE(config.RemoveRegion("c").ok());
+  EXPECT_NE(config.delta_engine(), nullptr);
+  EXPECT_EQ(config.relation_count(), 2u);
+  // The surviving pair keeps its stored relation verbatim.
+  EXPECT_EQ(config.StoredRelation("a", "b")->ToString(), ab);
+  EXPECT_FALSE(config.StoredRelation("a", "c").has_value());
+  ExpectMatchesRecompute(config);
+
+  // Interleave every mutation kind and stay recompute-consistent.
+  ASSERT_TRUE(config.AddRegion(MakeRegion("d", "red", 8, 8, 18, 24)).ok());
+  ASSERT_TRUE(
+      config.AddPolygonToRegion("b", MakeRectangle(-8, -8, -2, -2)).ok());
+  ASSERT_TRUE(config.RemoveRegion("a").ok());
+  EXPECT_EQ(config.relation_count(), 2u);
+  ExpectMatchesRecompute(config);
+}
+
 TEST(ConfigurationTest, ComputePercentagesOnDemand) {
   Configuration config;
   ASSERT_TRUE(config.AddRegion(MakeRegion("b", "blue", 0, 0, 10, 10)).ok());

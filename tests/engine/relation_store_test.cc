@@ -5,9 +5,12 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <map>
+#include <utility>
 #include <vector>
 
 #include "engine/batch_engine.h"
+#include "engine/interval_kernel.h"
 #include "engine/relation_store.h"
 #include "geometry/region.h"
 #include "gtest/gtest.h"
@@ -251,6 +254,265 @@ TEST(RelationStoreEdgeCases, InvalidRegionIsReported) {
   ASSERT_FALSE(store.ok());
   EXPECT_EQ(store.status().code(), StatusCode::kInvalidArgument);
   EXPECT_NE(store.status().message().find("#1"), std::string::npos);
+}
+
+// ---- Mutation-layer shadow model. The store's mutation API (SetRegionBox
+// / AppendRegion / ReplaceRow / PatchPair / EraseRegion) accepts *any*
+// profiled box, so — unlike the DeltaEngine, whose inputs are validated
+// regions and therefore never degenerate — this harness drives degenerate
+// boxes in and out of the overlay directly. The shadow is authoritative:
+// it tracks the boxes and the explicit-pair masks, derives explicitness
+// from the same class-code formula the store uses, and after every
+// mutation the store must agree pair-for-pair via all read paths.
+
+struct ShadowModel {
+  struct ShadowBox {
+    double min_x, min_y, max_x, max_y;
+    uint8_t cross;
+  };
+  std::vector<ShadowBox> boxes;
+  std::map<std::pair<size_t, size_t>, uint16_t> masks;  // Explicit pairs.
+
+  void SetBox(size_t id, const Box& box) {
+    boxes[id] = {box.min_x(), box.min_y(), box.max_x(), box.max_y(),
+                 static_cast<uint8_t>(
+                     box.IsEmpty() || box.IsDegenerate() ? 0x0f : 0x00)};
+  }
+  uint8_t Code(size_t i, size_t j) const {
+    const uint8_t cx = static_cast<uint8_t>(
+        ClassifyIntervalClass(boxes[i].min_x, boxes[i].max_x, boxes[j].min_x,
+                              boxes[j].max_x));
+    const uint8_t cy = static_cast<uint8_t>(
+        ClassifyIntervalClass(boxes[i].min_y, boxes[i].max_y, boxes[j].min_y,
+                              boxes[j].max_y));
+    return static_cast<uint8_t>(static_cast<uint8_t>(cx << 2 | cy) |
+                                boxes[i].cross | boxes[j].cross);
+  }
+  bool Explicit(size_t i, size_t j) const {
+    return !RelationStore::ResolvableCode(Code(i, j));
+  }
+  uint16_t ExpectedMask(size_t i, size_t j) const {
+    if (Explicit(i, j)) return masks.at({i, j});
+    return ClassPairRelations()[Code(i, j)].mask();
+  }
+};
+
+void ExpectMatchesShadow(const RelationStore& store,
+                         const ShadowModel& shadow) {
+  const size_t n = shadow.boxes.size();
+  ASSERT_EQ(store.regions(), n);
+  size_t flat = 0;
+  uint64_t shadow_digest = 0;
+  store.ForEach([&](size_t i, size_t j, const CardinalRelation& relation) {
+    ASSERT_EQ(relation.mask(), shadow.ExpectedMask(i, j))
+        << "pair (" << i << ", " << j << ")";
+    ++flat;
+  });
+  ASSERT_EQ(flat, store.pair_count());
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      shadow_digest += MixPairDigest(i, j, shadow.ExpectedMask(i, j));
+    }
+  }
+  ASSERT_EQ(store.Digest(), shadow_digest);
+  // Random-access path too (it ranks through patch lists and ghosts).
+  for (size_t i = 0; i < n; i += 1 + n / 5) {
+    for (size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      ASSERT_EQ(store.Relation(i, j).mask(), shadow.ExpectedMask(i, j))
+          << "lookup (" << i << ", " << j << ")";
+    }
+  }
+}
+
+uint16_t RandomMask(Rng* rng) {
+  return static_cast<uint16_t>(1 + rng->NextBelow(511));
+}
+
+// One-third of the boxes are degenerate (zero width / zero height), so
+// mutations constantly flip whole rows and columns between implicit and
+// always-explicit.
+Box RandomShadowBox(Rng* rng) {
+  const double x = rng->NextDouble(0.0, 800.0);
+  const double y = rng->NextDouble(0.0, 800.0);
+  double w = rng->NextDouble(1.0, 150.0);
+  double h = rng->NextDouble(1.0, 150.0);
+  const uint64_t kind = rng->NextBelow(6);
+  if (kind == 0) w = 0.0;
+  if (kind == 1) h = 0.0;
+  return Box(x, y, x + w, y + h);
+}
+
+// Applies the caller side of the mutation contract for "region id's box
+// becomes `box`": sample old (j, id) explicitness, move the profile,
+// rewrite row id wholesale, patch column id everywhere it changed.
+void ApplyShadowSetBox(RelationStore* store, ShadowModel* shadow, size_t id,
+                       const Box& box, Rng* rng) {
+  const size_t n = shadow->boxes.size();
+  std::vector<uint8_t> was(n, 0);
+  for (size_t j = 0; j < n; ++j) {
+    if (j != id && shadow->Explicit(j, id)) was[j] = 1;
+  }
+  shadow->SetBox(id, box);
+  store->SetRegionBox(id, box);
+  std::vector<uint32_t> cols;
+  std::vector<uint16_t> row_masks;
+  for (size_t j = 0; j < n; ++j) {
+    if (j == id) continue;
+    if (shadow->Explicit(id, j)) {
+      const uint16_t mask = RandomMask(rng);
+      shadow->masks[{id, j}] = mask;
+      cols.push_back(static_cast<uint32_t>(j));
+      row_masks.push_back(mask);
+    } else {
+      shadow->masks.erase({id, j});
+    }
+    if (shadow->Explicit(j, id)) {
+      const uint16_t mask = RandomMask(rng);
+      shadow->masks[{j, id}] = mask;
+      store->PatchPair(j, id, was[j] != 0, true, mask);
+    } else {
+      shadow->masks.erase({j, id});
+      if (was[j] != 0) store->PatchPair(j, id, true, false, 0);
+    }
+    store->MaybeCompactRow(j);
+  }
+  store->ReplaceRow(id, std::move(cols), std::move(row_masks));
+}
+
+void ApplyShadowAppend(RelationStore* store, ShadowModel* shadow,
+                       const Box& box, Rng* rng) {
+  const size_t id = shadow->boxes.size();
+  shadow->boxes.push_back({});
+  shadow->SetBox(id, box);
+  store->AppendRegion(box);
+  std::vector<uint32_t> cols;
+  std::vector<uint16_t> row_masks;
+  for (size_t j = 0; j < id; ++j) {
+    if (shadow->Explicit(id, j)) {
+      const uint16_t mask = RandomMask(rng);
+      shadow->masks[{id, j}] = mask;
+      cols.push_back(static_cast<uint32_t>(j));
+      row_masks.push_back(mask);
+    }
+    if (shadow->Explicit(j, id)) {
+      const uint16_t mask = RandomMask(rng);
+      shadow->masks[{j, id}] = mask;
+      store->PatchPair(j, id, false, true, mask);  // Column postdates base.
+    }
+    store->MaybeCompactRow(j);
+  }
+  store->ReplaceRow(id, std::move(cols), std::move(row_masks));
+}
+
+void ApplyShadowErase(RelationStore* store, ShadowModel* shadow, size_t id) {
+  const size_t n = shadow->boxes.size();
+  for (size_t j = 0; j < n; ++j) {
+    if (j != id && shadow->Explicit(j, id)) {
+      store->PatchPair(j, id, true, false, 0);  // EraseRegion precondition.
+    }
+  }
+  store->EraseRegion(id);
+  shadow->boxes.erase(shadow->boxes.begin() + static_cast<ptrdiff_t>(id));
+  std::map<std::pair<size_t, size_t>, uint16_t> renumbered;
+  for (const auto& entry : shadow->masks) {
+    const size_t i = entry.first.first;
+    const size_t j = entry.first.second;
+    if (i == id || j == id) continue;
+    renumbered[{i > id ? i - 1 : i, j > id ? j - 1 : j}] = entry.second;
+  }
+  shadow->masks = std::move(renumbered);
+}
+
+// Randomized scripts over the raw mutation API, degenerate boxes included.
+TEST(RelationStoreMutation, ShadowModelScriptsWithDegenerateBoxes) {
+  for (uint64_t seed = 0; seed < 60; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    Rng rng(0x5AD0u + seed);
+    const int n = 4 + static_cast<int>(rng.NextBelow(10));
+    const std::vector<Region> regions = SmallOverlapRegions(&rng, n);
+    auto built = ComputeRelationStore(regions);
+    ASSERT_TRUE(built.ok()) << built.status();
+    RelationStore store = std::move(*built);
+
+    ShadowModel shadow;
+    for (const Region& region : regions) {
+      shadow.boxes.push_back({});
+      shadow.SetBox(shadow.boxes.size() - 1, region.BoundingBox());
+    }
+    store.ForEach([&](size_t i, size_t j, const CardinalRelation& relation) {
+      if (store.IsExplicit(i, j)) shadow.masks[{i, j}] = relation.mask();
+    });
+    ExpectMatchesShadow(store, shadow);
+
+    const int mutations = 4 + static_cast<int>(rng.NextBelow(14));
+    for (int m = 0; m < mutations; ++m) {
+      SCOPED_TRACE("mutation " + std::to_string(m));
+      const uint64_t kind = rng.NextBelow(5);
+      if (kind == 0 || shadow.boxes.size() < 3) {
+        ApplyShadowAppend(&store, &shadow, RandomShadowBox(&rng), &rng);
+      } else if (kind == 4) {
+        ApplyShadowErase(&store, &shadow, rng.NextBelow(shadow.boxes.size()));
+      } else {
+        ApplyShadowSetBox(&store, &shadow, rng.NextBelow(shadow.boxes.size()),
+                          RandomShadowBox(&rng), &rng);
+      }
+      ExpectMatchesShadow(store, shadow);
+    }
+  }
+}
+
+// Compaction path: enough columns mutate that rows outgrow the
+// kCompactPatches=64 patch-list threshold and convert to loose rows; the
+// script then keeps mutating so the loose-row edit paths (in-place
+// PatchPair, EraseRegion renumbering) are exercised too.
+TEST(RelationStoreMutation, PatchListsCompactAndStayCorrect) {
+  Rng rng(0xC03Au);
+  const int n = 80;
+  const std::vector<Region> regions = SmallOverlapRegions(&rng, n);
+  auto built = ComputeRelationStore(regions);
+  ASSERT_TRUE(built.ok()) << built.status();
+  RelationStore store = std::move(*built);
+
+  ShadowModel shadow;
+  for (const Region& region : regions) {
+    shadow.boxes.push_back({});
+    shadow.SetBox(shadow.boxes.size() - 1, region.BoundingBox());
+  }
+  store.ForEach([&](size_t i, size_t j, const CardinalRelation& relation) {
+    if (store.IsExplicit(i, j)) shadow.masks[{i, j}] = relation.mask();
+  });
+
+  for (int m = 0; m < 120; ++m) {
+    const uint64_t kind = rng.NextBelow(8);
+    if (kind == 7) {
+      ApplyShadowErase(&store, &shadow, rng.NextBelow(shadow.boxes.size()));
+    } else {
+      // Mostly box moves over a shared canvas: nearly every row's column
+      // set churns, so patch lists grow past the compaction threshold.
+      ApplyShadowSetBox(&store, &shadow, rng.NextBelow(shadow.boxes.size()),
+                        RandomShadowBox(&rng), &rng);
+    }
+  }
+  EXPECT_GT(store.edited_rows(), 0u);
+  ExpectMatchesShadow(store, shadow);
+
+#ifdef CARDIR_OBS_ENABLED
+  // The arena recharge must track the mutated footprint exactly.
+  obs::MemArena& arena = obs::MemArena::Get("relation_store");
+  store.RechargeMem();
+  const int64_t live_after = arena.LiveBytes();
+  store.RechargeMem();  // Idempotent: same footprint, same charge.
+  EXPECT_EQ(arena.LiveBytes(), live_after);
+  {
+    RelationStore copy = store;  // Copy charges its own (edited) footprint.
+    EXPECT_EQ(copy.Digest(), store.Digest());
+    EXPECT_EQ(arena.LiveBytes(),
+              live_after + static_cast<int64_t>(copy.bytes()));
+  }
+  EXPECT_EQ(arena.LiveBytes(), live_after);
+#endif  // CARDIR_OBS_ENABLED
 }
 
 #ifdef CARDIR_OBS_ENABLED

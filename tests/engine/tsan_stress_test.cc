@@ -12,6 +12,7 @@
 #include "core/compute_cdr.h"
 #include "core/compute_cdr_percent.h"
 #include "engine/batch_engine.h"
+#include "engine/delta_engine.h"
 #include "engine/thread_pool.h"
 #include "geometry/region.h"
 #include "gtest/gtest.h"
@@ -270,6 +271,50 @@ TEST(TsanStressTest, EngineWorkerScratchReuseAcrossCrossingPairs) {
           << "run " << run << ", slot " << k;
     }
   }
+}
+
+// The delta engine serializes mutations behind one mutex; this hammers
+// that lock with concurrent Move calls on distinct ids (each to an
+// absolute final geometry, so any interleaving converges to one state)
+// while other threads read Digest() mid-churn. The end digest must equal
+// a fresh batch compute — a dropped patch under contention would diverge.
+TEST(TsanStressTest, DeltaEngineConcurrentMovesAndDigestReaders) {
+  Rng rng(0xDE17Au);
+  std::vector<Region> regions;
+  for (int i = 0; i < 32; ++i) regions.push_back(RandomTestRegion(&rng));
+  auto built = DeltaEngine::Build(regions);
+  ASSERT_TRUE(built.ok()) << built.status();
+  DeltaEngine& engine = built.value();
+
+  std::vector<Region> final_regions = regions;
+  for (size_t i = 0; i < final_regions.size(); ++i) {
+    const double x = 40.0 * static_cast<double>(i % 8);
+    const double y = 50.0 * static_cast<double>(i / 8);
+    final_regions[i] = Region(MakeRectangle(x, y, x + 30.0, y + 35.0));
+  }
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> workers;
+  for (int w = 0; w < 4; ++w) {
+    workers.emplace_back([&engine, &final_regions, &failures, w] {
+      for (size_t i = static_cast<size_t>(w); i < final_regions.size();
+           i += 4) {
+        // An intermediate hop first, so every id mutates twice and the
+        // interval indexes accumulate tombstones under contention.
+        const double off = 500.0 + 25.0 * static_cast<double>(i);
+        Region hop(MakeRectangle(off, off, off + 20.0, off + 15.0));
+        if (!engine.Move(i, std::move(hop)).ok()) failures.fetch_add(1);
+        (void)engine.Digest();  // Readers interleave with movers.
+        if (!engine.Move(i, final_regions[i]).ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  ASSERT_EQ(failures.load(), 0);
+
+  const auto expected = ComputeAllPairsDigest(final_regions);
+  ASSERT_TRUE(expected.ok()) << expected.status();
+  EXPECT_EQ(engine.Digest(), *expected);
 }
 
 }  // namespace

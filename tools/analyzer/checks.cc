@@ -307,8 +307,9 @@ void CheckUncheckedResult(const FileTokens& file,
 // ---------------------------------------------------------------------------
 
 const std::set<std::string>& ScratchTypes() {
-  static const std::set<std::string> kTypes = {"CdrScratch", "WorkerScratch",
-                                               "EdgeSoA", "SweepScratch"};
+  static const std::set<std::string> kTypes = {
+      "CdrScratch", "WorkerScratch", "EdgeSoA", "SweepScratch",
+      "DeltaScratch"};
   return kTypes;
 }
 

@@ -166,6 +166,36 @@ def main():
                   f"{human_bytes(dense.get('mem_total_peak_bytes')):>11s} "
                   f"{human_bytes(sweep.get('mem_total_peak_bytes')):>11s}")
 
+    # Delta-maintenance latency: median/p99 per mutation kind, and the
+    # headline ratio — one median mutation vs recomputing the same
+    # configuration with the sweep join. The `ms` of an engine_delta* row
+    # is a single-mutation median, so the generic table above understates
+    # what these rows mean; this section spells it out.
+    delta_rows = [run for run in runs
+                  if str(run.get("mode", "")).startswith("engine_delta")]
+    if delta_rows:
+        print("\ndelta maintenance latency (per single mutation):")
+        print(f"{'workload':10s} {'n':>7s} {'kind':>8s} {'median ms':>10s} "
+              f"{'p99 ms':>9s} {'vs sweep':>9s} {'pairs/mutation':>15s}")
+        for run in delta_rows:
+            mode = str(run.get("mode"))
+            kind = mode[len("engine_delta"):].lstrip("_") or "move"
+            sweep = by_key.get((run.get("workload"), run.get("regions"),
+                                "engine_sweep", 1))
+            ms = run.get("ms", 0.0)
+            sweep_ratio = (f"{sweep.get('ms', 0.0) / ms:8.0f}x"
+                           if sweep and ms else f"{'-':>9s}")
+            touched = (run.get("delta_pairs_reresolved", 0) or 0) + \
+                      (run.get("delta_pairs_implicit", 0) or 0)
+            # Every row times the same fixed mutation count, so the window
+            # totals divide evenly; guard anyway for hand-edited ledgers.
+            per_mutation = touched / 200.0
+            p99 = run.get("p99_ms")
+            p99_cell = f"{p99:9.4f}" if p99 else f"{'-':>9s}"
+            print(f"{run.get('workload'):10s} {run.get('regions'):7d} "
+                  f"{kind:>8s} {ms:10.4f} {p99_cell} {sweep_ratio} "
+                  f"{per_mutation:15.1f}")
+
 
 if __name__ == "__main__":
     main()
